@@ -1,0 +1,34 @@
+//! Criterion bench for ablation A1: the convexity-certificate cost as the
+//! number of Theorem-4 sub-ranges grows (the paper's accuracy-vs-runtime
+//! trade-off; certificate outcomes are printed by the `ablations` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tecopt::{certify_convexity, greedy_deploy, ConvexitySettings, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+
+fn bench_subranges(c: &mut Criterion) {
+    let base = alpha_system().expect("alpha system");
+    let outcome =
+        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
+    let system = outcome.deployment().system().clone();
+    let mut group = c.benchmark_group("ablation_subranges");
+    group.sample_size(10);
+    for m in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("certify", m), &m, |b, &m| {
+            b.iter(|| {
+                certify_convexity(
+                    &system,
+                    ConvexitySettings {
+                        subranges: m,
+                        ..ConvexitySettings::default()
+                    },
+                )
+                .expect("certificate")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subranges);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for experiment E6: Conjecture-1 verification throughput
+//! (matrices per second at the dimensions the randomized campaign uses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tecopt::conjecture::randomized_campaign;
+
+fn bench_conjecture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conjecture");
+    group.sample_size(10);
+    for dim in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("campaign_10_matrices", dim), &dim, |b, &dim| {
+            b.iter(|| randomized_campaign(7, 10, dim).expect("campaign"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conjecture);
+criterion_main!(benches);

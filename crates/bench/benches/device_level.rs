@@ -1,0 +1,45 @@
+//! Criterion bench for experiment E8: device-level relations (Eqs. 1–3)
+//! and single-device system assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tecopt::{CoolingSystem, TileIndex};
+use tecopt_bench::{paper_package, paper_tec};
+use tecopt_device::OperatingPoint;
+use tecopt_units::{Amperes, Kelvin, Watts};
+
+fn bench_device(c: &mut Criterion) {
+    let tec = paper_tec();
+    let op = OperatingPoint {
+        current: Amperes(5.0),
+        cold: Kelvin(350.0),
+        hot: Kelvin(360.0),
+    };
+    let config = paper_package().expect("package");
+    let powers = vec![Watts(0.1); config.grid().tile_count()];
+    let mut group = c.benchmark_group("device_level");
+    group.bench_function("flux_relations", |b| {
+        b.iter(|| {
+            (
+                tec.cold_side_flux(op),
+                tec.hot_side_flux(op),
+                tec.input_power(op),
+            )
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("single_device_system_assembly", |b| {
+        b.iter(|| {
+            CoolingSystem::new(
+                &config,
+                paper_tec(),
+                &[TileIndex::new(6, 6)],
+                powers.clone(),
+            )
+            .expect("system")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E3 (Fig. 6): evaluating one `h_·l(i)`
+//! column of `H(i) = (G − i·D)⁻¹` (a factorization plus a solve) and the
+//! `η, η′` pair behind the convexity machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tecopt::{eta_and_derivative, greedy_deploy, h_column, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+use tecopt_units::Amperes;
+
+fn bench_fig6(c: &mut Criterion) {
+    let base = alpha_system().expect("alpha system");
+    let outcome =
+        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
+    let system = outcome.deployment().system().clone();
+    let (cold, _) = system.stamped().junctions()[0];
+    let mut group = c.benchmark_group("fig6_hkl");
+    group.sample_size(20);
+    group.bench_function("h_column", |b| {
+        b.iter(|| h_column(&system, Amperes(3.0), cold).expect("h column"))
+    });
+    group.bench_function("eta_and_derivative", |b| {
+        b.iter(|| eta_and_derivative(&system, Amperes(3.0)).expect("eta"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E5: the `λ_m` Cholesky-probe bisection
+//! (Theorem 1) and a steady-state solve near the runaway boundary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tecopt::{greedy_deploy, runaway_limit, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+use tecopt_units::Amperes;
+
+fn bench_runaway(c: &mut Criterion) {
+    let base = alpha_system().expect("alpha system");
+    let outcome =
+        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
+    let system = outcome.deployment().system().clone();
+    let lim = runaway_limit(&system, 1e-9).expect("limit");
+    let near = Amperes(lim.feasible().value() * 0.99);
+    let mut group = c.benchmark_group("runaway");
+    group.sample_size(10);
+    group.bench_function("lambda_m_bisection", |b| {
+        b.iter(|| runaway_limit(&system, 1e-9).expect("limit"))
+    });
+    group.bench_function("solve_near_limit", |b| {
+        b.iter(|| system.solve(near).expect("solve"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runaway);
+criterion_main!(benches);

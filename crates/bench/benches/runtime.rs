@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E7: the paper's runtime claim ("for all
+//! benchmarks, the execution time of our algorithm is less than 3 minutes").
+//! Benchmarks the end-to-end deployment + current setting of a
+//! representative hypothetical chip and the building blocks that dominate it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tecopt::{greedy_deploy, optimize_current, CurrentSettings, DeploySettings};
+use tecopt_bench::{hypothetical_systems, THETA_LIMIT};
+use tecopt_linalg::Cholesky;
+use tecopt_units::Amperes;
+
+fn bench_runtime(c: &mut Criterion) {
+    let systems = hypothetical_systems().expect("hypothetical systems");
+    let (_, hc01) = &systems[0];
+    let deployed = greedy_deploy(hc01, DeploySettings::with_limit(THETA_LIMIT))
+        .expect("greedy")
+        .deployment()
+        .system()
+        .clone();
+    let g = deployed.stamped().model().g_matrix().clone();
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.bench_function("hc01_greedy_deploy_end_to_end", |b| {
+        b.iter(|| greedy_deploy(hc01, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy"))
+    });
+    group.bench_function("hc01_current_optimization_only", |b| {
+        b.iter(|| optimize_current(&deployed, CurrentSettings::default()).expect("optimize"))
+    });
+    group.bench_function("steady_state_solve", |b| {
+        b.iter(|| deployed.solve(Amperes(3.0)).expect("solve"))
+    });
+    group.bench_function("cholesky_factorization", |b| {
+        b.iter(|| Cholesky::factor(&g).expect("factor"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

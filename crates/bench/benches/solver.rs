@@ -1,0 +1,60 @@
+//! Criterion bench for the linear-algebra kernels that dominate every
+//! experiment: dense Cholesky factorization/solve at the compact-model
+//! sizes and CG on the fine-grid systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tecopt_linalg::stieltjes::{random_stieltjes, seeded_rng, StieltjesSampler};
+use tecopt_linalg::{conjugate_gradient, CgSettings, Cholesky, CsrMatrix, Triplet};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let a = random_stieltjes(
+            StieltjesSampler {
+                dim: n,
+                density: 0.02,
+                ..StieltjesSampler::default()
+            },
+            &mut seeded_rng(1),
+        );
+        group.bench_with_input(BenchmarkId::new("cholesky_factor", n), &n, |b, _| {
+            b.iter(|| Cholesky::factor(&a).expect("spd"))
+        });
+        let chol = Cholesky::factor(&a).expect("spd");
+        let rhs: Vec<f64> = (0..n).map(|k| (k as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |b, _| {
+            b.iter(|| chol.solve(&rhs).expect("solve"))
+        });
+    }
+    // CG on a 2-D Laplacian of fine-grid scale.
+    let side = 100usize;
+    let idx = |i: usize, j: usize| i * side + j;
+    let mut trips = Vec::new();
+    for i in 0..side {
+        for j in 0..side {
+            trips.push(Triplet::new(idx(i, j), idx(i, j), 4.01));
+            if i > 0 {
+                trips.push(Triplet::new(idx(i, j), idx(i - 1, j), -1.0));
+            }
+            if i + 1 < side {
+                trips.push(Triplet::new(idx(i, j), idx(i + 1, j), -1.0));
+            }
+            if j > 0 {
+                trips.push(Triplet::new(idx(i, j), idx(i, j - 1), -1.0));
+            }
+            if j + 1 < side {
+                trips.push(Triplet::new(idx(i, j), idx(i, j + 1), -1.0));
+            }
+        }
+    }
+    let sparse = CsrMatrix::from_triplets(side * side, side * side, &trips).expect("laplacian");
+    let b = vec![1.0; side * side];
+    group.bench_function("cg_laplacian_10k", |bch| {
+        bch.iter(|| conjugate_gradient(&sparse, &b, CgSettings::default()).expect("cg"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for experiment E2 (Table I): the full deployment +
+//! current-setting pipeline on the Alpha-21364-like benchmark, plus the
+//! full-cover baseline. The printable eleven-row table is produced by the
+//! `table1` binary; this bench tracks the cost of its dominant row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tecopt::{full_cover, greedy_deploy, CurrentSettings, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+
+fn bench_table1(c: &mut Criterion) {
+    let base = alpha_system().expect("alpha system");
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("alpha_greedy_deploy", |b| {
+        b.iter(|| {
+            greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy")
+        })
+    });
+    group.bench_function("alpha_full_cover", |b| {
+        b.iter(|| full_cover(&base, CurrentSettings::default()).expect("full cover"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

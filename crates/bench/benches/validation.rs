@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E1: assembling and solving the fine-grid
+//! reference model versus the compact model on the Alpha benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tecopt_bench::alpha_system;
+use tecopt_thermal::refined::{ReferenceModel, RefinementSettings};
+use tecopt_units::Amperes;
+
+fn bench_validation(c: &mut Criterion) {
+    let base = alpha_system().expect("alpha system");
+    let config = base.config().clone();
+    let powers = base.tile_powers().to_vec();
+    let reference =
+        ReferenceModel::new(&config, RefinementSettings::default()).expect("reference");
+    let mut group = c.benchmark_group("validation");
+    group.sample_size(10);
+    group.bench_function("compact_solve", |b| {
+        b.iter(|| base.solve(Amperes(0.0)).expect("compact"))
+    });
+    group.bench_function("reference_solve", |b| {
+        b.iter(|| reference.solve(&powers).expect("reference"))
+    });
+    group.bench_function("reference_assembly", |b| {
+        b.iter(|| ReferenceModel::new(&config, RefinementSettings::default()).expect("assembly"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E8: device-level sanity against Sec. III.A and the Chowdhury
+//! measurements — per-device fluxes (Eqs. 1–3), COP, and the in-package
+//! on-demand cooling swing of a single device on a hotspot tile (the paper
+//! quotes 5.4–9.6 °C from Chowdhury et al.).
+//!
+//! ```text
+//! cargo run --release -p tecopt-bench --bin device_level
+//! ```
+
+use tecopt::{optimize_current, CoolingSystem, CurrentSettings, TileIndex};
+use tecopt_bench::{paper_package, paper_tec};
+use tecopt_device::OperatingPoint;
+use tecopt_units::{Amperes, Kelvin, Watts};
+
+fn main() {
+    let tec = paper_tec();
+    println!("device: alpha = {}, r = {}, kappa = {}", tec.seebeck(), tec.resistance(), tec.conductance());
+    println!(
+        "contacts: g_c = {}, g_h = {}, footprint {:.1} mm side",
+        tec.cold_contact(),
+        tec.hot_contact(),
+        tec.side().to_millimeters()
+    );
+    println!("figure of merit ZT(350 K) = {:.2}\n", tec.figure_of_merit_zt(Kelvin(350.0)));
+
+    println!("isolated-device table (theta_c = 350 K, theta_h = 360 K):");
+    println!("i_amps,q_c_watts,q_h_watts,p_in_watts,cop");
+    for i in [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0] {
+        let op = OperatingPoint {
+            current: Amperes(i),
+            cold: Kelvin(350.0),
+            hot: Kelvin(360.0),
+        };
+        let qc = tec.cold_side_flux(op);
+        let qh = tec.hot_side_flux(op);
+        let p = tec.input_power(op);
+        match tec.cop(op) {
+            Some(cop) => println!("{i},{:.4},{:.4},{:.4},{:.3}", qc.value(), qh.value(), p.value(), cop),
+            None => println!("{i},{:.4},{:.4},{:.4},-", qc.value(), qh.value(), p.value()),
+        }
+    }
+
+    // In-package on-demand swing of a single device over a hotspot tile.
+    let config = paper_package().expect("package");
+    let mut powers = vec![Watts(0.1); config.grid().tile_count()];
+    let hot = TileIndex::new(6, 6);
+    powers[config.grid().linear_index(hot)] = Watts(0.7);
+    let system =
+        CoolingSystem::new(&config, tec, &[hot], powers).expect("system");
+    let uncooled = system.solve(Amperes(0.0)).expect("solve").peak();
+    let opt = optimize_current(&system, CurrentSettings::default()).expect("optimize");
+    let swing = uncooled - opt.state().peak();
+    println!(
+        "\nsingle-device in-package swing: {:.2} -> {:.2} at {:.2} (swing {:.2}; Chowdhury reports 5.4-9.6 K)",
+        uncooled,
+        opt.state().peak(),
+        opt.current(),
+        swing
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 7** of the paper (experiment E4): (a) the
+//! Alpha-21364-like floorplan and (b) the 12×12 tiling with the tiles
+//! selected by `GreedyDeploy` shaded.
+//!
+//! ```text
+//! cargo run --release -p tecopt-bench --bin fig7_deployment
+//! ```
+
+use tecopt::report::{deployment_map, temperature_map};
+use tecopt::{greedy_deploy, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+use tecopt_power::alpha21364_like;
+use tecopt_units::{Amperes, Celsius};
+
+fn main() {
+    // (a) The floorplan, one letter per tile (row 11 printed on top).
+    let plan = alpha21364_like().expect("floorplan");
+    let tile = 0.5e-3;
+    println!("Figure 7(a): Alpha-21364-like floorplan (one letter per 0.5 mm tile)\n");
+    let mut legend: Vec<(char, String)> = Vec::new();
+    for (idx, unit) in plan.units().iter().enumerate() {
+        let c = (b'A' + idx as u8) as char;
+        legend.push((c, unit.name().to_string()));
+    }
+    for row in (0..12).rev() {
+        let y = (row as f64 + 0.5) * tile;
+        let mut line = String::new();
+        for col in 0..12 {
+            let x = (col as f64 + 0.5) * tile;
+            let idx = plan
+                .units()
+                .iter()
+                .position(|u| {
+                    let r = u.rect();
+                    x > r.x0 && x < r.x1 && y > r.y0 && y < r.y1
+                })
+                .expect("floorplan covers the die");
+            line.push((b'A' + idx as u8) as char);
+            line.push(' ');
+        }
+        println!("{line}");
+    }
+    println!();
+    for (c, name) in &legend {
+        println!("  {c} = {name}");
+    }
+
+    // (b) The greedy TEC deployment.
+    let base = alpha_system().expect("alpha system");
+    let outcome =
+        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy deploy");
+    let d = outcome.deployment();
+    println!(
+        "\nFigure 7(b): tiles covered by TEC devices ({} devices, I_opt = {:.2}, peak {:.1})\n",
+        d.device_count(),
+        d.optimum().current(),
+        d.optimum().state().peak(),
+    );
+    print!(
+        "{}",
+        deployment_map(base.config().grid(), d.tiles())
+    );
+
+    println!("\nUncooled temperature map (°C):\n");
+    let state0 = base.solve(Amperes(0.0)).expect("solve");
+    let temps: Vec<Celsius> = state0.silicon_temperatures().to_vec();
+    print!("{}", temperature_map(base.config().grid(), &temps));
+}

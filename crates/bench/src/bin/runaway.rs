@@ -1,0 +1,49 @@
+//! Experiment E5: the thermal-runaway phenomenon. Sweeps the supply current
+//! through and beyond `λ_m` on the Alpha deployment and prints the peak
+//! temperature trajectory (divergence below `λ_m`, no steady state above).
+//!
+//! ```text
+//! cargo run --release -p tecopt-bench --bin runaway
+//! ```
+
+use tecopt::runaway::demonstration_sweep;
+use tecopt::{greedy_deploy, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+
+fn main() {
+    let base = alpha_system().expect("alpha system");
+    let outcome =
+        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy deploy");
+    let system = outcome.deployment().system().clone();
+    let sweep = demonstration_sweep(&system).expect("sweep");
+    println!(
+        "deployment: {} TECs, lambda_m = {:.3} A",
+        system.device_count(),
+        sweep.limit.lambda().value()
+    );
+    println!("current_amps,fraction_of_lambda,peak_celsius,tec_power_watts");
+    let lam = sweep.limit.lambda().value();
+    for p in &sweep.points {
+        match (p.peak, p.tec_power) {
+            (Some(peak), Some(power)) => println!(
+                "{:.3},{:.4},{:.2},{:.3}",
+                p.current.value(),
+                p.current.value() / lam,
+                peak.value(),
+                power.value()
+            ),
+            _ => println!(
+                "{:.3},{:.4},RUNAWAY,-",
+                p.current.value(),
+                p.current.value() / lam
+            ),
+        }
+    }
+    let best = sweep.best().expect("finite samples");
+    println!(
+        "\nempirical optimum: {:.3} A -> {:.2} degC (divergence demonstrated: {})",
+        best.current.value(),
+        best.peak.expect("finite").value(),
+        sweep.demonstrates_divergence()
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table I** of the paper (experiment E2): the Alpha-21364-
+//! like chip plus the ten hypothetical chips, each run through
+//! `GreedyDeploy` + convex current setting, compared against the Full-Cover
+//! baseline.
+//!
+//! ```text
+//! cargo run --release -p tecopt-bench --bin table1
+//! ```
+
+use tecopt::report::render_table;
+use tecopt_bench::{all_benchmarks, run_table_row, total_power, THETA_LIMIT};
+
+fn main() {
+    let benchmarks = all_benchmarks().expect("benchmark construction");
+    let mut rows = Vec::new();
+    for (name, base) in &benchmarks {
+        let row = run_table_row(name, base, THETA_LIMIT).expect("table row");
+        eprintln!(
+            "{name}: total {:.1}, no-TEC peak {:.1}, greedy {} TECs @ {:.2} -> {:.1} (limit {:.0}), full cover {:.1}",
+            total_power(base),
+            row.peak_no_tec,
+            row.tec_count,
+            row.i_opt,
+            row.greedy_peak,
+            row.theta_limit,
+            row.full_cover_peak,
+        );
+        rows.push(row);
+    }
+    println!("\nTABLE I — experimental results for the benchmarks\n");
+    println!("{}", render_table(&rows));
+}

@@ -1,0 +1,46 @@
+//! Runs the executable statements of the paper's Lemmas 1–3 and
+//! Theorems 1–3 (see `tecopt::theory`) on the deployed Alpha benchmark and
+//! prints each verdict.
+//!
+//! ```text
+//! cargo run --release -p tecopt-bench --bin theory
+//! ```
+
+use tecopt::theory::check_all;
+use tecopt::{greedy_deploy, DeploySettings};
+use tecopt_bench::{alpha_system, THETA_LIMIT};
+
+fn main() {
+    let base = alpha_system().expect("alpha system");
+    let outcome =
+        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy deploy");
+    let system = outcome.deployment().system().clone();
+    println!(
+        "checking the paper's theory on the deployed Alpha system ({} TECs, {} nodes)\n",
+        system.device_count(),
+        system.stamped().model().node_count()
+    );
+    let reports = check_all(&system).expect("theory checks");
+    let mut all_hold = true;
+    for r in &reports {
+        println!(
+            "{:<10} {:<8} ({} witnesses) — {}",
+            r.claim,
+            if r.holds { "HOLDS" } else { "REFUTED" },
+            r.witnesses,
+            r.detail
+        );
+        all_hold &= r.holds;
+    }
+    println!(
+        "\n{}",
+        if all_hold {
+            "every claim verified on this instance"
+        } else {
+            "A CLAIM WAS REFUTED — investigate"
+        }
+    );
+    if !all_hold {
+        std::process::exit(1);
+    }
+}

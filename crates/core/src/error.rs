@@ -1,0 +1,116 @@
+use core::fmt;
+use tecopt_device::DeviceError;
+use tecopt_linalg::LinalgError;
+use tecopt_thermal::ThermalError;
+
+/// Errors produced by the cooling-system optimizer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The tile power vector does not match the grid.
+    PowerLengthMismatch {
+        /// Tiles in the grid.
+        expected: usize,
+        /// Entries supplied.
+        actual: usize,
+    },
+    /// The operation requires at least one deployed TEC device
+    /// (e.g. the runaway limit is infinite for a passive system).
+    NoDevicesDeployed,
+    /// The requested current is at or beyond the runaway limit: `G − i·D`
+    /// is no longer positive definite and no steady state exists.
+    BeyondRunaway {
+        /// The requested current in amperes.
+        current: f64,
+    },
+    /// An optimizer parameter is out of range.
+    InvalidParameter(String),
+    /// The deployment algorithm could not satisfy the temperature limit
+    /// (the paper's `GreedyDeploy` returning `False`).
+    Infeasible {
+        /// Best peak temperature achieved before giving up, °C.
+        best_peak_celsius: f64,
+    },
+    /// A device-layer operation failed.
+    Device(DeviceError),
+    /// A thermal-model operation failed.
+    Thermal(ThermalError),
+    /// A linear-algebra kernel failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::PowerLengthMismatch { expected, actual } => {
+                write!(f, "power vector has {actual} entries, grid has {expected} tiles")
+            }
+            OptError::NoDevicesDeployed => {
+                write!(f, "operation requires at least one deployed TEC device")
+            }
+            OptError::BeyondRunaway { current } => {
+                write!(f, "current {current} A is at or beyond the thermal runaway limit")
+            }
+            OptError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            OptError::Infeasible { best_peak_celsius } => write!(
+                f,
+                "no deployment satisfies the temperature limit (best peak {best_peak_celsius:.2} °C)"
+            ),
+            OptError::Device(e) => write!(f, "device layer failure: {e}"),
+            OptError::Thermal(e) => write!(f, "thermal layer failure: {e}"),
+            OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Device(e) => Some(e),
+            OptError::Thermal(e) => Some(e),
+            OptError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for OptError {
+    fn from(e: DeviceError) -> OptError {
+        OptError::Device(e)
+    }
+}
+
+impl From<ThermalError> for OptError {
+    fn from(e: ThermalError) -> OptError {
+        OptError::Thermal(e)
+    }
+}
+
+impl From<LinalgError> for OptError {
+    fn from(e: LinalgError) -> OptError {
+        OptError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        assert!(OptError::NoDevicesDeployed.to_string().contains("TEC"));
+        assert!(OptError::BeyondRunaway { current: 40.0 }
+            .to_string()
+            .contains("runaway"));
+        let e = OptError::Linalg(LinalgError::NotPositiveDefinite { pivot: 0 });
+        assert!(e.source().is_some());
+        assert!(OptError::NoDevicesDeployed.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptError>();
+    }
+}

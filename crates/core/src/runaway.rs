@@ -1,0 +1,194 @@
+//! Thermal-runaway sweeps (experiment E5): sampling the peak temperature
+//! as the supply current crosses the runaway limit `λ_m`.
+//!
+//! The paper observes that "a large amount of supply current could even
+//! cause the thermal runaway of the system": below `λ_m` the steady state
+//! exists and diverges as `i → λ_m⁻`; at and beyond `λ_m` the matrix
+//! `G − i·D` is no longer positive definite and no bounded steady state
+//! exists at all.
+
+use crate::{runaway_limit, CoolingSystem, OptError, RunawayLimit};
+use tecopt_units::{Amperes, Celsius};
+
+/// One sample of a runaway sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The sampled supply current.
+    pub current: Amperes,
+    /// Peak silicon temperature, or `None` past runaway (no steady state).
+    pub peak: Option<Celsius>,
+    /// Electrical power drawn by the TEC devices, when a steady state
+    /// exists.
+    pub tec_power: Option<tecopt_units::Watts>,
+}
+
+/// A full sweep with the computed limit.
+#[derive(Debug, Clone)]
+pub struct RunawaySweep {
+    /// The runaway limit of the swept system.
+    pub limit: RunawayLimit,
+    /// Samples in ascending current order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl RunawaySweep {
+    /// The minimum sampled peak temperature (the sweep's empirical optimum).
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.peak.is_some())
+            .min_by(|a, b| {
+                a.peak
+                    .expect("filtered")
+                    .partial_cmp(&b.peak.expect("filtered"))
+                    .expect("finite temperatures")
+            })
+    }
+
+    /// `true` if the sweep demonstrates divergence: the last finite sample
+    /// is hotter than the uncooled (i = 0) sample.
+    pub fn demonstrates_divergence(&self) -> bool {
+        let finite: Vec<&SweepPoint> = self.points.iter().filter(|p| p.peak.is_some()).collect();
+        match (finite.first(), finite.last()) {
+            (Some(first), Some(last)) => last.peak > first.peak,
+            _ => false,
+        }
+    }
+}
+
+/// Sweeps `fractions · λ_m` (fractions may exceed 1 to show the
+/// no-steady-state region).
+///
+/// # Errors
+///
+/// - [`OptError::NoDevicesDeployed`] for a passive system.
+/// - [`OptError::InvalidParameter`] for an empty or non-finite fraction
+///   list.
+pub fn sweep_fractions(
+    system: &CoolingSystem,
+    fractions: &[f64],
+    lambda_tolerance: f64,
+) -> Result<RunawaySweep, OptError> {
+    if fractions.is_empty() {
+        return Err(OptError::InvalidParameter(
+            "sweep needs at least one fraction".into(),
+        ));
+    }
+    if fractions.iter().any(|f| !f.is_finite() || *f < 0.0) {
+        return Err(OptError::InvalidParameter(
+            "sweep fractions must be finite and nonnegative".into(),
+        ));
+    }
+    let limit = runaway_limit(system, lambda_tolerance)?;
+    let lam = limit.lambda().value();
+    let mut points = Vec::with_capacity(fractions.len());
+    let mut sorted = fractions.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+    for f in sorted {
+        let i = Amperes(lam * f);
+        match system.solve(i) {
+            Ok(state) => points.push(SweepPoint {
+                current: i,
+                peak: Some(state.peak()),
+                tec_power: Some(state.tec_power()),
+            }),
+            Err(OptError::BeyondRunaway { .. }) => points.push(SweepPoint {
+                current: i,
+                peak: None,
+                tec_power: None,
+            }),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RunawaySweep { limit, points })
+}
+
+/// The default demonstration sweep: dense sampling up to `λ_m` plus a few
+/// samples beyond it.
+///
+/// # Errors
+///
+/// Same contract as [`sweep_fractions`].
+pub fn demonstration_sweep(system: &CoolingSystem) -> Result<RunawaySweep, OptError> {
+    let mut fractions: Vec<f64> = (0..=20).map(|k| k as f64 * 0.05).collect(); // 0..1
+    fractions.extend([0.97, 0.99, 0.999, 1.001, 1.05, 1.2]);
+    sweep_fractions(system, &fractions, 1e-10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecopt_device::TecParams;
+    use tecopt_thermal::{PackageConfig, TileIndex};
+    use tecopt_units::Watts;
+
+    fn system() -> CoolingSystem {
+        let config = PackageConfig::hotspot41_like(4, 4).unwrap();
+        let mut powers = vec![Watts(0.05); 16];
+        powers[5] = Watts(0.7);
+        CoolingSystem::new(
+            &config,
+            TecParams::superlattice_thin_film(),
+            &[TileIndex::new(1, 1)],
+            powers,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn demonstration_shows_divergence_and_dead_zone() {
+        let sweep = demonstration_sweep(&system()).unwrap();
+        assert!(sweep.demonstrates_divergence());
+        // Beyond lambda_m there is no steady state.
+        let beyond: Vec<&SweepPoint> = sweep
+            .points
+            .iter()
+            .filter(|p| p.current.value() > sweep.limit.infeasible().value())
+            .collect();
+        assert!(!beyond.is_empty());
+        assert!(beyond.iter().all(|p| p.peak.is_none()));
+        // Below, steady states exist.
+        let within: Vec<&SweepPoint> = sweep
+            .points
+            .iter()
+            .filter(|p| p.current.value() < sweep.limit.feasible().value())
+            .collect();
+        assert!(within.iter().all(|p| p.peak.is_some()));
+    }
+
+    #[test]
+    fn best_point_is_interior() {
+        let sweep = demonstration_sweep(&system()).unwrap();
+        let best = sweep.best().expect("finite samples exist");
+        assert!(best.current.value() > 0.0);
+        assert!(best.current < sweep.limit.feasible());
+        assert!(best.tec_power.expect("steady state").value() > 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        let s = system();
+        assert!(matches!(
+            sweep_fractions(&s, &[], 1e-9),
+            Err(OptError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            sweep_fractions(&s, &[-0.5], 1e-9),
+            Err(OptError::InvalidParameter(_))
+        ));
+        let passive = s.with_tiles(&[]).unwrap();
+        assert!(matches!(
+            sweep_fractions(&passive, &[0.5], 1e-9),
+            Err(OptError::NoDevicesDeployed)
+        ));
+    }
+
+    #[test]
+    fn points_are_sorted_by_current() {
+        let sweep = sweep_fractions(&system(), &[0.9, 0.1, 0.5], 1e-9).unwrap();
+        let currents: Vec<f64> = sweep.points.iter().map(|p| p.current.value()).collect();
+        let mut sorted = currents.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(currents, sorted);
+    }
+}

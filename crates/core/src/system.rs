@@ -1,0 +1,344 @@
+use crate::OptError;
+use tecopt_device::{StampedSystem, TecParams};
+use tecopt_linalg::Cholesky;
+use tecopt_thermal::{PackageConfig, TileIndex};
+use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
+
+/// A chip package with a TEC deployment and a worst-case power profile —
+/// everything Eq. 4 needs: `(G − i·D)·θ = p(i)`.
+///
+/// The single supply current reflects the paper's one-extra-pin constraint:
+/// all deployed devices are electrically in series and share `i`.
+///
+/// ```
+/// use tecopt::CoolingSystem;
+/// use tecopt_device::TecParams;
+/// use tecopt_thermal::{PackageConfig, TileIndex};
+/// use tecopt_units::{Amperes, Watts};
+///
+/// # fn main() -> Result<(), tecopt::OptError> {
+/// let config = PackageConfig::hotspot41_like(4, 4)?;
+/// let mut powers = vec![Watts(0.05); 16];
+/// powers[5] = Watts(0.7);
+/// let system = CoolingSystem::new(
+///     &config,
+///     TecParams::superlattice_thin_film(),
+///     &[TileIndex::new(1, 1)],
+///     powers,
+/// )?;
+/// let cooled = system.solve(Amperes(3.0))?;
+/// let uncooled = system.solve(Amperes(0.0))?;
+/// assert!(cooled.peak() < uncooled.peak());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoolingSystem {
+    stamped: StampedSystem,
+    tile_powers: Vec<Watts>,
+}
+
+/// A solved steady state of a [`CoolingSystem`] at one supply current.
+#[derive(Debug, Clone)]
+pub struct SolvedState {
+    current: Amperes,
+    temps: Vec<Kelvin>,
+    silicon: Vec<Celsius>,
+    peak: Celsius,
+    tec_power: Watts,
+}
+
+impl SolvedState {
+    /// The supply current this state was solved at.
+    pub fn current(&self) -> Amperes {
+        self.current
+    }
+
+    /// Full node temperature vector (matrix order).
+    pub fn node_temperatures(&self) -> &[Kelvin] {
+        &self.temps
+    }
+
+    /// Silicon tile temperatures, row-major.
+    pub fn silicon_temperatures(&self) -> &[Celsius] {
+        &self.silicon
+    }
+
+    /// Peak silicon tile temperature — the objective of Problem 2.
+    pub fn peak(&self) -> Celsius {
+        self.peak
+    }
+
+    /// Electrical power drawn by the TEC devices (Eq. 3 summed; the
+    /// `P_TEC` column of Table I).
+    pub fn tec_power(&self) -> Watts {
+        self.tec_power
+    }
+}
+
+impl CoolingSystem {
+    /// Builds the system: package + devices on `tec_tiles` + per-tile
+    /// worst-case powers.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptError::PowerLengthMismatch`] if `tile_powers` does not cover
+    ///   the grid.
+    /// - Device/thermal errors for invalid tiles or parameters.
+    pub fn new(
+        config: &PackageConfig,
+        params: TecParams,
+        tec_tiles: &[TileIndex],
+        tile_powers: Vec<Watts>,
+    ) -> Result<CoolingSystem, OptError> {
+        if tile_powers.len() != config.grid().tile_count() {
+            return Err(OptError::PowerLengthMismatch {
+                expected: config.grid().tile_count(),
+                actual: tile_powers.len(),
+            });
+        }
+        for p in &tile_powers {
+            if p.value() < 0.0 || !p.is_finite() {
+                return Err(OptError::InvalidParameter(format!(
+                    "tile power {p} is not a valid worst-case power"
+                )));
+            }
+        }
+        let stamped = StampedSystem::new(config, params, tec_tiles)?;
+        Ok(CoolingSystem {
+            stamped,
+            tile_powers,
+        })
+    }
+
+    /// The system without any TEC devices (the "No TEC" column of Table I).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CoolingSystem::new`].
+    pub fn without_devices(
+        config: &PackageConfig,
+        params: TecParams,
+        tile_powers: Vec<Watts>,
+    ) -> Result<CoolingSystem, OptError> {
+        CoolingSystem::new(config, params, &[], tile_powers)
+    }
+
+    /// Returns a copy of this system with a different TEC tile set (same
+    /// package, parameters and powers) — the deployment algorithm's step.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CoolingSystem::new`].
+    pub fn with_tiles(&self, tec_tiles: &[TileIndex]) -> Result<CoolingSystem, OptError> {
+        CoolingSystem::new(
+            self.stamped.model().config(),
+            self.stamped.params().clone(),
+            tec_tiles,
+            self.tile_powers.clone(),
+        )
+    }
+
+    /// The stamped device/thermal system underneath.
+    pub fn stamped(&self) -> &StampedSystem {
+        &self.stamped
+    }
+
+    /// Package configuration.
+    pub fn config(&self) -> &PackageConfig {
+        self.stamped.model().config()
+    }
+
+    /// Worst-case power per tile.
+    pub fn tile_powers(&self) -> &[Watts] {
+        &self.tile_powers
+    }
+
+    /// Total worst-case chip power.
+    pub fn total_chip_power(&self) -> Watts {
+        self.tile_powers.iter().copied().sum()
+    }
+
+    /// Tiles covered by TEC devices.
+    pub fn tec_tiles(&self) -> &[TileIndex] {
+        self.stamped.tiles()
+    }
+
+    /// Number of deployed devices.
+    pub fn device_count(&self) -> usize {
+        self.stamped.device_count()
+    }
+
+    /// Solves the steady state at supply current `i`.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptError::BeyondRunaway`] if `G − i·D` is not positive definite
+    ///   (thermal runaway).
+    /// - [`OptError::Device`] for a negative current.
+    pub fn solve(&self, current: Amperes) -> Result<SolvedState, OptError> {
+        let m = self.stamped.system_matrix(current)?;
+        let p = self.stamped.power_vector(&self.tile_powers, current)?;
+        let chol = Cholesky::factor(&m).map_err(|e| match e {
+            tecopt_linalg::LinalgError::NotPositiveDefinite { .. } => OptError::BeyondRunaway {
+                current: current.value(),
+            },
+            other => OptError::Linalg(other),
+        })?;
+        let theta = chol.solve(&p).map_err(OptError::from)?;
+        let temps: Vec<Kelvin> = theta.into_iter().map(Kelvin).collect();
+        let silicon = self.stamped.model().silicon_temperatures(&temps);
+        let peak = silicon
+            .iter()
+            .copied()
+            .fold(Celsius(f64::NEG_INFINITY), Celsius::max);
+        let tec_power = self.stamped.input_power(&temps, current)?;
+        Ok(SolvedState {
+            current,
+            temps,
+            silicon,
+            peak,
+            tec_power,
+        })
+    }
+
+    /// Tiles whose temperature exceeds `limit` in a solved state — the set
+    /// `T` of the `GreedyDeploy` pseudo-code (Fig. 5).
+    pub fn tiles_above(&self, state: &SolvedState, limit: Celsius) -> Vec<TileIndex> {
+        let grid = self.config().grid();
+        grid.tiles()
+            .zip(state.silicon_temperatures())
+            .filter(|(_, t)| **t > limit)
+            .map(|(tile, _)| tile)
+            .collect()
+    }
+
+    /// Solves the auxiliary systems needed by the convexity machinery:
+    /// `x = (G − i·D)⁻¹ · rhs` for an arbitrary right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CoolingSystem::solve`].
+    pub(crate) fn solve_rhs(&self, current: Amperes, rhs: &[f64]) -> Result<Vec<f64>, OptError> {
+        let m = self.stamped.system_matrix(current)?;
+        let chol = Cholesky::factor(&m).map_err(|e| match e {
+            tecopt_linalg::LinalgError::NotPositiveDefinite { .. } => OptError::BeyondRunaway {
+                current: current.value(),
+            },
+            other => OptError::Linalg(other),
+        })?;
+        chol.solve(rhs).map_err(OptError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PackageConfig {
+        PackageConfig::hotspot41_like(4, 4).unwrap()
+    }
+
+    fn hotspot_powers() -> Vec<Watts> {
+        let mut p = vec![Watts(0.05); 16];
+        p[5] = Watts(0.7);
+        p
+    }
+
+    fn system(tiles: &[TileIndex]) -> CoolingSystem {
+        CoolingSystem::new(
+            &config(),
+            TecParams::superlattice_thin_film(),
+            tiles,
+            hotspot_powers(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_powers() {
+        let err = CoolingSystem::new(
+            &config(),
+            TecParams::superlattice_thin_film(),
+            &[],
+            vec![Watts(1.0); 3],
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::PowerLengthMismatch { .. }));
+        let mut p = hotspot_powers();
+        p[0] = Watts(-1.0);
+        assert!(matches!(
+            CoolingSystem::new(&config(), TecParams::superlattice_thin_film(), &[], p),
+            Err(OptError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn passive_solve_matches_thermal_layer() {
+        let s = CoolingSystem::without_devices(
+            &config(),
+            TecParams::superlattice_thin_film(),
+            hotspot_powers(),
+        )
+        .unwrap();
+        let state = s.solve(Amperes(0.0)).unwrap();
+        let direct = s
+            .stamped()
+            .model()
+            .solve_passive(&hotspot_powers())
+            .unwrap();
+        for (a, b) in state.node_temperatures().iter().zip(&direct) {
+            assert!((a.value() - b.value()).abs() < 1e-9);
+        }
+        assert_eq!(state.tec_power(), Watts(0.0));
+    }
+
+    #[test]
+    fn current_changes_the_solution_only_with_devices() {
+        let passive = system(&[]);
+        let s0 = passive.solve(Amperes(0.0)).unwrap();
+        let s5 = passive.solve(Amperes(5.0)).unwrap();
+        assert!((s0.peak().value() - s5.peak().value()).abs() < 1e-9);
+
+        let active = system(&[TileIndex::new(1, 1)]);
+        let a0 = active.solve(Amperes(0.0)).unwrap();
+        let a3 = active.solve(Amperes(3.0)).unwrap();
+        assert!(a3.peak() < a0.peak());
+        assert!(a3.tec_power().value() > 0.0);
+    }
+
+    #[test]
+    fn tiles_above_threshold() {
+        let s = system(&[]);
+        let state = s.solve(Amperes(0.0)).unwrap();
+        let all = s.tiles_above(&state, Celsius(-100.0));
+        assert_eq!(all.len(), 16);
+        let none = s.tiles_above(&state, Celsius(500.0));
+        assert!(none.is_empty());
+        // With a threshold just below the peak, only the hotspot exceeds.
+        let just_below = Celsius(state.peak().value() - 0.01);
+        let hot = s.tiles_above(&state, just_below);
+        assert_eq!(hot, vec![TileIndex::new(1, 1)]);
+    }
+
+    #[test]
+    fn runaway_current_reported() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        // Far beyond any plausible runaway limit for these parameters.
+        let big = Amperes(1.0e5);
+        match s.solve(big) {
+            Err(OptError::BeyondRunaway { current }) => assert_eq!(current, 1.0e5),
+            other => panic!("expected BeyondRunaway, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_tiles_rebuilds() {
+        let s = system(&[]);
+        assert_eq!(s.device_count(), 0);
+        let s2 = s.with_tiles(&[TileIndex::new(0, 0), TileIndex::new(3, 3)]).unwrap();
+        assert_eq!(s2.device_count(), 2);
+        assert_eq!(s2.tile_powers(), s.tile_powers());
+        assert!((s.total_chip_power().value() - 1.45).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Electrical aggregation of multiple devices.
+//!
+//! The paper's cooling system wires every deployed TEC "electrically in
+//! series and thermally in parallel" (Fig. 1(b)) behind a single extra
+//! package pin, so all devices share one supply current. This module
+//! answers the electrical questions about such a chain: terminal voltage,
+//! total input power and the pin-level operating point.
+
+use crate::{DeviceError, OperatingPoint, TecParams};
+use tecopt_units::{Amperes, Volts, Watts};
+
+/// A series-connected chain of identical TEC devices sharing one supply
+/// current.
+///
+/// ```
+/// use tecopt_device::{OperatingPoint, TecArray, TecParams};
+/// use tecopt_units::{Amperes, Kelvin};
+///
+/// # fn main() -> Result<(), tecopt_device::DeviceError> {
+/// let array = TecArray::new(TecParams::superlattice_thin_film(), 16)?;
+/// let op = OperatingPoint { current: Amperes(6.0), cold: Kelvin(353.0), hot: Kelvin(363.0) };
+/// let total = array.input_power(&[op; 16])?;
+/// assert!(total.value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TecArray {
+    params: TecParams,
+    count: usize,
+}
+
+impl TecArray {
+    /// Creates an array of `count` identical devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EmptyArray`] if `count` is zero.
+    pub fn new(params: TecParams, count: usize) -> Result<TecArray, DeviceError> {
+        if count == 0 {
+            return Err(DeviceError::EmptyArray);
+        }
+        Ok(TecArray { params, count })
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &TecParams {
+        &self.params
+    }
+
+    /// Number of devices in the chain.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total series resistance of the chain.
+    pub fn series_resistance(&self) -> tecopt_units::Ohms {
+        self.params.resistance() * self.count as f64
+    }
+
+    /// Terminal voltage of the chain at per-device operating points:
+    /// each device contributes `i·r + α·Δθ` (ohmic plus Seebeck back-EMF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OperatingPointCount`] unless exactly one
+    /// operating point per device is supplied, all with the same current.
+    pub fn terminal_voltage(&self, ops: &[OperatingPoint]) -> Result<Volts, DeviceError> {
+        self.check_ops(ops)?;
+        let r = self.params.resistance().value();
+        let a = self.params.seebeck().value();
+        let v = ops
+            .iter()
+            .map(|op| op.current.value() * r + a * op.delta().value())
+            .sum();
+        Ok(Volts(v))
+    }
+
+    /// Total electrical input power of the chain (sum of Eq. 3 over
+    /// devices) — the `P_TEC` column of Table I.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TecArray::terminal_voltage`].
+    pub fn input_power(&self, ops: &[OperatingPoint]) -> Result<Watts, DeviceError> {
+        self.check_ops(ops)?;
+        Ok(ops.iter().map(|op| self.params.input_power(*op)).sum())
+    }
+
+    /// Net heat removed from the die side by the whole array (sum of cold
+    /// side fluxes).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TecArray::terminal_voltage`].
+    pub fn total_cold_side_flux(&self, ops: &[OperatingPoint]) -> Result<Watts, DeviceError> {
+        self.check_ops(ops)?;
+        Ok(ops.iter().map(|op| self.params.cold_side_flux(*op)).sum())
+    }
+
+    fn check_ops(&self, ops: &[OperatingPoint]) -> Result<(), DeviceError> {
+        if ops.len() != self.count {
+            return Err(DeviceError::OperatingPointCount {
+                expected: self.count,
+                actual: ops.len(),
+            });
+        }
+        let i0 = ops[0].current;
+        if ops.iter().any(|op| op.current != i0) {
+            return Err(DeviceError::MixedCurrents);
+        }
+        Ok(())
+    }
+
+    /// The shared supply current implied by a set of operating points.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TecArray::terminal_voltage`].
+    pub fn shared_current(&self, ops: &[OperatingPoint]) -> Result<Amperes, DeviceError> {
+        self.check_ops(ops)?;
+        Ok(ops[0].current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecopt_units::Kelvin;
+
+    fn array(n: usize) -> TecArray {
+        TecArray::new(TecParams::superlattice_thin_film(), n).unwrap()
+    }
+
+    fn op(i: f64, c: f64, h: f64) -> OperatingPoint {
+        OperatingPoint {
+            current: Amperes(i),
+            cold: Kelvin(c),
+            hot: Kelvin(h),
+        }
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        assert!(matches!(
+            TecArray::new(TecParams::superlattice_thin_film(), 0),
+            Err(DeviceError::EmptyArray)
+        ));
+    }
+
+    #[test]
+    fn series_resistance_scales() {
+        let a = array(16);
+        assert!(
+            (a.series_resistance().value() - 16.0 * a.params().resistance().value()).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn voltage_power_consistency() {
+        // With identical junction temperatures, P = V·I exactly.
+        let a = array(4);
+        let ops = [op(6.0, 350.0, 362.0); 4];
+        let v = a.terminal_voltage(&ops).unwrap();
+        let p = a.input_power(&ops).unwrap();
+        assert!((v.value() * 6.0 - p.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_and_currents_rejected() {
+        let a = array(3);
+        assert!(matches!(
+            a.input_power(&[op(1.0, 350.0, 351.0); 2]),
+            Err(DeviceError::OperatingPointCount {
+                expected: 3,
+                actual: 2
+            })
+        ));
+        let mixed = [op(1.0, 350.0, 351.0), op(2.0, 350.0, 351.0), op(1.0, 350.0, 351.0)];
+        assert!(matches!(
+            a.terminal_voltage(&mixed),
+            Err(DeviceError::MixedCurrents)
+        ));
+    }
+
+    #[test]
+    fn total_flux_sums_devices() {
+        let a = array(2);
+        let ops = [op(5.0, 350.0, 355.0), op(5.0, 356.0, 360.0)];
+        let total = a.total_cold_side_flux(&ops).unwrap();
+        let sum = a.params().cold_side_flux(ops[0]) + a.params().cold_side_flux(ops[1]);
+        assert!((total.value() - sum.value()).abs() < 1e-12);
+        assert_eq!(a.shared_current(&ops).unwrap(), Amperes(5.0));
+    }
+}

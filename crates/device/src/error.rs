@@ -1,0 +1,92 @@
+use core::fmt;
+use tecopt_thermal::ThermalError;
+
+/// Errors produced by the TEC device layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A physical parameter is nonpositive or non-finite.
+    InvalidParameter {
+        /// Which parameter.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`TecArray`](crate::TecArray) needs at least one device.
+    EmptyArray,
+    /// Wrong number of per-device operating points supplied.
+    OperatingPointCount {
+        /// Devices in the array.
+        expected: usize,
+        /// Operating points supplied.
+        actual: usize,
+    },
+    /// Series-connected devices must share one supply current.
+    MixedCurrents,
+    /// Supply currents are nonnegative by construction (the devices are
+    /// polarized for cooling).
+    NegativeCurrent {
+        /// The offending current in amperes.
+        value: f64,
+    },
+    /// An underlying thermal-model operation failed.
+    Thermal(ThermalError),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { what, value } => {
+                write!(f, "invalid device parameter: {what} = {value}")
+            }
+            DeviceError::EmptyArray => write!(f, "a TEC array needs at least one device"),
+            DeviceError::OperatingPointCount { expected, actual } => {
+                write!(f, "expected {expected} operating points, got {actual}")
+            }
+            DeviceError::MixedCurrents => {
+                write!(f, "series-connected devices must share one supply current")
+            }
+            DeviceError::NegativeCurrent { value } => {
+                write!(f, "supply current must be nonnegative, got {value} A")
+            }
+            DeviceError::Thermal(e) => write!(f, "thermal model failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for DeviceError {
+    fn from(e: ThermalError) -> DeviceError {
+        DeviceError::Thermal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DeviceError::EmptyArray.to_string().contains("at least one"));
+        assert!(DeviceError::MixedCurrents.to_string().contains("share"));
+        assert!(DeviceError::NegativeCurrent { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn source_chains_to_thermal() {
+        use std::error::Error;
+        let e = DeviceError::Thermal(ThermalError::InvalidConfig("x".into()));
+        assert!(e.source().is_some());
+        assert!(DeviceError::EmptyArray.source().is_none());
+    }
+}

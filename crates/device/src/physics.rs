@@ -1,0 +1,223 @@
+//! Device-level thermoelectric relations (Eqs. 1–3 of the paper).
+//!
+//! These closed forms describe one device in isolation, given its junction
+//! temperatures; the network model in `tecopt-thermal`/`tecopt` couples the
+//! junctions to the package instead of prescribing them. The isolated
+//! relations remain useful for parameter sanity checks (experiment E8) and
+//! for classical quantities like the COP and the maximum temperature
+//! differential.
+
+use crate::TecParams;
+use tecopt_units::{Amperes, Kelvin, Watts};
+
+/// Operating state of a single device: supply current and junction
+/// temperatures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply current `i`.
+    pub current: Amperes,
+    /// Cold-junction absolute temperature `θ_c`.
+    pub cold: Kelvin,
+    /// Hot-junction absolute temperature `θ_h`.
+    pub hot: Kelvin,
+}
+
+impl OperatingPoint {
+    /// Junction temperature difference `Δθ = θ_h − θ_c`.
+    pub fn delta(&self) -> Kelvin {
+        self.hot - self.cold
+    }
+}
+
+impl TecParams {
+    /// Heat flux absorbed at the cold side (Eq. 1):
+    /// `q_c = α·i·θ_c − r·i²/2 − κ·(θ_h − θ_c)`.
+    ///
+    /// ```
+    /// use tecopt_device::{OperatingPoint, TecParams};
+    /// use tecopt_units::{Amperes, Kelvin};
+    ///
+    /// let tec = TecParams::superlattice_thin_film();
+    /// let op = OperatingPoint { current: Amperes(5.0), cold: Kelvin(350.0), hot: Kelvin(355.0) };
+    /// // Pumping against a small gradient absorbs net heat.
+    /// assert!(tec.cold_side_flux(op).value() > 0.0);
+    /// ```
+    pub fn cold_side_flux(&self, op: OperatingPoint) -> Watts {
+        let i = op.current.value();
+        let peltier = self.seebeck().value() * i * op.cold.value();
+        let joule = 0.5 * self.resistance().value() * i * i;
+        let leak = self.conductance().value() * op.delta().value();
+        Watts(peltier - joule - leak)
+    }
+
+    /// Heat flux released at the hot side (Eq. 2):
+    /// `q_h = α·i·θ_h + r·i²/2 − κ·(θ_h − θ_c)`.
+    pub fn hot_side_flux(&self, op: OperatingPoint) -> Watts {
+        let i = op.current.value();
+        let peltier = self.seebeck().value() * i * op.hot.value();
+        let joule = 0.5 * self.resistance().value() * i * i;
+        let leak = self.conductance().value() * op.delta().value();
+        Watts(peltier + joule - leak)
+    }
+
+    /// Electrical input power (Eq. 3): `p = q_h − q_c = r·i² + α·i·Δθ`.
+    ///
+    /// In steady state this power is converted to heat inside the package —
+    /// the root cause of the full-cover swing loss in Table I.
+    pub fn input_power(&self, op: OperatingPoint) -> Watts {
+        let i = op.current.value();
+        Watts(self.resistance().value() * i * i + self.seebeck().value() * i * op.delta().value())
+    }
+
+    /// Coefficient of performance `COP = q_c / p`, or `None` when no
+    /// electrical power is drawn (`i = 0`).
+    ///
+    /// A COP of zero marks the runaway boundary: "λ_m represents the input
+    /// current level which causes the active cooling system to have zero
+    /// heat pumping capability … this occurs when the coefficient of
+    /// performance of the thermoelectric cooler becomes zero" (Sec. V.C.1).
+    pub fn cop(&self, op: OperatingPoint) -> Option<f64> {
+        let p = self.input_power(op).value();
+        if p <= 0.0 {
+            return None;
+        }
+        Some(self.cold_side_flux(op).value() / p)
+    }
+
+    /// Current maximizing the cold-side flux at fixed junction temperatures:
+    /// `i* = α·θ_c / r` (zero of `∂q_c/∂i`).
+    pub fn max_flux_current(&self, cold: Kelvin) -> Amperes {
+        Amperes(self.seebeck().value() * cold.value() / self.resistance().value())
+    }
+
+    /// The cold-side flux at [`TecParams::max_flux_current`]:
+    /// `q_c,max = α²·θ_c²/(2r) − κ·Δθ`.
+    pub fn max_cold_side_flux(&self, cold: Kelvin, delta: Kelvin) -> Watts {
+        let a = self.seebeck().value();
+        Watts(
+            0.5 * a * a * cold.value() * cold.value() / self.resistance().value()
+                - self.conductance().value() * delta.value(),
+        )
+    }
+
+    /// Maximum sustainable junction differential (where `q_c,max = 0`):
+    /// `Δθ_max = Z·θ_c²/2` with `Z = α²/(r·κ)` — the classical
+    /// thermoelectric limit.
+    pub fn max_temperature_difference(&self, cold: Kelvin) -> Kelvin {
+        Kelvin(0.5 * self.figure_of_merit_z() * cold.value() * cold.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tec() -> TecParams {
+        TecParams::superlattice_thin_film()
+    }
+
+    fn op(i: f64, c: f64, h: f64) -> OperatingPoint {
+        OperatingPoint {
+            current: Amperes(i),
+            cold: Kelvin(c),
+            hot: Kelvin(h),
+        }
+    }
+
+    #[test]
+    fn energy_conservation_qh_minus_qc_is_input_power() {
+        let t = tec();
+        for (i, c, h) in [(2.0, 340.0, 350.0), (7.5, 355.0, 370.0), (0.0, 350.0, 360.0)] {
+            let o = op(i, c, h);
+            let lhs = t.hot_side_flux(o) - t.cold_side_flux(o);
+            let rhs = t.input_power(o);
+            assert!((lhs.value() - rhs.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_current_is_pure_conduction() {
+        let t = tec();
+        let o = op(0.0, 350.0, 360.0);
+        let qc = t.cold_side_flux(o);
+        // Heat leaks backwards from hot to cold: negative absorbed flux.
+        assert!((qc.value() + t.conductance().value() * 10.0).abs() < 1e-12);
+        assert_eq!(t.input_power(o), Watts(0.0));
+        assert!(t.cop(o).is_none());
+    }
+
+    #[test]
+    fn max_flux_current_is_stationary_point() {
+        let t = tec();
+        let c = Kelvin(350.0);
+        let i_star = t.max_flux_current(c);
+        let h = Kelvin(352.0);
+        let eps = 1e-3;
+        let q0 = t
+            .cold_side_flux(op(i_star.value(), c.value(), h.value()))
+            .value();
+        let qp = t
+            .cold_side_flux(op(i_star.value() + eps, c.value(), h.value()))
+            .value();
+        let qm = t
+            .cold_side_flux(op(i_star.value() - eps, c.value(), h.value()))
+            .value();
+        assert!(q0 >= qp && q0 >= qm, "q_c not maximal at i* = {i_star}");
+    }
+
+    #[test]
+    fn max_flux_formula_matches_direct_evaluation() {
+        let t = tec();
+        let c = Kelvin(350.0);
+        let d = Kelvin(5.0);
+        let i_star = t.max_flux_current(c);
+        let direct = t.cold_side_flux(op(i_star.value(), c.value(), c.value() + d.value()));
+        let formula = t.max_cold_side_flux(c, d);
+        assert!((direct.value() - formula.value()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn max_delta_matches_chowdhury_scale() {
+        // The on-demand cooling swing reported for the superlattice coolers
+        // is 5.4-9.6 K in-package; the *material-level* adiabatic limit
+        // delta_max = Z*theta^2/2 = ZT*theta/2 must comfortably exceed that.
+        // At the preset's ZT ~ 3.3 the formula gives ~580 K — far beyond
+        // anything a real junction sustains (the linear model ignores the
+        // temperature dependence of the material), but in the model the
+        // reachable swing is clipped by the contact conductances, which the
+        // stamped-system tests verify.
+        let t = tec();
+        let dmax = t.max_temperature_difference(Kelvin(350.0));
+        assert!(
+            dmax.value() > 20.0 && dmax.value() < 800.0,
+            "delta_max = {dmax} outside the modeled superlattice range"
+        );
+    }
+
+    #[test]
+    fn cop_decreases_with_current_beyond_optimum() {
+        let t = tec();
+        let c = 350.0;
+        let h = 352.0;
+        let i_star = t.max_flux_current(Kelvin(c)).value();
+        let cop_mid = t.cop(op(0.3 * i_star, c, h)).unwrap();
+        let cop_high = t.cop(op(1.5 * i_star, c, h)).unwrap();
+        assert!(cop_mid > cop_high);
+    }
+
+    #[test]
+    fn pumping_against_gradient_needs_current() {
+        let t = tec();
+        // Large gradient, no current: flux is negative (leak).
+        assert!(t.cold_side_flux(op(0.0, 330.0, 370.0)).value() < 0.0);
+        // Moderate current rescues it.
+        let i = 0.5 * t.max_flux_current(Kelvin(330.0)).value();
+        assert!(t.cold_side_flux(op(i, 330.0, 370.0)).value() > 0.0);
+    }
+
+    #[test]
+    fn operating_point_delta() {
+        let o = op(1.0, 340.0, 355.0);
+        assert!((o.delta().value() - 15.0).abs() < 1e-12);
+    }
+}

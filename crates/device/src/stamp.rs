@@ -1,0 +1,357 @@
+//! Stamping TEC devices into the compact thermal network.
+//!
+//! This module realizes Sec. IV.B–C of the paper: every deployed device
+//! replaces its tile's TIM node with a cold/hot node pair (the passive part,
+//! delegated to [`CompactModel::with_two_ports`]), and contributes the
+//! *active* terms of Eq. 4–5:
+//!
+//! - the diagonal Peltier matrix `D` with `+α` at hot nodes and `−α` at cold
+//!   nodes, so that `(G − i·D)` gains `+α·i` at cold nodes (heat absorption)
+//!   and `−α·i` at hot nodes (heat release), and
+//! - Joule sources `r·i²/2` at both nodes of every device in the power
+//!   vector `p(i)`.
+
+use crate::{DeviceError, TecParams};
+use tecopt_linalg::DenseMatrix;
+use tecopt_thermal::{CompactModel, PackageConfig, ThermalError, TileIndex};
+use tecopt_units::{Amperes, Kelvin, Watts};
+
+/// A compact thermal model with a set of TEC devices stamped in: the
+/// `(G, D, p(i))` triple of the paper's Eq. 4, ready for the optimization
+/// layer.
+///
+/// ```
+/// use tecopt_device::{StampedSystem, TecParams};
+/// use tecopt_thermal::{PackageConfig, TileIndex};
+/// use tecopt_units::{Amperes, Watts};
+///
+/// # fn main() -> Result<(), tecopt_device::DeviceError> {
+/// let config = PackageConfig::hotspot41_like(4, 4)?;
+/// let system = StampedSystem::new(
+///     &config,
+///     TecParams::superlattice_thin_film(),
+///     &[TileIndex::new(1, 1)],
+/// )?;
+/// let m = system.system_matrix(Amperes(2.0))?;
+/// assert_eq!(m.rows(), system.model().node_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StampedSystem {
+    model: CompactModel,
+    params: TecParams,
+    tiles: Vec<TileIndex>,
+    /// Diagonal of `D`: `+α` at hot (upper) nodes, `−α` at cold (lower).
+    d_diagonal: Vec<f64>,
+    /// Node indices receiving `r·i²/2` Joule sources (hot and cold of every
+    /// device).
+    joule_nodes: Vec<usize>,
+    /// `(cold, hot)` node indices per deployed tile, in `tiles` order.
+    junctions: Vec<(usize, usize)>,
+}
+
+impl StampedSystem {
+    /// Builds the package model with TEC devices on the given tiles.
+    ///
+    /// An empty `tiles` slice yields the passive system (`D = 0`), which the
+    /// deployment algorithm uses as its starting point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError`]s from model assembly (out-of-bounds or
+    /// duplicate tiles, invalid conductances).
+    pub fn new(
+        config: &PackageConfig,
+        params: TecParams,
+        tiles: &[TileIndex],
+    ) -> Result<StampedSystem, DeviceError> {
+        let spec = params.two_port_spec();
+        let splices: Vec<(TileIndex, _)> = tiles.iter().map(|t| (*t, spec)).collect();
+        let model = CompactModel::with_two_ports(config, &splices)?;
+        let n = model.node_count();
+        let mut d_diagonal = vec![0.0; n];
+        let mut joule_nodes = Vec::with_capacity(2 * tiles.len());
+        let mut junctions = Vec::with_capacity(tiles.len());
+        let alpha = params.seebeck().value();
+        // `two_ports()` returns tiles in grid order; re-key by tile so the
+        // `junctions` vector matches the caller's `tiles` order.
+        let by_tile: std::collections::HashMap<TileIndex, _> =
+            model.two_ports().into_iter().collect();
+        for t in tiles {
+            let tp = by_tile[t];
+            let cold = tp.lower.index();
+            let hot = tp.upper.index();
+            d_diagonal[hot] = alpha;
+            d_diagonal[cold] = -alpha;
+            joule_nodes.push(cold);
+            joule_nodes.push(hot);
+            junctions.push((cold, hot));
+        }
+        Ok(StampedSystem {
+            model,
+            params,
+            tiles: tiles.to_vec(),
+            d_diagonal,
+            joule_nodes,
+            junctions,
+        })
+    }
+
+    /// The underlying compact model (provides `G` and node metadata).
+    pub fn model(&self) -> &CompactModel {
+        &self.model
+    }
+
+    /// Device parameters shared by all deployed TECs.
+    pub fn params(&self) -> &TecParams {
+        &self.params
+    }
+
+    /// Tiles covered by TEC devices, in deployment order.
+    pub fn tiles(&self) -> &[TileIndex] {
+        &self.tiles
+    }
+
+    /// Number of deployed devices (`#TECs` of Table I).
+    pub fn device_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Diagonal of the Peltier matrix `D` (Eq. 5).
+    pub fn d_diagonal(&self) -> &[f64] {
+        &self.d_diagonal
+    }
+
+    /// Node indices carrying Joule sources (`HOT ∪ CLD` of the paper).
+    pub fn joule_nodes(&self) -> &[usize] {
+        &self.joule_nodes
+    }
+
+    /// `(cold, hot)` node index pairs per device, in `tiles()` order.
+    pub fn junctions(&self) -> &[(usize, usize)] {
+        &self.junctions
+    }
+
+    /// The system matrix `G − i·D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NegativeCurrent`] for `i < 0`.
+    pub fn system_matrix(&self, current: Amperes) -> Result<DenseMatrix, DeviceError> {
+        let i = nonnegative(current)?;
+        let mut m = self.model.g_matrix().clone();
+        m.add_scaled_diagonal(&self.d_diagonal, -i)
+            .map_err(ThermalError::from)?;
+        Ok(m)
+    }
+
+    /// The power vector `p(i)`: ambient injection, silicon dissipation, and
+    /// `r·i²/2` at every device junction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NegativeCurrent`] for `i < 0` and propagates
+    /// power-length mismatches.
+    pub fn power_vector(
+        &self,
+        silicon_powers: &[Watts],
+        current: Amperes,
+    ) -> Result<Vec<f64>, DeviceError> {
+        let i = nonnegative(current)?;
+        let mut p = self.model.power_vector(silicon_powers)?;
+        let joule = 0.5 * self.params.resistance().value() * i * i;
+        for &k in &self.joule_nodes {
+            p[k] += joule;
+        }
+        Ok(p)
+    }
+
+    /// Total electrical input power of the deployed devices given a solved
+    /// temperature field: `Σ (r·i² + α·i·(θ_hot − θ_cold))` (Eq. 3) — the
+    /// `P_TEC` column of Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NegativeCurrent`] for `i < 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not cover all nodes.
+    pub fn input_power(&self, temps: &[Kelvin], current: Amperes) -> Result<Watts, DeviceError> {
+        assert!(
+            temps.len() == self.model.node_count(),
+            "temperature vector length"
+        );
+        let i = nonnegative(current)?;
+        let r = self.params.resistance().value();
+        let a = self.params.seebeck().value();
+        let mut total = 0.0;
+        for &(cold, hot) in &self.junctions {
+            let delta = temps[hot].value() - temps[cold].value();
+            total += r * i * i + a * i * delta;
+        }
+        Ok(Watts(total))
+    }
+}
+
+fn nonnegative(current: Amperes) -> Result<f64, DeviceError> {
+    let i = current.value();
+    if i < 0.0 || !i.is_finite() {
+        return Err(DeviceError::NegativeCurrent { value: i });
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecopt_linalg::Cholesky;
+
+    fn config() -> PackageConfig {
+        PackageConfig::hotspot41_like(4, 4).unwrap()
+    }
+
+    fn system(tiles: &[TileIndex]) -> StampedSystem {
+        StampedSystem::new(&config(), TecParams::superlattice_thin_film(), tiles).unwrap()
+    }
+
+    #[test]
+    fn passive_system_has_zero_d() {
+        let s = system(&[]);
+        assert_eq!(s.device_count(), 0);
+        assert!(s.d_diagonal().iter().all(|&x| x == 0.0));
+        assert!(s.joule_nodes().is_empty());
+        let m = s.system_matrix(Amperes(10.0)).unwrap();
+        assert_eq!(m, *s.model().g_matrix());
+    }
+
+    #[test]
+    fn d_has_signed_alpha_at_junctions() {
+        let tiles = [TileIndex::new(0, 0), TileIndex::new(2, 3)];
+        let s = system(&tiles);
+        let alpha = s.params().seebeck().value();
+        assert_eq!(s.device_count(), 2);
+        assert_eq!(s.junctions().len(), 2);
+        let nonzero: Vec<f64> = s
+            .d_diagonal()
+            .iter()
+            .copied()
+            .filter(|&x| x != 0.0)
+            .collect();
+        assert_eq!(nonzero.len(), 4);
+        for &(cold, hot) in s.junctions() {
+            assert_eq!(s.d_diagonal()[cold], -alpha);
+            assert_eq!(s.d_diagonal()[hot], alpha);
+        }
+    }
+
+    #[test]
+    fn joule_power_enters_both_junction_nodes() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        let powers = vec![Watts(0.0); 16];
+        let i = Amperes(4.0);
+        let p0 = s.power_vector(&powers, Amperes(0.0)).unwrap();
+        let p4 = s.power_vector(&powers, i).unwrap();
+        let joule = 0.5 * s.params().resistance().value() * 16.0;
+        let mut diffs = 0;
+        for k in 0..p0.len() {
+            let d = p4[k] - p0[k];
+            if d != 0.0 {
+                assert!((d - joule).abs() < 1e-15);
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 2);
+    }
+
+    #[test]
+    fn moderate_current_cools_the_covered_tile() {
+        // End-to-end sanity: solving (G - iD) theta = p(i) with a moderate
+        // current lowers the hotspot temperature relative to i = 0.
+        let cfg = config();
+        let tile = TileIndex::new(1, 1);
+        let s = StampedSystem::new(&cfg, TecParams::superlattice_thin_film(), &[tile]).unwrap();
+        let mut powers = vec![Watts(0.0); 16];
+        powers[5] = Watts(0.7);
+        let solve = |i: Amperes| -> f64 {
+            let m = s.system_matrix(i).unwrap();
+            let p = s.power_vector(&powers, i).unwrap();
+            let theta = Cholesky::factor(&m).unwrap().solve(&p).unwrap();
+            let temps: Vec<Kelvin> = theta.into_iter().map(Kelvin).collect();
+            s.model().peak_silicon_temperature(&temps).value()
+        };
+        let t0 = solve(Amperes(0.0));
+        let t3 = solve(Amperes(3.0));
+        assert!(t3 < t0, "3 A should cool the hotspot: {t3} !< {t0}");
+    }
+
+    #[test]
+    fn excessive_current_heats_instead() {
+        // Far beyond the optimum, Joule heating and Peltier work dominate.
+        let cfg = config();
+        let tile = TileIndex::new(1, 1);
+        let s = StampedSystem::new(&cfg, TecParams::superlattice_thin_film(), &[tile]).unwrap();
+        let mut powers = vec![Watts(0.0); 16];
+        powers[5] = Watts(0.7);
+        let peak_at = |i: Amperes| -> Option<f64> {
+            let m = s.system_matrix(i).unwrap();
+            let p = s.power_vector(&powers, i).unwrap();
+            let chol = Cholesky::factor(&m).ok()?;
+            let theta = chol.solve(&p).unwrap();
+            let temps: Vec<Kelvin> = theta.into_iter().map(Kelvin).collect();
+            Some(s.model().peak_silicon_temperature(&temps).value())
+        };
+        let t0 = peak_at(Amperes(0.0)).unwrap();
+        // Either the factorization fails (past runaway) or the peak exceeds
+        // the uncooled peak.
+        match peak_at(Amperes(60.0)) {
+            None => {}
+            Some(t60) => assert!(t60 > t0, "60 A should overheat: {t60} !> {t0}"),
+        }
+    }
+
+    #[test]
+    fn input_power_positive_and_grows_with_current() {
+        let cfg = config();
+        let s = StampedSystem::new(
+            &cfg,
+            TecParams::superlattice_thin_film(),
+            &[TileIndex::new(1, 1), TileIndex::new(2, 2)],
+        )
+        .unwrap();
+        let powers = vec![Watts(0.2); 16];
+        let measure = |i: Amperes| -> Watts {
+            let m = s.system_matrix(i).unwrap();
+            let p = s.power_vector(&powers, i).unwrap();
+            let theta = Cholesky::factor(&m).unwrap().solve(&p).unwrap();
+            let temps: Vec<Kelvin> = theta.into_iter().map(Kelvin).collect();
+            s.input_power(&temps, i).unwrap()
+        };
+        let p1 = measure(Amperes(1.0));
+        let p5 = measure(Amperes(5.0));
+        assert!(p1.value() > 0.0);
+        assert!(p5 > p1);
+    }
+
+    #[test]
+    fn negative_current_rejected() {
+        let s = system(&[TileIndex::new(0, 0)]);
+        assert!(matches!(
+            s.system_matrix(Amperes(-1.0)),
+            Err(DeviceError::NegativeCurrent { .. })
+        ));
+        assert!(s.power_vector(&vec![Watts(0.0); 16], Amperes(-1.0)).is_err());
+    }
+
+    #[test]
+    fn invalid_tiles_propagate_thermal_errors() {
+        let err = StampedSystem::new(
+            &config(),
+            TecParams::superlattice_thin_film(),
+            &[TileIndex::new(9, 9)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeviceError::Thermal(_)));
+    }
+}

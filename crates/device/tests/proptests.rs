@@ -1,0 +1,88 @@
+//! Property-based tests for the TEC device layer.
+
+use proptest::prelude::*;
+use tecopt_device::{OperatingPoint, StampedSystem, TecParams};
+use tecopt_thermal::{PackageConfig, TileIndex};
+use tecopt_units::{Amperes, Kelvin, Watts};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// First law at the device: q_h − q_c = p_in for every operating point
+    /// (Eqs. 1–3 are consistent by construction; this pins the code to it).
+    #[test]
+    fn device_energy_conservation(
+        i in 0.0f64..20.0,
+        cold in 250.0f64..400.0,
+        dt in -30.0f64..60.0,
+    ) {
+        let tec = TecParams::superlattice_thin_film();
+        let op = OperatingPoint {
+            current: Amperes(i),
+            cold: Kelvin(cold),
+            hot: Kelvin(cold + dt),
+        };
+        let lhs = tec.hot_side_flux(op).value() - tec.cold_side_flux(op).value();
+        let rhs = tec.input_power(op).value();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * rhs.abs().max(1.0));
+    }
+
+    /// The COP never exceeds the device's own pumping identity: when
+    /// defined, q_c = COP · p_in.
+    #[test]
+    fn cop_identity(i in 0.5f64..15.0, dt in 1.0f64..40.0) {
+        let tec = TecParams::superlattice_thin_film();
+        let op = OperatingPoint {
+            current: Amperes(i),
+            cold: Kelvin(350.0),
+            hot: Kelvin(350.0 + dt),
+        };
+        if let Some(cop) = tec.cop(op) {
+            let back = cop * tec.input_power(op).value();
+            prop_assert!((back - tec.cold_side_flux(op).value()).abs() < 1e-9);
+        }
+    }
+
+    /// Stamped D diagonals always pair +alpha (hot) with -alpha (cold) and
+    /// sum to zero.
+    #[test]
+    fn stamped_d_is_balanced(pick in proptest::collection::btree_set(0usize..16, 1..6)) {
+        let config = PackageConfig::hotspot41_like(4, 4).unwrap();
+        let tiles: Vec<TileIndex> = pick
+            .into_iter()
+            .map(|k| TileIndex::new(k / 4, k % 4))
+            .collect();
+        let s = StampedSystem::new(
+            &config,
+            TecParams::superlattice_thin_film(),
+            &tiles,
+        ).unwrap();
+        let d = s.d_diagonal();
+        let sum: f64 = d.iter().sum();
+        prop_assert!(sum.abs() < 1e-15);
+        let nonzero = d.iter().filter(|&&x| x != 0.0).count();
+        prop_assert_eq!(nonzero, 2 * tiles.len());
+    }
+
+    /// The power vector grows quadratically with current at the junctions
+    /// and nowhere else.
+    #[test]
+    fn joule_scaling(i in 0.1f64..10.0) {
+        let config = PackageConfig::hotspot41_like(4, 4).unwrap();
+        let s = StampedSystem::new(
+            &config,
+            TecParams::superlattice_thin_film(),
+            &[TileIndex::new(2, 2)],
+        ).unwrap();
+        let powers = vec![Watts(0.0); 16];
+        let p0 = s.power_vector(&powers, Amperes(0.0)).unwrap();
+        let p1 = s.power_vector(&powers, Amperes(i)).unwrap();
+        let p2 = s.power_vector(&powers, Amperes(2.0 * i)).unwrap();
+        for k in 0..p0.len() {
+            let d1 = p1[k] - p0[k];
+            let d2 = p2[k] - p0[k];
+            // Quadratic: doubling the current quadruples the Joule term.
+            prop_assert!((d2 - 4.0 * d1).abs() < 1e-12 * d1.abs().max(1e-12));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// This is the positive-definiteness oracle the paper's `λ_m` binary search
+/// relies on (Sec. V.C.1: "Cholesky decomposition (O(n³) time complexity) is
+/// employed to check whether a matrix is positive definite"), and the solver
+/// behind every steady-state evaluation `θ = (G − i·D)⁻¹·p`.
+///
+/// ```
+/// use tecopt_linalg::{Cholesky, DenseMatrix};
+///
+/// # fn main() -> Result<(), tecopt_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                                  &[15.0, 18.0,  0.0],
+///                                  &[-5.0,  0.0, 11.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve(&[1.0, 2.0, 3.0])?;
+/// let r = a.mul_vec(&x)?;
+/// assert!((r[0] - 1.0).abs() < 1e-10 && (r[2] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper part zero).
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (the compact-model assembly guarantees it, and
+    /// [`DenseMatrix::is_symmetric`] is available for validation).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] if `a` is not square.
+    /// - [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    ///   positive — the signal used to detect thermal runaway (`i ≥ λ_m`).
+    pub fn factor(a: &DenseMatrix) -> Result<Cholesky, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if !(diag > 0.0) || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Returns `true` iff `a` (symmetric) is positive definite.
+    ///
+    /// Convenience wrapper over [`Cholesky::factor`] that discards the factor.
+    pub fn is_positive_definite(a: &DenseMatrix) -> bool {
+        Cholesky::factor(a).is_ok()
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    #[inline]
+    pub fn l(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Forward substitution: L·y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut v = y[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != n`.
+    pub fn solve_mat(&self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                actual: b.rows(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for c in 0..b.cols() {
+            for r in 0..n {
+                col[r] = b[(r, c)];
+            }
+            let x = self.solve(&col)?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The full inverse `A⁻¹` — the matrix `H(i)` of the paper.
+    ///
+    /// For the compact models in this workspace (n in the hundreds) the dense
+    /// inverse is cheap and the optimization layer consumes whole rows of `H`
+    /// (the `η(i)`/`ζ(i)` sums of Eq. 10), so materializing it is the right
+    /// trade.
+    pub fn inverse(&self) -> DenseMatrix {
+        let n = self.dim();
+        self.solve_mat(&DenseMatrix::identity(n))
+            .expect("identity has matching dimension")
+    }
+
+    /// Natural logarithm of `det(A) = Π L_kk²`.
+    ///
+    /// Stays finite where the determinant itself would overflow; diverges to
+    /// `−∞` as `A = G − i·D` approaches singularity at `i → λ_m⁻` (Lemma 2),
+    /// which makes it a useful runaway diagnostic.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|k| 2.0 * self.l[(k, k)].ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic example: L = [[5,0,0],[3,3,0],[-1,1,3]].
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        let l = chol.l();
+        assert!((l[(0, 0)] - 5.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 3.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 3.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 1.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn reconstruction_l_lt() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let rec = chol.l().mul_mat(&chol.l().transpose()).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_small() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = chol.solve(&b).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let id = a.mul_mat(&inv).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((id[(r, c)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        match Cholesky::factor(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+        assert!(!Cholesky::is_positive_definite(&a));
+        assert!(Cholesky::is_positive_definite(&spd3()));
+    }
+
+    #[test]
+    fn negative_diagonal_rejected_at_first_pivot() {
+        let a = DenseMatrix::from_rows(&[&[-1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 0 }
+        );
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn log_det_matches_known_determinant() {
+        // det(spd3) = (5·3·3)² = 2025.
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        assert!((chol.log_det() - 2025.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solve() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = chol.solve_mat(&b).unwrap();
+        let x0 = chol.solve(&[1.0, 0.0, 1.0]).unwrap();
+        for r in 0..3 {
+            assert!((x[(r, 0)] - x0[r]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_on_solve() {
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        assert!(chol.solve(&[1.0, 2.0]).is_err());
+        assert!(chol.solve_mat(&DenseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = DenseMatrix::from_rows(&[&[4.0]]).unwrap();
+        let chol = Cholesky::factor(&a).unwrap();
+        assert_eq!(chol.solve(&[8.0]).unwrap(), vec![2.0]);
+        assert!((chol.log_det() - 4.0_f64.ln()).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,327 @@
+//! Eigenvalue utilities.
+//!
+//! The paper's runaway threshold is the generalized Rayleigh-quotient minimum
+//!
+//! ```text
+//! λ_m = min { θᵀGθ : θᵀDθ = 1 }
+//! ```
+//!
+//! (Theorem 1) which it computes by *binary search on positive definiteness*
+//! of `G − i·D` with a Cholesky probe per step. [`generalized_pd_threshold`]
+//! implements exactly that scheme; [`power_iteration`] and
+//! [`min_eigenvalue_symmetric`] support the Conjecture-1 experiments and
+//! diagnostics.
+
+use crate::{Cholesky, DenseMatrix, LinalgError};
+
+/// Outcome of the positive-definiteness bisection for
+/// `λ_m = sup { i ≥ 0 : G − i·D is positive definite }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdThreshold {
+    /// Lower bound on the threshold: `G − lower·D` is positive definite.
+    pub lower: f64,
+    /// Upper bound: `G − upper·D` is *not* positive definite.
+    pub upper: f64,
+    /// Cholesky factorizations performed.
+    pub probes: usize,
+}
+
+impl PdThreshold {
+    /// Midpoint estimate of the threshold.
+    pub fn estimate(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// Width of the bracketing interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Computes `λ_m` by exponential bracketing followed by bisection, using a
+/// Cholesky factorization as the positive-definiteness oracle at each probe
+/// — the algorithm of Sec. V.C.1 of the paper.
+///
+/// `g` must be symmetric positive definite and `d` is a diagonal (passed as
+/// its diagonal vector) with at least one strictly positive entry; under
+/// those assumptions Theorem 1 guarantees the threshold is finite and the
+/// set of feasible `i` is the interval `[0, λ_m)`.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotPositiveDefinite`] if `g` itself is not PD (`i = 0`
+///   infeasible).
+/// - [`LinalgError::InvalidInput`] if `d` has no positive entry (then
+///   `G − i·D` stays PD for all `i ≥ 0` and no finite threshold exists), if
+///   the dimensions disagree, or if `rel_tol` is not in `(0, 1)`.
+pub fn generalized_pd_threshold(
+    g: &DenseMatrix,
+    d: &[f64],
+    rel_tol: f64,
+) -> Result<PdThreshold, LinalgError> {
+    if d.len() != g.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: g.rows(),
+            actual: d.len(),
+        });
+    }
+    if !(rel_tol > 0.0 && rel_tol < 1.0) {
+        return Err(LinalgError::InvalidInput(format!(
+            "relative tolerance must be in (0, 1), got {rel_tol}"
+        )));
+    }
+    if !d.iter().any(|&x| x > 0.0) {
+        return Err(LinalgError::InvalidInput(
+            "d has no positive entry; G - i*D remains positive definite for all i".into(),
+        ));
+    }
+    let mut probes = 0usize;
+    let mut pd_at = |i: f64| -> Result<bool, LinalgError> {
+        probes += 1;
+        let mut m = g.clone();
+        m.add_scaled_diagonal(d, -i)?;
+        Ok(Cholesky::factor(&m).is_ok())
+    };
+    if !pd_at(0.0)? {
+        return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+    }
+    // A guaranteed-infeasible upper bound: at i = g_max_diag / d_max_pos the
+    // most Peltier-loaded diagonal entry of G - i*D is <= 0, so the matrix
+    // cannot be PD. Still grow exponentially from a small start so typical
+    // cases use few probes.
+    let mut lower = 0.0_f64;
+    let mut upper = {
+        let mut u = 1.0_f64;
+        while pd_at(u)? {
+            lower = u;
+            u *= 2.0;
+            if u > 1e18 {
+                return Err(LinalgError::NoConvergence {
+                    iterations: probes,
+                    residual: u,
+                });
+            }
+        }
+        u
+    };
+    while (upper - lower) > rel_tol * upper.max(1e-300) {
+        let mid = 0.5 * (lower + upper);
+        if pd_at(mid)? {
+            lower = mid;
+        } else {
+            upper = mid;
+        }
+    }
+    Ok(PdThreshold {
+        lower,
+        upper,
+        probes,
+    })
+}
+
+/// Dominant eigenpair of a symmetric matrix by power iteration.
+///
+/// Returns `(eigenvalue, eigenvector)`. Convergence is declared when the
+/// Rayleigh quotient changes by less than `tol` between sweeps.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] if `a` is not square.
+/// - [`LinalgError::NoConvergence`] if `max_iter` sweeps do not converge.
+pub fn power_iteration(
+    a: &DenseMatrix,
+    max_iter: usize,
+    tol: f64,
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::InvalidInput("empty matrix".into()));
+    }
+    // Deterministic start vector with all components nonzero.
+    let mut v: Vec<f64> = (0..n).map(|k| 1.0 + (k as f64) / (n as f64)).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0_f64;
+    for it in 0..max_iter {
+        let mut w = a.mul_vec(&v)?;
+        let nrm = normalize(&mut w);
+        if nrm == 0.0 {
+            // v was in the null space; eigenvalue 0 with that vector.
+            return Ok((0.0, v));
+        }
+        let new_lambda = a.quadratic_form(&w)?;
+        v = w;
+        if it > 0 && (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
+            return Ok((new_lambda, v));
+        }
+        lambda = new_lambda;
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Smallest eigenvalue of a symmetric matrix, via power iteration on the
+/// spectrally shifted matrix `s·I − A` with `s` an upper bound on the
+/// spectral radius (Gershgorin).
+///
+/// # Errors
+///
+/// Propagates errors from [`power_iteration`].
+pub fn min_eigenvalue_symmetric(
+    a: &DenseMatrix,
+    max_iter: usize,
+    tol: f64,
+) -> Result<f64, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    // Gershgorin bound on the spectral radius.
+    let mut s = 0.0_f64;
+    for r in 0..n {
+        let mut radius = 0.0;
+        for c in 0..n {
+            if c != r {
+                radius += a[(r, c)].abs();
+            }
+        }
+        s = s.max(a[(r, r)].abs() + radius);
+    }
+    let mut shifted = DenseMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            shifted[(r, c)] = if r == c { s - a[(r, c)] } else { -a[(r, c)] };
+        }
+    }
+    let (mu, _) = power_iteration(&shifted, max_iter, tol)?;
+    Ok(s - mu)
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let nrm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if nrm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= nrm;
+        }
+    }
+    nrm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pd_threshold_on_diagonal_case() {
+        // G = diag(2, 4), D = diag(1, 1): threshold at i = 2.
+        let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
+        let t = generalized_pd_threshold(&g, &[1.0, 1.0], 1e-10).unwrap();
+        assert!((t.estimate() - 2.0).abs() < 1e-8);
+        assert!(t.lower <= 2.0 && 2.0 <= t.upper);
+    }
+
+    #[test]
+    fn pd_threshold_with_negative_d_entries() {
+        // D with a negative entry only *helps* definiteness on that axis:
+        // G = diag(2, 4), D = diag(1, -1): still limited by the first axis.
+        let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
+        let t = generalized_pd_threshold(&g, &[1.0, -1.0], 1e-10).unwrap();
+        assert!((t.estimate() - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pd_threshold_coupled_case_matches_rayleigh() {
+        // 2x2 case solvable by hand: G = [[3,-1],[-1,3]], D = diag(1,0).
+        // lambda_m = min over x of xGx / x1^2. Parametrize x = (1, t):
+        // f(t) = 3 - 2t + 3t^2 minimized at t = 1/3 -> f = 8/3.
+        let g = DenseMatrix::from_rows(&[&[3.0, -1.0], &[-1.0, 3.0]]).unwrap();
+        let t = generalized_pd_threshold(&g, &[1.0, 0.0], 1e-12).unwrap();
+        assert!((t.estimate() - 8.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pd_threshold_requires_positive_d_entry() {
+        let g = DenseMatrix::identity(2);
+        let err = generalized_pd_threshold(&g, &[0.0, -1.0], 1e-9).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn pd_threshold_rejects_indefinite_g() {
+        let g = DenseMatrix::from_diagonal(&[-1.0, 1.0]);
+        let err = generalized_pd_threshold(&g, &[1.0, 1.0], 1e-9).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn pd_threshold_validates_inputs() {
+        let g = DenseMatrix::identity(2);
+        assert!(generalized_pd_threshold(&g, &[1.0], 1e-9).is_err());
+        assert!(generalized_pd_threshold(&g, &[1.0, 1.0], 0.0).is_err());
+        assert!(generalized_pd_threshold(&g, &[1.0, 1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_pair() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let (lambda, v) = power_iteration(&a, 10_000, 1e-14).unwrap();
+        assert!((lambda - 3.0).abs() < 1e-8);
+        // Eigenvector is (1,1)/sqrt(2) up to sign.
+        assert!((v[0].abs() - v[1].abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_eigenvalue_of_known_matrix() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let lam = min_eigenvalue_symmetric(&a, 10_000, 1e-14).unwrap();
+        assert!((lam - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_eigenvalue_flags_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let lam = min_eigenvalue_symmetric(&a, 10_000, 1e-14).unwrap();
+        assert!((lam + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_matches_generalized_eigen_on_random_stieltjes() {
+        use crate::stieltjes::{random_stieltjes, seeded_rng, StieltjesSampler};
+        let mut rng = seeded_rng(11);
+        let g = random_stieltjes(
+            StieltjesSampler {
+                dim: 6,
+                ..StieltjesSampler::default()
+            },
+            &mut rng,
+        );
+        // D: alternate +1 / -1 / 0 as in TEC hot/cold/other nodes.
+        let d: Vec<f64> = (0..6)
+            .map(|k| match k % 3 {
+                0 => 1.0,
+                1 => -1.0,
+                _ => 0.0,
+            })
+            .collect();
+        let t = generalized_pd_threshold(&g, &d, 1e-11).unwrap();
+        // At the threshold, G - lambda*D should be singular: its smallest
+        // eigenvalue is ~0.
+        let mut m = g.clone();
+        m.add_scaled_diagonal(&d, -t.estimate()).unwrap();
+        let lam_min = min_eigenvalue_symmetric(&m, 200_000, 1e-13).unwrap();
+        assert!(
+            lam_min.abs() < 1e-5 * m.max_abs(),
+            "smallest eigenvalue at threshold is {lam_min}"
+        );
+    }
+}

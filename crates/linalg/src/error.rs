@@ -1,0 +1,130 @@
+use core::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A matrix was expected to be square but is `rows x cols`.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Operand dimensions are incompatible.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A ragged row list was supplied to a constructor.
+    RaggedRows {
+        /// Index of the offending row.
+        row: usize,
+        /// Length of the offending row.
+        len: usize,
+        /// Length of the first row.
+        expected: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    /// Carries the pivot index at which factorization broke down.
+    NotPositiveDefinite {
+        /// Pivot index where a nonpositive diagonal was encountered.
+        pivot: usize,
+    },
+    /// LU factorization hit a (numerically) singular pivot.
+    Singular {
+        /// Pivot index where singularity was detected.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm when iteration stopped.
+        residual: f64,
+    },
+    /// A matrix entry or vector element is NaN or infinite.
+    NonFiniteEntry {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// Input violated a documented precondition.
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::RaggedRows { row, len, expected } => {
+                write!(f, "row {row} has length {len}, expected {expected}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot {pivot})")
+            }
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iteration did not converge after {iterations} steps (residual {residual:e})"
+                )
+            }
+            LinalgError::NonFiniteEntry { row, col } => {
+                write!(f, "non-finite entry at ({row}, {col})")
+            }
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            LinalgError::NotSquare { rows: 2, cols: 3 }.to_string(),
+            LinalgError::DimensionMismatch {
+                expected: 4,
+                actual: 5,
+            }
+            .to_string(),
+            LinalgError::NotPositiveDefinite { pivot: 1 }.to_string(),
+            LinalgError::Singular { pivot: 0 }.to_string(),
+            LinalgError::NoConvergence {
+                iterations: 10,
+                residual: 1e-3,
+            }
+            .to_string(),
+            LinalgError::NonFiniteEntry { row: 1, col: 2 }.to_string(),
+            LinalgError::InvalidInput("bad".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,531 @@
+use crate::LinalgError;
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is the workhorse container for the compact thermal model: the
+/// conductance matrix `G`, the diagonal Peltier matrix `D` (stored dense for
+/// simplicity — it participates only in `G − i·D` updates), and the inverse
+/// `H = (G − i·D)⁻¹` all live in this type.
+///
+/// ```
+/// use tecopt_linalg::DenseMatrix;
+///
+/// # fn main() -> Result<(), tecopt_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// assert_eq!(a[(1, 0)], 3.0);
+/// let v = a.mul_vec(&[1.0, 1.0])?;
+/// assert_eq!(v, vec![3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            m[(k, k)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on the main diagonal — the
+    /// `DIAG(r)` operator of Definition 4 in the paper.
+    pub fn from_diagonal(diag: &[f64]) -> DenseMatrix {
+        let n = diag.len();
+        let mut m = DenseMatrix::zeros(n, n);
+        for (k, &d) in diag.iter().enumerate() {
+            m[(k, k)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::RaggedRows`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<DenseMatrix, LinalgError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (idx, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(LinalgError::RaggedRows {
+                    row: idx,
+                    len: row.len(),
+                    expected: ncols,
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of the main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|k| self[(k, k)]).collect()
+    }
+
+    /// Checks every entry is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonFiniteEntry`] locating the first bad entry.
+    pub fn ensure_finite(&self) -> Result<(), LinalgError> {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if !self[(r, c)].is_finite() {
+                    return Err(LinalgError::NonFiniteEntry { row: r, col: c });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if `|a_kl − a_lk| ≤ tol · max(1, |a_kl|)` for all
+    /// entries.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let a = self[(r, c)];
+                let b = self[(c, r)];
+                if (a - b).abs() > tol * a.abs().max(1.0) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Matrix-matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.rows`.
+    pub fn mul_mat(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `self + scale · other`.
+    ///
+    /// This is how `G − i·D` is formed (with `scale = −i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if shapes differ.
+    pub fn add_scaled(&self, other: &DenseMatrix, scale: f64) -> Result<DenseMatrix, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows * self.cols,
+                actual: other.rows * other.cols,
+            });
+        }
+        let mut out = self.clone();
+        for (o, x) in out.data.iter_mut().zip(&other.data) {
+            *o += scale * x;
+        }
+        Ok(out)
+    }
+
+    /// Adds `scale · diag[k]` to each diagonal entry `k` in place.
+    ///
+    /// Fast path for `G − i·D` when `D` is known diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `diag.len() != n` or the
+    /// matrix is not square.
+    pub fn add_scaled_diagonal(&mut self, diag: &[f64], scale: f64) -> Result<(), LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if diag.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                actual: diag.len(),
+            });
+        }
+        for (k, &d) in diag.iter().enumerate() {
+            let idx = k * self.cols + k;
+            self.data[idx] += scale * d;
+        }
+        Ok(())
+    }
+
+    /// Quadratic form `xᵀ·A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != n`.
+    pub fn quadratic_form(&self, x: &[f64]) -> Result<f64, LinalgError> {
+        let ax = self.mul_vec(x)?;
+        Ok(dot(x, &ax))
+    }
+
+    /// The symmetric part `(A + Aᵀ)/2`.
+    ///
+    /// Used by the Conjecture-1 checker: positive definiteness of a
+    /// nonsymmetric matrix `M` (in the `xᵀMx > 0` sense of Definition 2) is
+    /// equivalent to positive definiteness of its symmetric part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetric_part(&self) -> DenseMatrix {
+        assert!(self.is_square(), "symmetric part of a non-square matrix");
+        let mut s = DenseMatrix::zeros(self.rows, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                s[(r, c)] = 0.5 * (self[(r, c)] + self[(c, r)]);
+            }
+        }
+        s
+    }
+
+    /// Largest absolute entry, or zero for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// The matrix with row `k` and column `l` removed — `A_kl` of Lemma 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `l` is out of bounds.
+    pub fn minor(&self, k: usize, l: usize) -> DenseMatrix {
+        assert!(k < self.rows && l < self.cols, "minor index out of bounds");
+        let mut out = DenseMatrix::zeros(self.rows - 1, self.cols - 1);
+        let mut rr = 0;
+        for r in 0..self.rows {
+            if r == k {
+                continue;
+            }
+            let mut cc = 0;
+            for c in 0..self.cols {
+                if c == l {
+                    continue;
+                }
+                out[(rr, cc)] = self[(r, c)];
+                cc += 1;
+            }
+            rr += 1;
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal-length vectors");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub(crate) fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for r in 0..show {
+            write!(f, "  [")?;
+            let cshow = self.cols.min(8);
+            for c in 0..cshow {
+                write!(f, "{:>12.5e}", self[(r, c)])?;
+                if c + 1 < cshow {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            LinalgError::RaggedRows {
+                row: 1,
+                len: 2,
+                expected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.diagonal(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(i[(0, 1)], 0.0);
+        let d = DenseMatrix::from_diagonal(&[2.0, -3.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], -3.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = sample();
+        let y = m.mul_vec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mul_mat_matches_manual() {
+        let a = sample();
+        let b = a.transpose();
+        let p = a.mul_mat(&b).unwrap();
+        // a·aᵀ = [[14, 32], [32, 77]]
+        assert_eq!(p[(0, 0)], 14.0);
+        assert_eq!(p[(0, 1)], 32.0);
+        assert_eq!(p[(1, 0)], 32.0);
+        assert_eq!(p[(1, 1)], 77.0);
+        assert!(a.mul_mat(&a).is_err());
+    }
+
+    #[test]
+    fn add_scaled_forms_g_minus_id() {
+        let g = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let d = DenseMatrix::from_diagonal(&[1.0, -1.0]);
+        let m = g.add_scaled(&d, -0.5).unwrap();
+        assert_eq!(m[(0, 0)], 1.5);
+        assert_eq!(m[(1, 1)], 2.5);
+        assert_eq!(m[(0, 1)], -1.0);
+    }
+
+    #[test]
+    fn add_scaled_diagonal_in_place() {
+        let mut g = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        g.add_scaled_diagonal(&[1.0, -1.0], -0.5).unwrap();
+        assert_eq!(g[(0, 0)], 1.5);
+        assert_eq!(g[(1, 1)], 2.5);
+        assert!(g.add_scaled_diagonal(&[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0], &[1.0, 2.0]]).unwrap();
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn symmetric_part_of_asymmetric() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 4.0], &[0.0, 1.0]]).unwrap();
+        let s = a.symmetric_part();
+        assert_eq!(s[(0, 1)], 2.0);
+        assert_eq!(s[(1, 0)], 2.0);
+        assert!(s.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn quadratic_form_value() {
+        let g = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let q = g.quadratic_form(&[1.0, 1.0]).unwrap();
+        assert_eq!(q, 2.0);
+    }
+
+    #[test]
+    fn minor_removes_row_and_column() {
+        let m = DenseMatrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let mm = m.minor(1, 0);
+        assert_eq!(mm.rows(), 2);
+        assert_eq!(mm[(0, 0)], 2.0);
+        assert_eq!(mm[(0, 1)], 3.0);
+        assert_eq!(mm[(1, 0)], 8.0);
+        assert_eq!(mm[(1, 1)], 9.0);
+    }
+
+    #[test]
+    fn ensure_finite_catches_nan() {
+        let mut m = sample();
+        assert!(m.ensure_finite().is_ok());
+        m[(1, 2)] = f64::NAN;
+        assert_eq!(
+            m.ensure_finite().unwrap_err(),
+            LinalgError::NonFiniteEntry { row: 1, col: 2 }
+        );
+    }
+
+    #[test]
+    fn max_abs_and_debug() {
+        let m = DenseMatrix::from_rows(&[&[-5.0, 2.0], &[1.0, 3.0]]).unwrap();
+        assert_eq!(m.max_abs(), 5.0);
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("DenseMatrix 2x2"));
+    }
+}

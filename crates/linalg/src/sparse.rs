@@ -1,0 +1,275 @@
+use crate::LinalgError;
+
+/// A coordinate-format entry used to assemble sparse matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Value; duplicate `(row, col)` entries are summed on assembly.
+    pub val: f64,
+}
+
+impl Triplet {
+    /// Creates a new triplet.
+    pub fn new(row: usize, col: usize, val: f64) -> Triplet {
+        Triplet { row, col, val }
+    }
+}
+
+/// Compressed sparse row matrix.
+///
+/// Backs the fine-grid reference thermal solver, whose systems (tens of
+/// thousands of nodes, 7-point stencils) are too large for dense Cholesky but
+/// are symmetric positive definite and solve quickly with preconditioned
+/// conjugate gradients.
+///
+/// ```
+/// use tecopt_linalg::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), tecopt_linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[
+///     Triplet::new(0, 0, 2.0),
+///     Triplet::new(0, 1, -1.0),
+///     Triplet::new(1, 0, -1.0),
+///     Triplet::new(1, 1, 2.0),
+/// ])?;
+/// assert_eq!(a.mul_vec(&[1.0, 1.0])?, vec![1.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from coordinate triplets, summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if any index is out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<CsrMatrix, LinalgError> {
+        for t in triplets {
+            if t.row >= rows || t.col >= cols {
+                return Err(LinalgError::InvalidInput(format!(
+                    "triplet ({}, {}) out of bounds for {rows}x{cols}",
+                    t.row, t.col
+                )));
+            }
+        }
+        // Count entries per row (before dedup).
+        let mut sorted: Vec<&Triplet> = triplets.iter().collect();
+        sorted.sort_by_key(|t| (t.row, t.col));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut iter = sorted.into_iter().peekable();
+        for r in 0..rows {
+            while let Some(t) = iter.peek() {
+                if t.row != r {
+                    break;
+                }
+                let t = iter.next().expect("peeked");
+                if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                    if !col_idx.is_empty() && row_ptr[r] < col_idx.len() && last_c == t.col {
+                        // Same row (guaranteed: we only append within row r) and column:
+                        // accumulate the duplicate.
+                        *last_v += t.val;
+                        continue;
+                    }
+                }
+                col_idx.push(t.col);
+                values.push(t.val);
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(r, c)`, zero if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let start = self.row_ptr[r];
+        let end = self.row_ptr[r + 1];
+        match self.col_idx[start..end].binary_search(&c) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Matrix-vector product into a caller-provided buffer (no allocation),
+    /// for use inside CG iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(y.len(), self.rows, "output length mismatch");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Copy of the main diagonal (zeros where unstored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|k| self.get(k, k)).collect()
+    }
+
+    /// Checks structural + numerical symmetry within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                if (v - self.get(c, r)).abs() > tol * v.abs().max(1.0) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push(Triplet::new(i, i, 2.0));
+            if i > 0 {
+                t.push(Triplet::new(i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push(Triplet::new(i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn assembly_and_access() {
+        let a = laplacian_1d(4);
+        assert_eq!(a.rows(), 4);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(a.nnz(), 10);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.diagonal(), vec![2.0; 4]);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 0, 2.5),
+                Triplet::new(1, 1, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        let err = CsrMatrix::from_triplets(2, 2, &[Triplet::new(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = laplacian_1d(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = a.mul_vec(&x).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[Triplet::new(0, 1, 1.0), Triplet::new(1, 0, -1.0)],
+        )
+        .unwrap();
+        assert!(!a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let a = CsrMatrix::from_triplets(3, 3, &[Triplet::new(2, 2, 1.0)]).unwrap();
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]).unwrap(), vec![0.0, 0.0, 1.0]);
+    }
+}

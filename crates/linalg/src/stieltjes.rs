@@ -1,0 +1,304 @@
+//! Structure checks and random generation for Stieltjes matrices.
+//!
+//! A *Stieltjes matrix* (Definition 3 of the paper, after Varga) is a real
+//! symmetric positive-definite matrix with nonpositive off-diagonal entries.
+//! The thermal conductance matrix `G` of the compact model is an
+//! *irreducible* positive-definite Stieltjes matrix (Lemma 1), which is what
+//! powers the inverse-positivity theory behind the runaway analysis: the
+//! inverse of such a matrix has strictly positive entries.
+//!
+//! The random generators here feed the Conjecture-1 experiments (the paper
+//! "randomly generated millions of positive definite Stieltjes matrices").
+
+use crate::{Cholesky, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a matrix failed the Stieltjes test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StieltjesViolation {
+    /// The matrix is not square.
+    NotSquare,
+    /// The matrix is not symmetric.
+    NotSymmetric,
+    /// An off-diagonal entry is strictly positive.
+    PositiveOffDiagonal {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// The matrix is not positive definite.
+    NotPositiveDefinite,
+}
+
+/// Checks whether `a` is a positive-definite Stieltjes matrix.
+///
+/// # Errors
+///
+/// Returns the first [`StieltjesViolation`] encountered, in the order:
+/// squareness, symmetry, off-diagonal signs, positive definiteness.
+pub fn check_stieltjes(a: &DenseMatrix, sym_tol: f64) -> Result<(), StieltjesViolation> {
+    if !a.is_square() {
+        return Err(StieltjesViolation::NotSquare);
+    }
+    if !a.is_symmetric(sym_tol) {
+        return Err(StieltjesViolation::NotSymmetric);
+    }
+    let n = a.rows();
+    for r in 0..n {
+        for c in 0..n {
+            if r != c && a[(r, c)] > 0.0 {
+                return Err(StieltjesViolation::PositiveOffDiagonal { row: r, col: c });
+            }
+        }
+    }
+    if !Cholesky::is_positive_definite(a) {
+        return Err(StieltjesViolation::NotPositiveDefinite);
+    }
+    Ok(())
+}
+
+/// Returns `true` if the symmetric matrix is irreducible, i.e. the graph
+/// whose edges are the nonzero off-diagonal entries is connected
+/// (Definition 1 of the paper: not a direct sum of two square matrices).
+///
+/// An empty or 1×1 matrix is irreducible by convention.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn is_irreducible(a: &DenseMatrix) -> bool {
+    assert!(a.is_square(), "irreducibility is defined for square matrices");
+    let n = a.rows();
+    if n <= 1 {
+        return true;
+    }
+    // BFS over the adjacency structure.
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for v in 0..n {
+            if v != u && !seen[v] && a[(u, v)] != 0.0 {
+                seen[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// Controls for [`random_stieltjes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StieltjesSampler {
+    /// Matrix dimension.
+    pub dim: usize,
+    /// Probability that a given off-diagonal pair is nonzero.
+    pub density: f64,
+    /// Magnitude scale of off-diagonal entries (sampled uniform in
+    /// `(0, scale]` and negated).
+    pub scale: f64,
+    /// Extra diagonal dominance margin added on top of the row sums, as a
+    /// fraction of `scale`. Strictly positive values guarantee positive
+    /// definiteness via diagonal dominance.
+    pub dominance: f64,
+}
+
+impl Default for StieltjesSampler {
+    fn default() -> StieltjesSampler {
+        StieltjesSampler {
+            dim: 8,
+            density: 0.6,
+            scale: 1.0,
+            dominance: 0.1,
+        }
+    }
+}
+
+/// Generates a random positive-definite Stieltjes matrix.
+///
+/// Off-diagonal entries are nonpositive; the diagonal is set to the absolute
+/// row sum plus a positive dominance margin, which makes the matrix strictly
+/// diagonally dominant with positive diagonal — hence symmetric positive
+/// definite.
+///
+/// The construction is connected-by-chaining: a random spanning path is
+/// always included so the result is irreducible (matching the `G` matrices of
+/// Lemma 1), then extra edges are added with probability `density`.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, `scale <= 0`, `dominance <= 0`, or
+/// `density ∉ [0, 1]`.
+pub fn random_stieltjes(sampler: StieltjesSampler, rng: &mut StdRng) -> DenseMatrix {
+    let StieltjesSampler {
+        dim,
+        density,
+        scale,
+        dominance,
+    } = sampler;
+    assert!(dim > 0, "dimension must be positive");
+    assert!(scale > 0.0, "scale must be positive");
+    assert!(dominance > 0.0, "dominance margin must be positive");
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+
+    let mut a = DenseMatrix::zeros(dim, dim);
+    // Spanning path over a random permutation keeps the graph connected.
+    let mut order: Vec<usize> = (0..dim).collect();
+    for i in (1..dim).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for w in order.windows(2) {
+        let v = -rng.gen_range(f64::EPSILON..=scale);
+        a[(w[0], w[1])] = v;
+        a[(w[1], w[0])] = v;
+    }
+    for r in 0..dim {
+        for c in (r + 1)..dim {
+            if a[(r, c)] == 0.0 && rng.gen_bool(density) {
+                let v = -rng.gen_range(f64::EPSILON..=scale);
+                a[(r, c)] = v;
+                a[(c, r)] = v;
+            }
+        }
+    }
+    for r in 0..dim {
+        let offsum: f64 = (0..dim).filter(|&c| c != r).map(|c| a[(r, c)].abs()).sum();
+        a[(r, r)] = offsum + rng.gen_range(f64::EPSILON..=scale * dominance) + scale * dominance;
+    }
+    a
+}
+
+/// Convenience: a seeded RNG for reproducible experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_matrices_are_stieltjes_and_irreducible() {
+        let mut rng = seeded_rng(42);
+        for dim in [1usize, 2, 3, 8, 20] {
+            for _ in 0..20 {
+                let a = random_stieltjes(
+                    StieltjesSampler {
+                        dim,
+                        ..StieltjesSampler::default()
+                    },
+                    &mut rng,
+                );
+                assert_eq!(check_stieltjes(&a, 1e-12), Ok(()));
+                assert!(is_irreducible(&a), "dim {dim} produced reducible matrix");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_density_still_connected() {
+        let mut rng = seeded_rng(7);
+        let a = random_stieltjes(
+            StieltjesSampler {
+                dim: 16,
+                density: 0.0,
+                ..StieltjesSampler::default()
+            },
+            &mut rng,
+        );
+        assert!(is_irreducible(&a));
+        assert_eq!(check_stieltjes(&a, 1e-12), Ok(()));
+    }
+
+    #[test]
+    fn inverse_positivity_of_stieltjes_matrices() {
+        // Lemma 3 of the paper: PD Stieltjes matrices are inverse-positive.
+        let mut rng = seeded_rng(3);
+        for _ in 0..10 {
+            let a = random_stieltjes(StieltjesSampler::default(), &mut rng);
+            let h = Cholesky::factor(&a).unwrap().inverse();
+            for r in 0..h.rows() {
+                for c in 0..h.cols() {
+                    assert!(
+                        h[(r, c)] >= -1e-12,
+                        "inverse entry ({r},{c}) = {} negative",
+                        h[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_reported_in_order() {
+        assert_eq!(
+            check_stieltjes(&DenseMatrix::zeros(2, 3), 1e-12),
+            Err(StieltjesViolation::NotSquare)
+        );
+        let asym = DenseMatrix::from_rows(&[&[2.0, -1.0], &[0.0, 2.0]]).unwrap();
+        assert_eq!(
+            check_stieltjes(&asym, 1e-12),
+            Err(StieltjesViolation::NotSymmetric)
+        );
+        let pos_off = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert_eq!(
+            check_stieltjes(&pos_off, 1e-12),
+            Err(StieltjesViolation::PositiveOffDiagonal { row: 0, col: 1 })
+        );
+        let indef = DenseMatrix::from_rows(&[&[1.0, -2.0], &[-2.0, 1.0]]).unwrap();
+        assert_eq!(
+            check_stieltjes(&indef, 1e-12),
+            Err(StieltjesViolation::NotPositiveDefinite)
+        );
+    }
+
+    #[test]
+    fn reducible_matrix_detected() {
+        // Block-diagonal = direct sum = reducible.
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.0, 0.0],
+            &[-1.0, 2.0, 0.0, 0.0],
+            &[0.0, 0.0, 2.0, -1.0],
+            &[0.0, 0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        assert!(!is_irreducible(&a));
+        let b = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        assert!(is_irreducible(&b));
+    }
+
+    #[test]
+    fn trivial_sizes_are_irreducible() {
+        assert!(is_irreducible(&DenseMatrix::zeros(0, 0)));
+        assert!(is_irreducible(&DenseMatrix::from_rows(&[&[5.0]]).unwrap()));
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = random_stieltjes(StieltjesSampler::default(), &mut seeded_rng(99));
+        let b = random_stieltjes(StieltjesSampler::default(), &mut seeded_rng(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = random_stieltjes(
+            StieltjesSampler {
+                dim: 0,
+                ..StieltjesSampler::default()
+            },
+            &mut seeded_rng(0),
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use tecopt_linalg::eigen::generalized_pd_threshold;
+use tecopt_linalg::stieltjes::{random_stieltjes, seeded_rng, StieltjesSampler};
+use tecopt_linalg::{
+    conjugate_gradient, determinant, CgSettings, Cholesky, CsrMatrix, DenseMatrix, Lu, Triplet,
+};
+
+fn random_spd(seed: u64, dim: usize) -> DenseMatrix {
+    // PD Stieltjes matrices are a convenient SPD family with exact
+    // reproducibility.
+    let mut rng = seeded_rng(seed);
+    random_stieltjes(
+        StieltjesSampler {
+            dim,
+            ..StieltjesSampler::default()
+        },
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_solves_to_machine_precision(seed in 0u64..5000, dim in 1usize..20) {
+        let a = random_spd(seed, dim);
+        let chol = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..dim).map(|k| (k as f64 * 0.37).sin()).collect();
+        let x = chol.solve(&b).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8 * a.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd(seed in 0u64..5000, dim in 1usize..16) {
+        let a = random_spd(seed, dim);
+        let lu = Lu::factor(&a).unwrap();
+        let chol = Cholesky::factor(&a).unwrap();
+        prop_assert!((lu.det().ln() - chol.log_det()).abs() < 1e-7);
+        let b: Vec<f64> = (0..dim).map(|k| 1.0 + k as f64).collect();
+        let x1 = lu.solve(&b).unwrap();
+        let x2 = chol.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-7 * v.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn inverse_reconstructs_identity(seed in 0u64..5000, dim in 1usize..12) {
+        let a = random_spd(seed, dim);
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let id = a.mul_mat(&inv).unwrap();
+        for r in 0..dim {
+            for c in 0..dim {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((id[(r, c)] - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_of_minor_is_nonzero_at_singularity(seed in 0u64..1000) {
+        // Lemma 2 of the paper: A = G - lambda_m D is singular but its
+        // minors A_kl are not.
+        let g = random_spd(seed, 5);
+        let d = [1.0, -1.0, 0.0, 1.0, 0.0];
+        let t = generalized_pd_threshold(&g, &d, 1e-12).unwrap();
+        let mut a = g.clone();
+        a.add_scaled_diagonal(&d, -t.estimate()).unwrap();
+        let det_a = determinant(&a).unwrap();
+        let det_minor = determinant(&a.minor(0, 0)).unwrap();
+        // det(A) vanishes at lambda_m relative to a minor's scale.
+        prop_assert!(det_a.abs() < 1e-6 * det_minor.abs().max(1e-12),
+            "det(A) = {det_a}, det(A_00) = {det_minor}");
+    }
+
+    #[test]
+    fn pd_threshold_brackets_are_tight_and_correct(seed in 0u64..2000, dim in 2usize..10) {
+        let g = random_spd(seed, dim);
+        let d: Vec<f64> = (0..dim).map(|k| if k % 2 == 0 { 1.0 } else { -0.5 }).collect();
+        let t = generalized_pd_threshold(&g, &d, 1e-9).unwrap();
+        let mut below = g.clone();
+        below.add_scaled_diagonal(&d, -t.lower).unwrap();
+        prop_assert!(Cholesky::is_positive_definite(&below));
+        let mut above = g.clone();
+        above.add_scaled_diagonal(&d, -t.upper).unwrap();
+        prop_assert!(!Cholesky::is_positive_definite(&above));
+        prop_assert!(t.width() <= 1e-8 * t.upper.max(1.0));
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(seed in 0u64..5000, dim in 1usize..15) {
+        let a = random_spd(seed, dim);
+        let mut trips = Vec::new();
+        for r in 0..dim {
+            for c in 0..dim {
+                if a[(r, c)] != 0.0 {
+                    trips.push(Triplet::new(r, c, a[(r, c)]));
+                }
+            }
+        }
+        let sparse = CsrMatrix::from_triplets(dim, dim, &trips).unwrap();
+        let x: Vec<f64> = (0..dim).map(|k| (k as f64 - 1.5).cos()).collect();
+        let yd = a.mul_vec(&x).unwrap();
+        let ys = sparse.mul_vec(&x).unwrap();
+        for (u, v) in yd.iter().zip(&ys) {
+            prop_assert!((u - v).abs() < 1e-12 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cg_agrees_with_cholesky(seed in 0u64..5000, dim in 2usize..15) {
+        let a = random_spd(seed, dim);
+        let mut trips = Vec::new();
+        for r in 0..dim {
+            for c in 0..dim {
+                if a[(r, c)] != 0.0 {
+                    trips.push(Triplet::new(r, c, a[(r, c)]));
+                }
+            }
+        }
+        let sparse = CsrMatrix::from_triplets(dim, dim, &trips).unwrap();
+        let b: Vec<f64> = (0..dim).map(|k| 1.0 / (1.0 + k as f64)).collect();
+        let direct = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let iterative = conjugate_gradient(&sparse, &b, CgSettings::default()).unwrap();
+        for (u, v) in direct.iter().zip(&iterative.x) {
+            prop_assert!((u - v).abs() < 1e-6 * u.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! An Alpha-21364-like microprocessor floorplan (Fig. 7(a) of the paper).
+//!
+//! The paper's first benchmark is "a microprocessor floorplan similar to
+//! that of a 65nm DEC Alpha-21364" on a 6 mm × 6 mm die, divided into 12×12
+//! tiles of 0.5 mm. This module reconstructs such a floorplan from the
+//! published unit inventory (the HotSpot `ev6`-style unit set: L2 banks,
+//! instruction/data caches, branch predictor, TLBs, the floating-point
+//! cluster, and the integer cluster containing the hottest units), aligned
+//! to the tile grid so tile rasterization is exact.
+
+use crate::{Floorplan, PowerError, Unit};
+use tecopt_thermal::Rect;
+use tecopt_units::Meters;
+
+/// Tile side used by the paper: 0.5 mm (one TEC device per tile).
+pub const ALPHA_TILE_MM: f64 = 0.5;
+
+/// Grid dimension of the Alpha-like die: 12×12 tiles over 6 mm × 6 mm.
+pub const ALPHA_GRID: usize = 12;
+
+/// The six high-power-density units called out in Sec. VI.A: they
+/// "consume 28.1 % of the total power while occupying 10.4 % of the total
+/// area" (the exact fractions of this reconstruction are asserted in the
+/// tests to be close to those figures).
+pub const ALPHA_HOT_UNITS: [&str; 6] = ["IntReg", "IntExec", "IntQ", "LdStQ", "FPMul", "FPAdd"];
+
+fn tile_rect(row0: usize, col0: usize, row1: usize, col1: usize) -> Rect {
+    let t = ALPHA_TILE_MM * 1e-3;
+    Rect::new(
+        col0 as f64 * t,
+        row0 as f64 * t,
+        (col1 + 1) as f64 * t,
+        (row1 + 1) as f64 * t,
+    )
+}
+
+/// Builds the Alpha-21364-like floorplan.
+///
+/// Rows are numbered from the bottom of the die. The L2 cache occupies the
+/// bottom third plus two side banks and a top sliver (as in the EV6-class
+/// plans); the integer cluster with `IntReg`/`IntExec` sits in the upper
+/// core area, matching Fig. 7 where the shaded (TEC-covered) tiles cluster
+/// there.
+///
+/// ```
+/// let plan = tecopt_power::alpha21364_like().unwrap();
+/// assert_eq!(plan.unit_count(), 19);
+/// assert!((plan.die_area().to_square_centimeters() - 0.36).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+///
+/// Never fails in practice; the signature propagates [`PowerError`] from the
+/// floorplan validator so the invariant "units exactly tile the die" is
+/// machine-checked rather than assumed.
+pub fn alpha21364_like() -> Result<Floorplan, PowerError> {
+    let units = vec![
+        // L2 cache: bottom block, two side banks, top sliver (88 tiles).
+        Unit::new("L2", tile_rect(0, 0, 3, 11)),
+        Unit::new("L2_left", tile_rect(4, 0, 11, 1)),
+        Unit::new("L2_right", tile_rect(4, 10, 11, 11)),
+        Unit::new("L2_top", tile_rect(11, 2, 11, 9)),
+        // First-level caches (16 tiles).
+        Unit::new("Icache", tile_rect(4, 2, 5, 5)),
+        Unit::new("Dcache", tile_rect(4, 6, 5, 9)),
+        // Front end and TLBs (8 tiles).
+        Unit::new("Bpred", tile_rect(6, 2, 6, 4)),
+        Unit::new("DTB", tile_rect(6, 5, 6, 7)),
+        Unit::new("ITB", tile_rect(6, 8, 6, 9)),
+        // Floating-point cluster (12 tiles; FPAdd/FPMul are hot).
+        Unit::new("FPMap", tile_rect(7, 2, 7, 3)),
+        Unit::new("FPQ", tile_rect(7, 4, 7, 5)),
+        Unit::new("FPReg", tile_rect(7, 6, 7, 9)),
+        Unit::new("FPAdd", tile_rect(8, 2, 8, 3)),
+        Unit::new("FPMul", tile_rect(8, 4, 8, 5)),
+        // Integer cluster (20 tiles; IntReg/IntExec/IntQ/LdStQ are hot).
+        Unit::new("IntMap", tile_rect(8, 6, 8, 9)),
+        Unit::new("IntQ", tile_rect(9, 2, 9, 3)),
+        Unit::new("LdStQ", tile_rect(9, 4, 9, 5)),
+        Unit::new("IntExec", tile_rect(9, 6, 10, 9)),
+        Unit::new("IntReg", tile_rect(10, 2, 10, 5)),
+    ];
+    Floorplan::new(
+        "alpha21364-like",
+        Meters::from_millimeters(ALPHA_TILE_MM * ALPHA_GRID as f64),
+        Meters::from_millimeters(ALPHA_TILE_MM * ALPHA_GRID as f64),
+        units,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_valid_and_complete() {
+        let p = alpha21364_like().unwrap();
+        assert_eq!(p.unit_count(), 19);
+        // Validation already guarantees exact coverage; spot-check geometry.
+        assert!((p.width().to_millimeters() - 6.0).abs() < 1e-12);
+        assert!((p.height().to_millimeters() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_units_exist_and_occupy_about_a_tenth_of_the_die() {
+        let p = alpha21364_like().unwrap();
+        let frac = p.area_fraction(&ALPHA_HOT_UNITS).unwrap();
+        // Paper: 10.4 %. Our tile-aligned reconstruction: 20/144 ≈ 13.9 %.
+        assert!(
+            (0.08..=0.16).contains(&frac),
+            "hot-unit area fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn l2_occupies_most_of_the_die() {
+        let p = alpha21364_like().unwrap();
+        let frac = p
+            .area_fraction(&["L2", "L2_left", "L2_right", "L2_top"])
+            .unwrap();
+        assert!(frac > 0.5, "L2 fraction {frac}");
+    }
+
+    #[test]
+    fn int_reg_is_in_the_upper_core() {
+        let p = alpha21364_like().unwrap();
+        let r = p.unit("IntReg").unwrap().rect();
+        assert!(r.y0 > 0.004, "IntReg should sit in the upper half");
+        // And is laterally interior (not on the die edge).
+        assert!(r.x0 > 0.0 && r.x1 < 0.006);
+    }
+}

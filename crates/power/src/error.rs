@@ -1,0 +1,98 @@
+use core::fmt;
+
+/// Errors produced by floorplan and power-profile construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A unit rectangle extends beyond the die outline.
+    UnitOutOfBounds {
+        /// Name of the offending unit.
+        unit: String,
+    },
+    /// Two units overlap.
+    UnitsOverlap {
+        /// First unit.
+        a: String,
+        /// Second unit.
+        b: String,
+    },
+    /// The units do not tile the die completely.
+    IncompleteCoverage {
+        /// Fraction of the die area covered by units.
+        covered_fraction: f64,
+    },
+    /// A unit name appears twice.
+    DuplicateUnit {
+        /// The repeated name.
+        unit: String,
+    },
+    /// A named unit does not exist.
+    UnknownUnit {
+        /// The requested name.
+        unit: String,
+    },
+    /// A power value is negative or non-finite.
+    InvalidPower {
+        /// Unit the power was assigned to.
+        unit: String,
+        /// The offending value in watts.
+        value: f64,
+    },
+    /// Power profile does not cover every unit of the floorplan.
+    ProfileMismatch {
+        /// Units in the floorplan.
+        expected: usize,
+        /// Entries in the profile.
+        actual: usize,
+    },
+    /// A generator parameter is out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::UnitOutOfBounds { unit } => {
+                write!(f, "unit '{unit}' extends beyond the die outline")
+            }
+            PowerError::UnitsOverlap { a, b } => write!(f, "units '{a}' and '{b}' overlap"),
+            PowerError::IncompleteCoverage { covered_fraction } => write!(
+                f,
+                "units cover only {:.2}% of the die",
+                covered_fraction * 100.0
+            ),
+            PowerError::DuplicateUnit { unit } => write!(f, "unit '{unit}' appears twice"),
+            PowerError::UnknownUnit { unit } => write!(f, "unknown unit '{unit}'"),
+            PowerError::InvalidPower { unit, value } => {
+                write!(f, "invalid power {value} W for unit '{unit}'")
+            }
+            PowerError::ProfileMismatch { expected, actual } => {
+                write!(f, "profile has {actual} entries, floorplan has {expected} units")
+            }
+            PowerError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PowerError::UnitsOverlap {
+            a: "IntReg".into(),
+            b: "IntExec".into(),
+        };
+        assert!(e.to_string().contains("IntReg"));
+        assert!(e.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PowerError>();
+    }
+}

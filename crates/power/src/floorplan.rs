@@ -1,0 +1,281 @@
+use crate::PowerError;
+use tecopt_thermal::Rect;
+use tecopt_units::{Meters, SquareMeters};
+
+/// A named rectangular functional unit of a floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    name: String,
+    rect: Rect,
+}
+
+impl Unit {
+    /// Creates a unit from a name and its outline (meters, die-relative,
+    /// origin at the lower-left die corner).
+    pub fn new(name: impl Into<String>, rect: Rect) -> Unit {
+        Unit {
+            name: name.into(),
+            rect,
+        }
+    }
+
+    /// Unit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Outline rectangle.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Silicon area of the unit.
+    pub fn area(&self) -> SquareMeters {
+        SquareMeters(self.rect.area())
+    }
+}
+
+/// A complete die floorplan: named rectangular units exactly tiling the die.
+///
+/// ```
+/// use tecopt_power::{Floorplan, Unit};
+/// use tecopt_thermal::Rect;
+/// use tecopt_units::Meters;
+///
+/// # fn main() -> Result<(), tecopt_power::PowerError> {
+/// let plan = Floorplan::new(
+///     "demo",
+///     Meters(2e-3),
+///     Meters(1e-3),
+///     vec![
+///         Unit::new("left", Rect::new(0.0, 0.0, 1e-3, 1e-3)),
+///         Unit::new("right", Rect::new(1e-3, 0.0, 2e-3, 1e-3)),
+///     ],
+/// )?;
+/// assert_eq!(plan.unit_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    name: String,
+    width: Meters,
+    height: Meters,
+    units: Vec<Unit>,
+}
+
+impl Floorplan {
+    /// Relative tolerance for coverage/overlap checks.
+    const AREA_TOL: f64 = 1e-9;
+
+    /// Creates and validates a floorplan.
+    ///
+    /// # Errors
+    ///
+    /// - [`PowerError::DuplicateUnit`] for repeated names.
+    /// - [`PowerError::UnitOutOfBounds`] if a unit leaves the die.
+    /// - [`PowerError::UnitsOverlap`] if two units overlap by more than the
+    ///   tolerance.
+    /// - [`PowerError::IncompleteCoverage`] if the unit areas do not sum to
+    ///   the die area.
+    pub fn new(
+        name: impl Into<String>,
+        width: Meters,
+        height: Meters,
+        units: Vec<Unit>,
+    ) -> Result<Floorplan, PowerError> {
+        let die = Rect::new(0.0, 0.0, width.value(), height.value());
+        let mut seen = std::collections::HashSet::new();
+        for u in &units {
+            if !seen.insert(u.name.clone()) {
+                return Err(PowerError::DuplicateUnit {
+                    unit: u.name.clone(),
+                });
+            }
+            let inside = u.rect.x0 >= -Self::AREA_TOL
+                && u.rect.y0 >= -Self::AREA_TOL
+                && u.rect.x1 <= die.x1 + Self::AREA_TOL
+                && u.rect.y1 <= die.y1 + Self::AREA_TOL;
+            if !inside {
+                return Err(PowerError::UnitOutOfBounds {
+                    unit: u.name.clone(),
+                });
+            }
+        }
+        for (i, a) in units.iter().enumerate() {
+            for b in &units[i + 1..] {
+                let ov = a.rect.overlap_area(&b.rect);
+                if ov > Self::AREA_TOL * die.area() {
+                    return Err(PowerError::UnitsOverlap {
+                        a: a.name.clone(),
+                        b: b.name.clone(),
+                    });
+                }
+            }
+        }
+        let covered: f64 = units.iter().map(|u| u.rect.area()).sum();
+        let fraction = covered / die.area();
+        if (fraction - 1.0).abs() > 1e-6 {
+            return Err(PowerError::IncompleteCoverage {
+                covered_fraction: fraction,
+            });
+        }
+        Ok(Floorplan {
+            name: name.into(),
+            width,
+            height,
+            units,
+        })
+    }
+
+    /// Floorplan name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die width.
+    pub fn width(&self) -> Meters {
+        self.width
+    }
+
+    /// Die height.
+    pub fn height(&self) -> Meters {
+        self.height
+    }
+
+    /// Total die area.
+    pub fn die_area(&self) -> SquareMeters {
+        self.width * self.height
+    }
+
+    /// Number of units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The units in declaration order.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Finds a unit by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] if absent.
+    pub fn unit(&self, name: &str) -> Result<&Unit, PowerError> {
+        self.units
+            .iter()
+            .find(|u| u.name == name)
+            .ok_or_else(|| PowerError::UnknownUnit { unit: name.into() })
+    }
+
+    /// Index of a unit by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] if absent.
+    pub fn unit_index(&self, name: &str) -> Result<usize, PowerError> {
+        self.units
+            .iter()
+            .position(|u| u.name == name)
+            .ok_or_else(|| PowerError::UnknownUnit { unit: name.into() })
+    }
+
+    /// Combined area of the named units as a fraction of the die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] for a name not in the plan.
+    pub fn area_fraction(&self, names: &[&str]) -> Result<f64, PowerError> {
+        let mut area = 0.0;
+        for n in names {
+            area += self.unit(n)?.rect().area();
+        }
+        Ok(area / self.die_area().value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(name: &str, x0: f64, y0: f64, x1: f64, y1: f64) -> Unit {
+        Unit::new(name, Rect::new(x0, y0, x1, y1))
+    }
+
+    fn two_unit_plan() -> Floorplan {
+        Floorplan::new(
+            "demo",
+            Meters(2.0),
+            Meters(1.0),
+            vec![unit("a", 0.0, 0.0, 1.0, 1.0), unit("b", 1.0, 0.0, 2.0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_plan_accepted() {
+        let p = two_unit_plan();
+        assert_eq!(p.unit_count(), 2);
+        assert_eq!(p.unit("a").unwrap().rect().x1, 1.0);
+        assert_eq!(p.unit_index("b").unwrap(), 1);
+        assert!((p.die_area().value() - 2.0).abs() < 1e-12);
+        assert!((p.area_fraction(&["a"]).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_unit_rejected() {
+        let p = two_unit_plan();
+        assert!(matches!(p.unit("zz"), Err(PowerError::UnknownUnit { .. })));
+        assert!(p.area_fraction(&["a", "zz"]).is_err());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let err = Floorplan::new(
+            "bad",
+            Meters(2.0),
+            Meters(1.0),
+            vec![unit("a", 0.0, 0.0, 1.2, 1.0), unit("b", 1.0, 0.0, 2.0, 1.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PowerError::UnitsOverlap { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let err = Floorplan::new(
+            "bad",
+            Meters(2.0),
+            Meters(1.0),
+            vec![unit("a", 0.0, 0.0, 2.5, 1.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PowerError::UnitOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn incomplete_coverage_rejected() {
+        let err = Floorplan::new(
+            "bad",
+            Meters(2.0),
+            Meters(1.0),
+            vec![unit("a", 0.0, 0.0, 1.0, 1.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PowerError::IncompleteCoverage { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Floorplan::new(
+            "bad",
+            Meters(2.0),
+            Meters(1.0),
+            vec![unit("a", 0.0, 0.0, 1.0, 1.0), unit("a", 1.0, 0.0, 2.0, 1.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PowerError::DuplicateUnit { .. }));
+    }
+}

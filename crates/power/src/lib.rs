@@ -1,0 +1,46 @@
+//! Floorplans, worst-case power profiles and benchmark chip generation.
+//!
+//! The optimization problem of the paper consumes a single input besides the
+//! package model: the worst-case power of every die tile. This crate
+//! produces that input for both experiment families of Sec. VI:
+//!
+//! - [`alpha21364_like`] + [`WorkloadModel`] — the Alpha-21364-like chip
+//!   with a synthetic SPEC2000-style workload envelope (the substitute for
+//!   the paper's M5 + Wattch characterization; see `DESIGN.md` §2),
+//! - [`HypotheticalChip`] — the seeded generator behind the HC01–HC10
+//!   benchmark suite (random connected units of 5–15 tiles, two hot units
+//!   with 30 % of the power in ~10 % of the area, 15–25 W total).
+//!
+//! ```
+//! use tecopt_power::WorkloadModel;
+//! use tecopt_thermal::TileGrid;
+//! use tecopt_units::Meters;
+//!
+//! # fn main() -> Result<(), tecopt_power::PowerError> {
+//! let model = WorkloadModel::alpha_spec2000_like()?;
+//! let worst_case = model.worst_case_envelope(0.2)?;
+//! let grid = TileGrid::new(12, 12, Meters::from_millimeters(0.5)).unwrap();
+//! let tile_powers = worst_case.rasterize(&grid)?;
+//! assert_eq!(tile_powers.len(), 144);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alpha;
+mod error;
+mod floorplan;
+pub mod hotspot_io;
+mod hypothetical;
+mod profile;
+pub mod trace;
+mod workload;
+
+pub use alpha::{alpha21364_like, ALPHA_GRID, ALPHA_HOT_UNITS, ALPHA_TILE_MM};
+pub use error::PowerError;
+pub use floorplan::{Floorplan, Unit};
+pub use hypothetical::{HypotheticalChip, HypotheticalSettings};
+pub use profile::PowerProfile;
+pub use workload::{Benchmark, UnitCategory, WorkloadModel};

@@ -1,0 +1,258 @@
+use crate::{Floorplan, PowerError};
+use tecopt_thermal::{Rect, TileGrid};
+use tecopt_units::{Watts, WattsPerSquareCentimeter};
+
+/// A per-unit power assignment over a [`Floorplan`].
+///
+/// The optimizer consumes per-*tile* powers; [`PowerProfile::rasterize`]
+/// spreads each unit's power uniformly over its footprint and integrates it
+/// over the tile grid (exactly, by rectangle overlap).
+///
+/// ```
+/// use tecopt_power::{alpha21364_like, PowerProfile};
+/// use tecopt_units::Watts;
+///
+/// # fn main() -> Result<(), tecopt_power::PowerError> {
+/// let plan = alpha21364_like()?;
+/// let powers = vec![Watts(1.0); plan.unit_count()];
+/// let profile = PowerProfile::new(&plan, powers)?;
+/// assert!((profile.total_power().value() - 19.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerProfile {
+    plan: Floorplan,
+    unit_powers: Vec<Watts>,
+}
+
+impl PowerProfile {
+    /// Creates a profile; `unit_powers` aligns with `plan.units()`.
+    ///
+    /// # Errors
+    ///
+    /// - [`PowerError::ProfileMismatch`] on a length mismatch.
+    /// - [`PowerError::InvalidPower`] for a negative or non-finite power.
+    pub fn new(plan: &Floorplan, unit_powers: Vec<Watts>) -> Result<PowerProfile, PowerError> {
+        if unit_powers.len() != plan.unit_count() {
+            return Err(PowerError::ProfileMismatch {
+                expected: plan.unit_count(),
+                actual: unit_powers.len(),
+            });
+        }
+        for (u, p) in plan.units().iter().zip(&unit_powers) {
+            if p.value() < 0.0 || !p.is_finite() {
+                return Err(PowerError::InvalidPower {
+                    unit: u.name().to_string(),
+                    value: p.value(),
+                });
+            }
+        }
+        Ok(PowerProfile {
+            plan: plan.clone(),
+            unit_powers,
+        })
+    }
+
+    /// The floorplan this profile is defined over.
+    pub fn plan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// Per-unit powers in floorplan unit order.
+    pub fn unit_powers(&self) -> &[Watts] {
+        &self.unit_powers
+    }
+
+    /// Power of a named unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] if absent.
+    pub fn unit_power(&self, name: &str) -> Result<Watts, PowerError> {
+        Ok(self.unit_powers[self.plan.unit_index(name)?])
+    }
+
+    /// Power density of a named unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] if absent.
+    pub fn unit_density(&self, name: &str) -> Result<WattsPerSquareCentimeter, PowerError> {
+        let idx = self.plan.unit_index(name)?;
+        Ok(WattsPerSquareCentimeter::from_power_over(
+            self.unit_powers[idx],
+            self.plan.units()[idx].area(),
+        ))
+    }
+
+    /// Total chip power.
+    pub fn total_power(&self) -> Watts {
+        self.unit_powers.iter().copied().sum()
+    }
+
+    /// Fraction of total power drawn by the named units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] for a name not in the plan.
+    pub fn power_fraction(&self, names: &[&str]) -> Result<f64, PowerError> {
+        let mut p = 0.0;
+        for n in names {
+            p += self.unit_power(n)?.value();
+        }
+        Ok(p / self.total_power().value())
+    }
+
+    /// Returns a copy with every unit power scaled by `factor` (e.g. the
+    /// paper's 20 % worst-case margin is `scale(1.2)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a negative factor.
+    pub fn scale(&self, factor: f64) -> Result<PowerProfile, PowerError> {
+        if factor < 0.0 || !factor.is_finite() {
+            return Err(PowerError::InvalidParameter(format!(
+                "scale factor must be nonnegative, got {factor}"
+            )));
+        }
+        PowerProfile::new(
+            &self.plan,
+            self.unit_powers.iter().map(|p| *p * factor).collect(),
+        )
+    }
+
+    /// Integrates the profile over a tile grid: each tile receives the sum
+    /// over units of `unit_power × overlap_area / unit_area`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the grid outline does not
+    /// match the die outline (tile powers would silently lose energy).
+    pub fn rasterize(&self, grid: &TileGrid) -> Result<Vec<Watts>, PowerError> {
+        let gw = grid.width().value();
+        let gh = grid.height().value();
+        if (gw - self.plan.width().value()).abs() > 1e-9
+            || (gh - self.plan.height().value()).abs() > 1e-9
+        {
+            return Err(PowerError::InvalidParameter(format!(
+                "grid outline {gw}x{gh} m does not match die {}x{} m",
+                self.plan.width().value(),
+                self.plan.height().value()
+            )));
+        }
+        let t = grid.tile_size().value();
+        let mut out = vec![Watts(0.0); grid.tile_count()];
+        for (u, p) in self.plan.units().iter().zip(&self.unit_powers) {
+            if p.value() == 0.0 {
+                continue;
+            }
+            let ua = u.rect().area();
+            // Only tiles under the unit's bounding box can receive power.
+            let c0 = (u.rect().x0 / t).floor().max(0.0) as usize;
+            let r0 = (u.rect().y0 / t).floor().max(0.0) as usize;
+            let c1 = ((u.rect().x1 / t).ceil() as usize).min(grid.cols());
+            let r1 = ((u.rect().y1 / t).ceil() as usize).min(grid.rows());
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    let tile = Rect::new(
+                        c as f64 * t,
+                        r as f64 * t,
+                        (c + 1) as f64 * t,
+                        (r + 1) as f64 * t,
+                    );
+                    let ov = tile.overlap_area(&u.rect());
+                    if ov > 0.0 {
+                        out[r * grid.cols() + c] += *p * (ov / ua);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unit;
+    use tecopt_units::Meters;
+
+    fn plan() -> Floorplan {
+        Floorplan::new(
+            "demo",
+            Meters(2e-3),
+            Meters(1e-3),
+            vec![
+                Unit::new("left", Rect::new(0.0, 0.0, 1e-3, 1e-3)),
+                Unit::new("right", Rect::new(1e-3, 0.0, 2e-3, 1e-3)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let p = PowerProfile::new(&plan(), vec![Watts(2.0), Watts(1.0)]).unwrap();
+        assert_eq!(p.total_power(), Watts(3.0));
+        assert_eq!(p.unit_power("left").unwrap(), Watts(2.0));
+        // 2 W over 1 mm² = 200 W/cm².
+        assert!((p.unit_density("left").unwrap().value() - 200.0).abs() < 1e-9);
+        assert!((p.power_fraction(&["left"]).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_and_sign_validation() {
+        assert!(matches!(
+            PowerProfile::new(&plan(), vec![Watts(1.0)]),
+            Err(PowerError::ProfileMismatch { .. })
+        ));
+        assert!(matches!(
+            PowerProfile::new(&plan(), vec![Watts(-1.0), Watts(1.0)]),
+            Err(PowerError::InvalidPower { .. })
+        ));
+    }
+
+    #[test]
+    fn scaling() {
+        let p = PowerProfile::new(&plan(), vec![Watts(2.0), Watts(1.0)]).unwrap();
+        let s = p.scale(1.2).unwrap();
+        assert!((s.total_power().value() - 3.6).abs() < 1e-12);
+        assert!(p.scale(-1.0).is_err());
+    }
+
+    #[test]
+    fn rasterize_conserves_power() {
+        let p = PowerProfile::new(&plan(), vec![Watts(2.0), Watts(1.0)]).unwrap();
+        let grid = TileGrid::new(2, 4, Meters(0.5e-3)).unwrap();
+        let tiles = p.rasterize(&grid).unwrap();
+        let total: Watts = tiles.iter().copied().sum();
+        assert!((total.value() - 3.0).abs() < 1e-12);
+        // Left unit spans tiles in columns 0-1, right in columns 2-3.
+        assert!((tiles[0].value() - 0.5).abs() < 1e-12);
+        assert!((tiles[3].value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rasterize_rejects_mismatched_grid() {
+        let p = PowerProfile::new(&plan(), vec![Watts(1.0), Watts(1.0)]).unwrap();
+        let grid = TileGrid::new(3, 3, Meters(0.5e-3)).unwrap();
+        assert!(matches!(
+            p.rasterize(&grid),
+            Err(PowerError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn alpha_rasterization_is_exact_per_tile() {
+        // The Alpha plan is tile-aligned: each tile receives power from
+        // exactly one unit, at that unit's density.
+        let plan = crate::alpha21364_like().unwrap();
+        let powers: Vec<Watts> = (0..plan.unit_count()).map(|k| Watts(k as f64)).collect();
+        let p = PowerProfile::new(&plan, powers).unwrap();
+        let grid = TileGrid::new(12, 12, Meters(0.5e-3)).unwrap();
+        let tiles = p.rasterize(&grid).unwrap();
+        let total: Watts = tiles.iter().copied().sum();
+        assert!((total.value() - p.total_power().value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Time-varying workload traces for transient studies.
+//!
+//! The steady-state optimizer designs for the worst-case envelope; the
+//! transient DTM extension (`tecopt::transient`) wants realistic
+//! *time-varying* power. This module generates phase-based traces: the chip
+//! runs one benchmark of the [`WorkloadModel`] suite for a dwell period,
+//! then switches to another according to a seeded Markov chain — the
+//! standard way architecture studies emulate multiprogrammed behaviour
+//! without an actual architectural simulator.
+
+use crate::{PowerError, PowerProfile, WorkloadModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tecopt_thermal::TileGrid;
+use tecopt_units::Watts;
+
+/// One phase of a generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePhase {
+    /// Which benchmark of the suite runs in this phase.
+    pub benchmark: &'static str,
+    /// Dwell time in seconds.
+    pub duration: f64,
+    /// The unit-level power profile of the phase.
+    pub profile: PowerProfile,
+}
+
+/// Controls for [`generate_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSettings {
+    /// Number of phases to generate.
+    pub phases: usize,
+    /// Dwell time range per phase, seconds.
+    pub dwell_range: (f64, f64),
+    /// Probability of staying on the same benchmark at a phase boundary
+    /// (self-loop weight of the Markov chain).
+    pub persistence: f64,
+    /// Idle scaling applied between phases when `idle_gaps` is set: the
+    /// chip drops to this fraction of the phase's power.
+    pub idle_fraction: f64,
+    /// Insert an idle gap (of the same dwell distribution) between phases.
+    pub idle_gaps: bool,
+}
+
+impl Default for TraceSettings {
+    fn default() -> TraceSettings {
+        TraceSettings {
+            phases: 8,
+            dwell_range: (30.0, 120.0),
+            persistence: 0.3,
+            idle_fraction: 0.2,
+            idle_gaps: false,
+        }
+    }
+}
+
+impl TraceSettings {
+    fn validate(&self) -> Result<(), PowerError> {
+        if self.phases == 0 {
+            return Err(PowerError::InvalidParameter(
+                "trace needs at least one phase".into(),
+            ));
+        }
+        let (lo, hi) = self.dwell_range;
+        if !(lo > 0.0 && hi >= lo && hi.is_finite()) {
+            return Err(PowerError::InvalidParameter(format!(
+                "dwell range ({lo}, {hi}) is invalid"
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.persistence) {
+            return Err(PowerError::InvalidParameter(format!(
+                "persistence {} outside [0, 1]",
+                self.persistence
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.idle_fraction) {
+            return Err(PowerError::InvalidParameter(format!(
+                "idle fraction {} outside [0, 1]",
+                self.idle_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Generates a seeded phase trace over the model's benchmark suite.
+///
+/// # Errors
+///
+/// Returns [`PowerError::InvalidParameter`] for degenerate settings.
+pub fn generate_trace(
+    model: &WorkloadModel,
+    seed: u64,
+    settings: &TraceSettings,
+) -> Result<Vec<TracePhase>, PowerError> {
+    settings.validate()?;
+    let names = model.benchmark_names();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = rng.gen_range(0..names.len());
+    let mut out = Vec::with_capacity(settings.phases * 2);
+    for _ in 0..settings.phases {
+        let (lo, hi) = settings.dwell_range;
+        let duration = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        let profile = model.benchmark_profile(names[current])?;
+        if settings.idle_gaps {
+            let idle = profile.scale(settings.idle_fraction)?;
+            let idle_duration = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            out.push(TracePhase {
+                benchmark: names[current],
+                duration,
+                profile,
+            });
+            out.push(TracePhase {
+                benchmark: names[current],
+                duration: idle_duration,
+                profile: idle,
+            });
+        } else {
+            out.push(TracePhase {
+                benchmark: names[current],
+                duration,
+                profile,
+            });
+        }
+        // Markov step.
+        if !rng.gen_bool(settings.persistence) && names.len() > 1 {
+            let mut next = rng.gen_range(0..names.len() - 1);
+            if next >= current {
+                next += 1;
+            }
+            current = next;
+        }
+    }
+    Ok(out)
+}
+
+/// Rasterizes a trace onto a tile grid as the `(duration, tile_powers)`
+/// schedule the transient simulator consumes.
+///
+/// # Errors
+///
+/// Propagates rasterization errors (grid/die mismatch).
+pub fn rasterize_trace(
+    trace: &[TracePhase],
+    grid: &TileGrid,
+) -> Result<Vec<(f64, Vec<Watts>)>, PowerError> {
+    trace
+        .iter()
+        .map(|phase| Ok((phase.duration, phase.profile.rasterize(grid)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecopt_units::Meters;
+
+    fn model() -> WorkloadModel {
+        WorkloadModel::alpha_spec2000_like().unwrap()
+    }
+
+    #[test]
+    fn traces_are_seeded_and_valid() {
+        let m = model();
+        let a = generate_trace(&m, 7, &TraceSettings::default()).unwrap();
+        let b = generate_trace(&m, 7, &TraceSettings::default()).unwrap();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, b, "same seed must reproduce");
+        let c = generate_trace(&m, 8, &TraceSettings::default()).unwrap();
+        assert_ne!(a, c, "different seeds should differ");
+        for p in &a {
+            assert!(p.duration >= 30.0 && p.duration <= 120.0);
+            assert!(p.profile.total_power().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn idle_gaps_interleave_scaled_profiles() {
+        let m = model();
+        let trace = generate_trace(
+            &m,
+            3,
+            &TraceSettings {
+                phases: 4,
+                idle_gaps: true,
+                idle_fraction: 0.25,
+                ..TraceSettings::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 8);
+        for pair in trace.chunks(2) {
+            let busy = pair[0].profile.total_power().value();
+            let idle = pair[1].profile.total_power().value();
+            assert!((idle - 0.25 * busy).abs() < 1e-9);
+            assert_eq!(pair[0].benchmark, pair[1].benchmark);
+        }
+    }
+
+    #[test]
+    fn persistence_one_never_switches() {
+        let m = model();
+        let trace = generate_trace(
+            &m,
+            5,
+            &TraceSettings {
+                phases: 6,
+                persistence: 1.0,
+                ..TraceSettings::default()
+            },
+        )
+        .unwrap();
+        let first = trace[0].benchmark;
+        assert!(trace.iter().all(|p| p.benchmark == first));
+    }
+
+    #[test]
+    fn rasterized_schedule_matches_grid() {
+        let m = model();
+        let trace = generate_trace(&m, 1, &TraceSettings::default()).unwrap();
+        let grid = TileGrid::new(12, 12, Meters::from_millimeters(0.5)).unwrap();
+        let schedule = rasterize_trace(&trace, &grid).unwrap();
+        assert_eq!(schedule.len(), trace.len());
+        for ((d, tiles), phase) in schedule.iter().zip(&trace) {
+            assert_eq!(*d, phase.duration);
+            let sum: f64 = tiles.iter().map(|w| w.value()).sum();
+            assert!((sum - phase.profile.total_power().value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_settings_rejected() {
+        let m = model();
+        for bad in [
+            TraceSettings {
+                phases: 0,
+                ..TraceSettings::default()
+            },
+            TraceSettings {
+                dwell_range: (0.0, 10.0),
+                ..TraceSettings::default()
+            },
+            TraceSettings {
+                persistence: 1.5,
+                ..TraceSettings::default()
+            },
+            TraceSettings {
+                idle_fraction: -0.1,
+                ..TraceSettings::default()
+            },
+        ] {
+            assert!(generate_trace(&m, 1, &bad).is_err());
+        }
+    }
+}

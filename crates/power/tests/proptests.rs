@@ -1,0 +1,75 @@
+//! Property-based tests for the power substrate: chip generation and
+//! rasterization invariants over the whole parameter space.
+
+use proptest::prelude::*;
+use tecopt_power::{alpha21364_like, HypotheticalChip, HypotheticalSettings, PowerProfile};
+use tecopt_thermal::TileGrid;
+use tecopt_units::{Meters, Watts};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any seed produces a valid partition with the advertised power
+    /// statistics.
+    #[test]
+    fn generated_chips_are_valid(seed in 0u64..10_000) {
+        let s = HypotheticalSettings::default();
+        let chip = HypotheticalChip::generate("prop", seed, &s).unwrap();
+        let n = chip.grid().tile_count();
+        // Complete assignment.
+        prop_assert!(chip.unit_of_tile().iter().all(|&u| u < chip.unit_count()));
+        prop_assert_eq!(chip.unit_of_tile().len(), n);
+        // Power statistics.
+        let total = chip.total_power().value();
+        prop_assert!(total >= s.total_power_range.0 - 1e-9);
+        prop_assert!(total <= s.total_power_range.1 + 1e-9);
+        prop_assert!((chip.hot_power_fraction() - s.hot_power_fraction).abs() < 1e-9);
+        // Tile powers conserve the total.
+        let sum: f64 = chip.tile_powers().iter().map(|w| w.value()).sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+    }
+
+    /// Unit sizes respect the configured bounds (with merge slack).
+    #[test]
+    fn unit_sizes_bounded(seed in 0u64..10_000) {
+        let s = HypotheticalSettings::default();
+        let chip = HypotheticalChip::generate("prop", seed, &s).unwrap();
+        for u in 0..chip.unit_count() {
+            let count = chip.unit_of_tile().iter().filter(|&&x| x == u).count();
+            prop_assert!(count >= s.min_unit_tiles);
+            prop_assert!(count <= s.max_unit_tiles + 3 * s.min_unit_tiles);
+        }
+    }
+
+    /// Rasterizing any nonnegative unit-power assignment of the Alpha plan
+    /// conserves power and produces nonnegative tiles.
+    #[test]
+    fn rasterize_conserves_any_assignment(
+        powers in proptest::collection::vec(0.0f64..3.0, 19),
+    ) {
+        let plan = alpha21364_like().unwrap();
+        let profile = PowerProfile::new(
+            &plan,
+            powers.into_iter().map(Watts).collect(),
+        ).unwrap();
+        let grid = TileGrid::new(12, 12, Meters::from_millimeters(0.5)).unwrap();
+        let tiles = profile.rasterize(&grid).unwrap();
+        let sum: f64 = tiles.iter().map(|w| w.value()).sum();
+        prop_assert!((sum - profile.total_power().value()).abs() < 1e-9);
+        prop_assert!(tiles.iter().all(|w| w.value() >= 0.0));
+    }
+
+    /// Rasterization is linear: scaling the profile scales every tile.
+    #[test]
+    fn rasterize_is_linear(scale in 0.1f64..5.0) {
+        let plan = alpha21364_like().unwrap();
+        let powers: Vec<Watts> = (0..plan.unit_count()).map(|k| Watts(0.1 + k as f64 * 0.05)).collect();
+        let profile = PowerProfile::new(&plan, powers).unwrap();
+        let grid = TileGrid::new(12, 12, Meters::from_millimeters(0.5)).unwrap();
+        let base = profile.rasterize(&grid).unwrap();
+        let scaled = profile.scale(scale).unwrap().rasterize(&grid).unwrap();
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((b.value() * scale - s.value()).abs() < 1e-9);
+        }
+    }
+}

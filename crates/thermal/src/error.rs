@@ -1,0 +1,95 @@
+use core::fmt;
+use tecopt_linalg::LinalgError;
+
+/// Errors produced by thermal-model construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A package-configuration parameter is out of its physical range.
+    InvalidConfig(String),
+    /// A tile index lies outside the die grid.
+    TileOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// The same tile was spliced with a two-port element twice.
+    DuplicateTwoPort {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// A power vector has the wrong length.
+    PowerLengthMismatch {
+        /// Expected number of silicon tiles.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidConfig(msg) => write!(f, "invalid package config: {msg}"),
+            ThermalError::TileOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "tile ({row}, {col}) outside {rows}x{cols} grid"),
+            ThermalError::DuplicateTwoPort { row, col } => {
+                write!(f, "tile ({row}, {col}) spliced with two-port twice")
+            }
+            ThermalError::PowerLengthMismatch { expected, actual } => {
+                write!(f, "power vector has length {actual}, expected {expected}")
+            }
+            ThermalError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThermalError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ThermalError {
+    fn from(e: LinalgError) -> ThermalError {
+        ThermalError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ThermalError::Linalg(LinalgError::Singular { pivot: 3 });
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        let c = ThermalError::InvalidConfig("die thicker than sink".into());
+        assert!(c.to_string().contains("die thicker"));
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+}

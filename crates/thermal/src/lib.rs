@@ -1,0 +1,55 @@
+//! Compact thermal model of a high-performance chip package.
+//!
+//! This crate implements Section IV of the paper: the package (silicon die,
+//! thermal-interface-material layer, copper heat spreader, finned heat sink,
+//! fan convection to ambient) is dissected into tiles per layer, and a linear
+//! thermal conductance network is assembled via the usual electro-thermal
+//! duality (heat flow ↔ current, temperature ↔ voltage, dissipation ↔
+//! current sources). Eliminating the constant-temperature ambient node leaves
+//! a symmetric positive-definite Stieltjes system `G·θ = p` (Lemma 1) solved
+//! by Cholesky factorization.
+//!
+//! The TEC device layer (crate `tecopt-device`) splices two-port elements
+//! into the TIM layer through [`TwoPortSpec`]; this crate stays agnostic of
+//! thermoelectric physics.
+//!
+//! [`refined::ReferenceModel`] provides an independent fine-grid 3-D
+//! finite-volume solver of the same package used to validate the compact
+//! model (the reproduction's substitute for the HotSpot 4.1 comparison in
+//! Sec. VI of the paper).
+//!
+//! ```
+//! use tecopt_thermal::{CompactModel, PackageConfig};
+//! use tecopt_units::Watts;
+//!
+//! # fn main() -> Result<(), tecopt_thermal::ThermalError> {
+//! let config = PackageConfig::hotspot41_like(4, 4)?;
+//! let model = CompactModel::new(&config)?;
+//! // 0.5 W on one tile, rest idle.
+//! let mut powers = vec![Watts(0.0); 16];
+//! powers[5] = Watts(0.5);
+//! let temps = model.solve_passive(&powers)?;
+//! let peak = model.peak_silicon_temperature(&temps);
+//! assert!(peak > config.ambient());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod geometry;
+mod material;
+mod model;
+mod network;
+mod package;
+pub mod refined;
+pub mod transient;
+
+pub use error::ThermalError;
+pub use geometry::{LayerGrid, Rect, TileGrid, TileIndex};
+pub use material::Material;
+pub use model::{CompactModel, TileInterface, TwoPort, TwoPortSpec};
+pub use network::{NodeId, NodeKind, ThermalNetwork};
+pub use package::{PackageConfig, PackageConfigBuilder};

@@ -1,0 +1,133 @@
+use tecopt_units::WattsPerMeterKelvin;
+
+/// A homogeneous solid material participating in heat conduction.
+///
+/// The paper's steady-state model only needs the thermal conductivity
+/// ("the thermal capacitance is not included in our model since we are
+/// focusing on the steady state behavior"); the volumetric heat capacity is
+/// carried as well so the [`transient`](crate::transient) extension can
+/// build RC networks from the same materials.
+///
+/// ```
+/// use tecopt_thermal::Material;
+/// let si = Material::silicon();
+/// assert_eq!(si.name(), "silicon");
+/// assert!(si.conductivity().value() > 50.0);
+/// assert!(si.volumetric_heat_capacity() > 1e6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    name: &'static str,
+    conductivity: WattsPerMeterKelvin,
+    /// Volumetric heat capacity, J/(m³·K).
+    volumetric_heat_capacity: f64,
+}
+
+impl Material {
+    /// Creates a material with the given bulk conductivity and the generic
+    /// solid heat capacity of 2×10⁶ J/(m³·K); override with
+    /// [`Material::with_heat_capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductivity is not strictly positive and finite.
+    pub fn new(name: &'static str, conductivity: WattsPerMeterKelvin) -> Material {
+        assert!(
+            conductivity.value() > 0.0 && conductivity.is_finite(),
+            "thermal conductivity must be positive and finite"
+        );
+        Material {
+            name,
+            conductivity,
+            volumetric_heat_capacity: 2.0e6,
+        }
+    }
+
+    /// Returns a copy with the given volumetric heat capacity in J/(m³·K).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not strictly positive and finite.
+    pub fn with_heat_capacity(mut self, c_v: f64) -> Material {
+        assert!(
+            c_v > 0.0 && c_v.is_finite(),
+            "volumetric heat capacity must be positive and finite"
+        );
+        self.volumetric_heat_capacity = c_v;
+        self
+    }
+
+    /// Bulk silicon at operating temperature (the HotSpot defaults:
+    /// 100 W/(m·K), 1.75×10⁶ J/(m³·K)).
+    pub fn silicon() -> Material {
+        Material::new("silicon", WattsPerMeterKelvin(100.0)).with_heat_capacity(1.75e6)
+    }
+
+    /// Copper, for heat spreaders and sink bases (HotSpot defaults:
+    /// 400 W/(m·K), 3.55×10⁶ J/(m³·K)).
+    pub fn copper() -> Material {
+        Material::new("copper", WattsPerMeterKelvin(400.0)).with_heat_capacity(3.55e6)
+    }
+
+    /// A particle-filled thermal interface material (HotSpot-class TIM,
+    /// 4 W/(m·K), 4×10⁶ J/(m³·K)).
+    pub fn thermal_interface() -> Material {
+        Material::new("thermal interface material", WattsPerMeterKelvin(4.0))
+            .with_heat_capacity(4.0e6)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bulk thermal conductivity.
+    pub fn conductivity(&self) -> WattsPerMeterKelvin {
+        self.conductivity
+    }
+
+    /// Volumetric heat capacity in J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.volumetric_heat_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        let si = Material::silicon();
+        let cu = Material::copper();
+        let tim = Material::thermal_interface();
+        assert!(cu.conductivity() > si.conductivity());
+        assert!(si.conductivity() > tim.conductivity());
+    }
+
+    #[test]
+    fn custom_material() {
+        let m = Material::new("aluminum", WattsPerMeterKelvin(237.0)).with_heat_capacity(2.42e6);
+        assert_eq!(m.name(), "aluminum");
+        assert_eq!(m.conductivity(), WattsPerMeterKelvin(237.0));
+        assert_eq!(m.volumetric_heat_capacity(), 2.42e6);
+    }
+
+    #[test]
+    fn default_heat_capacity_applies() {
+        let m = Material::new("resin", WattsPerMeterKelvin(1.0));
+        assert_eq!(m.volumetric_heat_capacity(), 2.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "volumetric heat capacity must be positive")]
+    fn invalid_heat_capacity_rejected() {
+        let _ = Material::new("x", WattsPerMeterKelvin(1.0)).with_heat_capacity(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal conductivity must be positive")]
+    fn nonpositive_conductivity_rejected() {
+        let _ = Material::new("vacuum", WattsPerMeterKelvin(0.0));
+    }
+}

@@ -1,0 +1,387 @@
+use crate::{Material, ThermalError, TileGrid};
+use tecopt_units::{Celsius, KelvinPerWatt, Meters};
+
+/// Full geometric and material description of the chip package.
+///
+/// The stack, bottom-up as drawn in Fig. 2 of the paper: silicon die →
+/// TIM layer (where TEC devices are immersed) → heat spreader → heat sink →
+/// fan convection to ambient. The spreader and sink overhang the die and are
+/// centered on it.
+///
+/// Use [`PackageConfig::hotspot41_like`] for the HotSpot-4.1-class defaults
+/// the paper's experiments were run against, or [`PackageConfig::builder`]
+/// for full control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackageConfig {
+    grid: TileGrid,
+    die_thickness: Meters,
+    die_material: Material,
+    tim_thickness: Meters,
+    tim_material: Material,
+    spreader_side: Meters,
+    spreader_thickness: Meters,
+    spreader_material: Material,
+    spreader_cells: usize,
+    sink_side: Meters,
+    sink_thickness: Meters,
+    sink_material: Material,
+    sink_cells: usize,
+    convection_resistance: KelvinPerWatt,
+    ambient: Celsius,
+}
+
+impl PackageConfig {
+    /// HotSpot-4.1-class package with a `rows × cols` grid of 0.5 mm tiles.
+    ///
+    /// Geometry and materials follow the HotSpot defaults (0.15 mm silicon
+    /// die, copper 30 mm / 1 mm spreader, copper 60 mm / 6.9 mm sink base,
+    /// 45 °C ambient); the TIM thickness (0.085 mm) is in the thin-film-TEC
+    /// integration range of Chowdhury et al. and the convection resistance
+    /// (0.46 K/W) is calibrated so the Alpha-21364-like benchmark reproduces
+    /// the paper's ~92 °C uncooled peak at 20.6 W total power (see
+    /// `EXPERIMENTS.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] for a degenerate grid.
+    pub fn hotspot41_like(rows: usize, cols: usize) -> Result<PackageConfig, ThermalError> {
+        PackageConfig::builder(TileGrid::new(rows, cols, Meters::from_millimeters(0.5))?).build()
+    }
+
+    /// Starts building a package around the given die tile grid.
+    pub fn builder(grid: TileGrid) -> PackageConfigBuilder {
+        PackageConfigBuilder {
+            grid,
+            die_thickness: Meters::from_millimeters(0.15),
+            die_material: Material::silicon(),
+            tim_thickness: Meters::from_micrometers(85.0),
+            tim_material: Material::thermal_interface(),
+            spreader_side: Meters::from_millimeters(30.0),
+            spreader_thickness: Meters::from_millimeters(1.0),
+            spreader_material: Material::copper(),
+            spreader_cells: 10,
+            sink_side: Meters::from_millimeters(60.0),
+            sink_thickness: Meters::from_millimeters(6.9),
+            sink_material: Material::copper(),
+            sink_cells: 12,
+            convection_resistance: KelvinPerWatt(0.46),
+            ambient: Celsius(45.0),
+        }
+    }
+
+    /// The silicon die tile grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Die thickness.
+    pub fn die_thickness(&self) -> Meters {
+        self.die_thickness
+    }
+
+    /// Die material.
+    pub fn die_material(&self) -> &Material {
+        &self.die_material
+    }
+
+    /// TIM layer thickness.
+    pub fn tim_thickness(&self) -> Meters {
+        self.tim_thickness
+    }
+
+    /// TIM material.
+    pub fn tim_material(&self) -> &Material {
+        &self.tim_material
+    }
+
+    /// Heat-spreader side length (square).
+    pub fn spreader_side(&self) -> Meters {
+        self.spreader_side
+    }
+
+    /// Heat-spreader thickness.
+    pub fn spreader_thickness(&self) -> Meters {
+        self.spreader_thickness
+    }
+
+    /// Heat-spreader material.
+    pub fn spreader_material(&self) -> &Material {
+        &self.spreader_material
+    }
+
+    /// Number of compact-model cells per spreader side.
+    pub fn spreader_cells(&self) -> usize {
+        self.spreader_cells
+    }
+
+    /// Heat-sink base side length (square).
+    pub fn sink_side(&self) -> Meters {
+        self.sink_side
+    }
+
+    /// Heat-sink base thickness.
+    pub fn sink_thickness(&self) -> Meters {
+        self.sink_thickness
+    }
+
+    /// Heat-sink material.
+    pub fn sink_material(&self) -> &Material {
+        &self.sink_material
+    }
+
+    /// Number of compact-model cells per sink side.
+    pub fn sink_cells(&self) -> usize {
+        self.sink_cells
+    }
+
+    /// Total sink-to-ambient convection resistance (fan + fins).
+    pub fn convection_resistance(&self) -> KelvinPerWatt {
+        self.convection_resistance
+    }
+
+    /// Ambient air temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+}
+
+/// Builder for [`PackageConfig`]; see [`PackageConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct PackageConfigBuilder {
+    grid: TileGrid,
+    die_thickness: Meters,
+    die_material: Material,
+    tim_thickness: Meters,
+    tim_material: Material,
+    spreader_side: Meters,
+    spreader_thickness: Meters,
+    spreader_material: Material,
+    spreader_cells: usize,
+    sink_side: Meters,
+    sink_thickness: Meters,
+    sink_material: Material,
+    sink_cells: usize,
+    convection_resistance: KelvinPerWatt,
+    ambient: Celsius,
+}
+
+impl PackageConfigBuilder {
+    /// Sets the die thickness.
+    pub fn die_thickness(&mut self, t: Meters) -> &mut Self {
+        self.die_thickness = t;
+        self
+    }
+
+    /// Sets the die material.
+    pub fn die_material(&mut self, m: Material) -> &mut Self {
+        self.die_material = m;
+        self
+    }
+
+    /// Sets the TIM thickness.
+    pub fn tim_thickness(&mut self, t: Meters) -> &mut Self {
+        self.tim_thickness = t;
+        self
+    }
+
+    /// Sets the TIM material.
+    pub fn tim_material(&mut self, m: Material) -> &mut Self {
+        self.tim_material = m;
+        self
+    }
+
+    /// Sets the spreader side length and thickness.
+    pub fn spreader(&mut self, side: Meters, thickness: Meters) -> &mut Self {
+        self.spreader_side = side;
+        self.spreader_thickness = thickness;
+        self
+    }
+
+    /// Sets the spreader material.
+    pub fn spreader_material(&mut self, m: Material) -> &mut Self {
+        self.spreader_material = m;
+        self
+    }
+
+    /// Sets the compact-model lateral resolution of the spreader.
+    pub fn spreader_cells(&mut self, cells: usize) -> &mut Self {
+        self.spreader_cells = cells;
+        self
+    }
+
+    /// Sets the sink base side length and thickness.
+    pub fn sink(&mut self, side: Meters, thickness: Meters) -> &mut Self {
+        self.sink_side = side;
+        self.sink_thickness = thickness;
+        self
+    }
+
+    /// Sets the sink material.
+    pub fn sink_material(&mut self, m: Material) -> &mut Self {
+        self.sink_material = m;
+        self
+    }
+
+    /// Sets the compact-model lateral resolution of the sink.
+    pub fn sink_cells(&mut self, cells: usize) -> &mut Self {
+        self.sink_cells = cells;
+        self
+    }
+
+    /// Sets the total convection resistance to ambient.
+    pub fn convection_resistance(&mut self, r: KelvinPerWatt) -> &mut Self {
+        self.convection_resistance = r;
+        self
+    }
+
+    /// Sets the ambient temperature.
+    pub fn ambient(&mut self, t: Celsius) -> &mut Self {
+        self.ambient = t;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] if any thickness or side is
+    /// nonpositive, the spreader does not cover the die, the sink does not
+    /// cover the spreader, a cell count is zero, or the convection resistance
+    /// is nonpositive.
+    pub fn build(&self) -> Result<PackageConfig, ThermalError> {
+        let positive = |v: f64, what: &str| -> Result<(), ThermalError> {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(ThermalError::InvalidConfig(format!(
+                    "{what} must be positive and finite, got {v}"
+                )))
+            }
+        };
+        positive(self.die_thickness.value(), "die thickness")?;
+        positive(self.tim_thickness.value(), "tim thickness")?;
+        positive(self.spreader_side.value(), "spreader side")?;
+        positive(self.spreader_thickness.value(), "spreader thickness")?;
+        positive(self.sink_side.value(), "sink side")?;
+        positive(self.sink_thickness.value(), "sink thickness")?;
+        positive(self.convection_resistance.value(), "convection resistance")?;
+        if self.spreader_cells == 0 || self.sink_cells == 0 {
+            return Err(ThermalError::InvalidConfig(
+                "spreader and sink cell counts must be positive".into(),
+            ));
+        }
+        let die_extent = self.grid.width().value().max(self.grid.height().value());
+        if self.spreader_side.value() < die_extent {
+            return Err(ThermalError::InvalidConfig(format!(
+                "spreader ({}) smaller than die ({} m)",
+                self.spreader_side, die_extent
+            )));
+        }
+        if self.sink_side.value() < self.spreader_side.value() {
+            return Err(ThermalError::InvalidConfig(format!(
+                "sink ({}) smaller than spreader ({})",
+                self.sink_side, self.spreader_side
+            )));
+        }
+        if !self.ambient.to_kelvin().value().is_finite() || self.ambient.to_kelvin().value() <= 0.0
+        {
+            return Err(ThermalError::InvalidConfig(format!(
+                "ambient temperature {} is not physical",
+                self.ambient
+            )));
+        }
+        Ok(PackageConfig {
+            grid: self.grid.clone(),
+            die_thickness: self.die_thickness,
+            die_material: self.die_material.clone(),
+            tim_thickness: self.tim_thickness,
+            tim_material: self.tim_material.clone(),
+            spreader_side: self.spreader_side,
+            spreader_thickness: self.spreader_thickness,
+            spreader_material: self.spreader_material.clone(),
+            spreader_cells: self.spreader_cells,
+            sink_side: self.sink_side,
+            sink_thickness: self.sink_thickness,
+            sink_material: self.sink_material.clone(),
+            sink_cells: self.sink_cells,
+            convection_resistance: self.convection_resistance,
+            ambient: self.ambient,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preset_is_sane() {
+        let c = PackageConfig::hotspot41_like(12, 12).unwrap();
+        assert_eq!(c.grid().tile_count(), 144);
+        assert!((c.grid().width().to_millimeters() - 6.0).abs() < 1e-9);
+        assert!(c.spreader_side() > c.grid().width());
+        assert!(c.sink_side() > c.spreader_side());
+        assert_eq!(c.ambient(), Celsius(45.0));
+        assert_eq!(c.die_material().name(), "silicon");
+        assert_eq!(c.spreader_material().name(), "copper");
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let grid = TileGrid::new(4, 4, Meters::from_millimeters(0.5)).unwrap();
+        let c = PackageConfig::builder(grid)
+            .ambient(Celsius(25.0))
+            .convection_resistance(KelvinPerWatt(0.8))
+            .tim_thickness(Meters::from_micrometers(50.0))
+            .spreader_cells(6)
+            .sink_cells(8)
+            .build()
+            .unwrap();
+        assert_eq!(c.ambient(), Celsius(25.0));
+        assert_eq!(c.convection_resistance(), KelvinPerWatt(0.8));
+        assert!((c.tim_thickness().value() - 50e-6).abs() < 1e-15);
+        assert_eq!(c.spreader_cells(), 6);
+        assert_eq!(c.sink_cells(), 8);
+    }
+
+    #[test]
+    fn spreader_must_cover_die() {
+        let grid = TileGrid::new(12, 12, Meters::from_millimeters(0.5)).unwrap();
+        let err = PackageConfig::builder(grid)
+            .spreader(Meters::from_millimeters(4.0), Meters::from_millimeters(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sink_must_cover_spreader() {
+        let grid = TileGrid::new(4, 4, Meters::from_millimeters(0.5)).unwrap();
+        let err = PackageConfig::builder(grid)
+            .sink(Meters::from_millimeters(20.0), Meters::from_millimeters(6.9))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn nonpositive_parameters_rejected() {
+        let grid = TileGrid::new(4, 4, Meters::from_millimeters(0.5)).unwrap();
+        assert!(PackageConfig::builder(grid.clone())
+            .die_thickness(Meters(0.0))
+            .build()
+            .is_err());
+        assert!(PackageConfig::builder(grid.clone())
+            .convection_resistance(KelvinPerWatt(-0.1))
+            .build()
+            .is_err());
+        assert!(PackageConfig::builder(grid.clone())
+            .spreader_cells(0)
+            .build()
+            .is_err());
+        assert!(PackageConfig::builder(grid)
+            .ambient(Celsius(-400.0))
+            .build()
+            .is_err());
+    }
+}

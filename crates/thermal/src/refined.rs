@@ -1,0 +1,604 @@
+//! Fine-grid 3-D finite-volume reference solver.
+//!
+//! The paper validates its compact model against HotSpot 4.1 ("the two
+//! results agreed closely – the worst-case difference is less than 1.5 ºC").
+//! HotSpot is not available here, so this module plays the golden-model role:
+//! an *independent* discretization of the same steady-state heat equation
+//! over the same package stack, at much finer lateral and vertical
+//! resolution, solved with preconditioned conjugate gradients on a sparse
+//! system.
+//!
+//! Differences from the compact model that make the comparison meaningful:
+//!
+//! - every physical layer is resolved into multiple z sublayers (the compact
+//!   model lumps each layer into one node per cell),
+//! - the lateral resolution inside the die footprint is `lateral_refine`×
+//!   finer than the compact tiles, and the spreader/sink annuli are resolved
+//!   into rings of cells instead of coarse cell grids,
+//! - heat is injected at the die's active face (the face away from the TIM),
+//!   not at the layer mid-plane,
+//! - conductances use harmonic averaging across material interfaces.
+//!
+//! ```no_run
+//! use tecopt_thermal::refined::{ReferenceModel, RefinementSettings};
+//! use tecopt_thermal::PackageConfig;
+//! use tecopt_units::Watts;
+//!
+//! # fn main() -> Result<(), tecopt_thermal::ThermalError> {
+//! let config = PackageConfig::hotspot41_like(12, 12)?;
+//! let reference = ReferenceModel::new(&config, RefinementSettings::default())?;
+//! let solution = reference.solve(&vec![Watts(0.14); 144])?;
+//! println!("peak {:.2}", solution.peak());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{PackageConfig, Rect, ThermalError};
+use tecopt_linalg::{conjugate_gradient, CgSettings, CsrMatrix, Triplet};
+use tecopt_units::{Celsius, Watts};
+
+/// Discretization controls for [`ReferenceModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementSettings {
+    /// Lateral subdivisions per compact die tile (≥ 1).
+    pub lateral_refine: usize,
+    /// Lateral cells across each spreader/sink annulus side (≥ 1).
+    pub annulus_cells: usize,
+    /// z sublayers in the die (≥ 1).
+    pub die_sublayers: usize,
+    /// z sublayers in the TIM (≥ 1).
+    pub tim_sublayers: usize,
+    /// z sublayers in the spreader (≥ 1).
+    pub spreader_sublayers: usize,
+    /// z sublayers in the sink base (≥ 1).
+    pub sink_sublayers: usize,
+    /// Conjugate-gradient controls.
+    pub cg: CgSettings,
+}
+
+impl Default for RefinementSettings {
+    fn default() -> RefinementSettings {
+        RefinementSettings {
+            lateral_refine: 2,
+            annulus_cells: 4,
+            die_sublayers: 3,
+            tim_sublayers: 2,
+            spreader_sublayers: 3,
+            sink_sublayers: 3,
+            cg: CgSettings::default(),
+        }
+    }
+}
+
+impl RefinementSettings {
+    fn validate(&self) -> Result<(), ThermalError> {
+        let fields = [
+            (self.lateral_refine, "lateral_refine"),
+            (self.annulus_cells, "annulus_cells"),
+            (self.die_sublayers, "die_sublayers"),
+            (self.tim_sublayers, "tim_sublayers"),
+            (self.spreader_sublayers, "spreader_sublayers"),
+            (self.sink_sublayers, "sink_sublayers"),
+        ];
+        for (v, name) in fields {
+            if v == 0 {
+                return Err(ThermalError::InvalidConfig(format!(
+                    "refinement setting {name} must be at least 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A z sublayer: extent, conductivity, and lateral footprint.
+#[derive(Debug, Clone)]
+struct SubLayer {
+    dz: f64,
+    conductivity: f64,
+    footprint: Rect,
+}
+
+/// The assembled fine-grid model.
+#[derive(Debug, Clone)]
+pub struct ReferenceModel {
+    config: PackageConfig,
+    /// Sorted x cell boundaries.
+    xs: Vec<f64>,
+    /// Sorted y cell boundaries.
+    ys: Vec<f64>,
+    sublayers: Vec<SubLayer>,
+    /// Cell id per (iz, iy, ix), `usize::MAX` where no material exists.
+    ids: Vec<usize>,
+    cell_count: usize,
+    matrix: CsrMatrix,
+    /// Ambient injection per cell (W).
+    injection: Vec<f64>,
+    cg: CgSettings,
+}
+
+/// The solved temperature field, aggregated back onto the compact tile grid.
+#[derive(Debug, Clone)]
+pub struct ReferenceSolution {
+    tile_temperatures: Vec<Celsius>,
+    peak: Celsius,
+    iterations: usize,
+    relative_residual: f64,
+}
+
+impl ReferenceSolution {
+    /// Area-weighted active-face temperature per compact tile, row-major.
+    pub fn tile_temperatures(&self) -> &[Celsius] {
+        &self.tile_temperatures
+    }
+
+    /// Peak tile temperature.
+    pub fn peak(&self) -> Celsius {
+        self.peak
+    }
+
+    /// CG iterations used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final relative residual of the linear solve.
+    pub fn relative_residual(&self) -> f64 {
+        self.relative_residual
+    }
+}
+
+fn linspace_into(out: &mut Vec<f64>, a: f64, b: f64, cells: usize) {
+    for k in 1..=cells {
+        out.push(a + (b - a) * k as f64 / cells as f64);
+    }
+}
+
+impl ReferenceModel {
+    /// Discretizes and assembles the sparse conduction system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] for degenerate settings.
+    pub fn new(
+        config: &PackageConfig,
+        settings: RefinementSettings,
+    ) -> Result<ReferenceModel, ThermalError> {
+        settings.validate()?;
+        let grid = config.grid();
+        let sink_side = config.sink_side().value();
+        let sp_side = config.spreader_side().value();
+        let die_w = grid.width().value();
+        let die_h = grid.height().value();
+        let die_x0 = 0.5 * (sink_side - die_w);
+        let die_y0 = 0.5 * (sink_side - die_h);
+        let sp_x0 = 0.5 * (sink_side - sp_side);
+
+        // Lateral coordinate lines: annuli + refined die interior.
+        let mut xs = vec![0.0];
+        linspace_into(&mut xs, 0.0, sp_x0, settings.annulus_cells);
+        linspace_into(&mut xs, sp_x0, die_x0, settings.annulus_cells);
+        linspace_into(
+            &mut xs,
+            die_x0,
+            die_x0 + die_w,
+            grid.cols() * settings.lateral_refine,
+        );
+        linspace_into(&mut xs, die_x0 + die_w, sp_x0 + sp_side, settings.annulus_cells);
+        linspace_into(&mut xs, sp_x0 + sp_side, sink_side, settings.annulus_cells);
+        let mut ys = vec![0.0];
+        linspace_into(&mut ys, 0.0, sp_x0, settings.annulus_cells);
+        linspace_into(&mut ys, sp_x0, die_y0, settings.annulus_cells);
+        linspace_into(
+            &mut ys,
+            die_y0,
+            die_y0 + die_h,
+            grid.rows() * settings.lateral_refine,
+        );
+        linspace_into(&mut ys, die_y0 + die_h, sp_x0 + sp_side, settings.annulus_cells);
+        linspace_into(&mut ys, sp_x0 + sp_side, sink_side, settings.annulus_cells);
+        dedup_sorted(&mut xs);
+        dedup_sorted(&mut ys);
+
+        // z sublayers, die active face first.
+        let die_rect = Rect::new(die_x0, die_y0, die_x0 + die_w, die_y0 + die_h);
+        let sp_rect = Rect::new(sp_x0, sp_x0, sp_x0 + sp_side, sp_x0 + sp_side);
+        let sink_rect = Rect::new(0.0, 0.0, sink_side, sink_side);
+        let mut sublayers = Vec::new();
+        let mut push_layer = |thickness: f64, k: f64, n: usize, footprint: Rect| {
+            for _ in 0..n {
+                sublayers.push(SubLayer {
+                    dz: thickness / n as f64,
+                    conductivity: k,
+                    footprint,
+                });
+            }
+        };
+        push_layer(
+            config.die_thickness().value(),
+            config.die_material().conductivity().value(),
+            settings.die_sublayers,
+            die_rect,
+        );
+        push_layer(
+            config.tim_thickness().value(),
+            config.tim_material().conductivity().value(),
+            settings.tim_sublayers,
+            die_rect,
+        );
+        push_layer(
+            config.spreader_thickness().value(),
+            config.spreader_material().conductivity().value(),
+            settings.spreader_sublayers,
+            sp_rect,
+        );
+        push_layer(
+            config.sink_thickness().value(),
+            config.sink_material().conductivity().value(),
+            settings.sink_sublayers,
+            sink_rect,
+        );
+
+        let nx = xs.len() - 1;
+        let ny = ys.len() - 1;
+        let nz = sublayers.len();
+
+        // Assign cell ids where material exists.
+        let mut ids = vec![usize::MAX; nx * ny * nz];
+        let mut cell_count = 0usize;
+        let lin = |iz: usize, iy: usize, ix: usize| (iz * ny + iy) * nx + ix;
+        for (iz, sl) in sublayers.iter().enumerate() {
+            for iy in 0..ny {
+                let cy = 0.5 * (ys[iy] + ys[iy + 1]);
+                for ix in 0..nx {
+                    let cx = 0.5 * (xs[ix] + xs[ix + 1]);
+                    let fp = &sl.footprint;
+                    if cx > fp.x0 && cx < fp.x1 && cy > fp.y0 && cy < fp.y1 {
+                        ids[lin(iz, iy, ix)] = cell_count;
+                        cell_count += 1;
+                    }
+                }
+            }
+        }
+
+        // Assemble conductance triplets.
+        let mut trips: Vec<Triplet> = Vec::new();
+        let mut stamp = |a: usize, b: usize, g: f64| {
+            trips.push(Triplet::new(a, a, g));
+            trips.push(Triplet::new(b, b, g));
+            trips.push(Triplet::new(a, b, -g));
+            trips.push(Triplet::new(b, a, -g));
+        };
+        for iz in 0..nz {
+            let sl = &sublayers[iz];
+            for iy in 0..ny {
+                let dy = ys[iy + 1] - ys[iy];
+                for ix in 0..nx {
+                    let dx = xs[ix + 1] - xs[ix];
+                    let me = ids[lin(iz, iy, ix)];
+                    if me == usize::MAX {
+                        continue;
+                    }
+                    // +x neighbor (same layer, same conductivity).
+                    if ix + 1 < nx {
+                        let nb = ids[lin(iz, iy, ix + 1)];
+                        if nb != usize::MAX {
+                            let dxn = xs[ix + 2] - xs[ix + 1];
+                            let area = dy * sl.dz;
+                            let g = area * sl.conductivity / (0.5 * (dx + dxn));
+                            stamp(me, nb, g);
+                        }
+                    }
+                    // +y neighbor.
+                    if iy + 1 < ny {
+                        let nb = ids[lin(iz, iy + 1, ix)];
+                        if nb != usize::MAX {
+                            let dyn_ = ys[iy + 2] - ys[iy + 1];
+                            let area = dx * sl.dz;
+                            let g = area * sl.conductivity / (0.5 * (dy + dyn_));
+                            stamp(me, nb, g);
+                        }
+                    }
+                    // +z neighbor (possibly different material: harmonic).
+                    if iz + 1 < nz {
+                        let nb = ids[lin(iz + 1, iy, ix)];
+                        if nb != usize::MAX {
+                            let up = &sublayers[iz + 1];
+                            let area = dx * dy;
+                            let r = 0.5 * sl.dz / (sl.conductivity * area)
+                                + 0.5 * up.dz / (up.conductivity * area);
+                            stamp(me, nb, 1.0 / r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Convection on the sink outer face (last sublayer), uniform film
+        // coefficient matching the lumped resistance.
+        let h = 1.0 / (config.convection_resistance().value() * sink_side * sink_side);
+        let ambient_k = config.ambient().to_kelvin().value();
+        let mut injection = vec![0.0; cell_count];
+        let iz_top = nz - 1;
+        for iy in 0..ny {
+            let dy = ys[iy + 1] - ys[iy];
+            for ix in 0..nx {
+                let dx = xs[ix + 1] - xs[ix];
+                let me = ids[lin(iz_top, iy, ix)];
+                if me == usize::MAX {
+                    continue;
+                }
+                let g = h * dx * dy;
+                trips.push(Triplet::new(me, me, g));
+                injection[me] += g * ambient_k;
+            }
+        }
+
+        let matrix =
+            CsrMatrix::from_triplets(cell_count, cell_count, &trips).map_err(ThermalError::from)?;
+
+        Ok(ReferenceModel {
+            config: config.clone(),
+            xs,
+            ys,
+            sublayers,
+            ids,
+            cell_count,
+            matrix,
+            injection,
+            cg: settings.cg,
+        })
+    }
+
+    /// Number of finite-volume cells.
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Solves the steady state for the given per-tile silicon powers
+    /// (injected at the die's active face) and aggregates temperatures back
+    /// onto the compact tile grid.
+    ///
+    /// # Errors
+    ///
+    /// - [`ThermalError::PowerLengthMismatch`] for a wrong-length vector.
+    /// - CG failures surface as [`ThermalError::Linalg`].
+    pub fn solve(&self, silicon_powers: &[Watts]) -> Result<ReferenceSolution, ThermalError> {
+        let grid = self.config.grid();
+        if silicon_powers.len() != grid.tile_count() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: grid.tile_count(),
+                actual: silicon_powers.len(),
+            });
+        }
+        let nx = self.xs.len() - 1;
+        let ny = self.ys.len() - 1;
+        let lin = |iz: usize, iy: usize, ix: usize| (iz * ny + iy) * nx + ix;
+
+        // Distribute each tile's power over the z = 0 (active face) cells by
+        // overlap area.
+        let sink_side = self.config.sink_side().value();
+        let die_x0 = 0.5 * (sink_side - grid.width().value());
+        let die_y0 = 0.5 * (sink_side - grid.height().value());
+        let tile = grid.tile_size().value();
+        let mut p = self.injection.clone();
+        for t in grid.tiles() {
+            let k = grid.linear_index(t);
+            let w = silicon_powers[k].value();
+            if w == 0.0 {
+                continue;
+            }
+            let rect = Rect::new(
+                die_x0 + t.col as f64 * tile,
+                die_y0 + t.row as f64 * tile,
+                die_x0 + (t.col + 1) as f64 * tile,
+                die_y0 + (t.row + 1) as f64 * tile,
+            );
+            let mut covered = 0.0;
+            let mut targets = Vec::new();
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let id = self.ids[lin(0, iy, ix)];
+                    if id == usize::MAX {
+                        continue;
+                    }
+                    let cell = Rect::new(
+                        self.xs[ix],
+                        self.ys[iy],
+                        self.xs[ix + 1],
+                        self.ys[iy + 1],
+                    );
+                    let a = cell.overlap_area(&rect);
+                    if a > 0.0 {
+                        covered += a;
+                        targets.push((id, a));
+                    }
+                }
+            }
+            for (id, a) in targets {
+                p[id] += w * a / covered;
+            }
+        }
+
+        let out = conjugate_gradient(&self.matrix, &p, self.cg).map_err(ThermalError::from)?;
+
+        // Aggregate the active-face temperature per tile (area weighted).
+        let mut tile_temps = Vec::with_capacity(grid.tile_count());
+        for t in grid.tiles() {
+            let rect = Rect::new(
+                die_x0 + t.col as f64 * tile,
+                die_y0 + t.row as f64 * tile,
+                die_x0 + (t.col + 1) as f64 * tile,
+                die_y0 + (t.row + 1) as f64 * tile,
+            );
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let id = self.ids[lin(0, iy, ix)];
+                    if id == usize::MAX {
+                        continue;
+                    }
+                    let cell = Rect::new(
+                        self.xs[ix],
+                        self.ys[iy],
+                        self.xs[ix + 1],
+                        self.ys[iy + 1],
+                    );
+                    let a = cell.overlap_area(&rect);
+                    if a > 0.0 {
+                        num += a * out.x[id];
+                        den += a;
+                    }
+                }
+            }
+            tile_temps.push(tecopt_units::Kelvin(num / den).to_celsius());
+        }
+        let peak = tile_temps
+            .iter()
+            .copied()
+            .fold(Celsius(f64::NEG_INFINITY), Celsius::max);
+        Ok(ReferenceSolution {
+            tile_temperatures: tile_temps,
+            peak,
+            iterations: out.iterations,
+            relative_residual: out.relative_residual,
+        })
+    }
+
+    /// Number of z sublayers in the discretization.
+    pub fn sublayer_count(&self) -> usize {
+        self.sublayers.len()
+    }
+}
+
+fn dedup_sorted(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompactModel;
+
+    fn tiny() -> PackageConfig {
+        PackageConfig::hotspot41_like(4, 4).unwrap()
+    }
+
+    fn coarse_settings() -> RefinementSettings {
+        RefinementSettings {
+            lateral_refine: 1,
+            annulus_cells: 2,
+            die_sublayers: 2,
+            tim_sublayers: 1,
+            spreader_sublayers: 2,
+            sink_sublayers: 2,
+            cg: CgSettings::default(),
+        }
+    }
+
+    #[test]
+    fn assembles_and_counts_cells() {
+        let m = ReferenceModel::new(&tiny(), coarse_settings()).unwrap();
+        assert!(m.cell_count() > 100);
+        assert_eq!(m.sublayer_count(), 7);
+    }
+
+    #[test]
+    fn zero_power_is_ambient() {
+        let cfg = tiny();
+        let m = ReferenceModel::new(&cfg, coarse_settings()).unwrap();
+        let sol = m.solve(&vec![Watts(0.0); 16]).unwrap();
+        for t in sol.tile_temperatures() {
+            assert!((t.value() - cfg.ambient().value()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn energy_balance_average_rise() {
+        // With total power P, the average sink-face rise above ambient must
+        // equal P * R_conv when aggregated over the convection boundary; the
+        // die face is at least that hot.
+        let cfg = tiny();
+        let m = ReferenceModel::new(&cfg, coarse_settings()).unwrap();
+        let total = 4.0;
+        let sol = m.solve(&vec![Watts(total / 16.0); 16]).unwrap();
+        let min_rise = total * cfg.convection_resistance().value();
+        assert!(
+            sol.peak().value() - cfg.ambient().value() > min_rise,
+            "peak rise should exceed the lumped convection rise"
+        );
+    }
+
+    #[test]
+    fn agrees_with_compact_model_within_budget() {
+        // The validation experiment in miniature: compact vs refined on a
+        // small package with a hotspot. The full 12x12 comparison is run by
+        // the `validation` harness.
+        let cfg = tiny();
+        let compact = CompactModel::new(&cfg).unwrap();
+        let refined = ReferenceModel::new(
+            &cfg,
+            RefinementSettings {
+                lateral_refine: 2,
+                ..coarse_settings()
+            },
+        )
+        .unwrap();
+        let mut p = vec![Watts(0.05); 16];
+        p[5] = Watts(0.7);
+        let tc = compact.solve_passive(&p).unwrap();
+        let compact_tiles = compact.silicon_temperatures(&tc);
+        let sol = refined.solve(&p).unwrap();
+        let mut worst: f64 = 0.0;
+        for (a, b) in compact_tiles.iter().zip(sol.tile_temperatures()) {
+            worst = worst.max((a.value() - b.value()).abs());
+        }
+        assert!(
+            worst < 3.0,
+            "compact vs refined worst-case difference {worst} °C too large"
+        );
+    }
+
+    #[test]
+    fn hotspot_location_matches() {
+        let cfg = tiny();
+        let m = ReferenceModel::new(&m_cfg_settings().0, m_cfg_settings().1).unwrap();
+        let mut p = vec![Watts(0.0); 16];
+        p[10] = Watts(0.8);
+        let sol = m.solve(&p).unwrap();
+        let hottest = sol
+            .tile_temperatures()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(hottest, 10);
+        assert_eq!(sol.peak(), sol.tile_temperatures()[10]);
+        let _ = cfg;
+    }
+
+    fn m_cfg_settings() -> (PackageConfig, RefinementSettings) {
+        (tiny(), coarse_settings())
+    }
+
+    #[test]
+    fn invalid_settings_rejected() {
+        let bad = RefinementSettings {
+            lateral_refine: 0,
+            ..coarse_settings()
+        };
+        assert!(ReferenceModel::new(&tiny(), bad).is_err());
+    }
+
+    #[test]
+    fn wrong_power_length_rejected() {
+        let m = ReferenceModel::new(&tiny(), coarse_settings()).unwrap();
+        assert!(matches!(
+            m.solve(&[Watts(1.0)]),
+            Err(ThermalError::PowerLengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's flagship scenario end-to-end: cool the Alpha-21364-like
+//! microprocessor (Sec. VI.A) under its synthetic SPEC2000 worst-case power
+//! envelope.
+//!
+//! ```text
+//! cargo run --release --example alpha_cooling
+//! ```
+
+use tecopt::report::deployment_map;
+use tecopt::{
+    full_cover, greedy_deploy, runaway_limit, CoolingSystem, CurrentSettings, DeploySettings,
+    PackageConfig, TecParams,
+};
+use tecopt_power::{WorkloadModel, ALPHA_HOT_UNITS};
+use tecopt_units::{Amperes, Celsius};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Worst-case power: per-unit maxima over the SPEC2000-like suite plus
+    // the paper's 20 % margin, rasterized onto the 12x12 tile grid.
+    let model = WorkloadModel::alpha_spec2000_like()?;
+    let envelope = model.worst_case_envelope(0.2)?;
+    println!(
+        "worst-case chip power: {:.1} (IntReg at {:.1}, L2 at {:.1})",
+        envelope.total_power(),
+        envelope.unit_density("IntReg")?,
+        envelope.unit_density("L2")?,
+    );
+    println!(
+        "heavy units draw {:.1}% of power in {:.1}% of area",
+        envelope.power_fraction(&ALPHA_HOT_UNITS)? * 100.0,
+        envelope.plan().area_fraction(&ALPHA_HOT_UNITS)? * 100.0,
+    );
+
+    let config = PackageConfig::hotspot41_like(12, 12)?;
+    let powers = envelope.rasterize(config.grid())?;
+    let base =
+        CoolingSystem::without_devices(&config, TecParams::superlattice_thin_film(), powers)?;
+    let uncooled = base.solve(Amperes(0.0))?;
+    println!("\nuncooled peak: {:.2}", uncooled.peak());
+
+    // Greedy deployment at the customary 85 degC limit; report what the
+    // algorithm achieves (and whether the limit had to be relaxed).
+    for limit in [85.0, 86.0, 87.0] {
+        let outcome = greedy_deploy(&base, DeploySettings::with_limit(Celsius(limit)))?;
+        let d = outcome.deployment();
+        println!(
+            "limit {limit:.0}: {} — {} TECs at {:.2}, peak {:.2}, P_TEC {:.2}",
+            if outcome.is_satisfied() { "satisfied" } else { "NOT satisfiable" },
+            d.device_count(),
+            d.optimum().current(),
+            d.optimum().state().peak(),
+            d.optimum().state().tec_power(),
+        );
+        if outcome.is_satisfied() {
+            let lim = runaway_limit(d.system(), 1e-9)?;
+            println!(
+                "  runaway limit lambda_m = {:.1} (operating at {:.0}% of it)",
+                lim.lambda(),
+                100.0 * d.optimum().current().value() / lim.lambda().value()
+            );
+            println!("\ndeployment map:\n{}", deployment_map(config.grid(), d.tiles()));
+            break;
+        }
+    }
+
+    // The Table-I comparison: cover every tile instead.
+    let full = full_cover(&base, CurrentSettings::default())?;
+    println!(
+        "full cover: 144 TECs at {:.2} -> peak {:.2} (P_TEC {:.2}) — excessive deployment hurts",
+        full.optimum().current(),
+        full.optimum().state().peak(),
+        full.optimum().state().tec_power(),
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Explore the thermal-runaway phenomenon interactively: sweep the shared
+//! supply current of a deployed cooling system from zero through the
+//! runaway limit `λ_m` and watch the peak temperature dive, bottom out, and
+//! blow up.
+//!
+//! ```text
+//! cargo run --release --example runaway_explorer
+//! ```
+
+use tecopt::runaway::sweep_fractions;
+use tecopt::{CoolingSystem, PackageConfig, TecParams, TileIndex};
+use tecopt_units::Watts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10x10 die with two hotspot clusters, TECs on both.
+    let config = PackageConfig::hotspot41_like(10, 10)?;
+    let mut powers = vec![Watts(0.12); 100];
+    for t in [33usize, 34, 43, 44] {
+        powers[t] = Watts(0.5);
+    }
+    for t in [66usize, 67] {
+        powers[t] = Watts(0.45);
+    }
+    let tiles = [
+        TileIndex::new(3, 3),
+        TileIndex::new(3, 4),
+        TileIndex::new(4, 3),
+        TileIndex::new(4, 4),
+        TileIndex::new(6, 6),
+        TileIndex::new(6, 7),
+    ];
+    let system = CoolingSystem::new(
+        &config,
+        TecParams::superlattice_thin_film(),
+        &tiles,
+        powers,
+    )?;
+
+    let fractions: Vec<f64> = (0..=24)
+        .map(|k| k as f64 / 20.0) // 0 .. 1.2 x lambda_m
+        .collect();
+    let sweep = sweep_fractions(&system, &fractions, 1e-10)?;
+    println!(
+        "{} TEC devices, lambda_m = {:.2} A\n",
+        system.device_count(),
+        sweep.limit.lambda().value()
+    );
+    println!("{:>8}  {:>8}  {:>10}  {:>10}", "i [A]", "i/λm", "peak [°C]", "P_TEC [W]");
+    for p in &sweep.points {
+        let frac = p.current.value() / sweep.limit.lambda().value();
+        match (p.peak, p.tec_power) {
+            (Some(peak), Some(power)) => println!(
+                "{:>8.2}  {:>8.2}  {:>10.2}  {:>10.2}",
+                p.current.value(),
+                frac,
+                peak.value(),
+                power.value()
+            ),
+            _ => println!(
+                "{:>8.2}  {:>8.2}  {:>10}  {:>10}",
+                p.current.value(),
+                frac,
+                "RUNAWAY",
+                "-"
+            ),
+        }
+    }
+    let best = sweep.best().expect("feasible samples exist");
+    println!(
+        "\nsweet spot: {:.2} A -> {:.2} °C; past λ_m the package has no steady state at all.",
+        best.current.value(),
+        best.peak.expect("finite").value()
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Capacity planning with active cooling: how many TEC devices (and how
+//! much TEC power) does each temperature target cost? Sweeps the allowable
+//! peak temperature and reports the feasibility frontier the greedy
+//! algorithm finds — the system-level design loop the paper's introduction
+//! motivates.
+//!
+//! ```text
+//! cargo run --release --example thermal_budgeting
+//! ```
+
+use tecopt::{greedy_deploy, CoolingSystem, DeploySettings, PackageConfig, TecParams};
+use tecopt_power::{HypotheticalChip, HypotheticalSettings};
+use tecopt_units::{Amperes, Celsius};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A randomly generated chip (same generator as the paper's HC suite).
+    let chip = HypotheticalChip::generate("planner-demo", 16, &HypotheticalSettings::default())?;
+    let config = PackageConfig::hotspot41_like(12, 12)?;
+    let base = CoolingSystem::without_devices(
+        &config,
+        TecParams::superlattice_thin_film(),
+        chip.tile_powers(),
+    )?;
+    let uncooled = base.solve(Amperes(0.0))?.peak();
+    println!(
+        "chip '{}': {:.1} total, uncooled peak {:.2}\n",
+        chip.name(),
+        chip.total_power(),
+        uncooled
+    );
+    println!(
+        "{:>10}  {:>9}  {:>7}  {:>9}  {:>10}  {:>9}",
+        "limit [°C]", "feasible", "#TECs", "I_opt [A]", "P_TEC [W]", "peak [°C]"
+    );
+    let mut last_feasible = None;
+    for limit10 in (780..=round_up(uncooled.value())).step_by(10) {
+        let limit = Celsius(limit10 as f64 / 10.0);
+        let outcome = greedy_deploy(&base, DeploySettings::with_limit(limit))?;
+        let d = outcome.deployment();
+        println!(
+            "{:>10.1}  {:>9}  {:>7}  {:>9.2}  {:>10.2}  {:>9.2}",
+            limit.value(),
+            if outcome.is_satisfied() { "yes" } else { "no" },
+            d.device_count(),
+            d.optimum().current().value(),
+            d.optimum().state().tec_power().value(),
+            d.optimum().state().peak().value(),
+        );
+        if outcome.is_satisfied() && last_feasible.is_none() {
+            last_feasible = Some(limit);
+        }
+    }
+    match last_feasible {
+        Some(l) => println!(
+            "\nlowest achievable limit in the sweep: {:.1} ({:.1} of active cooling headroom)",
+            l,
+            uncooled - l
+        ),
+        None => println!("\nno limit in the sweep was achievable"),
+    }
+    Ok(())
+}
+
+fn round_up(celsius: f64) -> usize {
+    (celsius * 10.0).ceil() as usize
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the `tecopt` workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; it re-exports the public API of every workspace crate so the
+//! examples can use a single import root.
+//!
+//! See the individual crates for the actual implementation:
+//!
+//! - [`tecopt`] — the paper's contribution (deployment + current optimization)
+//! - [`tecopt_thermal`] — compact thermal model of the chip package
+//! - [`tecopt_device`] — thin-film TEC device physics
+//! - [`tecopt_power`] — floorplans and worst-case power profiles
+//! - [`tecopt_linalg`] — linear-algebra kernels
+//! - [`tecopt_units`] — typed physical quantities
+
+pub use tecopt;
+pub use tecopt_device;
+pub use tecopt_linalg;
+pub use tecopt_power;
+pub use tecopt_thermal;
+pub use tecopt_units;

@@ -1,0 +1,62 @@
+//! End-to-end adoption path: export the Alpha floorplan and synthetic
+//! traces to the HotSpot file formats, read them back, and run the
+//! optimizer on the file-derived inputs — the workflow a user with an
+//! existing HotSpot toolchain would follow.
+
+use tecopt::designer::CoolingDesigner;
+use tecopt::{PackageConfig, TecParams};
+use tecopt_power::hotspot_io::{parse_flp, parse_ptrace, to_flp, to_ptrace, worst_case_of};
+use tecopt_power::WorkloadModel;
+use tecopt_units::Celsius;
+
+#[test]
+fn file_round_trip_preserves_the_design_outcome() {
+    // Build the reference inputs in memory.
+    let model = WorkloadModel::alpha_spec2000_like().unwrap();
+    let plan = model.plan().clone();
+    let traces: Vec<_> = model
+        .benchmark_names()
+        .into_iter()
+        .map(|name| model.benchmark_profile(name).unwrap())
+        .collect();
+
+    // Serialize to the HotSpot formats and parse back.
+    let flp_text = to_flp(&plan);
+    let ptrace_text = to_ptrace(&traces);
+    let plan_back = parse_flp("alpha21364-like", &flp_text).unwrap();
+    let traces_back = parse_ptrace(&plan_back, &ptrace_text).unwrap();
+    assert_eq!(traces_back.len(), traces.len());
+
+    // The paper's procedure on file traces: per-unit max + 20 % margin.
+    let envelope_file = worst_case_of(&traces_back, 0.2).unwrap();
+    let envelope_mem = model.worst_case_envelope(0.2).unwrap();
+    for (a, b) in envelope_file
+        .unit_powers()
+        .iter()
+        .zip(envelope_mem.unit_powers())
+    {
+        assert!(
+            (a.value() - b.value()).abs() < 1e-4,
+            "file envelope diverged: {a:?} vs {b:?}"
+        );
+    }
+
+    // Run the full design from the file-derived inputs and check it matches
+    // the in-memory pipeline's shape.
+    let config = PackageConfig::hotspot41_like(12, 12).unwrap();
+    let powers = envelope_file.rasterize(config.grid()).unwrap();
+    let report = CoolingDesigner::new(config, TecParams::superlattice_thin_film())
+        .tile_powers(powers)
+        .temperature_limit(Celsius(85.0))
+        .compare_full_cover(false)
+        .convexity_settings(None)
+        .design()
+        .unwrap();
+    assert!(
+        (90.0..=96.0).contains(&report.uncooled_peak().value()),
+        "uncooled peak {:?}",
+        report.uncooled_peak()
+    );
+    assert!(report.deployment().device_count() > 0);
+    assert!(report.deployment().cooling_swing().value() > 2.0);
+}

@@ -1,0 +1,160 @@
+//! Integration tests asserting the paper's headline *shape* on the
+//! calibrated benchmarks (see `EXPERIMENTS.md` for the full numbers):
+//! deployment + current setting bring hotspots down by several degrees at
+//! watt-level TEC power, covering every tile is worse than covering few,
+//! the runaway limit is finite and explains the current ceiling, and the
+//! convexity machinery certifies the optimizer's assumptions.
+
+use tecopt::{
+    certify_convexity, full_cover, greedy_deploy, optimize_current, runaway_limit,
+    ConvexitySettings, CoolingSystem, CurrentSettings, DeploySettings, PackageConfig, TecParams,
+};
+use tecopt_power::{HypotheticalChip, WorkloadModel};
+use tecopt_units::{Amperes, Celsius};
+
+fn alpha_base() -> CoolingSystem {
+    let config = PackageConfig::hotspot41_like(12, 12).unwrap();
+    let envelope = WorkloadModel::alpha_spec2000_like()
+        .unwrap()
+        .worst_case_envelope(0.2)
+        .unwrap();
+    let powers = envelope.rasterize(config.grid()).unwrap();
+    CoolingSystem::without_devices(&config, TecParams::superlattice_thin_film(), powers).unwrap()
+}
+
+#[test]
+fn alpha_uncooled_peak_matches_paper_band() {
+    let base = alpha_base();
+    let peak = base.solve(Amperes(0.0)).unwrap().peak();
+    // Paper: 91.8 degC. Accept the calibrated band.
+    assert!(
+        (90.0..=96.0).contains(&peak.value()),
+        "alpha uncooled peak {peak:?}"
+    );
+    // Total power ~20.6 W.
+    let total = base.total_chip_power().value();
+    assert!((19.0..=22.0).contains(&total), "total {total} W");
+}
+
+#[test]
+fn alpha_greedy_cools_hotspot_by_several_degrees() {
+    let base = alpha_base();
+    let uncooled = base.solve(Amperes(0.0)).unwrap().peak();
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
+    let d = outcome.deployment();
+    // A handful of devices on the integer-cluster hotspot.
+    assert!(
+        (3..=24).contains(&d.device_count()),
+        "{} devices",
+        d.device_count()
+    );
+    // Cooling swing of several degrees (paper: up to 7.5 degC).
+    let swing = uncooled.value() - d.optimum().state().peak().value();
+    assert!((3.0..=12.0).contains(&swing), "swing {swing}");
+    // Optimal current and TEC power in the paper's ranges.
+    let i = d.optimum().current().value();
+    assert!((2.0..=12.0).contains(&i), "I_opt {i}");
+    let p = d.optimum().state().tec_power().value();
+    assert!((0.2..=6.0).contains(&p), "P_TEC {p}");
+    // The deployment covers the IntReg hotspot (row 10, cols 2-5 of the
+    // floorplan).
+    assert!(
+        d.tiles().iter().any(|t| t.row == 10),
+        "deployment misses the integer cluster: {:?}",
+        d.tiles()
+    );
+}
+
+#[test]
+fn full_cover_loses_to_greedy_on_alpha() {
+    // The headline of Table I: excessive deployment reduces efficiency.
+    let base = alpha_base();
+    let greedy = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
+    let full = full_cover(&base, CurrentSettings::default()).unwrap();
+    assert_eq!(full.device_count(), 144);
+    let swing_loss =
+        full.optimum().state().peak().value() - greedy.deployment().optimum().state().peak().value();
+    assert!(
+        swing_loss > 0.0,
+        "full cover should lose: swing loss {swing_loss}"
+    );
+    // And it burns far more electrical power doing worse.
+    assert!(
+        full.optimum().state().tec_power().value()
+            > 2.0 * greedy.deployment().optimum().state().tec_power().value()
+    );
+}
+
+#[test]
+fn full_cover_loses_on_hypothetical_chips() {
+    let config = PackageConfig::hotspot41_like(12, 12).unwrap();
+    // Two representative chips from the HC suite (the full eleven-benchmark
+    // sweep is the `table1` harness).
+    for chip in HypotheticalChip::standard_suite().into_iter().take(2) {
+        let base = CoolingSystem::without_devices(
+            &config,
+            TecParams::superlattice_thin_film(),
+            chip.tile_powers(),
+        )
+        .unwrap();
+        let greedy = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
+        let full = full_cover(&base, CurrentSettings::default()).unwrap();
+        let loss = full.optimum().state().peak().value()
+            - greedy.deployment().optimum().state().peak().value();
+        assert!(loss > -0.5, "{}: swing loss {loss}", chip.name());
+    }
+}
+
+#[test]
+fn runaway_limit_is_finite_and_binding() {
+    let base = alpha_base();
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
+    let system = outcome.deployment().system().clone();
+    let lim = runaway_limit(&system, 1e-10).unwrap();
+    let lam = lim.lambda().value();
+    assert!((15.0..=80.0).contains(&lam), "lambda_m {lam}");
+    // Feasible below, infeasible above.
+    assert!(system.solve(Amperes(lam * 0.99)).is_ok());
+    assert!(system.solve(Amperes(lam * 1.01)).is_err());
+    // The optimum sits well inside the feasible interval.
+    let opt = optimize_current(&system, CurrentSettings::default()).unwrap();
+    assert!(opt.current().value() < 0.5 * lam);
+}
+
+#[test]
+fn convexity_certificate_holds_on_the_deployed_system() {
+    let base = alpha_base();
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
+    let cert = certify_convexity(
+        outcome.deployment().system(),
+        ConvexitySettings {
+            subranges: 4,
+            ..ConvexitySettings::default()
+        },
+    )
+    .unwrap();
+    assert!(cert.is_certified(), "{:?}", cert.outcome);
+}
+
+#[test]
+fn golden_section_and_gradient_descent_agree_on_alpha() {
+    let base = alpha_base();
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
+    let system = outcome.deployment().system().clone();
+    let gold = optimize_current(&system, CurrentSettings::default()).unwrap();
+    let grad = optimize_current(
+        &system,
+        CurrentSettings {
+            method: tecopt::CurrentMethod::GradientDescent,
+            max_evaluations: 400,
+            ..CurrentSettings::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        (gold.state().peak().value() - grad.state().peak().value()).abs() < 0.1,
+        "golden {:?} vs gradient {:?}",
+        gold.state().peak(),
+        grad.state().peak()
+    );
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over the whole stack: physical invariants that must
+//! hold for *any* power profile, deployment or feasible current, not just
+//! the calibrated benchmarks.
+
+use proptest::prelude::*;
+use tecopt::{optimize_current, runaway_limit, CoolingSystem, CurrentSettings, PackageConfig,
+    TecParams, TileIndex};
+use tecopt_units::{Amperes, Watts};
+
+fn small_config() -> PackageConfig {
+    PackageConfig::hotspot41_like(4, 4).unwrap()
+}
+
+fn power_vec() -> impl Strategy<Value = Vec<Watts>> {
+    proptest::collection::vec(0.0f64..0.6, 16).prop_map(|v| v.into_iter().map(Watts).collect())
+}
+
+fn tile_set() -> impl Strategy<Value = Vec<TileIndex>> {
+    proptest::collection::btree_set(0usize..16, 1..5).prop_map(|s| {
+        s.into_iter()
+            .map(|k| TileIndex::new(k / 4, k % 4))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inverse positivity (Lemma 3): every steady-state temperature is at
+    /// or above ambient when only heat sources are present.
+    #[test]
+    fn temperatures_never_drop_below_ambient_without_pumping(powers in power_vec()) {
+        let config = small_config();
+        let system = CoolingSystem::without_devices(
+            &config,
+            TecParams::superlattice_thin_film(),
+            powers,
+        ).unwrap();
+        let state = system.solve(Amperes(0.0)).unwrap();
+        let ambient = config.ambient().to_kelvin().value();
+        for t in state.node_temperatures() {
+            prop_assert!(t.value() >= ambient - 1e-9);
+        }
+    }
+
+    /// Monotonicity of the passive network: adding power anywhere can only
+    /// raise every temperature (H has nonnegative entries).
+    #[test]
+    fn more_power_is_never_cooler(powers in power_vec(), extra_tile in 0usize..16) {
+        let config = small_config();
+        let system = CoolingSystem::without_devices(
+            &config,
+            TecParams::superlattice_thin_film(),
+            powers.clone(),
+        ).unwrap();
+        let before = system.solve(Amperes(0.0)).unwrap();
+        let mut bumped = powers;
+        bumped[extra_tile] += Watts(0.2);
+        let system2 = system.with_tiles(&[]).unwrap();
+        let system2 = CoolingSystem::without_devices(
+            system2.config(),
+            TecParams::superlattice_thin_film(),
+            bumped,
+        ).unwrap();
+        let after = system2.solve(Amperes(0.0)).unwrap();
+        for (a, b) in before.node_temperatures().iter().zip(after.node_temperatures()) {
+            prop_assert!(b.value() >= a.value() - 1e-9);
+        }
+    }
+
+    /// The runaway limit exists for every nonempty deployment, and the
+    /// optimizer's current always stays inside it.
+    #[test]
+    fn optimum_is_always_inside_the_runaway_interval(
+        powers in power_vec(),
+        tiles in tile_set(),
+    ) {
+        let config = small_config();
+        let system = CoolingSystem::new(
+            &config,
+            TecParams::superlattice_thin_film(),
+            &tiles,
+            powers,
+        ).unwrap();
+        let lim = runaway_limit(&system, 1e-9).unwrap();
+        prop_assert!(lim.lambda().value() > 0.0);
+        let opt = optimize_current(&system, CurrentSettings {
+            max_evaluations: 60,
+            ..CurrentSettings::default()
+        }).unwrap();
+        prop_assert!(opt.current().value() >= 0.0);
+        prop_assert!(opt.current().value() < lim.lambda().value());
+        // The optimum is no worse than doing nothing.
+        let passive = system.solve(Amperes(0.0)).unwrap();
+        prop_assert!(opt.state().peak().value() <= passive.peak().value() + 1e-9);
+    }
+
+    /// Tile powers rasterized from any scaling of the Alpha workload
+    /// conserve total power.
+    #[test]
+    fn rasterization_conserves_power(scale in 0.1f64..3.0) {
+        let model = tecopt_power::WorkloadModel::alpha_spec2000_like().unwrap();
+        let envelope = model.worst_case_envelope(0.2).unwrap().scale(scale).unwrap();
+        let config = PackageConfig::hotspot41_like(12, 12).unwrap();
+        let tiles = envelope.rasterize(config.grid()).unwrap();
+        let sum: f64 = tiles.iter().map(|w| w.value()).sum();
+        prop_assert!((sum - envelope.total_power().value()).abs() < 1e-9);
+    }
+
+    /// Conjecture 1 on randomly generated PD Stieltjes matrices (the
+    /// paper's randomized campaign as a property test).
+    #[test]
+    fn conjecture1_holds_on_random_stieltjes(seed in 0u64..10_000) {
+        let mut rng = tecopt_linalg::stieltjes::seeded_rng(seed);
+        let s = tecopt_linalg::stieltjes::random_stieltjes(
+            tecopt_linalg::stieltjes::StieltjesSampler {
+                dim: 6,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        match tecopt::conjecture::check_conjecture1(&s, None).unwrap() {
+            tecopt::conjecture::ConjectureVerdict::Holds { .. } => {}
+            other => prop_assert!(false, "counterexample: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The golden-section optimum is at least as good as any point of a
+    /// brute-force current grid (convexity means no hidden dip).
+    #[test]
+    fn optimizer_beats_brute_force_grid(seed in 0u64..64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let config = small_config();
+        let mut powers = vec![Watts(0.05); 16];
+        let hot = rng.gen_range(0..16usize);
+        powers[hot] = Watts(rng.gen_range(0.3..0.7));
+        let tile = TileIndex::new(hot / 4, hot % 4);
+        let system = CoolingSystem::new(
+            &config,
+            TecParams::superlattice_thin_film(),
+            &[tile],
+            powers,
+        ).unwrap();
+        let opt = optimize_current(&system, CurrentSettings::default()).unwrap();
+        let lam = runaway_limit(&system, 1e-9).unwrap().feasible().value();
+        for k in 0..=20 {
+            let i = Amperes(lam * 0.99 * k as f64 / 20.0);
+            let grid_peak = system.solve(i).unwrap().peak();
+            prop_assert!(
+                opt.state().peak().value() <= grid_peak.value() + 2e-3,
+                "grid point {i:?} ({grid_peak:?}) beats the optimizer ({:?})",
+                opt.state().peak()
+            );
+        }
+    }
+}
