@@ -11,10 +11,13 @@
 use tecopt::conjecture::randomized_campaign;
 
 fn main() {
-    let per_dim: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("matrix count must be a number"))
-        .unwrap_or(200);
+    let per_dim: usize = match std::env::args().nth(1) {
+        None => 200,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("error: matrix count must be a non-negative integer, got {s:?}");
+            std::process::exit(2);
+        }),
+    };
     let dims = [2usize, 3, 4, 6, 8, 12, 16, 24, 32];
     let mut total_matrices = 0usize;
     let mut total_pairs = 0usize;

@@ -174,7 +174,7 @@ pub fn certify_convexity(
         });
     }
     let lim = runaway_limit(system, settings.lambda_tolerance)?;
-    let ceiling = lim.search_ceiling(settings.ceiling_fraction).value();
+    let ceiling = lim.search_ceiling(settings.ceiling_fraction)?.value();
     let lambda = lim.lambda();
 
     let model = system.stamped().model();

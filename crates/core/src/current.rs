@@ -61,6 +61,7 @@ pub struct CurrentOptimum {
     state: SolvedState,
     lambda: Amperes,
     evaluations: usize,
+    probes: usize,
     method: CurrentMethod,
 }
 
@@ -85,6 +86,18 @@ impl CurrentOptimum {
         self.evaluations
     }
 
+    /// Cholesky probes consumed by the `λ_m` binary search that bounded
+    /// this optimization.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Solver fallback stages engaged for the reported optimum state
+    /// (0 unless a hardened solve produced it).
+    pub fn fallbacks_taken(&self) -> usize {
+        self.state.fallbacks_taken()
+    }
+
     /// Which back end produced this optimum.
     pub fn method(&self) -> CurrentMethod {
         self.method
@@ -101,6 +114,7 @@ impl CurrentOptimum {
             state,
             lambda,
             evaluations,
+            probes: 0,
             method,
         }
     }
@@ -113,6 +127,11 @@ impl CurrentOptimum {
 /// - [`OptError::NoDevicesDeployed`] for a passive system.
 /// - [`OptError::InvalidParameter`] for nonpositive tolerances or a ceiling
 ///   fraction outside `(0, 1)`.
+/// - [`OptError::BudgetExhausted`] if the golden-section bracket is still
+///   wider than `tolerance` when `max_evaluations` solves have been spent —
+///   the hard cap that keeps adversarial tolerance/budget combinations from
+///   looping; the gradient back end instead reports its best iterate, as a
+///   descent method every iterate is feasible.
 pub fn optimize_current(
     system: &CoolingSystem,
     settings: CurrentSettings,
@@ -120,7 +139,7 @@ pub fn optimize_current(
     if system.device_count() == 0 {
         return Err(OptError::NoDevicesDeployed);
     }
-    if !(settings.tolerance > 0.0) {
+    if settings.tolerance <= 0.0 || settings.tolerance.is_nan() {
         return Err(OptError::InvalidParameter(format!(
             "current tolerance must be positive, got {}",
             settings.tolerance
@@ -138,13 +157,16 @@ pub fn optimize_current(
         ));
     }
     let lim = runaway_limit(system, settings.lambda_tolerance)?;
-    let ceiling = lim.search_ceiling(settings.ceiling_fraction).value();
+    let ceiling = lim.search_ceiling(settings.ceiling_fraction)?.value();
     let lambda = lim.lambda();
+    let probes = lim.probes();
 
-    match settings.method {
-        CurrentMethod::GoldenSection => golden_section(system, ceiling, lambda, settings),
-        CurrentMethod::GradientDescent => gradient_descent(system, ceiling, lambda, settings),
-    }
+    let mut opt = match settings.method {
+        CurrentMethod::GoldenSection => golden_section(system, ceiling, lambda, settings)?,
+        CurrentMethod::GradientDescent => gradient_descent(system, ceiling, lambda, settings)?,
+    };
+    opt.probes = probes;
+    Ok(opt)
 }
 
 fn golden_section(
@@ -159,7 +181,7 @@ fn golden_section(
 
     fn consider(best: &mut Option<SolvedState>, state: SolvedState) -> f64 {
         let peak = state.peak().value();
-        if best.as_ref().map_or(true, |b| peak < b.peak().value()) {
+        if best.as_ref().is_none_or(|b| peak < b.peak().value()) {
             *best = Some(state);
         }
         peak
@@ -194,11 +216,24 @@ fn golden_section(
             fd = consider(&mut best, system.solve(Amperes(d))?);
         }
     }
-    let state = best.expect("at least one evaluation happened");
+    if (b - a) > settings.tolerance {
+        // Ran out of evaluations with the bracket still wider than the
+        // requested tolerance: report exhaustion instead of silently
+        // returning an under-converged optimum.
+        return Err(OptError::BudgetExhausted {
+            spent: evals,
+            budget: settings.max_evaluations,
+        });
+    }
+    let state = match best {
+        Some(s) => s,
+        None => system.solve(Amperes(0.0))?,
+    };
     Ok(CurrentOptimum {
         state,
         lambda,
         evaluations: evals,
+        probes: 0,
         method: CurrentMethod::GoldenSection,
     })
 }
@@ -256,6 +291,7 @@ fn gradient_descent(
         state,
         lambda,
         evaluations: evals,
+        probes: 0,
         method: CurrentMethod::GradientDescent,
     })
 }
@@ -282,13 +318,15 @@ fn peak_gradient(system: &CoolingSystem, state: &SolvedState) -> Result<f64, Opt
         dp[k] = ri;
     }
     let x = system.solve_rhs(i, &dp)?; // H p'
-    // Argmax silicon tile.
+    // Argmax silicon tile. NaN temperatures cannot occur downstream of a
+    // successful solve, but ordering falls back to Equal rather than
+    // panicking if they ever do.
     let (k_star, _) = state
         .silicon_temperatures()
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite temperatures"))
-        .expect("at least one tile");
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
+        .ok_or_else(|| OptError::InvalidParameter("system has no silicon tiles".into()))?;
     let node = model.silicon_nodes()[k_star].index();
     Ok(w[node] + x[node])
 }
@@ -398,6 +436,38 @@ mod tests {
                 Err(OptError::InvalidParameter(_))
             ));
         }
+    }
+
+    #[test]
+    fn adversarial_tolerance_exhausts_budget_instead_of_hanging() {
+        // A tolerance below the bracket's floating-point resolution can never
+        // be met; the search must stop at the evaluation cap with a
+        // structured error, not spin or return an under-converged optimum.
+        let s = system(&[TileIndex::new(1, 1)]);
+        let err = optimize_current(
+            &s,
+            CurrentSettings {
+                tolerance: 1e-18,
+                max_evaluations: 40,
+                ..CurrentSettings::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            OptError::BudgetExhausted { spent, budget } => {
+                assert_eq!(budget, 40);
+                assert!(spent <= budget);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimum_reports_search_diagnostics() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        let opt = optimize_current(&s, CurrentSettings::default()).unwrap();
+        assert!(opt.probes() > 0, "λ_m search probes must be surfaced");
+        assert_eq!(opt.fallbacks_taken(), 0);
     }
 
     #[test]

@@ -116,6 +116,22 @@ impl DeployOutcome {
             DeployOutcome::Failed { best, .. } => best,
         }
     }
+
+    /// Converts the outcome into a `Result` for callers that treat an
+    /// unmeetable limit as a hard failure: a failed deployment becomes
+    /// [`OptError::Infeasible`] carrying the best peak temperature reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::Infeasible`] for [`DeployOutcome::Failed`].
+    pub fn into_result(self) -> Result<Deployment, OptError> {
+        match self {
+            DeployOutcome::Satisfied(d) => Ok(d),
+            DeployOutcome::Failed { best, .. } => Err(OptError::Infeasible {
+                best_peak_celsius: best.optimum().state().peak().value(),
+            }),
+        }
+    }
 }
 
 /// Runs `GreedyDeploy` (Fig. 5): iteratively cover every tile above

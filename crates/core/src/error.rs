@@ -31,6 +31,16 @@ pub enum OptError {
         /// Best peak temperature achieved before giving up, °C.
         best_peak_celsius: f64,
     },
+    /// A search loop hit its hard evaluation cap before reaching the
+    /// requested tolerance. Guarantees termination on adversarial settings
+    /// (e.g. a tolerance far below the bracket's floating-point resolution);
+    /// retry with a looser tolerance or a larger budget.
+    BudgetExhausted {
+        /// Evaluations (steady-state solves or probes) actually spent.
+        spent: usize,
+        /// The configured budget.
+        budget: usize,
+    },
     /// A device-layer operation failed.
     Device(DeviceError),
     /// A thermal-model operation failed.
@@ -55,6 +65,10 @@ impl fmt::Display for OptError {
             OptError::Infeasible { best_peak_celsius } => write!(
                 f,
                 "no deployment satisfies the temperature limit (best peak {best_peak_celsius:.2} °C)"
+            ),
+            OptError::BudgetExhausted { spent, budget } => write!(
+                f,
+                "search budget exhausted after {spent} of {budget} evaluations"
             ),
             OptError::Device(e) => write!(f, "device layer failure: {e}"),
             OptError::Thermal(e) => write!(f, "thermal layer failure: {e}"),
@@ -92,6 +106,12 @@ impl From<LinalgError> for OptError {
     }
 }
 
+impl From<tecopt_units::ValidationError> for OptError {
+    fn from(e: tecopt_units::ValidationError) -> OptError {
+        OptError::InvalidParameter(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +123,12 @@ mod tests {
         assert!(OptError::BeyondRunaway { current: 40.0 }
             .to_string()
             .contains("runaway"));
+        assert!(OptError::BudgetExhausted {
+            spent: 200,
+            budget: 200
+        }
+        .to_string()
+        .contains("budget"));
         let e = OptError::Linalg(LinalgError::NotPositiveDefinite { pivot: 0 });
         assert!(e.source().is_some());
         assert!(OptError::NoDevicesDeployed.source().is_none());

@@ -45,15 +45,18 @@ impl RunawayLimit {
     /// A safe upper bound for current optimization: `fraction · λ_m` with
     /// `fraction < 1`, clamped to the verified-feasible bracket edge.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `fraction` is not in `(0, 1)`.
-    pub fn search_ceiling(&self, fraction: f64) -> Amperes {
-        assert!(
-            fraction > 0.0 && fraction < 1.0,
-            "fraction must be in (0, 1)"
-        );
-        Amperes((self.lambda().value() * fraction).min(self.lower))
+    /// Returns [`OptError::InvalidParameter`] if `fraction` is NaN or not in
+    /// `(0, 1)` — a fraction at or above 1 would permit probing past the
+    /// runaway limit.
+    pub fn search_ceiling(&self, fraction: f64) -> Result<Amperes, OptError> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(OptError::InvalidParameter(format!(
+                "search-ceiling fraction must be in (0, 1), got {fraction}"
+            )));
+        }
+        Ok(Amperes((self.lambda().value() * fraction).min(self.lower)))
     }
 }
 
@@ -163,17 +166,21 @@ mod tests {
     fn search_ceiling_is_feasible() {
         let s = system(&[TileIndex::new(1, 1)]);
         let lim = runaway_limit(&s, 1e-9).unwrap();
-        let c = lim.search_ceiling(0.999);
+        let c = lim.search_ceiling(0.999).unwrap();
         assert!(c.value() <= lim.feasible().value());
         assert!(s.solve(c).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "fraction must be in (0, 1)")]
-    fn bad_fraction_panics() {
+    fn bad_fraction_is_an_error_not_a_panic() {
         let s = system(&[TileIndex::new(1, 1)]);
         let lim = runaway_limit(&s, 1e-9).unwrap();
-        let _ = lim.search_ceiling(1.5);
+        for bad in [1.5, 0.0, 1.0, -0.3, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(lim.search_ceiling(bad), Err(OptError::InvalidParameter(_))),
+                "fraction {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -275,7 +275,7 @@ impl MultiPinSystem {
                 "need at least one coordinate sweep".into(),
             ));
         }
-        if !(tolerance > 0.0) {
+        if tolerance <= 0.0 || tolerance.is_nan() {
             return Err(OptError::InvalidParameter(format!(
                 "tolerance must be positive, got {tolerance}"
             )));

@@ -1,6 +1,6 @@
 use crate::OptError;
 use tecopt_device::{StampedSystem, TecParams};
-use tecopt_linalg::Cholesky;
+use tecopt_linalg::{solve_robust, Cholesky, SolveMethod, SolverPolicy};
 use tecopt_thermal::{PackageConfig, TileIndex};
 use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
 
@@ -46,6 +46,10 @@ pub struct SolvedState {
     silicon: Vec<Celsius>,
     peak: Celsius,
     tec_power: Watts,
+    condition_estimate: f64,
+    solve_method: SolveMethod,
+    fallbacks_taken: usize,
+    degraded: bool,
 }
 
 impl SolvedState {
@@ -74,6 +78,33 @@ impl SolvedState {
     pub fn tec_power(&self) -> Watts {
         self.tec_power
     }
+
+    /// Pivot-ratio condition estimate of the factored system matrix
+    /// `G − i·D`.
+    ///
+    /// This diverges as the supply current approaches the runaway limit
+    /// `λ_m` (the matrix approaches singularity, Lemma 2), so it doubles as
+    /// a cheap "distance to runaway" diagnostic for this operating point.
+    pub fn condition_estimate(&self) -> f64 {
+        self.condition_estimate
+    }
+
+    /// Which solver stage produced the temperatures (Cholesky unless a
+    /// fallback engaged via [`CoolingSystem::solve_with_policy`]).
+    pub fn solve_method(&self) -> SolveMethod {
+        self.solve_method
+    }
+
+    /// Fallback stages engaged to obtain this state (0 = fast path).
+    pub fn fallbacks_taken(&self) -> usize {
+        self.fallbacks_taken
+    }
+
+    /// `true` when the temperatures warrant caution: the system matrix was
+    /// ill-conditioned or a fallback solver produced them.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
 }
 
 impl CoolingSystem {
@@ -97,13 +128,8 @@ impl CoolingSystem {
                 actual: tile_powers.len(),
             });
         }
-        for p in &tile_powers {
-            if p.value() < 0.0 || !p.is_finite() {
-                return Err(OptError::InvalidParameter(format!(
-                    "tile power {p} is not a valid worst-case power"
-                )));
-            }
-        }
+        let raw: Vec<f64> = tile_powers.iter().map(|p| p.value()).collect();
+        tecopt_units::validate::non_negative_slice("tile power", &raw)?;
         let stamped = StampedSystem::new(config, params, tec_tiles)?;
         Ok(CoolingSystem {
             stamped,
@@ -171,6 +197,11 @@ impl CoolingSystem {
 
     /// Solves the steady state at supply current `i`.
     ///
+    /// Cholesky-only: a factorization failure is interpreted as thermal
+    /// runaway, exactly the definiteness oracle of Theorem 1. The returned
+    /// state always carries the pivot-ratio condition estimate of the
+    /// system matrix (see [`SolvedState::condition_estimate`]).
+    ///
     /// # Errors
     ///
     /// - [`OptError::BeyondRunaway`] if `G − i·D` is not positive definite
@@ -185,7 +216,92 @@ impl CoolingSystem {
             },
             other => OptError::Linalg(other),
         })?;
+        let cond = chol.condition_estimate();
         let theta = chol.solve(&p).map_err(OptError::from)?;
+        self.finish_state(
+            current,
+            theta,
+            cond,
+            SolveMethod::Cholesky,
+            0,
+            cond > SolverPolicy::default().warn_condition,
+        )
+    }
+
+    /// Solves the steady state through the hardened fallback chain
+    /// (Cholesky → pivoted LU → Tikhonov-regularized retry) governed by
+    /// `policy`.
+    ///
+    /// Near the runaway limit `λ_m` the system matrix is nearly singular and
+    /// plain Cholesky can break down on an operating point that is still
+    /// physically feasible; this entry point recovers those solves and
+    /// reports how much the result should be trusted via
+    /// [`SolvedState::degraded`], [`SolvedState::solve_method`] and
+    /// [`SolvedState::condition_estimate`]. With
+    /// [`SolverPolicy::strict`] it behaves exactly like
+    /// [`CoolingSystem::solve`].
+    ///
+    /// # Errors
+    ///
+    /// - [`OptError::BeyondRunaway`] when the whole chain fails with a
+    ///   not-positive-definite root cause — the matrix is genuinely past
+    ///   (or at) runaway, not merely borderline.
+    /// - [`OptError::Linalg`] for ill-conditioning beyond
+    ///   [`SolverPolicy::fail_condition`], invalid policies, or non-finite
+    ///   data.
+    pub fn solve_with_policy(
+        &self,
+        current: Amperes,
+        policy: &SolverPolicy,
+    ) -> Result<SolvedState, OptError> {
+        let m = self.stamped.system_matrix(current)?;
+        let p = self.stamped.power_vector(&self.tile_powers, current)?;
+        let sol = solve_robust(&m, &p, policy).map_err(|e| match e {
+            tecopt_linalg::LinalgError::NotPositiveDefinite { .. } => OptError::BeyondRunaway {
+                current: current.value(),
+            },
+            other => OptError::Linalg(other),
+        })?;
+        let d = sol.diagnostics;
+        // A fallback solver can algebraically "solve" a genuinely indefinite
+        // system — i.e. an operating point past runaway, where no stable
+        // steady state exists. Cholesky distinguishes borderline rounding
+        // from true indefiniteness; LU and regularization cannot, so their
+        // results are additionally screened for physical plausibility
+        // (absolute temperatures within [0 K, 10⁴ K]).
+        if d.fallbacks_taken > 0 {
+            const MAX_PLAUSIBLE_KELVIN: f64 = 1.0e4;
+            if sol
+                .x
+                .iter()
+                .any(|&t| !(0.0..=MAX_PLAUSIBLE_KELVIN).contains(&t))
+            {
+                return Err(OptError::BeyondRunaway {
+                    current: current.value(),
+                });
+            }
+        }
+        self.finish_state(
+            current,
+            sol.x,
+            d.condition_estimate,
+            d.method,
+            d.fallbacks_taken,
+            d.degraded,
+        )
+    }
+
+    /// Derives the user-facing state (silicon temperatures, peak, TEC input
+    /// power) from a raw temperature vector plus solver diagnostics.
+    fn finish_state(
+        &self,
+        current: Amperes,
+        theta: Vec<f64>,
+        condition_estimate: f64,
+        solve_method: SolveMethod,
+        fallbacks_taken: usize,
+        degraded: bool,
+    ) -> Result<SolvedState, OptError> {
         let temps: Vec<Kelvin> = theta.into_iter().map(Kelvin).collect();
         let silicon = self.stamped.model().silicon_temperatures(&temps);
         let peak = silicon
@@ -199,6 +315,10 @@ impl CoolingSystem {
             silicon,
             peak,
             tec_power,
+            condition_estimate,
+            solve_method,
+            fallbacks_taken,
+            degraded,
         })
     }
 
@@ -327,6 +447,56 @@ mod tests {
         // Far beyond any plausible runaway limit for these parameters.
         let big = Amperes(1.0e5);
         match s.solve(big) {
+            Err(OptError::BeyondRunaway { current }) => assert_eq!(current, 1.0e5),
+            other => panic!("expected BeyondRunaway, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_reports_condition_diagnostics() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        let far = s.solve(Amperes(0.0)).unwrap();
+        assert_eq!(far.solve_method(), SolveMethod::Cholesky);
+        assert_eq!(far.fallbacks_taken(), 0);
+        assert!(far.condition_estimate().is_finite());
+        assert!(far.condition_estimate() >= 1.0);
+        assert!(!far.degraded());
+    }
+
+    #[test]
+    fn condition_estimate_grows_toward_runaway() {
+        // Bracket the runaway limit coarsely, then compare conditioning far
+        // from and near the limit: the "distance to runaway" diagnostic must
+        // grow monotonically enough to be useful.
+        let s = system(&[TileIndex::new(1, 1)]);
+        let mut hi = 1.0_f64;
+        while s.solve(Amperes(hi * 2.0)).is_ok() {
+            hi *= 2.0;
+        }
+        let far = s.solve(Amperes(0.0)).unwrap();
+        let near = s.solve(Amperes(hi * 0.999)).unwrap();
+        assert!(
+            near.condition_estimate() > 2.0 * far.condition_estimate(),
+            "near {} vs far {}",
+            near.condition_estimate(),
+            far.condition_estimate()
+        );
+    }
+
+    #[test]
+    fn solve_with_policy_matches_solve_on_healthy_points() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        let a = s.solve(Amperes(3.0)).unwrap();
+        let b = s.solve_with_policy(Amperes(3.0), &SolverPolicy::default()).unwrap();
+        assert!((a.peak().value() - b.peak().value()).abs() < 1e-12);
+        assert_eq!(b.solve_method(), SolveMethod::Cholesky);
+        assert!(!b.degraded());
+    }
+
+    #[test]
+    fn solve_with_policy_still_reports_runaway_beyond_limit() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        match s.solve_with_policy(Amperes(1.0e5), &SolverPolicy::default()) {
             Err(OptError::BeyondRunaway { current }) => assert_eq!(current, 1.0e5),
             other => panic!("expected BeyondRunaway, got {other:?}"),
         }

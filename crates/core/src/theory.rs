@@ -239,7 +239,10 @@ pub fn check_theorem2(system: &CoolingSystem) -> Result<TheoryReport, OptError> 
         let near = crate::h_column(system, Amperes(lam * 0.9999), cold)?[k];
         let far = crate::h_column(system, Amperes(lam * 0.9), cold)?[k];
         witnesses += 1;
-        if !(near > 100.0 * far.max(1e-30)) {
+        // NaN must count as "did not grow", so the comparison is kept in the
+        // affirmative and negated as a bool.
+        let grew = near > 100.0 * far.max(1e-30);
+        if !grew {
             return Ok(TheoryReport::refuted(
                 "Theorem 2",
                 witnesses,
@@ -273,13 +276,11 @@ pub fn check_theorem3(system: &CoolingSystem, grid: usize) -> Result<TheoryRepor
         let i = lam * 0.98 * k as f64 / (grid - 1) as f64;
         columns.push(crate::h_column(system, Amperes(i), cold)?);
     }
-    let n = columns[0].len();
     let mut witnesses = 0;
     for w in columns.windows(3) {
-        for node in 0..n {
+        for (node, ((&lo, &mid), &hi)) in w[0].iter().zip(&w[1]).zip(&w[2]).enumerate() {
             witnesses += 1;
-            let mid = w[1][node];
-            let chord = 0.5 * (w[0][node] + w[2][node]);
+            let chord = 0.5 * (lo + hi);
             if mid > chord + 1e-7 * chord.abs().max(1.0) {
                 return Ok(TheoryReport::refuted(
                     "Theorem 3",

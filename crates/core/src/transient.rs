@@ -260,7 +260,7 @@ impl TransientSimulator {
     ///
     /// Returns [`OptError::InvalidParameter`] for a nonpositive step.
     pub fn new(system: CoolingSystem, dt: f64) -> Result<TransientSimulator, OptError> {
-        if !(dt > 0.0) || !dt.is_finite() {
+        if dt <= 0.0 || !dt.is_finite() {
             return Err(OptError::InvalidParameter(format!(
                 "time step must be positive and finite, got {dt}"
             )));
@@ -318,6 +318,13 @@ impl TransientSimulator {
         tile_powers: &[Watts],
         current: Amperes,
     ) -> Result<TransientSample, OptError> {
+        let expected = self.system.stamped().model().silicon_nodes().len();
+        if tile_powers.len() != expected {
+            return Err(OptError::Thermal(ThermalError::PowerLengthMismatch {
+                expected,
+                actual: tile_powers.len(),
+            }));
+        }
         let key = current.value().to_bits();
         if !self.cache.contains_key(&key) {
             // Bound the cache so a continuously-varying controller cannot

@@ -69,6 +69,18 @@ impl From<ThermalError> for DeviceError {
     }
 }
 
+impl From<tecopt_units::ValidationError> for DeviceError {
+    fn from(e: tecopt_units::ValidationError) -> DeviceError {
+        DeviceError::InvalidParameter {
+            what: match e.index {
+                Some(i) => format!("{}[{i}]", e.what),
+                None => e.what,
+            },
+            value: e.value,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,12 +55,7 @@ impl TecParams {
             (side.value(), "lateral side"),
         ];
         for (v, what) in checks {
-            if !(v > 0.0) || !v.is_finite() {
-                return Err(DeviceError::InvalidParameter {
-                    what: what.to_string(),
-                    value: v,
-                });
-            }
+            tecopt_units::validate::positive(what, v)?;
         }
         Ok(TecParams {
             seebeck,

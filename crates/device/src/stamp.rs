@@ -341,7 +341,7 @@ mod tests {
             s.system_matrix(Amperes(-1.0)),
             Err(DeviceError::NegativeCurrent { .. })
         ));
-        assert!(s.power_vector(&vec![Watts(0.0); 16], Amperes(-1.0)).is_err());
+        assert!(s.power_vector(&[Watts(0.0); 16], Amperes(-1.0)).is_err());
     }
 
     #[test]

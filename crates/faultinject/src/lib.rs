@@ -1,0 +1,200 @@
+//! Fault-injection helpers for the `tecopt` test suites.
+//!
+//! Robustness claims are only as good as the failures actually exercised.
+//! This crate deterministically manufactures the pathological inputs the
+//! hardened pipeline must survive — rank-deficient and near-singular
+//! matrices, NaN poisoning, broken symmetry, lost definiteness — so the
+//! integration tests can drive **every** public error variant of the
+//! workspace instead of only the happy path.
+//!
+//! The perturbations operate on [`DenseMatrix`] (and plain slices) and are
+//! intended for `#[cfg(test)]` / dev-dependency use; nothing here belongs in
+//! a production call path.
+//!
+//! ```
+//! use tecopt_faultinject as fi;
+//! use tecopt_linalg::{Cholesky, DenseMatrix, LinalgError};
+//!
+//! let mut a = fi::spd_matrix(4, 7);
+//! fi::break_definiteness(&mut a);
+//! assert!(matches!(
+//!     Cholesky::factor(&a),
+//!     Err(LinalgError::NotPositiveDefinite { .. })
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, SeedableRng};
+use tecopt_linalg::DenseMatrix;
+
+/// A deterministic, well-conditioned symmetric positive-definite test
+/// matrix: diagonally dominant with seeded off-diagonal couplings.
+///
+/// The structure mimics the thermal conductance matrices of the paper
+/// (Stieltjes-like: positive diagonal, nonpositive off-diagonals).
+pub fn spd_matrix(n: usize, seed: u64) -> DenseMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut a = DenseMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in (r + 1)..n {
+            let g = -rng.gen_range(0.0_f64..1.0);
+            a[(r, c)] = g;
+            a[(c, r)] = g;
+        }
+    }
+    // Strict diagonal dominance (ground leg) guarantees positive
+    // definiteness.
+    for r in 0..n {
+        let off: f64 = (0..n).filter(|&c| c != r).map(|c| a[(r, c)].abs()).sum();
+        a[(r, r)] = off + 1.0 + rng.gen_range(0.0_f64..1.0);
+    }
+    a
+}
+
+/// Overwrites one entry with NaN. For a symmetric consumer, pass `row == col`
+/// or poison both triangles yourself.
+pub fn inject_nan(a: &mut DenseMatrix, row: usize, col: usize) {
+    a[(row, col)] = f64::NAN;
+}
+
+/// Poisons one element of a vector with NaN.
+pub fn inject_nan_slice(v: &mut [f64], index: usize) {
+    v[index] = f64::NAN;
+}
+
+/// Makes the matrix exactly rank deficient by overwriting row and column
+/// `dst` with copies of row and column `src` (symmetry is preserved when the
+/// input is symmetric).
+///
+/// # Panics
+///
+/// Panics (test helper) if `src == dst` or either index is out of bounds.
+pub fn make_rank_deficient(a: &mut DenseMatrix, src: usize, dst: usize) {
+    assert!(src != dst, "duplicating a row onto itself is a no-op");
+    let n = a.rows();
+    for c in 0..n {
+        let v = a[(src, c)];
+        a[(dst, c)] = v;
+    }
+    for r in 0..n {
+        let v = a[(r, src)];
+        a[(r, dst)] = v;
+    }
+    a[(dst, dst)] = a[(src, src)];
+}
+
+/// Blends the matrix toward the rank-deficient copy produced by
+/// [`make_rank_deficient`]: the result is `(1−t)·A + t·A_singular`, singular
+/// at `t = 1` and increasingly ill-conditioned as `t → 1`.
+pub fn make_near_singular(a: &mut DenseMatrix, src: usize, dst: usize, t: f64) {
+    let mut singular = a.clone();
+    make_rank_deficient(&mut singular, src, dst);
+    let n = a.rows();
+    for r in 0..n {
+        for c in 0..n {
+            a[(r, c)] = (1.0 - t) * a[(r, c)] + t * singular[(r, c)];
+        }
+    }
+}
+
+/// Destroys symmetry by adding `delta` to a single off-diagonal entry
+/// (without touching its mirror).
+///
+/// # Panics
+///
+/// Panics (test helper) on matrices smaller than 2×2.
+pub fn break_symmetry(a: &mut DenseMatrix, delta: f64) {
+    assert!(a.rows() >= 2 && a.cols() >= 2, "need at least a 2x2 matrix");
+    a[(0, 1)] += delta;
+}
+
+/// Destroys positive definiteness by negating the largest diagonal entry.
+pub fn break_definiteness(a: &mut DenseMatrix) {
+    let n = a.rows().min(a.cols());
+    let mut k = 0;
+    for r in 1..n {
+        if a[(r, r)] > a[(k, k)] {
+            k = r;
+        }
+    }
+    a[(k, k)] = -a[(k, k)].abs().max(1.0);
+}
+
+/// A current just below the runaway threshold: `fraction` of the way from a
+/// known-feasible value to a known-infeasible one. Convenience for driving
+/// ill-conditioned (but still solvable) systems.
+pub fn near_runaway_current(feasible: f64, infeasible: f64, fraction: f64) -> f64 {
+    feasible + (infeasible - feasible) * fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecopt_linalg::{determinant, Cholesky, LinalgError, Lu};
+
+    #[test]
+    fn spd_matrix_is_positive_definite_and_deterministic() {
+        let a = spd_matrix(6, 3);
+        let b = spd_matrix(6, 3);
+        assert_eq!(a, b);
+        assert!(Cholesky::factor(&a).is_ok());
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn nan_injection_is_caught_by_ensure_finite() {
+        let mut a = spd_matrix(4, 1);
+        inject_nan(&mut a, 2, 2);
+        assert!(matches!(
+            a.ensure_finite(),
+            Err(LinalgError::NonFiniteEntry { row: 2, col: 2 })
+        ));
+        let mut v = vec![1.0; 4];
+        inject_nan_slice(&mut v, 3);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn rank_deficiency_reaches_singular() {
+        let mut a = spd_matrix(5, 9);
+        make_rank_deficient(&mut a, 1, 3);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(determinant(&a).unwrap(), 0.0);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn near_singular_degrades_conditioning_monotonically() {
+        let base = spd_matrix(5, 11);
+        let cond_at = |t: f64| {
+            let mut a = base.clone();
+            make_near_singular(&mut a, 0, 4, t);
+            Cholesky::factor(&a).map(|c| c.condition_estimate())
+        };
+        let c0 = cond_at(0.0).unwrap();
+        let c9 = cond_at(0.999_999).unwrap();
+        assert!(c9 > 100.0 * c0, "conditioning did not degrade: {c0} vs {c9}");
+    }
+
+    #[test]
+    fn symmetry_and_definiteness_breakers_work() {
+        let mut a = spd_matrix(4, 5);
+        break_symmetry(&mut a, 0.5);
+        assert!(!a.is_symmetric(1e-12));
+
+        let mut b = spd_matrix(4, 5);
+        break_definiteness(&mut b);
+        assert!(matches!(
+            Cholesky::factor(&b),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn near_runaway_interpolates() {
+        let i = near_runaway_current(2.0, 4.0, 0.75);
+        assert!((i - 3.5).abs() < 1e-12);
+    }
+}

@@ -83,7 +83,7 @@ pub fn conjugate_gradient(
     }
     let diag = a.diagonal();
     for (k, &d) in diag.iter().enumerate() {
-        if !(d > 0.0) {
+        if d <= 0.0 || d.is_nan() {
             return Err(LinalgError::InvalidInput(format!(
                 "jacobi preconditioner needs positive diagonal, entry {k} is {d}"
             )));
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let a = laplacian_2d(3);
-        let out = conjugate_gradient(&a, &vec![0.0; 9], CgSettings::default()).unwrap();
+        let out = conjugate_gradient(&a, &[0.0; 9], CgSettings::default()).unwrap();
         assert_eq!(out.iterations, 0);
         assert!(out.x.iter().all(|&v| v == 0.0));
     }

@@ -53,7 +53,7 @@ impl Cholesky {
             for k in 0..j {
                 diag -= l[(j, k)] * l[(j, k)];
             }
-            if !(diag > 0.0) || !diag.is_finite() {
+            if diag <= 0.0 || !diag.is_finite() {
                 return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let ljj = diag.sqrt();
@@ -104,17 +104,15 @@ impl Cholesky {
         // Forward substitution: L·y = b.
         let mut y = b.to_vec();
         for i in 0..n {
-            let mut v = y[i];
-            for k in 0..i {
-                v -= self.l[(i, k)] * y[k];
-            }
-            y[i] = v / self.l[(i, i)];
+            let row = self.l.row(i);
+            let dot: f64 = row[..i].iter().zip(&y[..i]).map(|(a, b)| a * b).sum();
+            y[i] = (y[i] - dot) / row[i];
         }
         // Back substitution: Lᵀ·x = y.
         for i in (0..n).rev() {
             let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.l[(k, i)] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                v -= self.l[(k, i)] * yk;
             }
             y[i] = v / self.l[(i, i)];
         }
@@ -158,6 +156,35 @@ impl Cholesky {
         let n = self.dim();
         self.solve_mat(&DenseMatrix::identity(n))
             .expect("identity has matching dimension")
+    }
+
+    /// Pivot-ratio estimate of the 2-norm condition number `κ(A)`.
+    ///
+    /// For `A = L·Lᵀ` the squared ratio of the extreme Cholesky pivots,
+    /// `(max_k L_kk / min_k L_kk)²`, is a cheap lower bound on `κ₂(A)` that
+    /// tracks the true condition number well for the diagonally dominant
+    /// Stieltjes systems of the paper. As the supply current approaches the
+    /// runaway limit `λ_m`, `G − i·D` approaches singularity and this
+    /// estimate diverges — making it the solver-level "distance to runaway"
+    /// diagnostic surfaced through `SolvedState`.
+    ///
+    /// Returns `+∞` if a pivot underflowed to zero (numerically singular).
+    pub fn condition_estimate(&self) -> f64 {
+        let mut max_p = f64::NEG_INFINITY;
+        let mut min_p = f64::INFINITY;
+        for k in 0..self.dim() {
+            let p = self.l[(k, k)];
+            max_p = max_p.max(p);
+            min_p = min_p.min(p);
+        }
+        if self.dim() == 0 {
+            return 1.0;
+        }
+        if min_p <= 0.0 {
+            return f64::INFINITY;
+        }
+        let r = max_p / min_p;
+        r * r
     }
 
     /// Natural logarithm of `det(A) = Π L_kk²`.

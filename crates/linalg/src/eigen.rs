@@ -54,10 +54,40 @@ impl PdThreshold {
 /// - [`LinalgError::InvalidInput`] if `d` has no positive entry (then
 ///   `G − i·D` stays PD for all `i ≥ 0` and no finite threshold exists), if
 ///   the dimensions disagree, or if `rel_tol` is not in `(0, 1)`.
+/// - [`LinalgError::BudgetExhausted`] if [`DEFAULT_PROBE_BUDGET`] Cholesky
+///   probes are spent before the bracket reaches `rel_tol` (see
+///   [`generalized_pd_threshold_budgeted`] for a custom budget).
 pub fn generalized_pd_threshold(
     g: &DenseMatrix,
     d: &[f64],
     rel_tol: f64,
+) -> Result<PdThreshold, LinalgError> {
+    generalized_pd_threshold_budgeted(g, d, rel_tol, DEFAULT_PROBE_BUDGET)
+}
+
+/// Default Cholesky-probe budget for [`generalized_pd_threshold`].
+///
+/// Exponential bracketing to `1e18` costs ~60 probes and bisection to
+/// `rel_tol = 1e-15` another ~50, so 4096 leaves two orders of magnitude of
+/// headroom for legitimate searches while still bounding adversarial ones.
+pub const DEFAULT_PROBE_BUDGET: usize = 4096;
+
+/// [`generalized_pd_threshold`] with an explicit cap on Cholesky probes.
+///
+/// A hard iteration bound makes the search total: no choice of `g`, `d`, or
+/// `rel_tol` that passes validation can loop forever (denormal-scale
+/// brackets, for instance, can otherwise bisect for a very long time before
+/// the floating-point midpoint reaches a fixed point).
+///
+/// # Errors
+///
+/// As [`generalized_pd_threshold`], with [`LinalgError::BudgetExhausted`]
+/// carrying `spent == budget == max_probes` once the cap is hit.
+pub fn generalized_pd_threshold_budgeted(
+    g: &DenseMatrix,
+    d: &[f64],
+    rel_tol: f64,
+    max_probes: usize,
 ) -> Result<PdThreshold, LinalgError> {
     if d.len() != g.rows() {
         return Err(LinalgError::DimensionMismatch {
@@ -75,8 +105,20 @@ pub fn generalized_pd_threshold(
             "d has no positive entry; G - i*D remains positive definite for all i".into(),
         ));
     }
+    if max_probes == 0 {
+        return Err(LinalgError::BudgetExhausted {
+            spent: 0,
+            budget: 0,
+        });
+    }
     let mut probes = 0usize;
     let mut pd_at = |i: f64| -> Result<bool, LinalgError> {
+        if probes >= max_probes {
+            return Err(LinalgError::BudgetExhausted {
+                spent: probes,
+                budget: max_probes,
+            });
+        }
         probes += 1;
         let mut m = g.clone();
         m.add_scaled_diagonal(d, -i)?;
@@ -106,6 +148,12 @@ pub fn generalized_pd_threshold(
     };
     while (upper - lower) > rel_tol * upper.max(1e-300) {
         let mid = 0.5 * (lower + upper);
+        if mid <= lower || mid >= upper {
+            // The floating-point midpoint reached a fixed point: the bracket
+            // is one ULP wide and cannot shrink further, so requesting a
+            // tighter rel_tol would spin forever. Accept the bracket.
+            break;
+        }
         if pd_at(mid)? {
             lower = mid;
         } else {
@@ -269,6 +317,34 @@ mod tests {
         assert!(generalized_pd_threshold(&g, &[1.0], 1e-9).is_err());
         assert!(generalized_pd_threshold(&g, &[1.0, 1.0], 0.0).is_err());
         assert!(generalized_pd_threshold(&g, &[1.0, 1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn pd_threshold_budget_exhaustion_is_an_error_not_a_hang() {
+        let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
+        // Three probes are not enough to even finish bracketing to i = 2.
+        let err = generalized_pd_threshold_budgeted(&g, &[1.0, 1.0], 1e-12, 3).unwrap_err();
+        assert_eq!(err, LinalgError::BudgetExhausted { spent: 3, budget: 3 });
+        let err = generalized_pd_threshold_budgeted(&g, &[1.0, 1.0], 1e-12, 0).unwrap_err();
+        assert!(matches!(err, LinalgError::BudgetExhausted { budget: 0, .. }));
+    }
+
+    #[test]
+    fn pd_threshold_ulp_wide_bracket_terminates() {
+        // rel_tol below machine epsilon: the bisection bracket bottoms out at
+        // one ULP and must stop via the midpoint fixed-point guard instead of
+        // spinning until the probe budget trips.
+        let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
+        let t = generalized_pd_threshold_budgeted(&g, &[1.0, 1.0], 1e-300, usize::MAX).unwrap();
+        assert!(t.probes < 200, "spent {} probes", t.probes);
+        assert!((t.estimate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_budget_covers_legitimate_searches() {
+        let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
+        let t = generalized_pd_threshold(&g, &[1.0, 1.0], 1e-15).unwrap();
+        assert!(t.probes < DEFAULT_PROBE_BUDGET / 10);
     }
 
     #[test]

@@ -52,6 +52,23 @@ pub enum LinalgError {
         /// Column of the offending entry.
         col: usize,
     },
+    /// The factorization succeeded but the pivot-ratio condition estimate
+    /// exceeds the caller's limit: the solution would be dominated by
+    /// rounding error. For the thermal systems of the paper this is the
+    /// numerical signature of operating close to the runaway limit `λ_m`.
+    IllConditioned {
+        /// Pivot-ratio condition-number estimate of the factored matrix.
+        estimate: f64,
+    },
+    /// An iteration or fallback budget was exhausted before the requested
+    /// accuracy was reached. Guarantees that adversarial inputs cannot hang
+    /// the searches; the caller can retry with a larger budget.
+    BudgetExhausted {
+        /// Work units (probes, attempts, evaluations) actually spent.
+        spent: usize,
+        /// The configured budget.
+        budget: usize,
+    },
     /// Input violated a documented precondition.
     InvalidInput(String),
 }
@@ -86,6 +103,15 @@ impl fmt::Display for LinalgError {
             LinalgError::NonFiniteEntry { row, col } => {
                 write!(f, "non-finite entry at ({row}, {col})")
             }
+            LinalgError::IllConditioned { estimate } => {
+                write!(
+                    f,
+                    "matrix is ill-conditioned (pivot-ratio estimate {estimate:.3e})"
+                )
+            }
+            LinalgError::BudgetExhausted { spent, budget } => {
+                write!(f, "budget exhausted after {spent} of {budget} work units")
+            }
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
     }
@@ -114,6 +140,12 @@ mod tests {
             }
             .to_string(),
             LinalgError::NonFiniteEntry { row: 1, col: 2 }.to_string(),
+            LinalgError::IllConditioned { estimate: 1e17 }.to_string(),
+            LinalgError::BudgetExhausted {
+                spent: 64,
+                budget: 64,
+            }
+            .to_string(),
             LinalgError::InvalidInput("bad".into()).to_string(),
         ];
         for m in msgs {

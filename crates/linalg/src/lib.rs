@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod cg;
 mod cholesky;
@@ -40,6 +41,7 @@ pub mod eigen;
 mod error;
 mod lu;
 mod matrix;
+mod robust;
 mod sparse;
 pub mod stieltjes;
 
@@ -48,4 +50,5 @@ pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use lu::{determinant, log_abs_determinant, Lu};
 pub use matrix::DenseMatrix;
+pub use robust::{solve_robust, RobustSolution, SolveDiagnostics, SolveMethod, SolverPolicy};
 pub use sparse::{CsrMatrix, Triplet};

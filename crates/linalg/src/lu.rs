@@ -92,6 +92,31 @@ impl Lu {
         self.lu.rows()
     }
 
+    /// Pivot-ratio estimate of the condition number: `max_k |U_kk| / min_k
+    /// |U_kk|`.
+    ///
+    /// With partial pivoting the `U` diagonal magnitudes track the scale
+    /// spread of the matrix; a huge ratio flags systems whose LU solutions
+    /// carry few correct digits. Companion to
+    /// [`Cholesky::condition_estimate`](crate::Cholesky::condition_estimate)
+    /// for the unsymmetric/fallback path. Returns `+∞` for a zero pivot.
+    pub fn condition_estimate(&self) -> f64 {
+        let mut max_p = 0.0_f64;
+        let mut min_p = f64::INFINITY;
+        for k in 0..self.dim() {
+            let p = self.lu[(k, k)].abs();
+            max_p = max_p.max(p);
+            min_p = min_p.min(p);
+        }
+        if self.dim() == 0 {
+            return 1.0;
+        }
+        if min_p == 0.0 {
+            return f64::INFINITY;
+        }
+        max_p / min_p
+    }
+
     /// Determinant of the original matrix.
     pub fn det(&self) -> f64 {
         let mut d = self.perm_sign;
@@ -117,19 +142,15 @@ impl Lu {
         // Apply permutation, forward substitution with unit-diagonal L.
         let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         for i in 0..n {
-            let mut v = y[i];
-            for k in 0..i {
-                v -= self.lu[(i, k)] * y[k];
-            }
-            y[i] = v;
+            let row = self.lu.row(i);
+            let dot: f64 = row[..i].iter().zip(&y[..i]).map(|(a, b)| a * b).sum();
+            y[i] -= dot;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
-            let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.lu[(i, k)] * y[k];
-            }
-            y[i] = v / self.lu[(i, i)];
+            let row = self.lu.row(i);
+            let dot: f64 = row[i + 1..].iter().zip(&y[i + 1..]).map(|(a, b)| a * b).sum();
+            y[i] = (y[i] - dot) / row[i];
         }
         Ok(y)
     }

@@ -179,15 +179,9 @@ impl DenseMatrix {
                 actual: x.len(),
             });
         }
-        let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            y[r] = acc;
-        }
+        let y = (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
         Ok(y)
     }
 

@@ -162,12 +162,12 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "input length mismatch");
         assert_eq!(y.len(), self.rows, "output length mismatch");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 

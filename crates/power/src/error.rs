@@ -76,6 +76,12 @@ impl fmt::Display for PowerError {
 
 impl std::error::Error for PowerError {}
 
+impl From<tecopt_units::ValidationError> for PowerError {
+    fn from(e: tecopt_units::ValidationError) -> PowerError {
+        PowerError::InvalidParameter(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,6 +50,17 @@ pub fn parse_flp(name: impl Into<String>, text: &str) -> Result<Floorplan, Power
         let h = parse(fields[2], "height")?;
         let x = parse(fields[3], "left-x")?;
         let y = parse(fields[4], "bottom-y")?;
+        // `1e999` parses to +∞ and `NaN` parses to NaN, so a plain
+        // `w <= 0.0` check lets both through; require finiteness explicitly.
+        for (what, v) in [("width", w), ("height", h), ("left-x", x), ("bottom-y", y)] {
+            if !v.is_finite() {
+                return Err(PowerError::InvalidParameter(format!(
+                    "flp line {}: unit '{}' has non-finite {what} {v}",
+                    lineno + 1,
+                    fields[0]
+                )));
+            }
+        }
         if w <= 0.0 || h <= 0.0 {
             return Err(PowerError::InvalidParameter(format!(
                 "flp line {}: unit '{}' has nonpositive extent",
@@ -156,6 +167,12 @@ pub fn parse_ptrace(plan: &Floorplan, text: &str) -> Result<Vec<PowerProfile>, P
                     values[col]
                 ))
             })?;
+            if !v.is_finite() {
+                return Err(PowerError::InvalidParameter(format!(
+                    "ptrace row {}: power {v} W is not finite",
+                    rowno + 1
+                )));
+            }
             powers[unit] = Watts(v);
         }
         profiles.push(PowerProfile::new(plan, powers)?);
@@ -166,14 +183,21 @@ pub fn parse_ptrace(plan: &Floorplan, text: &str) -> Result<Vec<PowerProfile>, P
 /// Serializes power profiles (all over the same plan) to the `.ptrace`
 /// format.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `profiles` is empty or the profiles disagree on the plan.
-pub fn to_ptrace(profiles: &[PowerProfile]) -> String {
-    assert!(!profiles.is_empty(), "need at least one profile");
-    let plan = profiles[0].plan();
+/// Returns [`PowerError::InvalidParameter`] if `profiles` is empty or the
+/// profiles disagree on the floorplan.
+pub fn to_ptrace(profiles: &[PowerProfile]) -> Result<String, PowerError> {
+    let plan = profiles
+        .first()
+        .ok_or_else(|| PowerError::InvalidParameter("need at least one profile".into()))?
+        .plan();
     for p in profiles {
-        assert_eq!(p.plan(), plan, "profiles must share one floorplan");
+        if p.plan() != plan {
+            return Err(PowerError::InvalidParameter(
+                "profiles must share one floorplan".into(),
+            ));
+        }
     }
     let mut out = String::new();
     let names: Vec<&str> = plan.units().iter().map(|u| u.name()).collect();
@@ -188,7 +212,7 @@ pub fn to_ptrace(profiles: &[PowerProfile]) -> String {
         out.push_str(&row.join("\t"));
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// The worst-case envelope of a set of trace rows plus a safety margin —
@@ -262,6 +286,56 @@ mod tests {
     }
 
     #[test]
+    fn flp_rejects_non_finite_fields() {
+        // Regression: `NaN <= 0.0` is false, so a NaN width used to sail
+        // through the nonpositive-extent check; `1e999` parses as +∞.
+        for bad in [
+            "A NaN 1.0 0.0 0.0",
+            "A 1.0 nan 0.0 0.0",
+            "A 1e999 1.0 0.0 0.0",
+            "A 1.0 1.0 inf 0.0",
+            "A 1.0 1.0 0.0 -inf",
+        ] {
+            match parse_flp("x", bad) {
+                Err(PowerError::InvalidParameter(msg)) => {
+                    assert!(msg.contains("non-finite"), "line '{bad}' gave '{msg}'")
+                }
+                other => panic!("'{bad}' must be rejected as non-finite, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ptrace_rejects_non_finite_powers() {
+        let plan = parse_flp(
+            "demo",
+            "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n",
+        )
+        .unwrap();
+        for bad in ["A B\nNaN 1.0\n", "A B\n1.0 inf\n", "A B\n1e999 1.0\n"] {
+            match parse_ptrace(&plan, bad) {
+                Err(PowerError::InvalidParameter(msg)) => {
+                    assert!(msg.contains("not finite"), "trace '{bad}' gave '{msg}'")
+                }
+                other => panic!("'{bad}' must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn to_ptrace_errors_instead_of_panicking() {
+        assert!(matches!(
+            to_ptrace(&[]),
+            Err(PowerError::InvalidParameter(_))
+        ));
+        let plan_a = parse_flp("a", "A\t1.0\t1.0\t0.0\t0.0\n").unwrap();
+        let plan_b = parse_flp("b", "B\t2.0\t2.0\t0.0\t0.0\n").unwrap();
+        let pa = PowerProfile::new(&plan_a, vec![Watts(1.0)]).unwrap();
+        let pb = PowerProfile::new(&plan_b, vec![Watts(1.0)]).unwrap();
+        assert!(to_ptrace(&[pa, pb]).is_err());
+    }
+
+    #[test]
     fn ptrace_round_trip() {
         let plan = alpha21364_like().unwrap();
         let rows: Vec<PowerProfile> = (1..=3)
@@ -275,7 +349,7 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let text = to_ptrace(&rows);
+        let text = to_ptrace(&rows).unwrap();
         let back = parse_ptrace(&plan, &text).unwrap();
         assert_eq!(back.len(), 3);
         for (a, b) in rows.iter().zip(&back) {

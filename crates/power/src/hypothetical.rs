@@ -408,14 +408,20 @@ mod tests {
 
     #[test]
     fn invalid_settings_rejected() {
-        let mut s = HypotheticalSettings::default();
-        s.min_unit_tiles = 0;
+        let s = HypotheticalSettings {
+            min_unit_tiles: 0,
+            ..HypotheticalSettings::default()
+        };
         assert!(HypotheticalChip::generate("x", 1, &s).is_err());
-        let mut s2 = HypotheticalSettings::default();
-        s2.hot_power_fraction = 1.5;
+        let s2 = HypotheticalSettings {
+            hot_power_fraction: 1.5,
+            ..HypotheticalSettings::default()
+        };
         assert!(HypotheticalChip::generate("x", 1, &s2).is_err());
-        let mut s3 = HypotheticalSettings::default();
-        s3.total_power_range = (25.0, 15.0);
+        let s3 = HypotheticalSettings {
+            total_power_range: (25.0, 15.0),
+            ..HypotheticalSettings::default()
+        };
         assert!(HypotheticalChip::generate("x", 1, &s3).is_err());
     }
 

@@ -114,7 +114,7 @@ impl WorkloadModel {
             });
         }
         for (u, d) in plan.units().iter().zip(&nominal_density) {
-            if !(d.value() > 0.0) || !d.is_finite() {
+            if d.value() <= 0.0 || !d.is_finite() {
                 return Err(PowerError::InvalidPower {
                     unit: u.name().to_string(),
                     value: d.value(),

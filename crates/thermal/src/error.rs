@@ -72,6 +72,12 @@ impl From<LinalgError> for ThermalError {
     }
 }
 
+impl From<tecopt_units::ValidationError> for ThermalError {
+    fn from(e: tecopt_units::ValidationError) -> ThermalError {
+        ThermalError::InvalidConfig(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,7 +58,7 @@ impl TileGrid {
                 "tile grid must have at least one row and one column".into(),
             ));
         }
-        if !(tile_size.value() > 0.0) || !tile_size.is_finite() {
+        if tile_size.value() <= 0.0 || !tile_size.is_finite() {
             return Err(ThermalError::InvalidConfig(format!(
                 "tile size must be positive and finite, got {tile_size}"
             )));

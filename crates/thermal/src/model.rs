@@ -30,7 +30,7 @@ impl TwoPortSpec {
             (self.mid, "mid conductance"),
             (self.upper_contact, "upper contact conductance"),
         ] {
-            if !(g.value() > 0.0) || !g.is_finite() {
+            if g.value() <= 0.0 || !g.is_finite() {
                 return Err(ThermalError::InvalidConfig(format!(
                     "{what} must be positive and finite, got {g}"
                 )));
@@ -741,7 +741,7 @@ mod tests {
         let cfg = PackageConfig::builder(grid).build().unwrap();
         let model = CompactModel::new(&cfg).unwrap();
         model.validate().unwrap();
-        let temps = model.solve_passive(&vec![Watts(0.1); 18]).unwrap();
+        let temps = model.solve_passive(&[Watts(0.1); 18]).unwrap();
         assert_eq!(model.silicon_temperatures(&temps).len(), 18);
     }
 
@@ -751,7 +751,7 @@ mod tests {
         // power the tile-to-tile variation is far below the mean rise.
         let cfg = PackageConfig::hotspot41_like(5, 5).unwrap();
         let model = CompactModel::new(&cfg).unwrap();
-        let temps = model.solve_passive(&vec![Watts(0.2); 25]).unwrap();
+        let temps = model.solve_passive(&[Watts(0.2); 25]).unwrap();
         let sil = model.silicon_temperatures(&temps);
         let max = sil.iter().copied().fold(Celsius(f64::MIN), Celsius::max);
         let min = sil.iter().copied().fold(Celsius(f64::MAX), Celsius::min);

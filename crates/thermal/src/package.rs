@@ -249,27 +249,16 @@ impl PackageConfigBuilder {
     /// cover the spreader, a cell count is zero, or the convection resistance
     /// is nonpositive.
     pub fn build(&self) -> Result<PackageConfig, ThermalError> {
-        let positive = |v: f64, what: &str| -> Result<(), ThermalError> {
-            if v > 0.0 && v.is_finite() {
-                Ok(())
-            } else {
-                Err(ThermalError::InvalidConfig(format!(
-                    "{what} must be positive and finite, got {v}"
-                )))
-            }
-        };
-        positive(self.die_thickness.value(), "die thickness")?;
-        positive(self.tim_thickness.value(), "tim thickness")?;
-        positive(self.spreader_side.value(), "spreader side")?;
-        positive(self.spreader_thickness.value(), "spreader thickness")?;
-        positive(self.sink_side.value(), "sink side")?;
-        positive(self.sink_thickness.value(), "sink thickness")?;
-        positive(self.convection_resistance.value(), "convection resistance")?;
-        if self.spreader_cells == 0 || self.sink_cells == 0 {
-            return Err(ThermalError::InvalidConfig(
-                "spreader and sink cell counts must be positive".into(),
-            ));
-        }
+        use tecopt_units::validate;
+        validate::positive("die thickness", self.die_thickness.value())?;
+        validate::positive("tim thickness", self.tim_thickness.value())?;
+        validate::positive("spreader side", self.spreader_side.value())?;
+        validate::positive("spreader thickness", self.spreader_thickness.value())?;
+        validate::positive("sink side", self.sink_side.value())?;
+        validate::positive("sink thickness", self.sink_thickness.value())?;
+        validate::positive("convection resistance", self.convection_resistance.value())?;
+        validate::non_zero("spreader cell count", self.spreader_cells)?;
+        validate::non_zero("sink cell count", self.sink_cells)?;
         let die_extent = self.grid.width().value().max(self.grid.height().value());
         if self.spreader_side.value() < die_extent {
             return Err(ThermalError::InvalidConfig(format!(

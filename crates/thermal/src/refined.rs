@@ -509,7 +509,7 @@ mod tests {
     fn zero_power_is_ambient() {
         let cfg = tiny();
         let m = ReferenceModel::new(&cfg, coarse_settings()).unwrap();
-        let sol = m.solve(&vec![Watts(0.0); 16]).unwrap();
+        let sol = m.solve(&[Watts(0.0); 16]).unwrap();
         for t in sol.tile_temperatures() {
             assert!((t.value() - cfg.ambient().value()).abs() < 1e-6);
         }
@@ -523,7 +523,7 @@ mod tests {
         let cfg = tiny();
         let m = ReferenceModel::new(&cfg, coarse_settings()).unwrap();
         let total = 4.0;
-        let sol = m.solve(&vec![Watts(total / 16.0); 16]).unwrap();
+        let sol = m.solve(&[Watts(total / 16.0); 16]).unwrap();
         let min_rise = total * cfg.convection_resistance().value();
         assert!(
             sol.peak().value() - cfg.ambient().value() > min_rise,

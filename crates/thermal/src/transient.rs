@@ -58,7 +58,7 @@ impl BackwardEuler {
     ///   super-runaway currents integrate fine and simply diverge in time,
     ///   which is the physical behaviour.
     pub fn new(a: &DenseMatrix, capacitance: &[f64], dt: f64) -> Result<BackwardEuler, ThermalError> {
-        if !(dt > 0.0) || !dt.is_finite() {
+        if dt <= 0.0 || !dt.is_finite() {
             return Err(ThermalError::InvalidConfig(format!(
                 "time step must be positive and finite, got {dt}"
             )));
@@ -70,7 +70,7 @@ impl BackwardEuler {
                 a.rows()
             )));
         }
-        if capacitance.iter().any(|&c| !(c > 0.0) || !c.is_finite()) {
+        if capacitance.iter().any(|&c| c <= 0.0 || !c.is_finite()) {
             return Err(ThermalError::InvalidConfig(
                 "capacitances must be positive and finite".into(),
             ));

@@ -31,6 +31,10 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
+pub mod validate;
+
+pub use validate::ValidationError;
+
 /// Offset between the Kelvin and Celsius scales.
 pub const CELSIUS_OFFSET: f64 = 273.15;
 

@@ -1,0 +1,247 @@
+//! Shared input-validation primitives for every public entry point of the
+//! workspace.
+//!
+//! The solvers downstream run dense factorizations of `G − i·D`; a single
+//! NaN, infinity, or sign-flipped parameter that slips through an entry
+//! point surfaces hundreds of flops later as a misleading
+//! `NotPositiveDefinite` — or worse, as a silently wrong temperature map.
+//! Every layer therefore funnels its checks through this module so that
+//! malformed input fails *at the boundary*, with a structured
+//! [`ValidationError`] naming the offending quantity, instead of
+//! garbage-in-garbage-out.
+//!
+//! The checks deliberately treat `NaN` as a violation of *every* constraint:
+//! `NaN <= 0.0` is `false`, so the naive `if v <= 0.0 { reject }` pattern
+//! this module replaces silently accepts NaN.
+//!
+//! ```
+//! use tecopt_units::validate;
+//!
+//! assert!(validate::positive("width", 0.5).is_ok());
+//! assert!(validate::positive("width", f64::NAN).is_err());
+//! assert!(validate::positive("width", 0.0).is_err());
+//! let err = validate::finite("power", f64::INFINITY).unwrap_err();
+//! assert!(err.to_string().contains("power"));
+//! ```
+
+use core::fmt;
+
+/// The constraint a value failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Constraint {
+    /// Must be finite (neither NaN nor ±∞).
+    Finite,
+    /// Must be finite and strictly positive.
+    Positive,
+    /// Must be finite and `≥ 0`.
+    NonNegative,
+    /// Must be finite and inside an open interval.
+    OpenInterval {
+        /// Exclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Must be a nonzero count.
+    NonZeroCount,
+}
+
+impl Constraint {
+    fn describe(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Finite => write!(f, "must be finite"),
+            Constraint::Positive => write!(f, "must be a finite positive number"),
+            Constraint::NonNegative => write!(f, "must be a finite nonnegative number"),
+            Constraint::OpenInterval { lo, hi } => {
+                write!(f, "must lie strictly inside ({lo}, {hi})")
+            }
+            Constraint::NonZeroCount => write!(f, "must be a nonzero count"),
+        }
+    }
+}
+
+/// A named quantity violated a validation constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Human-readable name of the quantity, e.g. `"tile power"`.
+    pub what: String,
+    /// The offending value (NaN-safe to store; only used for display).
+    pub value: f64,
+    /// Index of the offending element when a slice was validated.
+    pub index: Option<usize>,
+    /// The violated constraint.
+    pub constraint: Constraint,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{}] = {} ", self.what, i, self.value)?,
+            None => write!(f, "{} = {} ", self.what, self.value)?,
+        }
+        self.constraint.describe(f)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that `v` is finite, returning it on success.
+pub fn finite(what: &str, v: f64) -> Result<f64, ValidationError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ValidationError {
+            what: what.into(),
+            value: v,
+            index: None,
+            constraint: Constraint::Finite,
+        })
+    }
+}
+
+/// Checks that `v` is finite and strictly positive, returning it on success.
+pub fn positive(what: &str, v: f64) -> Result<f64, ValidationError> {
+    // `v > 0.0` is false for NaN, so this rejects NaN without a separate test;
+    // the explicit finiteness check still rejects +∞.
+    if v > 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ValidationError {
+            what: what.into(),
+            value: v,
+            index: None,
+            constraint: Constraint::Positive,
+        })
+    }
+}
+
+/// Checks that `v` is finite and `≥ 0`, returning it on success.
+pub fn non_negative(what: &str, v: f64) -> Result<f64, ValidationError> {
+    if v >= 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ValidationError {
+            what: what.into(),
+            value: v,
+            index: None,
+            constraint: Constraint::NonNegative,
+        })
+    }
+}
+
+/// Checks that `v` lies strictly inside `(lo, hi)`, returning it on success.
+pub fn open_interval(what: &str, v: f64, lo: f64, hi: f64) -> Result<f64, ValidationError> {
+    if v > lo && v < hi {
+        Ok(v)
+    } else {
+        Err(ValidationError {
+            what: what.into(),
+            value: v,
+            index: None,
+            constraint: Constraint::OpenInterval { lo, hi },
+        })
+    }
+}
+
+/// Checks that every element of `vs` is finite.
+pub fn finite_slice(what: &str, vs: &[f64]) -> Result<(), ValidationError> {
+    for (i, &v) in vs.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(ValidationError {
+                what: what.into(),
+                value: v,
+                index: Some(i),
+                constraint: Constraint::Finite,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every element of `vs` is finite and `≥ 0`.
+pub fn non_negative_slice(what: &str, vs: &[f64]) -> Result<(), ValidationError> {
+    for (i, &v) in vs.iter().enumerate() {
+        if !(v >= 0.0 && v.is_finite()) {
+            return Err(ValidationError {
+                what: what.into(),
+                value: v,
+                index: Some(i),
+                constraint: Constraint::NonNegative,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a count is nonzero, returning it on success.
+pub fn non_zero(what: &str, n: usize) -> Result<usize, ValidationError> {
+    if n == 0 {
+        Err(ValidationError {
+            what: what.into(),
+            value: 0.0,
+            index: None,
+            constraint: Constraint::NonZeroCount,
+        })
+    } else {
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_rejects_nan_and_infinities() {
+        assert_eq!(finite("x", 1.5).unwrap(), 1.5);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = finite("x", bad).unwrap_err();
+            assert_eq!(e.constraint, Constraint::Finite);
+        }
+    }
+
+    #[test]
+    fn positive_rejects_zero_negative_and_non_finite() {
+        assert!(positive("w", 1e-300).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(positive("w", bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn non_negative_accepts_zero() {
+        assert!(non_negative("p", 0.0).is_ok());
+        for bad in [-1e-300, f64::NAN, f64::INFINITY] {
+            assert!(non_negative("p", bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn open_interval_excludes_endpoints_and_nan() {
+        assert!(open_interval("f", 0.5, 0.0, 1.0).is_ok());
+        for bad in [0.0, 1.0, -0.1, 1.1, f64::NAN] {
+            assert!(open_interval("f", bad, 0.0, 1.0).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn slice_errors_carry_the_index() {
+        let e = finite_slice("p", &[0.0, 1.0, f64::NAN]).unwrap_err();
+        assert_eq!(e.index, Some(2));
+        assert!(e.to_string().contains("p[2]"));
+        let e = non_negative_slice("p", &[0.0, -3.0]).unwrap_err();
+        assert_eq!(e.index, Some(1));
+        assert!(finite_slice("p", &[]).is_ok());
+    }
+
+    #[test]
+    fn display_names_the_quantity_and_rule() {
+        let e = positive("die thickness", -2.0).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("die thickness"));
+        assert!(msg.contains("positive"));
+        assert!(non_zero("grid rows", 0).is_err());
+        assert_eq!(non_zero("grid rows", 3).unwrap(), 3);
+    }
+}

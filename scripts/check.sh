@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Full local quality gate for the tecopt workspace:
+#   1. release build of every crate,
+#   2. clippy across all targets with warnings promoted to errors
+#      (crates/linalg and crates/core additionally warn on unwrap() in
+#      non-test code; clippy.toml allows unwraps inside tests),
+#   3. the complete test suite, including the fault-injection error-path
+#      coverage (tests/error_paths.rs) and the property-based robustness
+#      sweeps (tests/robustness.rs).
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -22,7 +22,7 @@ fn file_round_trip_preserves_the_design_outcome() {
 
     // Serialize to the HotSpot formats and parse back.
     let flp_text = to_flp(&plan);
-    let ptrace_text = to_ptrace(&traces);
+    let ptrace_text = to_ptrace(&traces).unwrap();
     let plan_back = parse_flp("alpha21364-like", &flp_text).unwrap();
     let traces_back = parse_ptrace(&plan_back, &ptrace_text).unwrap();
     assert_eq!(traces_back.len(), traces.len());
