@@ -1,10 +1,18 @@
 //! Criterion bench for the linear-algebra kernels that dominate every
 //! experiment: dense Cholesky factorization/solve at the compact-model
-//! sizes and CG on the fine-grid systems.
+//! sizes, CG on the fine-grid systems, and the PR-2 backend comparison
+//! (dense vs sparse `FactoredSystem`, plus the cached-workspace hot path)
+//! on real paper-scale compact models.
+
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tecopt::{CoolingSystem, PackageConfig, TecParams, TileIndex};
 use tecopt_linalg::stieltjes::{random_stieltjes, seeded_rng, StieltjesSampler};
-use tecopt_linalg::{conjugate_gradient, CgSettings, Cholesky, CsrMatrix, Triplet};
+use tecopt_linalg::{
+    conjugate_gradient, CgSettings, Cholesky, CsrMatrix, FactoredSystem, ResolvedBackend, Triplet,
+};
+use tecopt_units::{Amperes, Watts};
 
 fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
@@ -56,5 +64,61 @@ fn bench_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver);
+/// Paper-style compact model on an `rows x cols` grid with a hotspot power
+/// map and one TEC deployed — the same family the backend-equivalence
+/// tests exercise, at bench scale.
+fn paper_grid_system(rows: usize, cols: usize) -> CoolingSystem {
+    let config = PackageConfig::hotspot41_like(rows, cols).expect("package");
+    let mut powers = vec![Watts(0.05); rows * cols];
+    powers[cols + 1] = Watts(0.6);
+    powers[rows * cols / 2] = Watts(0.4);
+    CoolingSystem::new(
+        &config,
+        TecParams::superlattice_thin_film(),
+        &[TileIndex::new(1, 1)],
+        powers,
+    )
+    .expect("system")
+}
+
+/// PR-2 backend comparison: factor-and-solve cost of dense Cholesky vs
+/// sparse Jacobi-CG on the stamped `G` of 8x8 .. 32x32 paper grids, plus
+/// the end-to-end cached-workspace solve (`CoolingSystem::solve` with the
+/// `Auto` backend, factorization reused across iterations).
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    group.sample_size(3);
+    group.measurement_time(Duration::from_millis(200));
+    for (rows, cols) in [(8usize, 8usize), (16, 16), (32, 32)] {
+        let system = paper_grid_system(rows, cols);
+        let g = system.stamped().model().g_matrix().clone();
+        let n = g.rows();
+        let label = format!("{rows}x{cols}_n{n}");
+        let rhs: Vec<f64> = (0..n).map(|k| 0.1 + (k as f64 * 0.13).sin().abs()).collect();
+        group.bench_with_input(BenchmarkId::new("dense_cholesky", &label), &n, |b, _| {
+            b.iter(|| {
+                FactoredSystem::factor(&g, ResolvedBackend::DenseCholesky)
+                    .expect("pd")
+                    .solve(&rhs)
+                    .expect("solve")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_cg", &label), &n, |b, _| {
+            b.iter(|| {
+                FactoredSystem::factor(&g, ResolvedBackend::SparseCg(CgSettings::default()))
+                    .expect("assemble")
+                    .solve(&rhs)
+                    .expect("solve")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cached_workspace_solve", &label),
+            &n,
+            |b, _| b.iter(|| system.solve(Amperes(1.0)).expect("solve")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_backends);
 criterion_main!(benches);

@@ -7,7 +7,8 @@
 //! and `η′(i) = H·D·H·1_J` (two solves), so a certificate probe costs one
 //! Cholesky factorization regardless of how many tiles are checked.
 
-use crate::{runaway_limit, CoolingSystem, OptError};
+use crate::parallel::par_map_init;
+use crate::{runaway_limit, CoolingSystem, OptError, SteadySolver};
 use tecopt_units::Amperes;
 
 /// One column of `H(i) = (G − i·D)⁻¹`: the temperature response of every
@@ -60,6 +61,31 @@ pub fn eta_and_derivative(
     let d = system.stamped().d_diagonal();
     let v: Vec<f64> = e.iter().zip(d).map(|(x, dk)| x * dk).collect();
     let ep = system.solve_rhs(current, &v)?;
+    Ok((e, ep))
+}
+
+/// [`eta`] evaluated through a private solver handle — the lock-free probe
+/// the parallel certificate workers use.
+fn eta_with(solver: &mut SteadySolver<'_>, current: Amperes) -> Result<Vec<f64>, OptError> {
+    let stamped = solver.system().stamped();
+    let n = stamped.model().node_count();
+    let mut rhs = vec![0.0; n];
+    for &j in stamped.joule_nodes() {
+        rhs[j] = 1.0;
+    }
+    solver.solve_rhs(current, &rhs)
+}
+
+/// [`eta_and_derivative`] evaluated through a private solver handle. The
+/// two solves share one factorization (same current key).
+fn eta_and_derivative_with(
+    solver: &mut SteadySolver<'_>,
+    current: Amperes,
+) -> Result<(Vec<f64>, Vec<f64>), OptError> {
+    let e = eta_with(solver, current)?;
+    let d = solver.system().stamped().d_diagonal();
+    let v: Vec<f64> = e.iter().zip(d).map(|(x, dk)| x * dk).collect();
+    let ep = solver.solve_rhs(current, &v)?;
     Ok((e, ep))
 }
 
@@ -180,76 +206,102 @@ pub fn certify_convexity(
     let model = system.stamped().model();
     let silicon: Vec<usize> = model.silicon_nodes().iter().map(|id| id.index()).collect();
 
-    let mut probes = 0usize;
-    for t in 0..settings.subranges {
-        let a = ceiling * t as f64 / settings.subranges as f64;
-        let b = ceiling * (t + 1) as f64 / settings.subranges as f64;
-        // eta'(i_t), the frozen slope of Lemma 4.
-        let (_, etap_a) = eta_and_derivative(system, Amperes(a))?;
-        probes += 1;
-        // Probe the subrange; keep (f, f') at each probe for every tile.
-        let q = settings.probes_per_subrange;
-        let mut fvals: Vec<Vec<f64>> = Vec::with_capacity(q);
-        let mut fslopes: Vec<Vec<f64>> = Vec::with_capacity(q);
-        let mut points = Vec::with_capacity(q);
-        for j in 0..q {
-            let i = a + (b - a) * j as f64 / (q - 1) as f64;
-            let (e, ep) = eta_and_derivative(system, Amperes(i))?;
-            probes += 1;
-            let f: Vec<f64> = silicon
-                .iter()
-                .map(|&k| e[k] + etap_a[k] * i)
-                .collect();
-            let fp: Vec<f64> = silicon.iter().map(|&k| ep[k] + etap_a[k]).collect();
-            fvals.push(f);
-            fslopes.push(fp);
-            points.push(i);
-        }
-        // Certified tangent lower bound on each probe gap, per tile.
-        let scale: f64 = fvals
-            .iter()
-            .flat_map(|v| v.iter())
-            .fold(0.0_f64, |m, &x| m.max(x.abs()));
-        let slack = settings.tolerance * scale.max(1.0);
-        for j in 0..(q - 1) {
-            let (pj, pj1) = (points[j], points[j + 1]);
-            for (tile_idx, _) in silicon.iter().enumerate() {
-                let f0 = fvals[j][tile_idx];
-                let s0 = fslopes[j][tile_idx];
-                let f1 = fvals[j + 1][tile_idx];
-                let s1 = fslopes[j + 1][tile_idx];
-                let lb = if s0 >= 0.0 {
-                    f0
-                } else if s1 <= 0.0 {
-                    f1
-                } else {
-                    // Tangent intersection of t0(i) = f0 + s0 (i - pj) and
-                    // t1(i) = f1 + s1 (i - pj1).
-                    let i_star = (f1 - f0 + s0 * pj - s1 * pj1) / (s0 - s1);
-                    let i_star = i_star.clamp(pj, pj1);
-                    f0 + s0 * (i_star - pj)
-                };
-                if lb < -slack {
-                    return Ok(ConvexityCertificate {
-                        outcome: CertificateOutcome::Inconclusive {
-                            tile: tile_idx,
-                            interval: (pj, pj1),
-                            lower_bound: lb,
-                        },
-                        subranges: settings.subranges,
-                        probes,
-                        lambda,
-                    });
-                }
-            }
+    // Sub-ranges are independent (each freezes its own slope at `i_t`), so
+    // they are checked in parallel, one warm solver handle per worker.
+    // Probe assembly once up front so workers can't hit a build error.
+    system.solver()?;
+    let q = settings.probes_per_subrange;
+    let results = par_map_init(
+        (0..settings.subranges).collect::<Vec<usize>>(),
+        || {
+            system
+                .solver()
+                .expect("workspace assembly succeeded moments ago")
+        },
+        |solver, t| check_subrange(solver, t, ceiling, &silicon, settings),
+    );
+    // First failing sub-range wins, exactly as the sequential loop: report
+    // the probe count it would have accumulated — (q+1) factorizations per
+    // examined sub-range, failures included.
+    for (t, res) in results.into_iter().enumerate() {
+        if let Some(outcome) = res? {
+            return Ok(ConvexityCertificate {
+                outcome,
+                subranges: settings.subranges,
+                probes: (t + 1) * (q + 1),
+                lambda,
+            });
         }
     }
     Ok(ConvexityCertificate {
         outcome: CertificateOutcome::Certified,
         subranges: settings.subranges,
-        probes,
+        probes: settings.subranges * (q + 1),
         lambda,
     })
+}
+
+/// Runs the Lemma-4 check on sub-range `t`, returning the failure verdict
+/// if its certified lower bound goes negative anywhere.
+fn check_subrange(
+    solver: &mut SteadySolver<'_>,
+    t: usize,
+    ceiling: f64,
+    silicon: &[usize],
+    settings: ConvexitySettings,
+) -> Result<Option<CertificateOutcome>, OptError> {
+    let a = ceiling * t as f64 / settings.subranges as f64;
+    let b = ceiling * (t + 1) as f64 / settings.subranges as f64;
+    // eta'(i_t), the frozen slope of Lemma 4.
+    let (_, etap_a) = eta_and_derivative_with(solver, Amperes(a))?;
+    // Probe the subrange; keep (f, f') at each probe for every tile.
+    let q = settings.probes_per_subrange;
+    let mut fvals: Vec<Vec<f64>> = Vec::with_capacity(q);
+    let mut fslopes: Vec<Vec<f64>> = Vec::with_capacity(q);
+    let mut points = Vec::with_capacity(q);
+    for j in 0..q {
+        let i = a + (b - a) * j as f64 / (q - 1) as f64;
+        let (e, ep) = eta_and_derivative_with(solver, Amperes(i))?;
+        let f: Vec<f64> = silicon.iter().map(|&k| e[k] + etap_a[k] * i).collect();
+        let fp: Vec<f64> = silicon.iter().map(|&k| ep[k] + etap_a[k]).collect();
+        fvals.push(f);
+        fslopes.push(fp);
+        points.push(i);
+    }
+    // Certified tangent lower bound on each probe gap, per tile.
+    let scale: f64 = fvals
+        .iter()
+        .flat_map(|v| v.iter())
+        .fold(0.0_f64, |m, &x| m.max(x.abs()));
+    let slack = settings.tolerance * scale.max(1.0);
+    for j in 0..(q - 1) {
+        let (pj, pj1) = (points[j], points[j + 1]);
+        for tile_idx in 0..silicon.len() {
+            let f0 = fvals[j][tile_idx];
+            let s0 = fslopes[j][tile_idx];
+            let f1 = fvals[j + 1][tile_idx];
+            let s1 = fslopes[j + 1][tile_idx];
+            let lb = if s0 >= 0.0 {
+                f0
+            } else if s1 <= 0.0 {
+                f1
+            } else {
+                // Tangent intersection of t0(i) = f0 + s0 (i - pj) and
+                // t1(i) = f1 + s1 (i - pj1).
+                let i_star = (f1 - f0 + s0 * pj - s1 * pj1) / (s0 - s1);
+                let i_star = i_star.clamp(pj, pj1);
+                f0 + s0 * (i_star - pj)
+            };
+            if lb < -slack {
+                return Ok(Some(CertificateOutcome::Inconclusive {
+                    tile: tile_idx,
+                    interval: (pj, pj1),
+                    lower_bound: lb,
+                }));
+            }
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]

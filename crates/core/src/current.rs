@@ -13,7 +13,7 @@
 //!   subgradient `dθ/di = H·D·H·p + H·p′(i)` evaluated with two extra
 //!   triangular solves, plus a backtracking line search.
 
-use crate::{runaway_limit, CoolingSystem, OptError, SolvedState};
+use crate::{runaway_limit, CoolingSystem, OptError, SolvedState, SteadySolver};
 use tecopt_units::Amperes;
 
 /// Optimization back end.
@@ -161,16 +161,22 @@ pub fn optimize_current(
     let lambda = lim.lambda();
     let probes = lim.probes();
 
+    // One solver handle for the whole line search: `G` and `p` are
+    // assembled once, and consecutive probes at the same current (the
+    // gradient's extra right-hand sides) reuse the factorization.
+    let mut solver = system.solver()?;
     let mut opt = match settings.method {
-        CurrentMethod::GoldenSection => golden_section(system, ceiling, lambda, settings)?,
-        CurrentMethod::GradientDescent => gradient_descent(system, ceiling, lambda, settings)?,
+        CurrentMethod::GoldenSection => golden_section(&mut solver, ceiling, lambda, settings)?,
+        CurrentMethod::GradientDescent => {
+            gradient_descent(&mut solver, ceiling, lambda, settings)?
+        }
     };
     opt.probes = probes;
     Ok(opt)
 }
 
 fn golden_section(
-    system: &CoolingSystem,
+    system: &mut SteadySolver<'_>,
     ceiling: f64,
     lambda: Amperes,
     settings: CurrentSettings,
@@ -239,7 +245,7 @@ fn golden_section(
 }
 
 fn gradient_descent(
-    system: &CoolingSystem,
+    system: &mut SteadySolver<'_>,
     ceiling: f64,
     lambda: Amperes,
     settings: CurrentSettings,
@@ -296,11 +302,29 @@ fn gradient_descent(
     })
 }
 
+/// Index of the largest finite value — a NaN can never win.
+///
+/// The old implementation compared with
+/// `partial_cmp().unwrap_or(Equal)`, under which a NaN anywhere in the
+/// slice silently scrambled the ordering (whichever operand came first
+/// "tied", so a NaN could be reported as the maximum). Filtering NaN
+/// first and comparing with [`f64::total_cmp`] makes the argmax
+/// deterministic; `None` means every value was NaN (or the slice was
+/// empty).
+pub(crate) fn nan_safe_argmax(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, _)| k)
+}
+
 /// Exact derivative of the peak tile temperature with respect to the supply
 /// current, via `dθ/di = H·D·H·p + H·p′(i)` evaluated at the argmax tile.
-fn peak_gradient(system: &CoolingSystem, state: &SolvedState) -> Result<f64, OptError> {
+fn peak_gradient(solver: &mut SteadySolver<'_>, state: &SolvedState) -> Result<f64, OptError> {
     let i = state.current();
-    let stamped = system.stamped();
+    let stamped = solver.system().stamped();
     let model = stamped.model();
     // theta = H p (already solved in `state`); v = D .* theta.
     let theta: Vec<f64> = state
@@ -310,24 +334,22 @@ fn peak_gradient(system: &CoolingSystem, state: &SolvedState) -> Result<f64, Opt
         .collect();
     let d = stamped.d_diagonal();
     let v: Vec<f64> = theta.iter().zip(d).map(|(t, dk)| t * dk).collect();
-    let w = system.solve_rhs(i, &v)?; // H D H p
     // p'(i): d/di of the Joule sources r i^2 / 2 -> r i at junction nodes.
     let mut dp = vec![0.0; model.node_count()];
     let ri = stamped.params().resistance().value() * i.value();
     for &k in stamped.joule_nodes() {
         dp[k] = ri;
     }
-    let x = system.solve_rhs(i, &dp)?; // H p'
-    // Argmax silicon tile. NaN temperatures cannot occur downstream of a
-    // successful solve, but ordering falls back to Equal rather than
-    // panicking if they ever do.
-    let (k_star, _) = state
+    let silicon: Vec<f64> = state
         .silicon_temperatures()
         .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
+        .map(|t| t.value())
+        .collect();
+    let k_star = nan_safe_argmax(&silicon)
         .ok_or_else(|| OptError::InvalidParameter("system has no silicon tiles".into()))?;
     let node = model.silicon_nodes()[k_star].index();
+    let w = solver.solve_rhs(i, &v)?; // H D H p
+    let x = solver.solve_rhs(i, &dp)?; // H p'
     Ok(w[node] + x[node])
 }
 
@@ -403,7 +425,8 @@ mod tests {
         let s = system(&[TileIndex::new(1, 1)]);
         let i = Amperes(2.0);
         let state = s.solve(i).unwrap();
-        let g = peak_gradient(&s, &state).unwrap();
+        let mut solver = s.solver().unwrap();
+        let g = peak_gradient(&mut solver, &state).unwrap();
         let h = 1e-5;
         let fp = s.solve(Amperes(i.value() + h)).unwrap().peak().value();
         let fm = s.solve(Amperes(i.value() - h)).unwrap().peak().value();
@@ -412,6 +435,21 @@ mod tests {
             (g - fd).abs() < 1e-4 * fd.abs().max(1.0),
             "analytic {g} vs finite-difference {fd}"
         );
+    }
+
+    #[test]
+    fn nan_cannot_win_the_argmax() {
+        // Regression for the old `partial_cmp().unwrap_or(Equal)` argmax:
+        // `f64::total_cmp` alone ranks +NaN above +∞, so the fix must
+        // filter NaN before comparing, never crown it.
+        assert_eq!(nan_safe_argmax(&[1.0, f64::NAN, 3.0, 2.0]), Some(2));
+        assert_eq!(nan_safe_argmax(&[f64::NAN, f64::NAN, -1.0]), Some(2));
+        assert_eq!(nan_safe_argmax(&[f64::NAN, f64::INFINITY]), Some(1));
+        assert_eq!(nan_safe_argmax(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(nan_safe_argmax(&[]), None);
+        // Ties resolve to the last maximal index (max_by keeps the later
+        // of equal elements) — deterministic either way.
+        assert_eq!(nan_safe_argmax(&[2.0, 2.0]), Some(1));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Deployment of TEC devices: the `GreedyDeploy` algorithm (Fig. 5 of the
 //! paper) and the Full-Cover baseline it is compared against in Table I.
 
+use crate::parallel::{collect_first_err, par_map_init};
 use crate::{optimize_current, CoolingSystem, CurrentOptimum, CurrentSettings, OptError};
 use std::collections::BTreeSet;
 use tecopt_thermal::TileIndex;
@@ -227,6 +228,45 @@ pub fn full_cover(
     })
 }
 
+/// Evaluates many candidate tile sets against one base system — each gets
+/// its own [`CoolingSystem`] and a full Problem-2 current optimization —
+/// in parallel, one worker per hardware thread.
+///
+/// Results come back in candidate order and are identical to calling
+/// [`optimize_current`] on `base.with_tiles(c)` for each candidate `c`
+/// sequentially; on multiple failures the error of the *first* failing
+/// candidate (by index) is reported, matching the sequential loop. This is
+/// the fan-out behind [`crate::designer`]'s alternative-deployment scoring
+/// and the design-sweep benchmarks.
+///
+/// # Errors
+///
+/// Propagates the first construction or optimization error by candidate
+/// index.
+pub fn evaluate_deployments(
+    base: &CoolingSystem,
+    candidates: &[Vec<TileIndex>],
+    current: CurrentSettings,
+) -> Result<Vec<Deployment>, OptError> {
+    let passive = base.with_tiles(&[])?;
+    let baseline_peak = passive.solve(Amperes(0.0))?.peak();
+    let results = par_map_init(
+        candidates.to_vec(),
+        || (),
+        |(), tiles| -> Result<Deployment, OptError> {
+            let system = base.with_tiles(&tiles)?;
+            let optimum = optimize_current(&system, current)?;
+            Ok(Deployment {
+                system,
+                optimum,
+                iterations: Vec::new(),
+                baseline_peak,
+            })
+        },
+    );
+    collect_first_err(results)
+}
+
 impl CurrentOptimum {
     /// A degenerate "optimum" for a passive system at zero current, used
     /// when `GreedyDeploy` finds nothing to cover.
@@ -330,6 +370,41 @@ mod tests {
             p_full > p_greedy,
             "full cover should draw more power: {p_full:?} vs {p_greedy:?}"
         );
+    }
+
+    #[test]
+    fn evaluate_deployments_matches_sequential_optimization() {
+        let b = base(0.5);
+        let candidates = vec![
+            vec![TileIndex::new(1, 1)],
+            vec![TileIndex::new(1, 1), TileIndex::new(2, 2)],
+            vec![TileIndex::new(2, 2)],
+            vec![],
+        ];
+        let evaluated =
+            evaluate_deployments(&b, &candidates, CurrentSettings::default());
+        // The empty candidate has no devices: the whole batch reports the
+        // first failing index's error, here candidate 3.
+        assert!(matches!(evaluated, Err(OptError::NoDevicesDeployed)));
+
+        let candidates = &candidates[..3];
+        let evaluated =
+            evaluate_deployments(&b, candidates, CurrentSettings::default()).unwrap();
+        assert_eq!(evaluated.len(), 3);
+        for (d, tiles) in evaluated.iter().zip(candidates) {
+            assert_eq!(d.tiles(), &tiles[..]);
+            let seq = optimize_current(
+                &b.with_tiles(tiles).unwrap(),
+                CurrentSettings::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                d.optimum().state().peak().value(),
+                seq.state().peak().value(),
+                "parallel evaluation diverged from sequential on {tiles:?}"
+            );
+            assert_eq!(d.optimum().current().value(), seq.current().value());
+        }
     }
 
     #[test]

@@ -25,11 +25,11 @@
 //! ```
 
 use crate::{
-    certify_convexity, full_cover, greedy_deploy, runaway_limit, ConvexityCertificate,
-    ConvexitySettings, CoolingSystem, CurrentSettings, DeployOutcome, DeploySettings, Deployment,
-    OptError, RunawayLimit, TecParams,
+    certify_convexity, evaluate_deployments, full_cover, greedy_deploy, runaway_limit,
+    ConvexityCertificate, ConvexitySettings, CoolingSystem, CurrentSettings, DeployOutcome,
+    DeploySettings, Deployment, OptError, RunawayLimit, TecParams,
 };
-use tecopt_thermal::PackageConfig;
+use tecopt_thermal::{PackageConfig, TileIndex};
 use tecopt_units::{Amperes, Celsius, Watts};
 
 /// Builder for a complete cooling-system design run.
@@ -42,6 +42,7 @@ pub struct CoolingDesigner {
     current: CurrentSettings,
     convexity: Option<ConvexitySettings>,
     with_full_cover: bool,
+    alternatives: usize,
 }
 
 impl CoolingDesigner {
@@ -60,6 +61,7 @@ impl CoolingDesigner {
                 ..ConvexitySettings::default()
             }),
             with_full_cover: true,
+            alternatives: 0,
         }
     }
 
@@ -96,6 +98,16 @@ impl CoolingDesigner {
         self
     }
 
+    /// Also scores up to `count` smaller alternative deployments — the
+    /// largest strict prefixes of the greedy tile order, each with its own
+    /// optimized current — so the report shows what each device bought.
+    /// Evaluated in parallel via [`evaluate_deployments`]; `0` (the
+    /// default) skips this.
+    pub fn alternatives(mut self, count: usize) -> CoolingDesigner {
+        self.alternatives = count;
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -111,13 +123,27 @@ impl CoolingDesigner {
         })?;
         let base = CoolingSystem::without_devices(&self.config, self.params, powers)?;
         let uncooled_peak = base.solve(Amperes(0.0))?.peak();
-        let outcome = greedy_deploy(
-            &base,
-            DeploySettings {
-                theta_limit: self.limit,
-                current: self.current,
-            },
-        )?;
+        let deploy_settings = DeploySettings {
+            theta_limit: self.limit,
+            current: self.current,
+        };
+        // The greedy search and the Full-Cover baseline are independent
+        // pipelines over the same base system — run them side by side.
+        let (outcome, full_cover) = std::thread::scope(|scope| {
+            let full = self.with_full_cover.then(|| {
+                let base = &base;
+                let current = self.current;
+                scope.spawn(move || full_cover(base, current))
+            });
+            let outcome = greedy_deploy(&base, deploy_settings);
+            let full = full.map(|h| match h.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            });
+            (outcome, full)
+        });
+        let outcome = outcome?;
+        let full_cover = full_cover.transpose()?;
         let limit_satisfied = outcome.is_satisfied();
         let deployment = match outcome {
             DeployOutcome::Satisfied(d) => d,
@@ -132,10 +158,17 @@ impl CoolingDesigner {
             (Some(settings), 1..) => Some(certify_convexity(deployment.system(), *settings)?),
             _ => None,
         };
-        let full_cover = if self.with_full_cover {
-            Some(full_cover(&base, self.current)?)
+        let alternatives = if self.alternatives > 0 && deployment.device_count() > 1 {
+            // The largest strict prefixes of the deployment order, smallest
+            // first: peak temperature versus device count.
+            let tiles = deployment.tiles();
+            let mut lens: Vec<usize> = (1..tiles.len()).rev().take(self.alternatives).collect();
+            lens.reverse();
+            let candidates: Vec<Vec<TileIndex>> =
+                lens.into_iter().map(|k| tiles[..k].to_vec()).collect();
+            evaluate_deployments(&base, &candidates, self.current)?
         } else {
-            None
+            Vec::new()
         };
         Ok(DesignReport {
             limit: self.limit,
@@ -145,6 +178,7 @@ impl CoolingDesigner {
             runaway,
             convexity,
             full_cover,
+            alternatives,
         })
     }
 }
@@ -159,6 +193,7 @@ pub struct DesignReport {
     runaway: Option<RunawayLimit>,
     convexity: Option<ConvexityCertificate>,
     full_cover: Option<Deployment>,
+    alternatives: Vec<Deployment>,
 }
 
 impl DesignReport {
@@ -196,6 +231,13 @@ impl DesignReport {
     /// The Full-Cover baseline, if requested.
     pub fn full_cover(&self) -> Option<&Deployment> {
         self.full_cover.as_ref()
+    }
+
+    /// Alternative (smaller) deployments scored alongside the main one,
+    /// ascending by device count — empty unless
+    /// [`CoolingDesigner::alternatives`] asked for them.
+    pub fn alternatives(&self) -> &[Deployment] {
+        &self.alternatives
     }
 
     /// The swing loss versus Full-Cover (positive when the sparse
@@ -347,6 +389,32 @@ mod tests {
         assert!(report.full_cover().is_none());
         assert!(report.swing_loss().is_none());
         assert!(report.runaway_utilization().is_none());
+    }
+
+    #[test]
+    fn alternatives_score_smaller_deployments() {
+        let report = designer()
+            .tile_powers(powers())
+            .temperature_limit(achievable_limit())
+            .alternatives(3)
+            .design()
+            .unwrap();
+        let main = report.deployment();
+        if main.device_count() > 1 {
+            let alts = report.alternatives();
+            assert!(!alts.is_empty());
+            assert!(alts.len() <= 3);
+            let mut prev = 0;
+            for alt in alts {
+                assert!(alt.device_count() > prev, "ascending by device count");
+                assert!(alt.device_count() < main.device_count());
+                // Prefix of the greedy order.
+                assert_eq!(alt.tiles(), &main.tiles()[..alt.device_count()]);
+                prev = alt.device_count();
+            }
+        } else {
+            assert!(report.alternatives().is_empty());
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod designer;
 mod error;
 mod lambda;
 pub mod multipin;
+mod parallel;
 pub mod report;
 pub mod runaway;
 mod system;
@@ -86,11 +87,12 @@ pub use convexity::{
 };
 pub use current::{optimize_current, CurrentMethod, CurrentOptimum, CurrentSettings};
 pub use deploy::{
-    full_cover, greedy_deploy, DeployIteration, DeployOutcome, DeploySettings, Deployment,
+    evaluate_deployments, full_cover, greedy_deploy, DeployIteration, DeployOutcome,
+    DeploySettings, Deployment,
 };
 pub use error::OptError;
 pub use lambda::{runaway_limit, RunawayLimit};
-pub use system::{CoolingSystem, SolvedState};
+pub use system::{CoolingSystem, SolvedState, SteadySolver};
 
 // The substrate types a user of this crate inevitably touches.
 pub use tecopt_device::TecParams;

@@ -288,32 +288,45 @@ impl MultiPinSystem {
             let sweep_start = best.peak().value();
             for g in 0..k {
                 let ceiling = 0.995 * self.axis_limit(&currents, g)?.value();
-                // Golden section along axis g.
+                // Golden section along axis g. Probes never mutate the
+                // shared iterate: each clones it, sets axis g, and solves —
+                // the winning current is written back explicitly below.
                 let mut a = 0.0_f64;
                 let mut b = ceiling;
-                let eval = |i: f64,
-                            currents: &mut Vec<Amperes>|
-                 -> Result<MultiPinState, OptError> {
-                    currents[g] = Amperes(i);
-                    self.solve(currents)
+                let eval_at = |i: f64| -> Result<MultiPinState, OptError> {
+                    let mut probe = currents.clone();
+                    probe[g] = Amperes(i);
+                    self.solve(&probe)
                 };
                 let mut c = b - INV_PHI * (b - a);
                 let mut d = a + INV_PHI * (b - a);
-                let mut fc = eval(c, &mut currents)?;
-                let mut fd = eval(d, &mut currents)?;
+                // The two seed probes are independent factorizations — run
+                // them side by side; every later iteration adds only one
+                // new probe, so the loop itself stays sequential.
+                let (fc_seed, fd_seed) = std::thread::scope(|scope| {
+                    let handle = scope.spawn(|| eval_at(c));
+                    let fd = eval_at(d);
+                    let fc = match handle.join() {
+                        Ok(r) => r,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    };
+                    (fc, fd)
+                });
+                let mut fc = fc_seed?;
+                let mut fd = fd_seed?;
                 while (b - a) > tolerance {
                     if fc.peak() <= fd.peak() {
                         b = d;
                         d = c;
                         std::mem::swap(&mut fd, &mut fc);
                         c = b - INV_PHI * (b - a);
-                        fc = eval(c, &mut currents)?;
+                        fc = eval_at(c)?;
                     } else {
                         a = c;
                         c = d;
                         std::mem::swap(&mut fc, &mut fd);
                         d = a + INV_PHI * (b - a);
-                        fd = eval(d, &mut currents)?;
+                        fd = eval_at(d)?;
                     }
                 }
                 let (i_best, state) = if fc.peak() <= fd.peak() { (c, fc) } else { (d, fd) };

@@ -1,0 +1,159 @@
+//! Deterministic fork/join helpers for the design-space sweeps.
+//!
+//! The expensive fan-outs of this crate — candidate-deployment evaluation,
+//! runaway demonstration sweeps, convexity probe batches — are
+//! embarrassingly parallel: every item is an independent `O(n³)` solve
+//! chain. [`par_map_init`] spreads them over `std::thread::scope` workers
+//! while keeping the results (and the *first* error, by item index)
+//! bit-identical to a sequential loop, so parallelism never changes an
+//! answer. See `DESIGN.md` §10 for the architecture.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads: the machine's parallelism, or 1 if it
+/// cannot be queried.
+fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel with per-worker state, preserving
+/// item order in the output.
+///
+/// - `init` runs once per worker thread and builds that worker's private
+///   state (e.g. a `SteadySolver` handle) — this is what makes the solves
+///   lock-free during the `O(n³)` work.
+/// - `f(state, item)` produces the result for one item. Items are claimed
+///   from a shared atomic counter, so load-balancing is dynamic, but
+///   results are stored by index: the output `Vec` is identical to
+///   `items.map(...)` regardless of scheduling.
+/// - Errors do not abort other items; the caller receives the result of
+///   every item and typically surfaces the first `Err` by index, matching
+///   what a sequential loop would have reported first.
+///
+/// Falls back to a plain sequential loop when `items` has at most one
+/// element or only one hardware thread is available. Worker panics are
+/// relayed to the caller.
+pub(crate) fn par_map_init<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let workers = max_workers().min(items.len());
+    if workers <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= work.len() {
+                            break;
+                        }
+                        let item = work[idx]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take()
+                            .expect("each work slot is claimed exactly once");
+                        let result = f(&mut state, item);
+                        *slots[idx]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every slot filled before scope exit")
+        })
+        .collect()
+}
+
+/// Collapses per-item results to a `Vec` or the first error *by item
+/// index* — exactly the error a sequential loop would have hit first, so
+/// parallel and sequential sweeps report identical failures.
+pub(crate) fn collect_first_err<R, E>(results: Vec<Result<R, E>>) -> Result<Vec<R>, E> {
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map_init(items.clone(), || (), |(), i| i * 3);
+        let expected: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn init_builds_worker_state() {
+        // Per-worker state is visible to every item the worker claims; the
+        // mapped output still covers every item exactly once, in order.
+        let out = par_map_init(
+            (0..100).collect::<Vec<usize>>(),
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                i
+            },
+        );
+        assert_eq!(out, (0..100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn first_error_by_index_wins() {
+        let results: Vec<Result<usize, String>> = vec![
+            Ok(0),
+            Err("first".into()),
+            Ok(2),
+            Err("second".into()),
+        ];
+        assert_eq!(collect_first_err(results).unwrap_err(), "first");
+    }
+
+    #[test]
+    fn empty_and_single_item_fall_back_to_sequential() {
+        let empty: Vec<usize> = par_map_init(Vec::new(), || (), |(), i: usize| i);
+        assert!(empty.is_empty());
+        let one = par_map_init(vec![7usize], || (), |(), i| i + 1);
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_init((0..16).collect::<Vec<usize>>(), || (), |(), i| {
+                assert!(i != 9, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

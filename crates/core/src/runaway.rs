@@ -7,6 +7,7 @@
 //! `G − i·D` is no longer positive definite and no bounded steady state
 //! exists at all.
 
+use crate::parallel::{collect_first_err, par_map_init};
 use crate::{runaway_limit, CoolingSystem, OptError, RunawayLimit};
 use tecopt_units::{Amperes, Celsius};
 
@@ -74,32 +75,45 @@ pub fn sweep_fractions(
             "sweep needs at least one fraction".into(),
         ));
     }
-    if fractions.iter().any(|f| !f.is_finite() || *f < 0.0) {
-        return Err(OptError::InvalidParameter(
-            "sweep fractions must be finite and nonnegative".into(),
-        ));
-    }
+    // NaN used to slip past the old `!f.is_finite()` guard straight into a
+    // `sort_by(partial_cmp().expect())` panic; the shared validators reject
+    // NaN/±∞/negative values with a typed error instead.
+    tecopt_units::validate::finite_slice("sweep fraction", fractions)?;
+    tecopt_units::validate::non_negative_slice("sweep fraction", fractions)?;
     let limit = runaway_limit(system, lambda_tolerance)?;
     let lam = limit.lambda().value();
-    let mut points = Vec::with_capacity(fractions.len());
     let mut sorted = fractions.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
-    for f in sorted {
-        let i = Amperes(lam * f);
-        match system.solve(i) {
-            Ok(state) => points.push(SweepPoint {
-                current: i,
-                peak: Some(state.peak()),
-                tec_power: Some(state.tec_power()),
-            }),
-            Err(OptError::BeyondRunaway { .. }) => points.push(SweepPoint {
-                current: i,
-                peak: None,
-                tec_power: None,
-            }),
-            Err(e) => return Err(e),
-        }
-    }
+    sorted.sort_by(f64::total_cmp);
+
+    // Every sample is an independent factor+solve at `lam·f` — fan them
+    // out over worker threads, each with its own warm solver handle.
+    // Probe assembly once up front so workers can't hit a build error.
+    system.solver()?;
+    let results = par_map_init(
+        sorted,
+        || {
+            system
+                .solver()
+                .expect("workspace assembly succeeded moments ago")
+        },
+        |solver, f| {
+            let i = Amperes(lam * f);
+            match solver.solve(i) {
+                Ok(state) => Ok(SweepPoint {
+                    current: i,
+                    peak: Some(state.peak()),
+                    tec_power: Some(state.tec_power()),
+                }),
+                Err(OptError::BeyondRunaway { .. }) => Ok(SweepPoint {
+                    current: i,
+                    peak: None,
+                    tec_power: None,
+                }),
+                Err(e) => Err(e),
+            }
+        },
+    );
+    let points = collect_first_err(results)?;
     Ok(RunawaySweep { limit, points })
 }
 
@@ -181,6 +195,45 @@ mod tests {
             sweep_fractions(&passive, &[0.5], 1e-9),
             Err(OptError::NoDevicesDeployed)
         ));
+    }
+
+    #[test]
+    fn nan_and_infinite_fractions_are_typed_errors_not_panics() {
+        // Regression: NaN passed the old `!f.is_finite() || *f < 0.0` guard
+        // check for negativity but then detonated the sort's
+        // `partial_cmp().expect()`. Both must now come back as
+        // `InvalidParameter`.
+        let s = system();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                sweep_fractions(&s, &[0.5, bad, 0.1], 1e-9),
+                Err(OptError::InvalidParameter(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_semantics() {
+        // The fan-out must not change results: a sweep is bit-identical to
+        // solving each fraction one by one on the shared system.
+        let s = system();
+        let fractions = [0.9, 0.1, 0.5, 0.75, 0.25, 1.05];
+        let sweep = sweep_fractions(&s, &fractions, 1e-9).unwrap();
+        let lam = sweep.limit.lambda().value();
+        let mut sorted = fractions.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for (point, f) in sweep.points.iter().zip(sorted) {
+            let i = Amperes(lam * f);
+            assert_eq!(point.current, i);
+            match s.solve(i) {
+                Ok(state) => {
+                    assert_eq!(point.peak.expect("steady state"), state.peak());
+                    assert_eq!(point.tec_power.expect("steady state"), state.tec_power());
+                }
+                Err(OptError::BeyondRunaway { .. }) => assert!(point.peak.is_none()),
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,10 @@
 use crate::OptError;
-use tecopt_device::{StampedSystem, TecParams};
-use tecopt_linalg::{solve_robust, Cholesky, SolveMethod, SolverPolicy};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use tecopt_device::{SolveWorkspace, StampedSystem, TecParams};
+use tecopt_linalg::{
+    solve_robust, Cholesky, CsrMatrix, FactoredSystem, LinalgError, ResolvedBackend, SolveMethod,
+    SolverBackend, SolverPolicy,
+};
 use tecopt_thermal::{PackageConfig, TileIndex};
 use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
 
@@ -32,10 +36,203 @@ use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CoolingSystem {
     stamped: StampedSystem,
     tile_powers: Vec<Watts>,
+    backend: SolverBackend,
+    /// Lazily built solver state shared by [`CoolingSystem::solve`] /
+    /// [`CoolingSystem::solve_rhs`] callers: the `(G, p)` pair is assembled
+    /// once and retargeted in place per probe. Guarded by a mutex so `&self`
+    /// solves stay thread-safe; parallel sweeps avoid the lock entirely by
+    /// carrying a private [`SteadySolver`] per worker.
+    cache: Mutex<SolverCache>,
+}
+
+impl Clone for CoolingSystem {
+    fn clone(&self) -> CoolingSystem {
+        // The cache is derived state: a clone starts cold and rebuilds its
+        // workspace on first solve.
+        CoolingSystem {
+            stamped: self.stamped.clone(),
+            tile_powers: self.tile_powers.clone(),
+            backend: self.backend,
+            cache: Mutex::new(SolverCache::default()),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SolverCache {
+    core: Option<SolverCore>,
+    assemblies: usize,
+}
+
+/// One steady-state solve, before the user-facing state is derived.
+#[derive(Debug)]
+struct RawSolve {
+    theta: Vec<f64>,
+    condition_estimate: f64,
+    method: SolveMethod,
+}
+
+/// The reusable solver state behind both the shared cache and
+/// [`SteadySolver`]: a [`SolveWorkspace`] (dense `G − i·D` and `p(i)`
+/// retargeted in place), the resolved backend, an optional CSR mirror for
+/// the sparse backend, and the last factorization keyed by its current so
+/// repeated solves at one operating point (e.g. the two extra
+/// right-hand sides of a gradient evaluation) factor only once.
+#[derive(Debug, Clone)]
+struct SolverCore {
+    ws: SolveWorkspace,
+    resolved: ResolvedBackend,
+    factored: Option<(f64, FactoredSystem)>,
+}
+
+impl SolverCore {
+    fn build(system: &CoolingSystem) -> Result<SolverCore, OptError> {
+        let ws = system
+            .stamped
+            .solve_workspace(&system.tile_powers)
+            .map_err(OptError::from)?;
+        let g = system.stamped.model().g_matrix();
+        let nnz = g.as_slice().iter().filter(|&&v| v != 0.0).count();
+        Ok(SolverCore {
+            resolved: system.backend.resolve(ws.dim(), nnz),
+            ws,
+            factored: None,
+        })
+    }
+
+    /// Retargets the workspace (and any factorization) to `current`.
+    fn prepare(&mut self, current: Amperes) -> Result<(), OptError> {
+        if self
+            .factored
+            .as_ref()
+            .is_some_and(|(key, _)| *key == current.value())
+        {
+            return Ok(());
+        }
+        self.ws.set_current(current)?;
+        let fact = match self.resolved {
+            ResolvedBackend::DenseCholesky => FactoredSystem::factor(self.ws.matrix(), self.resolved)
+                .map_err(|e| runaway_from(current, e))?,
+            ResolvedBackend::SparseCg(settings) => {
+                // Reuse the CSR structure of the previous probe when
+                // possible: only the shifted diagonal entries change.
+                let reused = match self.factored.take() {
+                    Some((_, FactoredSystem::Sparse { mut matrix, .. })) => {
+                        let ok = self
+                            .ws
+                            .shifted_entries()
+                            .all(|(k, v)| matrix.set_diagonal_entry(k, v).is_ok());
+                        ok.then_some(matrix)
+                    }
+                    _ => None,
+                };
+                let matrix =
+                    reused.unwrap_or_else(|| CsrMatrix::from_dense(self.ws.matrix()));
+                FactoredSystem::Sparse { matrix, settings }
+            }
+        };
+        self.factored = Some((current.value(), fact));
+        Ok(())
+    }
+
+    /// Solves against an arbitrary right-hand side at `current`, falling
+    /// back to a dense factorization if the sparse backend stalls or needs
+    /// an authoritative definiteness verdict.
+    fn solve_raw(&mut self, current: Amperes, rhs: &[f64]) -> Result<RawSolve, OptError> {
+        self.prepare(current)?;
+        let (_, fact) = self
+            .factored
+            .as_ref()
+            .expect("prepare populated the factorization");
+        match fact.solve(rhs) {
+            Ok(out) => Ok(RawSolve {
+                theta: out.x,
+                condition_estimate: out.condition_estimate,
+                method: fact.method(),
+            }),
+            Err(_) if matches!(fact, FactoredSystem::Sparse { .. }) => {
+                // CG failed: nonpositive curvature, a nonpositive Jacobi
+                // diagonal, or stagnation. Dense Cholesky is the
+                // authoritative oracle for all three — it either produces
+                // the solution or proves the point is past runaway.
+                let chol = Cholesky::factor(self.ws.matrix())
+                    .map_err(|e| runaway_from(current, e))?;
+                let condition_estimate = chol.condition_estimate();
+                let theta = chol.solve(rhs).map_err(OptError::from)?;
+                self.factored = Some((current.value(), FactoredSystem::Dense(chol)));
+                Ok(RawSolve {
+                    theta,
+                    condition_estimate,
+                    method: SolveMethod::Cholesky,
+                })
+            }
+            Err(e) => Err(runaway_from(current, e)),
+        }
+    }
+
+    /// Solves against the workspace's own power vector `p(i)`.
+    fn solve_power(&mut self, current: Amperes) -> Result<RawSolve, OptError> {
+        self.prepare(current)?;
+        let rhs = self.ws.power().to_vec();
+        self.solve_raw(current, &rhs)
+    }
+}
+
+fn runaway_from(current: Amperes, e: LinalgError) -> OptError {
+    match e {
+        LinalgError::NotPositiveDefinite { .. } => OptError::BeyondRunaway {
+            current: current.value(),
+        },
+        other => OptError::Linalg(other),
+    }
+}
+
+/// A per-caller solving handle over one [`CoolingSystem`].
+///
+/// Owns a private [`SolverCore`] (workspace + factorization cache), so
+/// repeated probes neither reassemble `G` nor contend on the system's
+/// internal mutex — this is what the parallel sweeps hand to each worker
+/// thread. Results are identical to [`CoolingSystem::solve`] bit for bit.
+#[derive(Debug)]
+pub struct SteadySolver<'a> {
+    system: &'a CoolingSystem,
+    core: SolverCore,
+}
+
+impl<'a> SteadySolver<'a> {
+    /// The system this solver probes.
+    pub fn system(&self) -> &'a CoolingSystem {
+        self.system
+    }
+
+    /// Solves the steady state at supply current `i` — same contract as
+    /// [`CoolingSystem::solve`], minus the lock and the reassembly.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CoolingSystem::solve`].
+    pub fn solve(&mut self, current: Amperes) -> Result<SolvedState, OptError> {
+        let raw = self.core.solve_power(current)?;
+        self.system.finish_raw(current, raw)
+    }
+
+    /// Solves `(G − i·D)·x = rhs` for an arbitrary right-hand side, reusing
+    /// the factorization when `current` matches the previous probe.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CoolingSystem::solve`].
+    pub(crate) fn solve_rhs(
+        &mut self,
+        current: Amperes,
+        rhs: &[f64],
+    ) -> Result<Vec<f64>, OptError> {
+        Ok(self.core.solve_raw(current, rhs)?.theta)
+    }
 }
 
 /// A solved steady state of a [`CoolingSystem`] at one supply current.
@@ -134,6 +331,8 @@ impl CoolingSystem {
         Ok(CoolingSystem {
             stamped,
             tile_powers,
+            backend: SolverBackend::default(),
+            cache: Mutex::new(SolverCache::default()),
         })
     }
 
@@ -163,6 +362,103 @@ impl CoolingSystem {
             tec_tiles,
             self.tile_powers.clone(),
         )
+    }
+
+    /// Returns this system routed through `backend` (the solves of the copy
+    /// use it; the copy's cache starts cold).
+    pub fn with_backend(mut self, backend: SolverBackend) -> CoolingSystem {
+        self.set_backend(backend);
+        self
+    }
+
+    /// Switches the solver backend in place, invalidating any cached
+    /// factorization/workspace state.
+    pub fn set_backend(&mut self, backend: SolverBackend) {
+        self.backend = backend;
+        self.lock_cache().core = None;
+    }
+
+    /// The configured solver backend (before size/density resolution).
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
+    /// Replaces the worst-case power profile in place, keeping the package
+    /// and deployment. The cached solver workspace is invalidated so the
+    /// next solve re-assembles `p` (and only then).
+    ///
+    /// # Errors
+    ///
+    /// - [`OptError::PowerLengthMismatch`] if `tile_powers` does not cover
+    ///   the grid.
+    /// - [`OptError::InvalidParameter`] for negative or non-finite powers.
+    ///   The previous profile stays in effect on error.
+    pub fn set_tile_powers(&mut self, tile_powers: Vec<Watts>) -> Result<(), OptError> {
+        if tile_powers.len() != self.config().grid().tile_count() {
+            return Err(OptError::PowerLengthMismatch {
+                expected: self.config().grid().tile_count(),
+                actual: tile_powers.len(),
+            });
+        }
+        let raw: Vec<f64> = tile_powers.iter().map(|p| p.value()).collect();
+        tecopt_units::validate::non_negative_slice("tile power", &raw)?;
+        self.tile_powers = tile_powers;
+        self.lock_cache().core = None;
+        Ok(())
+    }
+
+    /// How many times the shared solver cache (re)assembled its workspace —
+    /// 1 after any number of [`CoolingSystem::solve`] calls, +1 per
+    /// mutation ([`CoolingSystem::set_tile_powers`] /
+    /// [`CoolingSystem::set_backend`]). Private [`SteadySolver`] handles do
+    /// not count. Diagnostic for the assembly-reuse regression tests.
+    pub fn workspace_assemblies(&self) -> usize {
+        self.lock_cache().assemblies
+    }
+
+    /// Creates a private solving handle with its own workspace and
+    /// factorization cache — the cheap way to run many probes (line
+    /// searches, sweeps) without reassembling `G` or taking the shared
+    /// lock per solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures ([`OptError::Device`] /
+    /// [`OptError::PowerLengthMismatch`]) that [`CoolingSystem::solve`]
+    /// would also report.
+    pub fn solver(&self) -> Result<SteadySolver<'_>, OptError> {
+        // Adopt the shared core when it exists so the handle starts warm;
+        // otherwise build a fresh one without touching the shared cache.
+        let existing = self.lock_cache().core.clone();
+        let core = match existing {
+            Some(core) => core,
+            None => SolverCore::build(self)?,
+        };
+        Ok(SteadySolver { system: self, core })
+    }
+
+    fn lock_cache(&self) -> MutexGuard<'_, SolverCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs `f` against the shared cached solver core, building it on first
+    /// use.
+    fn with_core<R>(
+        &self,
+        f: impl FnOnce(&mut SolverCore) -> Result<R, OptError>,
+    ) -> Result<R, OptError> {
+        let mut cache = self.lock_cache();
+        if cache.core.is_none() {
+            cache.core = Some(SolverCore::build(self)?);
+            cache.assemblies += 1;
+        }
+        let core = cache
+            .core
+            .as_mut()
+            .expect("core populated just above");
+        f(core)
     }
 
     /// The stamped device/thermal system underneath.
@@ -197,10 +493,15 @@ impl CoolingSystem {
 
     /// Solves the steady state at supply current `i`.
     ///
-    /// Cholesky-only: a factorization failure is interpreted as thermal
-    /// runaway, exactly the definiteness oracle of Theorem 1. The returned
-    /// state always carries the pivot-ratio condition estimate of the
-    /// system matrix (see [`SolvedState::condition_estimate`]).
+    /// The `(G, p)` assembly is built once per system and retargeted in
+    /// place per probe; the linear solve goes through the configured
+    /// [`SolverBackend`] (dense Cholesky, or Jacobi-preconditioned CG on a
+    /// CSR copy for large sparse systems, with a dense fallback). Any
+    /// definiteness failure is interpreted as thermal runaway, exactly the
+    /// oracle of Theorem 1. The returned state always carries a condition
+    /// estimate of the system matrix (pivot-ratio for Cholesky, an
+    /// iteration-count heuristic for CG — see
+    /// [`SolvedState::condition_estimate`]).
     ///
     /// # Errors
     ///
@@ -208,23 +509,20 @@ impl CoolingSystem {
     ///   (thermal runaway).
     /// - [`OptError::Device`] for a negative current.
     pub fn solve(&self, current: Amperes) -> Result<SolvedState, OptError> {
-        let m = self.stamped.system_matrix(current)?;
-        let p = self.stamped.power_vector(&self.tile_powers, current)?;
-        let chol = Cholesky::factor(&m).map_err(|e| match e {
-            tecopt_linalg::LinalgError::NotPositiveDefinite { .. } => OptError::BeyondRunaway {
-                current: current.value(),
-            },
-            other => OptError::Linalg(other),
-        })?;
-        let cond = chol.condition_estimate();
-        let theta = chol.solve(&p).map_err(OptError::from)?;
+        let raw = self.with_core(|core| core.solve_power(current))?;
+        self.finish_raw(current, raw)
+    }
+
+    /// Derives the user-facing state from a raw backend solve.
+    fn finish_raw(&self, current: Amperes, raw: RawSolve) -> Result<SolvedState, OptError> {
+        let degraded = raw.condition_estimate > SolverPolicy::default().warn_condition;
         self.finish_state(
             current,
-            theta,
-            cond,
-            SolveMethod::Cholesky,
+            raw.theta,
+            raw.condition_estimate,
+            raw.method,
             0,
-            cond > SolverPolicy::default().warn_condition,
+            degraded,
         )
     }
 
@@ -334,20 +632,14 @@ impl CoolingSystem {
     }
 
     /// Solves the auxiliary systems needed by the convexity machinery:
-    /// `x = (G − i·D)⁻¹ · rhs` for an arbitrary right-hand side.
+    /// `x = (G − i·D)⁻¹ · rhs` for an arbitrary right-hand side. Shares the
+    /// cached assembly and factorization with [`CoolingSystem::solve`].
     ///
     /// # Errors
     ///
     /// Same failure modes as [`CoolingSystem::solve`].
     pub(crate) fn solve_rhs(&self, current: Amperes, rhs: &[f64]) -> Result<Vec<f64>, OptError> {
-        let m = self.stamped.system_matrix(current)?;
-        let chol = Cholesky::factor(&m).map_err(|e| match e {
-            tecopt_linalg::LinalgError::NotPositiveDefinite { .. } => OptError::BeyondRunaway {
-                current: current.value(),
-            },
-            other => OptError::Linalg(other),
-        })?;
-        chol.solve(rhs).map_err(OptError::from)
+        self.with_core(|core| Ok(core.solve_raw(current, rhs)?.theta))
     }
 }
 
@@ -500,6 +792,127 @@ mod tests {
             Err(OptError::BeyondRunaway { current }) => assert_eq!(current, 1.0e5),
             other => panic!("expected BeyondRunaway, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn workspace_is_assembled_once_across_solves() {
+        // Regression: `solve` used to clone + restamp `G` and rebuild `p`
+        // on every call. The assembly must now happen once and be
+        // retargeted in place per probe.
+        let s = system(&[TileIndex::new(1, 1)]);
+        assert_eq!(s.workspace_assemblies(), 0);
+        let first = s.solve(Amperes(2.0)).unwrap();
+        for i in [0.0, 1.0, 2.0, 3.5, 1.0] {
+            s.solve(Amperes(i)).unwrap();
+        }
+        let ones = vec![1.0; first.node_temperatures().len()];
+        s.solve_rhs(Amperes(2.0), &ones).unwrap();
+        assert_eq!(s.workspace_assemblies(), 1);
+    }
+
+    #[test]
+    fn set_tile_powers_invalidates_cache_and_matches_fresh_system() {
+        let mut s = system(&[TileIndex::new(1, 1)]);
+        s.solve(Amperes(2.0)).unwrap();
+        assert_eq!(s.workspace_assemblies(), 1);
+
+        let mut new_powers = hotspot_powers();
+        new_powers[10] = Watts(0.9);
+        s.set_tile_powers(new_powers.clone()).unwrap();
+        let updated = s.solve(Amperes(2.0)).unwrap();
+        assert_eq!(s.workspace_assemblies(), 2);
+
+        let fresh = CoolingSystem::new(
+            &config(),
+            TecParams::superlattice_thin_film(),
+            &[TileIndex::new(1, 1)],
+            new_powers,
+        )
+        .unwrap();
+        let expected = fresh.solve(Amperes(2.0)).unwrap();
+        assert_eq!(updated.peak().value(), expected.peak().value());
+        for (a, b) in updated
+            .node_temperatures()
+            .iter()
+            .zip(expected.node_temperatures())
+        {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn set_tile_powers_rejects_bad_profiles_and_keeps_state() {
+        let mut s = system(&[TileIndex::new(1, 1)]);
+        let before = s.solve(Amperes(1.0)).unwrap();
+        assert!(matches!(
+            s.set_tile_powers(vec![Watts(1.0); 3]),
+            Err(OptError::PowerLengthMismatch { .. })
+        ));
+        let mut neg = hotspot_powers();
+        neg[2] = Watts(-0.1);
+        assert!(matches!(
+            s.set_tile_powers(neg),
+            Err(OptError::InvalidParameter(_))
+        ));
+        let after = s.solve(Amperes(1.0)).unwrap();
+        assert_eq!(before.peak().value(), after.peak().value());
+    }
+
+    #[test]
+    fn forced_sparse_backend_agrees_with_dense() {
+        let dense = system(&[TileIndex::new(1, 1)]);
+        let sparse = system(&[TileIndex::new(1, 1)])
+            .with_backend(SolverBackend::SparseCg(tecopt_linalg::CgSettings::default()));
+        for i in [0.0, 1.0, 3.0] {
+            let a = dense.solve(Amperes(i)).unwrap();
+            let b = sparse.solve(Amperes(i)).unwrap();
+            assert_eq!(b.solve_method(), SolveMethod::SparseCg);
+            for (x, y) in a.node_temperatures().iter().zip(b.node_temperatures()) {
+                let rel = (x.value() - y.value()).abs() / x.value().abs().max(1.0);
+                assert!(rel < 1e-8, "rel err {rel} at i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backend_still_reports_runaway() {
+        let s = system(&[TileIndex::new(1, 1)])
+            .with_backend(SolverBackend::SparseCg(tecopt_linalg::CgSettings::default()));
+        match s.solve(Amperes(1.0e5)) {
+            Err(OptError::BeyondRunaway { current }) => assert_eq!(current, 1.0e5),
+            other => panic!("expected BeyondRunaway, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_solver_matches_shared_solve_bit_for_bit() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        let mut handle = s.solver().unwrap();
+        for i in [0.0, 2.0, 3.5, 2.0] {
+            let via_system = s.solve(Amperes(i)).unwrap();
+            let via_handle = handle.solve(Amperes(i)).unwrap();
+            for (a, b) in via_system
+                .node_temperatures()
+                .iter()
+                .zip(via_handle.node_temperatures())
+            {
+                assert_eq!(a.value(), b.value());
+            }
+            assert_eq!(via_system.peak().value(), via_handle.peak().value());
+        }
+        // The handle's probes must not count as shared-cache assemblies.
+        assert_eq!(s.workspace_assemblies(), 1);
+    }
+
+    #[test]
+    fn clone_starts_with_a_cold_cache() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        s.solve(Amperes(1.0)).unwrap();
+        let c = s.clone();
+        assert_eq!(c.workspace_assemblies(), 0);
+        let a = s.solve(Amperes(1.0)).unwrap();
+        let b = c.solve(Amperes(1.0)).unwrap();
+        assert_eq!(a.peak().value(), b.peak().value());
     }
 
     #[test]

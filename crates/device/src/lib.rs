@@ -45,4 +45,4 @@ pub use array::TecArray;
 pub use error::DeviceError;
 pub use params::TecParams;
 pub use physics::OperatingPoint;
-pub use stamp::StampedSystem;
+pub use stamp::{SolveWorkspace, StampedSystem};

@@ -167,6 +167,49 @@ impl StampedSystem {
         Ok(p)
     }
 
+    /// Builds a reusable solve workspace for this system and power profile.
+    ///
+    /// The workspace assembles `G` and the base power vector `p(0)` **once**;
+    /// every subsequent operating point is reached by overwriting the few
+    /// diagonal entries `D` touches and the Joule entries of `p` in place —
+    /// `O(#devices)` per probe instead of the `O(n²)` clone-and-restamp of
+    /// [`StampedSystem::system_matrix`]. This is what makes current sweeps
+    /// (λ_m bisection, golden section, designer candidate evaluation)
+    /// allocation-free between probes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-length mismatches from the thermal layer.
+    pub fn solve_workspace(
+        &self,
+        silicon_powers: &[Watts],
+    ) -> Result<SolveWorkspace, DeviceError> {
+        let matrix = self.model.g_matrix().clone();
+        let base_power = self.model.power_vector(silicon_powers)?;
+        // Only nodes with a nonzero D entry ever change in the matrix.
+        let shift_nodes: Vec<usize> = self
+            .d_diagonal
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != 0.0)
+            .map(|(k, _)| k)
+            .collect();
+        let base_diag: Vec<f64> = shift_nodes.iter().map(|&k| matrix[(k, k)]).collect();
+        let shift_d: Vec<f64> = shift_nodes.iter().map(|&k| self.d_diagonal[k]).collect();
+        let power = base_power.clone();
+        Ok(SolveWorkspace {
+            matrix,
+            base_diag,
+            shift_nodes,
+            shift_d,
+            base_power,
+            power,
+            joule_nodes: self.joule_nodes.clone(),
+            half_resistance: 0.5 * self.params.resistance().value(),
+            current: 0.0,
+        })
+    }
+
     /// Total electrical input power of the deployed devices given a solved
     /// temperature field: `Σ (r·i² + α·i·(θ_hot − θ_cold))` (Eq. 3) — the
     /// `P_TEC` column of Table I.
@@ -192,6 +235,90 @@ impl StampedSystem {
             total += r * i * i + a * i * delta;
         }
         Ok(Watts(total))
+    }
+}
+
+/// A preassembled `(G − i·D, p(i))` pair that is retargeted to a new supply
+/// current in `O(#devices)` — see [`StampedSystem::solve_workspace`].
+///
+/// The matrix produced for a given current is bit-identical to the one
+/// [`StampedSystem::system_matrix`] assembles from scratch, so solver
+/// results are unchanged; only the per-probe cost drops.
+#[derive(Debug, Clone)]
+pub struct SolveWorkspace {
+    matrix: DenseMatrix,
+    /// Unshifted `G` diagonal values at `shift_nodes`, in the same order.
+    base_diag: Vec<f64>,
+    /// Nodes where `D` is nonzero (hot/cold junctions).
+    shift_nodes: Vec<usize>,
+    /// `D` values at `shift_nodes`.
+    shift_d: Vec<f64>,
+    /// `p(0)`: ambient injection plus silicon dissipation.
+    base_power: Vec<f64>,
+    /// `p(i)` for the current operating point.
+    power: Vec<f64>,
+    joule_nodes: Vec<usize>,
+    half_resistance: f64,
+    current: f64,
+}
+
+impl SolveWorkspace {
+    /// Retargets the workspace to supply current `i`: overwrites the shifted
+    /// diagonal entries with `g_kk − i·d_k` and rebuilds the Joule terms of
+    /// `p(i)` from the base power vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NegativeCurrent`] for a negative or non-finite
+    /// current (the workspace is left at its previous operating point).
+    pub fn set_current(&mut self, current: Amperes) -> Result<(), DeviceError> {
+        let i = nonnegative(current)?;
+        for ((&k, &g_kk), &d_k) in self
+            .shift_nodes
+            .iter()
+            .zip(&self.base_diag)
+            .zip(&self.shift_d)
+        {
+            self.matrix[(k, k)] = g_kk - i * d_k;
+        }
+        self.power.copy_from_slice(&self.base_power);
+        let joule = self.half_resistance * i * i;
+        for &k in &self.joule_nodes {
+            self.power[k] += joule;
+        }
+        self.current = i;
+        Ok(())
+    }
+
+    /// The system matrix `G − i·D` at the last-set current.
+    pub fn matrix(&self) -> &DenseMatrix {
+        &self.matrix
+    }
+
+    /// The power vector `p(i)` at the last-set current.
+    pub fn power(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// The current the workspace is presently stamped for.
+    pub fn current(&self) -> Amperes {
+        Amperes(self.current)
+    }
+
+    /// Matrix dimension (node count).
+    pub fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Nodes whose diagonal entries depend on the current (the nonzero
+    /// support of `D`), with their `D` values — what a sparse mirror needs
+    /// to stay in sync via `CsrMatrix::set_diagonal_entry`.
+    pub fn shifted_entries(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.shift_nodes
+            .iter()
+            .zip(&self.base_diag)
+            .zip(&self.shift_d)
+            .map(move |((&k, &g_kk), &d_k)| (k, g_kk - self.current * d_k))
     }
 }
 
@@ -332,6 +459,41 @@ mod tests {
         let p5 = measure(Amperes(5.0));
         assert!(p1.value() > 0.0);
         assert!(p5 > p1);
+    }
+
+    #[test]
+    fn workspace_matches_fresh_stamping_bit_for_bit() {
+        let s = system(&[TileIndex::new(1, 1), TileIndex::new(2, 3)]);
+        let powers = vec![Watts(0.1); 16];
+        let mut ws = s.solve_workspace(&powers).unwrap();
+        // Visit currents out of order to exercise in-place re-stamping.
+        for i in [0.0, 3.5, 1.25, 3.5, 0.0, 7.0] {
+            ws.set_current(Amperes(i)).unwrap();
+            let m = s.system_matrix(Amperes(i)).unwrap();
+            let p = s.power_vector(&powers, Amperes(i)).unwrap();
+            assert_eq!(ws.matrix().as_slice(), m.as_slice(), "matrix at i = {i}");
+            assert_eq!(ws.power(), &p[..], "power at i = {i}");
+            assert_eq!(ws.current(), Amperes(i));
+        }
+        assert_eq!(ws.dim(), s.model().node_count());
+        // Shifted entries cover exactly the junction nodes.
+        let shifted: Vec<usize> = ws.shifted_entries().map(|(k, _)| k).collect();
+        assert_eq!(shifted.len(), 4);
+        for &(cold, hot) in s.junctions() {
+            assert!(shifted.contains(&cold) && shifted.contains(&hot));
+        }
+    }
+
+    #[test]
+    fn workspace_rejects_negative_current_and_keeps_state() {
+        let s = system(&[TileIndex::new(1, 1)]);
+        let mut ws = s.solve_workspace(&[Watts(0.1); 16]).unwrap();
+        ws.set_current(Amperes(2.0)).unwrap();
+        assert!(matches!(
+            ws.set_current(Amperes(-1.0)),
+            Err(DeviceError::NegativeCurrent { .. })
+        ));
+        assert_eq!(ws.current(), Amperes(2.0));
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct CgOutcome {
 /// - [`LinalgError::InvalidInput`] if a diagonal entry is not strictly
 ///   positive (the Jacobi preconditioner would be undefined; SPD matrices
 ///   always have positive diagonals).
+/// - [`LinalgError::NotPositiveDefinite`] if a search direction exposes
+///   nonpositive curvature — the same indefiniteness signal dense Cholesky
+///   raises, so runaway detection is uniform across solver backends.
 /// - [`LinalgError::NoConvergence`] if the tolerance is not reached within
 ///   `max_iterations`.
 pub fn conjugate_gradient(
@@ -109,9 +112,10 @@ pub fn conjugate_gradient(
         a.mul_vec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
-            return Err(LinalgError::InvalidInput(
-                "matrix is not positive definite along a search direction".into(),
-            ));
+            // Nonpositive curvature along a Krylov direction proves the
+            // matrix indefinite; report it with the same signal a failed
+            // Cholesky pivot gives so callers treat both backends alike.
+            return Err(LinalgError::NotPositiveDefinite { pivot: iter - 1 });
         }
         let alpha = rz / pap;
         for k in 0..n {
@@ -243,6 +247,6 @@ mod tests {
         // [1, -1] is the negative-curvature eigenvector (eigenvalue -2), so
         // the very first search direction exposes the indefiniteness.
         let err = conjugate_gradient(&a, &[1.0, -1.0], CgSettings::default()).unwrap_err();
-        assert!(matches!(err, LinalgError::InvalidInput(_)));
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
     }
 }

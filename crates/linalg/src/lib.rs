@@ -13,6 +13,9 @@
 //! - [`Lu`] — partially pivoted LU for general systems and determinants,
 //! - [`CsrMatrix`] and [`conjugate_gradient`] — sparse kernels for the
 //!   fine-grid reference thermal solver,
+//! - [`SolverBackend`] / [`FactoredSystem`] — the dense-vs-sparse routing
+//!   layer: one interface over Cholesky and preconditioned CG with an
+//!   automatic size/density crossover,
 //! - [`stieltjes`] — structure checks (symmetric, nonpositive off-diagonal,
 //!   irreducible) and seeded random generation of positive-definite Stieltjes
 //!   matrices for the Conjecture-1 experiments,
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+mod backend;
 mod cg;
 mod cholesky;
 pub mod eigen;
@@ -45,6 +49,10 @@ mod robust;
 mod sparse;
 pub mod stieltjes;
 
+pub use backend::{
+    BackendSolve, FactoredSystem, ResolvedBackend, SolverBackend, SPARSE_MAX_DENSITY,
+    SPARSE_MIN_DIM,
+};
 pub use cg::{conjugate_gradient, CgOutcome, CgSettings};
 pub use cholesky::Cholesky;
 pub use error::LinalgError;

@@ -127,6 +127,10 @@ pub enum SolveMethod {
     Lu,
     /// Cholesky on the Tikhonov-shifted matrix `A + μ·I`.
     RegularizedCholesky,
+    /// Jacobi-preconditioned conjugate gradients on a CSR copy (the sparse
+    /// backend of [`crate::FactoredSystem`]; never produced by
+    /// [`solve_robust`] itself).
+    SparseCg,
 }
 
 /// How a solution was obtained and how much it should be trusted.

@@ -1,4 +1,4 @@
-use crate::LinalgError;
+use crate::{DenseMatrix, LinalgError};
 
 /// A coordinate-format entry used to assemble sparse matrices.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,10 +81,11 @@ impl CsrMatrix {
                     break;
                 }
                 let t = iter.next().expect("peeked");
-                if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
-                    if !col_idx.is_empty() && row_ptr[r] < col_idx.len() && last_c == t.col {
-                        // Same row (guaranteed: we only append within row r) and column:
-                        // accumulate the duplicate.
+                // `row_ptr[r] < col_idx.len()` restricts the duplicate check
+                // to entries appended for the current row, so an equal
+                // column index in a *previous* row cannot absorb this value.
+                if row_ptr[r] < col_idx.len() && col_idx.last() == Some(&t.col) {
+                    if let Some(last_v) = values.last_mut() {
                         *last_v += t.val;
                         continue;
                     }
@@ -101,6 +102,70 @@ impl CsrMatrix {
             col_idx,
             values,
         })
+    }
+
+    /// Compresses a dense matrix, dropping exact zeros.
+    ///
+    /// This is the entry point of the sparse solver backend: compact thermal
+    /// models assemble `G` densely (stamping is simplest there) but at
+    /// package scale `G` is ≥ 99 % zeros, so the CG backend converts once
+    /// and then reuses the CSR copy across probes via
+    /// [`CsrMatrix::set_diagonal_entry`].
+    pub fn from_dense(a: &DenseMatrix) -> CsrMatrix {
+        let (rows, cols) = (a.rows(), a.cols());
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            for (c, &v) in a.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Overwrites the stored diagonal entry `(k, k)` in place.
+    ///
+    /// This is the sparse counterpart of
+    /// [`DenseMatrix::add_scaled_diagonal`]: the system matrices `G − i·D`
+    /// share the sparsity structure of `G` (only diagonal values change with
+    /// the current), so per-probe restamping reduces to a handful of these
+    /// updates instead of a fresh format conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `(k, k)` is out of bounds or
+    /// structurally absent (it cannot be inserted without reshaping the
+    /// storage).
+    pub fn set_diagonal_entry(&mut self, k: usize, value: f64) -> Result<(), LinalgError> {
+        if k >= self.rows || k >= self.cols {
+            return Err(LinalgError::InvalidInput(format!(
+                "diagonal index {k} out of bounds for {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let start = self.row_ptr[k];
+        let end = self.row_ptr[k + 1];
+        match self.col_idx[start..end].binary_search(&k) {
+            Ok(pos) => {
+                self.values[start + pos] = value;
+                Ok(())
+            }
+            Err(_) => Err(LinalgError::InvalidInput(format!(
+                "diagonal entry ({k}, {k}) is structurally absent"
+            ))),
+        }
     }
 
     /// Number of rows.
@@ -265,6 +330,54 @@ mod tests {
         )
         .unwrap();
         assert!(!a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn from_dense_round_trips() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let s = CsrMatrix::from_dense(&a);
+        assert_eq!(s.nnz(), 7);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(s.get(r, c), a[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn set_diagonal_entry_updates_in_place() {
+        let mut a = laplacian_1d(4);
+        a.set_diagonal_entry(2, 7.5).unwrap();
+        assert_eq!(a.get(2, 2), 7.5);
+        assert_eq!(a.get(1, 1), 2.0);
+        assert_eq!(a.nnz(), 10);
+        assert!(a.set_diagonal_entry(9, 1.0).is_err());
+        // A structurally absent diagonal cannot be set.
+        let mut b =
+            CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, 1.0), Triplet::new(1, 0, 1.0)])
+                .unwrap();
+        assert!(b.set_diagonal_entry(1, 1.0).is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_across_rows_not_merged() {
+        // Regression for the duplicate-accumulation guard: row 1 starts with
+        // the same column index row 0 ended with; the values must stay
+        // separate entries.
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[Triplet::new(0, 1, 3.0), Triplet::new(1, 1, 4.0)],
+        )
+        .unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 1), 4.0);
     }
 
     #[test]

@@ -113,6 +113,60 @@ proptest! {
     }
 
     #[test]
+    fn duplicate_triplets_accumulate(seed in 0u64..5000, dim in 1usize..12) {
+        // CSR assembly must sum repeated (row, col) entries, so splitting
+        // every dense value into several duplicate triplets reproduces the
+        // original matrix exactly — both through `get` and `mul_vec`.
+        let a = random_spd(seed, dim);
+        let mut trips = Vec::new();
+        for r in 0..dim {
+            for c in 0..dim {
+                let v = a[(r, c)];
+                if v != 0.0 {
+                    trips.push(Triplet::new(r, c, 0.25 * v));
+                    trips.push(Triplet::new(r, c, 0.25 * v));
+                    trips.push(Triplet::new(r, c, 0.5 * v));
+                }
+            }
+        }
+        let sparse = CsrMatrix::from_triplets(dim, dim, &trips).unwrap();
+        for r in 0..dim {
+            for c in 0..dim {
+                let v = a[(r, c)];
+                prop_assert!((sparse.get(r, c) - v).abs() <= 1e-12 * v.abs().max(1.0));
+            }
+        }
+        let x: Vec<f64> = (0..dim).map(|k| (0.7 * k as f64).sin()).collect();
+        let yd = a.mul_vec(&x).unwrap();
+        let ys = sparse.mul_vec(&x).unwrap();
+        for (u, v) in yd.iter().zip(&ys) {
+            prop_assert!((u - v).abs() <= 1e-12 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn backend_solves_agree_on_random_stieltjes(seed in 0u64..3000, dim in 2usize..24) {
+        // The cross-backend contract: on any PD Stieltjes system, the
+        // sparse CG backend and dense Cholesky agree to well under the
+        // documented 1e-8 relative tolerance.
+        use tecopt_linalg::{FactoredSystem, ResolvedBackend};
+        let a = random_spd(seed, dim);
+        let b: Vec<f64> = (0..dim).map(|k| 0.3 + (k as f64 * 0.29).cos()).collect();
+        let dense = FactoredSystem::factor(&a, ResolvedBackend::DenseCholesky)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let sparse = FactoredSystem::factor(&a, ResolvedBackend::SparseCg(CgSettings::default()))
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let scale: f64 = dense.x.iter().map(|x| x.abs()).fold(0.0, f64::max).max(1.0);
+        for (u, v) in dense.x.iter().zip(&sparse.x) {
+            prop_assert!((u - v).abs() <= 1e-8 * scale, "dense {u} vs sparse {v}");
+        }
+    }
+
+    #[test]
     fn cg_agrees_with_cholesky(seed in 0u64..5000, dim in 2usize..15) {
         let a = random_spd(seed, dim);
         let mut trips = Vec::new();

@@ -4,9 +4,14 @@
 #   2. clippy across all targets with warnings promoted to errors
 #      (crates/linalg and crates/core additionally warn on unwrap() in
 #      non-test code; clippy.toml allows unwraps inside tests),
-#   3. the complete test suite, including the fault-injection error-path
-#      coverage (tests/error_paths.rs) and the property-based robustness
-#      sweeps (tests/robustness.rs).
+#   3. compile of every criterion bench target (bench code must never rot),
+#   4. the complete test suite, including the fault-injection error-path
+#      coverage (tests/error_paths.rs), the property-based robustness
+#      sweeps (tests/robustness.rs), and the cross-backend/parallel
+#      determinism suite (tests/backend_equivalence.rs),
+#   5. a single-threaded re-run of the test suite, so any accidental
+#      dependence of the parallel sweeps on test-runner concurrency shows
+#      up as a divergence between the two passes.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -18,7 +23,13 @@ cargo build --release --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace -- --test-threads=1"
+cargo test -q --workspace -- --test-threads=1
 
 echo "==> all checks passed"

@@ -423,3 +423,23 @@ fn every_opt_error_variant_is_reachable() {
         Err(OptError::Infeasible { best_peak_celsius }) if best_peak_celsius > -100.0
     ));
 }
+
+#[test]
+fn runaway_sweep_rejects_nan_fractions_with_typed_error() {
+    // Regression: a NaN fraction used to clear the finiteness guard's
+    // negativity half (NaN < 0.0 is false) and then panic inside the
+    // `sort_by(partial_cmp().expect())` call. It must surface as
+    // InvalidParameter from the shared validation layer, like every other
+    // poisoned input.
+    let system = small_system();
+    let mut fractions = vec![0.2, 0.5, 0.8];
+    fi::inject_nan_slice(&mut fractions, 1);
+    assert!(matches!(
+        tecopt::runaway::sweep_fractions(&system, &fractions, 1e-9),
+        Err(OptError::InvalidParameter(_))
+    ));
+    assert!(matches!(
+        tecopt::runaway::sweep_fractions(&system, &[0.1, f64::INFINITY], 1e-9),
+        Err(OptError::InvalidParameter(_))
+    ));
+}
