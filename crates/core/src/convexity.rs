@@ -208,15 +208,16 @@ pub fn certify_convexity(
 
     // Sub-ranges are independent (each freezes its own slope at `i_t`), so
     // they are checked in parallel, one warm solver handle per worker.
-    // Probe assembly once up front so workers can't hit a build error.
-    system.solver()?;
+    // Assemble the shared core up front: each worker's `solver()` then
+    // clones it (no fallible rebuild), so the expect cannot fire.
+    system.warm_solver_cache()?;
     let q = settings.probes_per_subrange;
     let results = par_map_init(
         (0..settings.subranges).collect::<Vec<usize>>(),
         || {
             system
                 .solver()
-                .expect("workspace assembly succeeded moments ago")
+                .expect("solver() clones the warmed shared core")
         },
         |solver, t| check_subrange(solver, t, ceiling, &silicon, settings),
     );

@@ -87,14 +87,15 @@ pub fn sweep_fractions(
 
     // Every sample is an independent factor+solve at `lam·f` — fan them
     // out over worker threads, each with its own warm solver handle.
-    // Probe assembly once up front so workers can't hit a build error.
-    system.solver()?;
+    // Assemble the shared core up front: each worker's `solver()` then
+    // clones it (no fallible rebuild), so the expect cannot fire.
+    system.warm_solver_cache()?;
     let results = par_map_init(
         sorted,
         || {
             system
                 .solver()
-                .expect("workspace assembly succeeded moments ago")
+                .expect("solver() clones the warmed shared core")
         },
         |solver, f| {
             let i = Amperes(lam * f);

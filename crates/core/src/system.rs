@@ -113,6 +113,11 @@ impl SolverCore {
         {
             return Ok(());
         }
+        // Drop the previous factorization before touching the workspace: if
+        // retargeting or factoring fails below, a surviving entry would key
+        // the old current against the failed probe's matrix/power, and a
+        // later solve at that current would cache-hit into wrong data.
+        let previous = self.factored.take();
         self.ws.set_current(current)?;
         let fact = match self.resolved {
             ResolvedBackend::DenseCholesky => FactoredSystem::factor(self.ws.matrix(), self.resolved)
@@ -120,7 +125,7 @@ impl SolverCore {
             ResolvedBackend::SparseCg(settings) => {
                 // Reuse the CSR structure of the previous probe when
                 // possible: only the shifted diagonal entries change.
-                let reused = match self.factored.take() {
+                let reused = match previous {
                     Some((_, FactoredSystem::Sparse { mut matrix, .. })) => {
                         let ok = self
                             .ws
@@ -299,6 +304,14 @@ impl SolvedState {
 
     /// `true` when the temperatures warrant caution: the system matrix was
     /// ill-conditioned or a fallback solver produced them.
+    ///
+    /// The flag's sensitivity is backend-dependent: the dense backend
+    /// compares a Cholesky pivot-ratio estimate against
+    /// [`SolverPolicy::warn_condition`], while the sparse backend compares
+    /// a CG iteration-count heuristic on a different scale — the same
+    /// system can be flagged under one backend but not the other. Treat it
+    /// as a per-backend caution signal, not a cross-backend invariant; for
+    /// the raw value see [`SolvedState::condition_estimate`].
     pub fn degraded(&self) -> bool {
         self.degraded
     }
@@ -435,6 +448,14 @@ impl CoolingSystem {
             None => SolverCore::build(self)?,
         };
         Ok(SteadySolver { system: self, core })
+    }
+
+    /// Assembles the shared solver core if it is still cold, so subsequent
+    /// [`CoolingSystem::solver`] calls clone it instead of rebuilding —
+    /// the pre-flight step of the parallel sweeps, which guarantees each
+    /// worker's handle construction cannot fail.
+    pub(crate) fn warm_solver_cache(&self) -> Result<(), OptError> {
+        self.with_core(|_| Ok(()))
     }
 
     fn lock_cache(&self) -> MutexGuard<'_, SolverCache> {
@@ -881,6 +902,51 @@ mod tests {
         match s.solve(Amperes(1.0e5)) {
             Err(OptError::BeyondRunaway { current }) => assert_eq!(current, 1.0e5),
             other => panic!("expected BeyondRunaway, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_probe_does_not_poison_the_factorization_cache() {
+        // Regression: `prepare` used to re-stamp the workspace to the failed
+        // probe's current and bail on the factorization error while the
+        // cached key still named the previous current. The next solve at
+        // that current then cache-hit `prepare` and read the failed probe's
+        // matrix/power, silently producing wrong temperatures. After a
+        // failed probe, a repeat solve must be bit-identical to the first.
+        let dense = system(&[TileIndex::new(1, 1)]);
+        let sparse = system(&[TileIndex::new(1, 1)])
+            .with_backend(SolverBackend::SparseCg(tecopt_linalg::CgSettings::default()));
+        for s in [&dense, &sparse] {
+            let first = s.solve(Amperes(2.0)).unwrap();
+            assert!(matches!(
+                s.solve(Amperes(1.0e5)),
+                Err(OptError::BeyondRunaway { .. })
+            ));
+            let again = s.solve(Amperes(2.0)).unwrap();
+            assert_eq!(first.peak().value(), again.peak().value());
+            for (a, b) in first
+                .node_temperatures()
+                .iter()
+                .zip(again.node_temperatures())
+            {
+                assert_eq!(a.value(), b.value());
+            }
+        }
+
+        // Same contract through a private handle.
+        let mut handle = dense.solver().unwrap();
+        let first = handle.solve(Amperes(2.0)).unwrap();
+        assert!(matches!(
+            handle.solve(Amperes(1.0e5)),
+            Err(OptError::BeyondRunaway { .. })
+        ));
+        let again = handle.solve(Amperes(2.0)).unwrap();
+        for (a, b) in first
+            .node_temperatures()
+            .iter()
+            .zip(again.node_temperatures())
+        {
+            assert_eq!(a.value(), b.value());
         }
     }
 
