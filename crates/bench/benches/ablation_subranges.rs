@@ -8,8 +8,7 @@ use tecopt_bench::{alpha_system, THETA_LIMIT};
 
 fn bench_subranges(c: &mut Criterion) {
     let base = alpha_system().expect("alpha system");
-    let outcome =
-        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
     let system = outcome.deployment().system().clone();
     let mut group = c.benchmark_group("ablation_subranges");
     group.sample_size(10);

@@ -8,9 +8,11 @@ fn bench_conjecture(c: &mut Criterion) {
     let mut group = c.benchmark_group("conjecture");
     group.sample_size(10);
     for dim in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("campaign_10_matrices", dim), &dim, |b, &dim| {
-            b.iter(|| randomized_campaign(7, 10, dim).expect("campaign"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("campaign_10_matrices", dim),
+            &dim,
+            |b, &dim| b.iter(|| randomized_campaign(7, 10, dim).expect("campaign")),
+        );
     }
     group.finish();
 }

@@ -9,8 +9,7 @@ use tecopt_units::Amperes;
 
 fn bench_fig6(c: &mut Criterion) {
     let base = alpha_system().expect("alpha system");
-    let outcome =
-        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
     let system = outcome.deployment().system().clone();
     let (cold, _) = system.stamped().junctions()[0];
     let mut group = c.benchmark_group("fig6_hkl");

@@ -8,8 +8,7 @@ use tecopt_units::Amperes;
 
 fn bench_runaway(c: &mut Criterion) {
     let base = alpha_system().expect("alpha system");
-    let outcome =
-        greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
+    let outcome = greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy");
     let system = outcome.deployment().system().clone();
     let lim = runaway_limit(&system, 1e-9).expect("limit");
     let near = Amperes(lim.feasible().value() * 0.99);

@@ -94,7 +94,9 @@ fn bench_backends(c: &mut Criterion) {
         let g = system.stamped().model().g_matrix().clone();
         let n = g.rows();
         let label = format!("{rows}x{cols}_n{n}");
-        let rhs: Vec<f64> = (0..n).map(|k| 0.1 + (k as f64 * 0.13).sin().abs()).collect();
+        let rhs: Vec<f64> = (0..n)
+            .map(|k| 0.1 + (k as f64 * 0.13).sin().abs())
+            .collect();
         group.bench_with_input(BenchmarkId::new("dense_cholesky", &label), &n, |b, _| {
             b.iter(|| {
                 FactoredSystem::factor(&g, ResolvedBackend::DenseCholesky)

@@ -12,9 +12,7 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     group.bench_function("alpha_greedy_deploy", |b| {
-        b.iter(|| {
-            greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy")
-        })
+        b.iter(|| greedy_deploy(&base, DeploySettings::with_limit(THETA_LIMIT)).expect("greedy"))
     });
     group.bench_function("alpha_full_cover", |b| {
         b.iter(|| full_cover(&base, CurrentSettings::default()).expect("full cover"))

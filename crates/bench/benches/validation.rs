@@ -10,8 +10,7 @@ fn bench_validation(c: &mut Criterion) {
     let base = alpha_system().expect("alpha system");
     let config = base.config().clone();
     let powers = base.tile_powers().to_vec();
-    let reference =
-        ReferenceModel::new(&config, RefinementSettings::default()).expect("reference");
+    let reference = ReferenceModel::new(&config, RefinementSettings::default()).expect("reference");
     let mut group = c.benchmark_group("validation");
     group.sample_size(10);
     group.bench_function("compact_solve", |b| {

@@ -43,10 +43,7 @@ fn candidates(rows: usize, cols: usize) -> Vec<Vec<TileIndex>> {
 /// The seed `CoolingSystem::solve` hot path before PR 2: every probe
 /// restamps the dense system matrix and power vector from scratch and pays
 /// a fresh `O(n^3)` Cholesky factorization.
-fn seed_dense_sweep(
-    base: &CoolingSystem,
-    cands: &[Vec<TileIndex>],
-) -> Result<Vec<f64>, OptError> {
+fn seed_dense_sweep(base: &CoolingSystem, cands: &[Vec<TileIndex>]) -> Result<Vec<f64>, OptError> {
     let mut peaks = Vec::with_capacity(cands.len() * PROBE_CURRENTS.len());
     for tiles in cands {
         let sys = base.with_tiles(tiles)?;
@@ -113,10 +110,7 @@ fn time_min<F: FnMut() -> Result<Vec<f64>, OptError>>(
 
 /// Max relative node-temperature difference between a forced-dense and the
 /// `Auto`-backend solve over every probe current on the first candidate.
-fn dense_auto_agreement(
-    base: &CoolingSystem,
-    cands: &[Vec<TileIndex>],
-) -> Result<f64, OptError> {
+fn dense_auto_agreement(base: &CoolingSystem, cands: &[Vec<TileIndex>]) -> Result<f64, OptError> {
     let auto = base.with_tiles(&cands[0])?;
     let dense = auto.clone().with_backend(SolverBackend::DenseCholesky);
     let mut worst: f64 = 0.0;

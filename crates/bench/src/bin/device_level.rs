@@ -14,14 +14,22 @@ use tecopt_units::{Amperes, Kelvin, Watts};
 
 fn main() {
     let tec = paper_tec();
-    println!("device: alpha = {}, r = {}, kappa = {}", tec.seebeck(), tec.resistance(), tec.conductance());
+    println!(
+        "device: alpha = {}, r = {}, kappa = {}",
+        tec.seebeck(),
+        tec.resistance(),
+        tec.conductance()
+    );
     println!(
         "contacts: g_c = {}, g_h = {}, footprint {:.1} mm side",
         tec.cold_contact(),
         tec.hot_contact(),
         tec.side().to_millimeters()
     );
-    println!("figure of merit ZT(350 K) = {:.2}\n", tec.figure_of_merit_zt(Kelvin(350.0)));
+    println!(
+        "figure of merit ZT(350 K) = {:.2}\n",
+        tec.figure_of_merit_zt(Kelvin(350.0))
+    );
 
     println!("isolated-device table (theta_c = 350 K, theta_h = 360 K):");
     println!("i_amps,q_c_watts,q_h_watts,p_in_watts,cop");
@@ -35,7 +43,13 @@ fn main() {
         let qh = tec.hot_side_flux(op);
         let p = tec.input_power(op);
         match tec.cop(op) {
-            Some(cop) => println!("{i},{:.4},{:.4},{:.4},{:.3}", qc.value(), qh.value(), p.value(), cop),
+            Some(cop) => println!(
+                "{i},{:.4},{:.4},{:.4},{:.3}",
+                qc.value(),
+                qh.value(),
+                p.value(),
+                cop
+            ),
             None => println!("{i},{:.4},{:.4},{:.4},-", qc.value(), qh.value(), p.value()),
         }
     }
@@ -45,8 +59,7 @@ fn main() {
     let mut powers = vec![Watts(0.1); config.grid().tile_count()];
     let hot = TileIndex::new(6, 6);
     powers[config.grid().linear_index(hot)] = Watts(0.7);
-    let system =
-        CoolingSystem::new(&config, tec, &[hot], powers).expect("system");
+    let system = CoolingSystem::new(&config, tec, &[hot], powers).expect("system");
     let uncooled = system.solve(Amperes(0.0)).expect("solve").peak();
     let opt = optimize_current(&system, CurrentSettings::default()).expect("optimize");
     let swing = uncooled - opt.state().peak();

@@ -56,10 +56,7 @@ fn main() {
         d.optimum().current(),
         d.optimum().state().peak(),
     );
-    print!(
-        "{}",
-        deployment_map(base.config().grid(), d.tiles())
-    );
+    print!("{}", deployment_map(base.config().grid(), d.tiles()));
 
     println!("\nUncooled temperature map (°C):\n");
     let state0 = base.solve(Amperes(0.0)).expect("solve");

@@ -78,8 +78,7 @@ pub fn hypothetical_systems() -> Result<Vec<(String, CoolingSystem)>, OptError> 
     HypotheticalChip::standard_suite()
         .into_iter()
         .map(|chip| {
-            let sys =
-                CoolingSystem::without_devices(&config, paper_tec(), chip.tile_powers())?;
+            let sys = CoolingSystem::without_devices(&config, paper_tec(), chip.tile_powers())?;
             Ok((chip.name().to_string(), sys))
         })
         .collect()

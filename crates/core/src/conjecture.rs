@@ -186,12 +186,8 @@ mod tests {
 
     #[test]
     fn selected_pairs_only() {
-        let s = DenseMatrix::from_rows(&[
-            &[3.0, -1.0, 0.0],
-            &[-1.0, 3.0, -1.0],
-            &[0.0, -1.0, 3.0],
-        ])
-        .unwrap();
+        let s = DenseMatrix::from_rows(&[&[3.0, -1.0, 0.0], &[-1.0, 3.0, -1.0], &[0.0, -1.0, 3.0]])
+            .unwrap();
         match check_conjecture1(&s, Some(&[(0, 2), (1, 1)])).unwrap() {
             ConjectureVerdict::Holds { pairs } => assert_eq!(pairs, 2),
             other => panic!("{other:?}"),

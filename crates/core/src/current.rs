@@ -167,9 +167,7 @@ pub fn optimize_current(
     let mut solver = system.solver()?;
     let mut opt = match settings.method {
         CurrentMethod::GoldenSection => golden_section(&mut solver, ceiling, lambda, settings)?,
-        CurrentMethod::GradientDescent => {
-            gradient_descent(&mut solver, ceiling, lambda, settings)?
-        }
+        CurrentMethod::GradientDescent => gradient_descent(&mut solver, ceiling, lambda, settings)?,
     };
     opt.probes = probes;
     Ok(opt)
@@ -380,9 +378,7 @@ mod tests {
         let s = system(&[TileIndex::new(1, 1)]);
         let opt = optimize_current(&s, CurrentSettings::default()).unwrap();
         let at_zero = s.solve(Amperes(0.0)).unwrap();
-        let near_limit = s
-            .solve(Amperes(opt.lambda().value() * 0.95))
-            .unwrap();
+        let near_limit = s.solve(Amperes(opt.lambda().value() * 0.95)).unwrap();
         assert!(opt.state().peak() <= at_zero.peak());
         assert!(opt.state().peak() < near_limit.peak());
         assert!(opt.current().value() > 0.0);

@@ -210,10 +210,7 @@ pub fn greedy_deploy(
 /// # Errors
 ///
 /// Propagates construction and optimization errors.
-pub fn full_cover(
-    base: &CoolingSystem,
-    current: CurrentSettings,
-) -> Result<Deployment, OptError> {
+pub fn full_cover(base: &CoolingSystem, current: CurrentSettings) -> Result<Deployment, OptError> {
     let passive = base.with_tiles(&[])?;
     let baseline_peak = passive.solve(Amperes(0.0))?.peak();
     let grid = base.config().grid();
@@ -381,23 +378,18 @@ mod tests {
             vec![TileIndex::new(2, 2)],
             vec![],
         ];
-        let evaluated =
-            evaluate_deployments(&b, &candidates, CurrentSettings::default());
+        let evaluated = evaluate_deployments(&b, &candidates, CurrentSettings::default());
         // The empty candidate has no devices: the whole batch reports the
         // first failing index's error, here candidate 3.
         assert!(matches!(evaluated, Err(OptError::NoDevicesDeployed)));
 
         let candidates = &candidates[..3];
-        let evaluated =
-            evaluate_deployments(&b, candidates, CurrentSettings::default()).unwrap();
+        let evaluated = evaluate_deployments(&b, candidates, CurrentSettings::default()).unwrap();
         assert_eq!(evaluated.len(), 3);
         for (d, tiles) in evaluated.iter().zip(candidates) {
             assert_eq!(d.tiles(), &tiles[..]);
-            let seq = optimize_current(
-                &b.with_tiles(tiles).unwrap(),
-                CurrentSettings::default(),
-            )
-            .unwrap();
+            let seq = optimize_current(&b.with_tiles(tiles).unwrap(), CurrentSettings::default())
+                .unwrap();
             assert_eq!(
                 d.optimum().state().peak().value(),
                 seq.state().peak().value(),

@@ -84,10 +84,7 @@ impl CoolingDesigner {
     }
 
     /// Overrides the convexity-certificate settings; `None` skips the audit.
-    pub fn convexity_settings(
-        mut self,
-        settings: Option<ConvexitySettings>,
-    ) -> CoolingDesigner {
+    pub fn convexity_settings(mut self, settings: Option<ConvexitySettings>) -> CoolingDesigner {
         self.convexity = settings;
         self
     }
@@ -118,9 +115,9 @@ impl CoolingDesigner {
     ///   best-effort deployment with [`DesignReport::limit_satisfied`]
     ///   false.
     pub fn design(self) -> Result<DesignReport, OptError> {
-        let powers = self.tile_powers.ok_or_else(|| {
-            OptError::InvalidParameter("tile powers were never provided".into())
-        })?;
+        let powers = self
+            .tile_powers
+            .ok_or_else(|| OptError::InvalidParameter("tile powers were never provided".into()))?;
         let base = CoolingSystem::without_devices(&self.config, self.params, powers)?;
         let uncooled_peak = base.solve(Amperes(0.0))?.peak();
         let deploy_settings = DeploySettings {
@@ -243,9 +240,9 @@ impl DesignReport {
     /// The swing loss versus Full-Cover (positive when the sparse
     /// deployment wins, as in Table I), if the comparison ran.
     pub fn swing_loss(&self) -> Option<Celsius> {
-        self.full_cover.as_ref().map(|fc| {
-            fc.optimum().state().peak() - self.deployment.optimum().state().peak()
-        })
+        self.full_cover
+            .as_ref()
+            .map(|fc| fc.optimum().state().peak() - self.deployment.optimum().state().peak())
     }
 
     /// Operating margin to runaway: `I_opt / λ_m`, if a limit exists.
@@ -346,7 +343,10 @@ mod tests {
         assert!(report.limit_satisfied());
         assert!(report.deployment().device_count() > 0);
         assert!(report.runaway().is_some());
-        assert!(report.convexity().map(|c| c.is_certified()).unwrap_or(false));
+        assert!(report
+            .convexity()
+            .map(|c| c.is_certified())
+            .unwrap_or(false));
         assert!(report.full_cover().is_some());
         let u = report.runaway_utilization().unwrap();
         assert!(u > 0.0 && u < 1.0);

@@ -97,13 +97,7 @@ mod tests {
         let config = PackageConfig::hotspot41_like(4, 4).unwrap();
         let mut powers = vec![Watts(0.05); 16];
         powers[5] = Watts(0.7);
-        CoolingSystem::new(
-            &config,
-            TecParams::superlattice_thin_film(),
-            tiles,
-            powers,
-        )
-        .unwrap()
+        CoolingSystem::new(&config, TecParams::superlattice_thin_film(), tiles, powers).unwrap()
     }
 
     #[test]

@@ -82,8 +82,8 @@ pub mod theory;
 pub mod transient;
 
 pub use convexity::{
-    certify_convexity, eta, eta_and_derivative, h_column, CertificateOutcome,
-    ConvexityCertificate, ConvexitySettings,
+    certify_convexity, eta, eta_and_derivative, h_column, CertificateOutcome, ConvexityCertificate,
+    ConvexitySettings,
 };
 pub use current::{optimize_current, CurrentMethod, CurrentOptimum, CurrentSettings};
 pub use deploy::{

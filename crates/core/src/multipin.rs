@@ -195,7 +195,11 @@ impl MultiPinSystem {
     /// outside the positive-definite region.
     pub fn solve(&self, currents: &[Amperes]) -> Result<MultiPinState, OptError> {
         let m = self.system_matrix(currents)?;
-        let mut p = self.inner.stamped().model().power_vector(self.inner.tile_powers())?;
+        let mut p = self
+            .inner
+            .stamped()
+            .model()
+            .power_vector(self.inner.tile_powers())?;
         let r = self.inner.stamped().params().resistance().value();
         for (nodes, i) in self.joule_groups.iter().zip(currents) {
             let joule = 0.5 * r * i.value() * i.value();
@@ -329,7 +333,11 @@ impl MultiPinSystem {
                         fd = eval_at(d)?;
                     }
                 }
-                let (i_best, state) = if fc.peak() <= fd.peak() { (c, fc) } else { (d, fd) };
+                let (i_best, state) = if fc.peak() <= fd.peak() {
+                    (c, fc)
+                } else {
+                    (d, fd)
+                };
                 // Keep the axis origin if it beats the interior optimum.
                 currents[g] = Amperes(0.0);
                 let at_zero = self.solve(&currents)?;

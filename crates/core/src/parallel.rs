@@ -129,12 +129,8 @@ mod tests {
 
     #[test]
     fn first_error_by_index_wins() {
-        let results: Vec<Result<usize, String>> = vec![
-            Ok(0),
-            Err("first".into()),
-            Ok(2),
-            Err("second".into()),
-        ];
+        let results: Vec<Result<usize, String>> =
+            vec![Ok(0), Err("first".into()), Ok(2), Err("second".into())];
         assert_eq!(collect_first_err(results).unwrap_err(), "first");
     }
 
@@ -149,10 +145,14 @@ mod tests {
     #[test]
     fn worker_panic_propagates() {
         let caught = std::panic::catch_unwind(|| {
-            par_map_init((0..16).collect::<Vec<usize>>(), || (), |(), i| {
-                assert!(i != 9, "boom");
-                i
-            })
+            par_map_init(
+                (0..16).collect::<Vec<usize>>(),
+                || (),
+                |(), i| {
+                    assert!(i != 9, "boom");
+                    i
+                },
+            )
         });
         assert!(caught.is_err());
     }

@@ -105,7 +105,17 @@ pub fn render_table(rows: &[TableOneRow]) -> String {
         let n = rows.len() as f64;
         out.push_str(&format!(
             "{:<8} {:>10} {:>8} {:>6} {:>8} {:>8.2} {:>10} {:>12} {:>10.1} {:>6} {:>9}\n",
-            "Avg.", "", "", "", "", p_tec_sum / n, "", "", swing_loss_sum / n, "", ""
+            "Avg.",
+            "",
+            "",
+            "",
+            "",
+            p_tec_sum / n,
+            "",
+            "",
+            swing_loss_sum / n,
+            "",
+            ""
         ));
     }
     out

@@ -120,8 +120,10 @@ impl SolverCore {
         let previous = self.factored.take();
         self.ws.set_current(current)?;
         let fact = match self.resolved {
-            ResolvedBackend::DenseCholesky => FactoredSystem::factor(self.ws.matrix(), self.resolved)
-                .map_err(|e| runaway_from(current, e))?,
+            ResolvedBackend::DenseCholesky => {
+                FactoredSystem::factor(self.ws.matrix(), self.resolved)
+                    .map_err(|e| runaway_from(current, e))?
+            }
             ResolvedBackend::SparseCg(settings) => {
                 // Reuse the CSR structure of the previous probe when
                 // possible: only the shifted diagonal entries change.
@@ -135,8 +137,7 @@ impl SolverCore {
                     }
                     _ => None,
                 };
-                let matrix =
-                    reused.unwrap_or_else(|| CsrMatrix::from_dense(self.ws.matrix()));
+                let matrix = reused.unwrap_or_else(|| CsrMatrix::from_dense(self.ws.matrix()));
                 FactoredSystem::Sparse { matrix, settings }
             }
         };
@@ -164,8 +165,8 @@ impl SolverCore {
                 // diagonal, or stagnation. Dense Cholesky is the
                 // authoritative oracle for all three — it either produces
                 // the solution or proves the point is past runaway.
-                let chol = Cholesky::factor(self.ws.matrix())
-                    .map_err(|e| runaway_from(current, e))?;
+                let chol =
+                    Cholesky::factor(self.ws.matrix()).map_err(|e| runaway_from(current, e))?;
                 let condition_estimate = chol.condition_estimate();
                 let theta = chol.solve(rhs).map_err(OptError::from)?;
                 self.factored = Some((current.value(), FactoredSystem::Dense(chol)));
@@ -459,9 +460,7 @@ impl CoolingSystem {
     }
 
     fn lock_cache(&self) -> MutexGuard<'_, SolverCache> {
-        self.cache
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Runs `f` against the shared cached solver core, building it on first
@@ -475,10 +474,7 @@ impl CoolingSystem {
             cache.core = Some(SolverCore::build(self)?);
             cache.assemblies += 1;
         }
-        let core = cache
-            .core
-            .as_mut()
-            .expect("core populated just above");
+        let core = cache.core.as_mut().expect("core populated just above");
         f(core)
     }
 
@@ -800,7 +796,9 @@ mod tests {
     fn solve_with_policy_matches_solve_on_healthy_points() {
         let s = system(&[TileIndex::new(1, 1)]);
         let a = s.solve(Amperes(3.0)).unwrap();
-        let b = s.solve_with_policy(Amperes(3.0), &SolverPolicy::default()).unwrap();
+        let b = s
+            .solve_with_policy(Amperes(3.0), &SolverPolicy::default())
+            .unwrap();
         assert!((a.peak().value() - b.peak().value()).abs() < 1e-12);
         assert_eq!(b.solve_method(), SolveMethod::Cholesky);
         assert!(!b.degraded());
@@ -985,7 +983,9 @@ mod tests {
     fn with_tiles_rebuilds() {
         let s = system(&[]);
         assert_eq!(s.device_count(), 0);
-        let s2 = s.with_tiles(&[TileIndex::new(0, 0), TileIndex::new(3, 3)]).unwrap();
+        let s2 = s
+            .with_tiles(&[TileIndex::new(0, 0), TileIndex::new(3, 3)])
+            .unwrap();
         assert_eq!(s2.device_count(), 2);
         assert_eq!(s2.tile_powers(), s.tile_powers());
         assert!((s.total_chip_power().value() - 1.45).abs() < 1e-12);

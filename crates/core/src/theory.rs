@@ -46,11 +46,7 @@ impl TheoryReport {
         }
     }
 
-    fn refuted(
-        claim: &'static str,
-        witnesses: usize,
-        detail: impl Into<String>,
-    ) -> TheoryReport {
+    fn refuted(claim: &'static str, witnesses: usize, detail: impl Into<String>) -> TheoryReport {
         TheoryReport {
             claim,
             holds: false,
@@ -82,7 +78,11 @@ pub fn check_lemma1(system: &CoolingSystem) -> Result<TheoryReport, OptError> {
     Ok(TheoryReport::ok(
         "Lemma 1",
         2,
-        format!("{}x{} G is an irreducible PD Stieltjes matrix", g.rows(), g.cols()),
+        format!(
+            "{}x{} G is an irreducible PD Stieltjes matrix",
+            g.rows(),
+            g.cols()
+        ),
     ))
 }
 
@@ -92,7 +92,10 @@ pub fn check_lemma1(system: &CoolingSystem) -> Result<TheoryReport, OptError> {
 /// # Errors
 ///
 /// - [`OptError::NoDevicesDeployed`] for a passive system.
-pub fn check_lemma2(system: &CoolingSystem, pairs: &[(usize, usize)]) -> Result<TheoryReport, OptError> {
+pub fn check_lemma2(
+    system: &CoolingSystem,
+    pairs: &[(usize, usize)],
+) -> Result<TheoryReport, OptError> {
     let lim = runaway_limit(system, 1e-12)?;
     let g = system.stamped().model().g_matrix();
     let d = system.stamped().d_diagonal();
@@ -146,9 +149,7 @@ pub fn check_lemma2(system: &CoolingSystem, pairs: &[(usize, usize)]) -> Result<
     Ok(TheoryReport::ok(
         "Lemma 2",
         witnesses,
-        format!(
-            "A singular relative to every sampled minor (smallest log-margin {min_gap:.1})"
-        ),
+        format!("A singular relative to every sampled minor (smallest log-margin {min_gap:.1})"),
     ))
 }
 
@@ -188,7 +189,9 @@ pub fn check_lemma3(system: &CoolingSystem, current: Amperes) -> Result<TheoryRe
 /// - [`OptError::NoDevicesDeployed`] for a passive system.
 pub fn check_theorem1(system: &CoolingSystem, samples: usize) -> Result<TheoryReport, OptError> {
     if samples == 0 {
-        return Err(OptError::InvalidParameter("need at least one sample".into()));
+        return Err(OptError::InvalidParameter(
+            "need at least one sample".into(),
+        ));
     }
     let lim = runaway_limit(system, 1e-11)?;
     let lam = lim.lambda().value();
@@ -265,7 +268,9 @@ pub fn check_theorem2(system: &CoolingSystem) -> Result<TheoryReport, OptError> 
 /// - [`OptError::NoDevicesDeployed`] for a passive system.
 pub fn check_theorem3(system: &CoolingSystem, grid: usize) -> Result<TheoryReport, OptError> {
     if grid < 3 {
-        return Err(OptError::InvalidParameter("need a grid of at least 3".into()));
+        return Err(OptError::InvalidParameter(
+            "need a grid of at least 3".into(),
+        ));
     }
     let lim = runaway_limit(system, 1e-11)?;
     let lam = lim.feasible().value();

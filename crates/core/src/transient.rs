@@ -333,14 +333,11 @@ impl TransientSimulator {
                 self.cache.clear();
             }
             let a = self.system.stamped().system_matrix(current)?;
-            let stepper = BackwardEuler::new(&a, &self.capacitance, self.dt)
-                .map_err(OptError::from)?;
+            let stepper =
+                BackwardEuler::new(&a, &self.capacitance, self.dt).map_err(OptError::from)?;
             self.cache.insert(key, stepper);
         }
-        let p = self
-            .system
-            .stamped()
-            .power_vector(tile_powers, current)?;
+        let p = self.system.stamped().power_vector(tile_powers, current)?;
         let stepper = self.cache.get(&key).expect("stepper cached above");
         self.theta = stepper
             .step(&self.theta, &p)
@@ -468,10 +465,7 @@ mod tests {
         let mut ctl = BangBangController::new(upper, lower, Amperes(4.0));
         let trace = sim.run(&hot_powers(), &mut ctl, 3000.0).unwrap();
         let tail = &trace.samples()[trace.samples().len() / 2..];
-        let max_tail = tail
-            .iter()
-            .map(|s| s.peak.value())
-            .fold(f64::MIN, f64::max);
+        let max_tail = tail.iter().map(|s| s.peak.value()).fold(f64::MIN, f64::max);
         let mean_tail = tail.iter().map(|s| s.peak.value()).sum::<f64>() / tail.len() as f64;
         assert!(
             max_tail <= uncooled.value() + 0.05,
@@ -544,14 +538,14 @@ mod tests {
         let mut sim = TransientSimulator::new(sys, 0.5).unwrap();
         let mut ctl = ConstantCurrent(Amperes(0.0));
         let trace = sim
-            .run_schedule(
-                &[(500.0, hot_powers()), (500.0, idle)],
-                &mut ctl,
-            )
+            .run_schedule(&[(500.0, hot_powers()), (500.0, idle)], &mut ctl)
             .unwrap();
         let mid = trace.samples()[trace.samples().len() / 2 - 1].peak;
         let end = trace.samples().last().unwrap().peak;
-        assert!(mid > end, "idle phase should cool the die: {mid:?} vs {end:?}");
+        assert!(
+            mid > end,
+            "idle phase should cool the die: {mid:?} vs {end:?}"
+        );
         assert!((sim.time() - 1000.0).abs() < 1.0);
     }
 
@@ -570,7 +564,10 @@ mod tests {
         for step in 1..=10 {
             let i = ctl.next_current(Celsius(50.0)).value();
             assert!(i - last <= 1.0 + 1e-12, "step {step} slewed too fast");
-            assert!((i / 0.5 - (i / 0.5).round()).abs() < 1e-9, "not on grid: {i}");
+            assert!(
+                (i / 0.5 - (i / 0.5).round()).abs() < 1e-9,
+                "not on grid: {i}"
+            );
             last = i;
         }
         assert!((last - 5.0).abs() < 1e-9, "should reach the target: {last}");

@@ -176,7 +176,11 @@ mod tests {
                 actual: 2
             })
         ));
-        let mixed = [op(1.0, 350.0, 351.0), op(2.0, 350.0, 351.0), op(1.0, 350.0, 351.0)];
+        let mixed = [
+            op(1.0, 350.0, 351.0),
+            op(2.0, 350.0, 351.0),
+            op(1.0, 350.0, 351.0),
+        ];
         assert!(matches!(
             a.terminal_voltage(&mixed),
             Err(DeviceError::MixedCurrents)

@@ -1,8 +1,6 @@
 use crate::DeviceError;
 use tecopt_thermal::TwoPortSpec;
-use tecopt_units::{
-    Amperes, Kelvin, Meters, Ohms, SquareMeters, VoltsPerKelvin, WattsPerKelvin,
-};
+use tecopt_units::{Amperes, Kelvin, Meters, Ohms, SquareMeters, VoltsPerKelvin, WattsPerKelvin};
 
 /// Lumped physical parameters of one thin-film TEC device.
 ///

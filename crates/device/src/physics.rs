@@ -127,7 +127,11 @@ mod tests {
     #[test]
     fn energy_conservation_qh_minus_qc_is_input_power() {
         let t = tec();
-        for (i, c, h) in [(2.0, 340.0, 350.0), (7.5, 355.0, 370.0), (0.0, 350.0, 360.0)] {
+        for (i, c, h) in [
+            (2.0, 340.0, 350.0),
+            (7.5, 355.0, 370.0),
+            (0.0, 350.0, 360.0),
+        ] {
             let o = op(i, c, h);
             let lhs = t.hot_side_flux(o) - t.cold_side_flux(o);
             let rhs = t.input_power(o);

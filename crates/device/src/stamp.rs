@@ -180,10 +180,7 @@ impl StampedSystem {
     /// # Errors
     ///
     /// Propagates power-length mismatches from the thermal layer.
-    pub fn solve_workspace(
-        &self,
-        silicon_powers: &[Watts],
-    ) -> Result<SolveWorkspace, DeviceError> {
+    pub fn solve_workspace(&self, silicon_powers: &[Watts]) -> Result<SolveWorkspace, DeviceError> {
         let matrix = self.model.g_matrix().clone();
         let base_power = self.model.power_vector(silicon_powers)?;
         // Only nodes with a nonzero D entry ever change in the matrix.

@@ -175,7 +175,10 @@ mod tests {
         };
         let c0 = cond_at(0.0).unwrap();
         let c9 = cond_at(0.999_999).unwrap();
-        assert!(c9 > 100.0 * c0, "conditioning did not degrade: {c0} vs {c9}");
+        assert!(
+            c9 > 100.0 * c0,
+            "conditioning did not degrade: {c0} vs {c9}"
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! 2 %-dense matrix costs ~`2·nnz ≈ 1e4` multiplies per iteration — even a
 //! thousand iterations win, and the gap only widens with n.
 
-use crate::{conjugate_gradient, CgSettings, Cholesky, CsrMatrix, DenseMatrix, LinalgError};
 use crate::SolveMethod;
+use crate::{conjugate_gradient, CgSettings, Cholesky, CsrMatrix, DenseMatrix, LinalgError};
 
 /// Dense-vs-sparse crossover: minimum dimension for the sparse backend.
 pub const SPARSE_MIN_DIM: usize = 512;
@@ -116,7 +116,10 @@ impl FactoredSystem {
     /// - [`LinalgError::NotSquare`] for a non-square input.
     /// - [`LinalgError::NotPositiveDefinite`] from the dense factorization
     ///   or the sparse diagonal screen.
-    pub fn factor(a: &DenseMatrix, backend: ResolvedBackend) -> Result<FactoredSystem, LinalgError> {
+    pub fn factor(
+        a: &DenseMatrix,
+        backend: ResolvedBackend,
+    ) -> Result<FactoredSystem, LinalgError> {
         match backend {
             ResolvedBackend::DenseCholesky => Ok(FactoredSystem::Dense(Cholesky::factor(a)?)),
             ResolvedBackend::SparseCg(settings) => {
@@ -145,7 +148,10 @@ impl FactoredSystem {
     /// # Errors
     ///
     /// Same contract as [`FactoredSystem::factor`].
-    pub fn factor_auto(a: &DenseMatrix, backend: SolverBackend) -> Result<FactoredSystem, LinalgError> {
+    pub fn factor_auto(
+        a: &DenseMatrix,
+        backend: SolverBackend,
+    ) -> Result<FactoredSystem, LinalgError> {
         let nnz = a.as_slice().iter().filter(|&&v| v != 0.0).count();
         FactoredSystem::factor(a, backend.resolve(a.rows(), nnz))
     }

@@ -228,7 +228,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, LinalgError::NoConvergence { iterations: 1, .. }));
+        assert!(matches!(
+            err,
+            LinalgError::NoConvergence { iterations: 1, .. }
+        ));
     }
 
     #[test]

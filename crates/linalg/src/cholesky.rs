@@ -202,12 +202,8 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap()
+        DenseMatrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap()
     }
 
     #[test]

@@ -324,9 +324,18 @@ mod tests {
         let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
         // Three probes are not enough to even finish bracketing to i = 2.
         let err = generalized_pd_threshold_budgeted(&g, &[1.0, 1.0], 1e-12, 3).unwrap_err();
-        assert_eq!(err, LinalgError::BudgetExhausted { spent: 3, budget: 3 });
+        assert_eq!(
+            err,
+            LinalgError::BudgetExhausted {
+                spent: 3,
+                budget: 3
+            }
+        );
         let err = generalized_pd_threshold_budgeted(&g, &[1.0, 1.0], 1e-12, 0).unwrap_err();
-        assert!(matches!(err, LinalgError::BudgetExhausted { budget: 0, .. }));
+        assert!(matches!(
+            err,
+            LinalgError::BudgetExhausted { budget: 0, .. }
+        ));
     }
 
     #[test]

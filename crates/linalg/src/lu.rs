@@ -149,7 +149,11 @@ impl Lu {
         // Back substitution with U.
         for i in (0..n).rev() {
             let row = self.lu.row(i);
-            let dot: f64 = row[i + 1..].iter().zip(&y[i + 1..]).map(|(a, b)| a * b).sum();
+            let dot: f64 = row[i + 1..]
+                .iter()
+                .zip(&y[i + 1..])
+                .map(|(a, b)| a * b)
+                .sum();
             y[i] = (y[i] - dot) / row[i];
         }
         Ok(y)
@@ -206,12 +210,8 @@ mod tests {
 
     #[test]
     fn factor_and_solve_permuted_system() {
-        let a = DenseMatrix::from_rows(&[
-            &[0.0, 1.0, 2.0],
-            &[1.0, 0.0, 3.0],
-            &[4.0, -3.0, 8.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 3.0], &[4.0, -3.0, 8.0]])
+            .unwrap();
         let lu = Lu::factor(&a).unwrap();
         let b = [3.0, 4.0, 9.0];
         let x = lu.solve(&b).unwrap();
@@ -261,12 +261,9 @@ mod tests {
 
     #[test]
     fn agrees_with_cholesky_on_spd() {
-        let a = DenseMatrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap();
+        let a =
+            DenseMatrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+                .unwrap();
         let lu = Lu::factor(&a).unwrap();
         let chol = crate::Cholesky::factor(&a).unwrap();
         let b = [0.3, -1.2, 2.2];

@@ -119,7 +119,9 @@ impl DenseMatrix {
 
     /// Copy of the main diagonal.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|k| self[(k, k)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|k| self[(k, k)])
+            .collect()
     }
 
     /// Checks every entry is finite.
@@ -490,12 +492,8 @@ mod tests {
 
     #[test]
     fn minor_removes_row_and_column() {
-        let m = DenseMatrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ])
-        .unwrap();
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]])
+            .unwrap();
         let mm = m.minor(1, 0);
         assert_eq!(mm.rows(), 2);
         assert_eq!(mm[(0, 0)], 2.0);

@@ -310,12 +310,8 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap()
+        DenseMatrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap()
     }
 
     #[test]
@@ -403,12 +399,20 @@ mod tests {
             solve_robust(&a, &[1.0, 1.0, 1.0], &SolverPolicy::default()),
             Err(LinalgError::NonFiniteEntry { row: 1, col: 1 })
         ));
-        let err =
-            solve_robust(&spd3(), &[1.0, f64::INFINITY, 0.0], &SolverPolicy::default()).unwrap_err();
+        let err = solve_robust(
+            &spd3(),
+            &[1.0, f64::INFINITY, 0.0],
+            &SolverPolicy::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, LinalgError::InvalidInput(_)));
         assert!(solve_robust(&spd3(), &[1.0], &SolverPolicy::default()).is_err());
-        assert!(solve_robust(&DenseMatrix::zeros(2, 3), &[1.0, 1.0], &SolverPolicy::default())
-            .is_err());
+        assert!(solve_robust(
+            &DenseMatrix::zeros(2, 3),
+            &[1.0, 1.0],
+            &SolverPolicy::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -238,7 +238,9 @@ impl CsrMatrix {
 
     /// Copy of the main diagonal (zeros where unstored).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|k| self.get(k, k)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|k| self.get(k, k))
+            .collect()
     }
 
     /// Checks structural + numerical symmetry within `tol`.
@@ -323,23 +325,16 @@ mod tests {
 
     #[test]
     fn asymmetric_detected() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[Triplet::new(0, 1, 1.0), Triplet::new(1, 0, -1.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 1, 1.0), Triplet::new(1, 0, -1.0)])
+                .unwrap();
         assert!(!a.is_symmetric(1e-12));
     }
 
     #[test]
     fn from_dense_round_trips() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .unwrap();
         let s = CsrMatrix::from_dense(&a);
         assert_eq!(s.nnz(), 7);
         for r in 0..3 {
@@ -369,12 +364,8 @@ mod tests {
         // Regression for the duplicate-accumulation guard: row 1 starts with
         // the same column index row 0 ended with; the values must stay
         // separate entries.
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[Triplet::new(0, 1, 3.0), Triplet::new(1, 1, 4.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 1, 3.0), Triplet::new(1, 1, 4.0)])
+            .unwrap();
         assert_eq!(a.nnz(), 2);
         assert_eq!(a.get(0, 1), 3.0);
         assert_eq!(a.get(1, 1), 4.0);

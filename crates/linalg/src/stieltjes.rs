@@ -69,7 +69,10 @@ pub fn check_stieltjes(a: &DenseMatrix, sym_tol: f64) -> Result<(), StieltjesVio
 ///
 /// Panics if the matrix is not square.
 pub fn is_irreducible(a: &DenseMatrix) -> bool {
-    assert!(a.is_square(), "irreducibility is defined for square matrices");
+    assert!(
+        a.is_square(),
+        "irreducibility is defined for square matrices"
+    );
     let n = a.rows();
     if n <= 1 {
         return true;
@@ -268,12 +271,8 @@ mod tests {
         ])
         .unwrap();
         assert!(!is_irreducible(&a));
-        let b = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let b = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .unwrap();
         assert!(is_irreducible(&b));
     }
 

@@ -67,7 +67,10 @@ impl fmt::Display for PowerError {
                 write!(f, "invalid power {value} W for unit '{unit}'")
             }
             PowerError::ProfileMismatch { expected, actual } => {
-                write!(f, "profile has {actual} entries, floorplan has {expected} units")
+                write!(
+                    f,
+                    "profile has {actual} entries, floorplan has {expected} units"
+                )
             }
             PowerError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }

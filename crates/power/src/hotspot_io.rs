@@ -84,8 +84,14 @@ pub fn parse_flp(name: impl Into<String>, text: &str) -> Result<Floorplan, Power
         .map(|u| u.rect().y1)
         .fold(f64::NEG_INFINITY, f64::max);
     // Units must start at the origin for the bounding box to be the die.
-    let x0 = units.iter().map(|u| u.rect().x0).fold(f64::INFINITY, f64::min);
-    let y0 = units.iter().map(|u| u.rect().y0).fold(f64::INFINITY, f64::min);
+    let x0 = units
+        .iter()
+        .map(|u| u.rect().x0)
+        .fold(f64::INFINITY, f64::min);
+    let y0 = units
+        .iter()
+        .map(|u| u.rect().y0)
+        .fold(f64::INFINITY, f64::min);
     if x0.abs() > 1e-12 || y0.abs() > 1e-12 {
         return Err(PowerError::InvalidParameter(format!(
             "flp units must be anchored at the origin; bounding box starts at ({x0}, {y0})"
@@ -223,13 +229,10 @@ pub fn to_ptrace(profiles: &[PowerProfile]) -> Result<String, PowerError> {
 ///
 /// Returns [`PowerError::InvalidParameter`] for an empty set, a negative
 /// margin, or mismatched plans.
-pub fn worst_case_of(
-    profiles: &[PowerProfile],
-    margin: f64,
-) -> Result<PowerProfile, PowerError> {
-    let first = profiles.first().ok_or_else(|| {
-        PowerError::InvalidParameter("worst case of an empty trace set".into())
-    })?;
+pub fn worst_case_of(profiles: &[PowerProfile], margin: f64) -> Result<PowerProfile, PowerError> {
+    let first = profiles
+        .first()
+        .ok_or_else(|| PowerError::InvalidParameter("worst case of an empty trace set".into()))?;
     if margin < 0.0 || !margin.is_finite() {
         return Err(PowerError::InvalidParameter(format!(
             "margin must be nonnegative, got {margin}"
@@ -307,11 +310,7 @@ mod tests {
 
     #[test]
     fn ptrace_rejects_non_finite_powers() {
-        let plan = parse_flp(
-            "demo",
-            "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n",
-        )
-        .unwrap();
+        let plan = parse_flp("demo", "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n").unwrap();
         for bad in ["A B\nNaN 1.0\n", "A B\n1.0 inf\n", "A B\n1e999 1.0\n"] {
             match parse_ptrace(&plan, bad) {
                 Err(PowerError::InvalidParameter(msg)) => {
@@ -361,11 +360,7 @@ mod tests {
 
     #[test]
     fn ptrace_column_order_is_free() {
-        let plan = parse_flp(
-            "demo",
-            "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n",
-        )
-        .unwrap();
+        let plan = parse_flp("demo", "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n").unwrap();
         let text = "B A\n2.0 1.0\n";
         let rows = parse_ptrace(&plan, text).unwrap();
         assert_eq!(rows[0].unit_power("A").unwrap(), Watts(1.0));
@@ -374,11 +369,7 @@ mod tests {
 
     #[test]
     fn ptrace_errors() {
-        let plan = parse_flp(
-            "demo",
-            "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n",
-        )
-        .unwrap();
+        let plan = parse_flp("demo", "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n").unwrap();
         assert!(parse_ptrace(&plan, "").is_err());
         assert!(parse_ptrace(&plan, "A Z\n1 2\n").is_err());
         assert!(parse_ptrace(&plan, "A\n1\n").is_err()); // B missing
@@ -388,11 +379,7 @@ mod tests {
 
     #[test]
     fn worst_case_envelope_of_traces() {
-        let plan = parse_flp(
-            "demo",
-            "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n",
-        )
-        .unwrap();
+        let plan = parse_flp("demo", "A\t1.0\t1.0\t0.0\t0.0\nB\t1.0\t1.0\t1.0\t0.0\n").unwrap();
         let rows = parse_ptrace(&plan, "A B\n1.0 5.0\n3.0 2.0\n").unwrap();
         let wc = worst_case_of(&rows, 0.2).unwrap();
         assert!((wc.unit_power("A").unwrap().value() - 3.6).abs() < 1e-12);

@@ -125,8 +125,7 @@ impl HypotheticalChip {
         while !unassigned.is_empty() {
             let start_pos = rng.gen_range(0..unassigned.len());
             let start = unassigned[start_pos];
-            let target =
-                rng.gen_range(settings.min_unit_tiles..=settings.max_unit_tiles.min(n));
+            let target = rng.gen_range(settings.min_unit_tiles..=settings.max_unit_tiles.min(n));
             let unit_idx = unit_tiles.len();
             let mut region = vec![start];
             unit_of_tile[start] = unit_idx;
@@ -272,7 +271,11 @@ impl HypotheticalChip {
 
     /// Combined area fraction of the hot units.
     pub fn hot_area_fraction(&self) -> f64 {
-        let hot: usize = self.hot_units.iter().map(|&u| self.unit_tiles[u].len()).sum();
+        let hot: usize = self
+            .hot_units
+            .iter()
+            .map(|&u| self.unit_tiles[u].len())
+            .sum();
         hot as f64 / self.grid.tile_count() as f64
     }
 
@@ -327,9 +330,7 @@ mod tests {
             assert!(chip.unit_of_tile().iter().all(|&u| u < chip.unit_count()));
             // Each unit connected: BFS from its first tile reaches all.
             for u in 0..chip.unit_count() {
-                let tiles: Vec<usize> = (0..n)
-                    .filter(|&t| chip.unit_of_tile()[t] == u)
-                    .collect();
+                let tiles: Vec<usize> = (0..n).filter(|&t| chip.unit_of_tile()[t] == u).collect();
                 assert!(!tiles.is_empty());
                 let set: std::collections::HashSet<usize> = tiles.iter().copied().collect();
                 let mut seen = std::collections::HashSet::new();
@@ -342,7 +343,12 @@ mod tests {
                         }
                     }
                 }
-                assert_eq!(seen.len(), tiles.len(), "unit {u} of {} disconnected", chip.name());
+                assert_eq!(
+                    seen.len(),
+                    tiles.len(),
+                    "unit {u} of {} disconnected",
+                    chip.name()
+                );
             }
         }
     }
@@ -352,16 +358,11 @@ mod tests {
         let s = HypotheticalSettings::default();
         for chip in HypotheticalChip::standard_suite() {
             for u in 0..chip.unit_count() {
-                let count = chip
-                    .unit_of_tile()
-                    .iter()
-                    .filter(|&&x| x == u)
-                    .count();
+                let count = chip.unit_of_tile().iter().filter(|&&x| x == u).count();
                 // Several trapped regions (each < min tiles) can merge into
                 // the same host, so allow a couple of merges of slack.
                 assert!(
-                    count >= s.min_unit_tiles
-                        && count <= s.max_unit_tiles + 2 * s.min_unit_tiles,
+                    count >= s.min_unit_tiles && count <= s.max_unit_tiles + 2 * s.min_unit_tiles,
                     "{}: unit {u} has {count} tiles",
                     chip.name()
                 );
@@ -377,7 +378,11 @@ mod tests {
             let pf = chip.hot_power_fraction();
             assert!((pf - 0.30).abs() < 1e-9, "{}: hot power {pf}", chip.name());
             let af = chip.hot_area_fraction();
-            assert!((0.06..=0.16).contains(&af), "{}: hot area {af}", chip.name());
+            assert!(
+                (0.06..=0.16).contains(&af),
+                "{}: hot area {af}",
+                chip.name()
+            );
         }
     }
 
@@ -402,7 +407,11 @@ mod tests {
                 .filter(|&t| !hot.contains(&chip.unit_of_tile()[t]))
                 .map(|t| tp[t].value())
                 .fold(0.0_f64, f64::max);
-            assert!(hot_max > 2.0 * cold_max, "{}: hot tiles not dominant", chip.name());
+            assert!(
+                hot_max > 2.0 * cold_max,
+                "{}: hot tiles not dominant",
+                chip.name()
+            );
         }
     }
 

@@ -213,9 +213,7 @@ impl WorkloadModel {
             .benchmarks
             .iter()
             .find(|b| b.name == name)
-            .ok_or_else(|| {
-                PowerError::InvalidParameter(format!("unknown benchmark '{name}'"))
-            })?;
+            .ok_or_else(|| PowerError::InvalidParameter(format!("unknown benchmark '{name}'")))?;
         let powers: Vec<Watts> = self
             .plan
             .units()

@@ -253,8 +253,8 @@ impl CompactModel {
                         die_layer.half_resistance(tile_area) + tim_layer.half_resistance(tile_area);
                     net.add_conductance(silicon[k], tim_id, 1.0 / r_si_tim);
                     for (cell, a_ov) in spreader_layer.cells_overlapping(&rect) {
-                        let r = tim_layer.half_resistance(a_ov)
-                            + spreader_layer.half_resistance(a_ov);
+                        let r =
+                            tim_layer.half_resistance(a_ov) + spreader_layer.half_resistance(a_ov);
                         net.add_conductance(tim_id, spreader[cell], 1.0 / r);
                     }
                 }
@@ -307,8 +307,7 @@ impl CompactModel {
                 let k = spreader_layer.index(iy, ix);
                 let rect = spreader_layer.cell_rect(iy, ix);
                 for (cell, a_ov) in sink_layer.cells_overlapping(&rect) {
-                    let r =
-                        spreader_layer.half_resistance(a_ov) + sink_layer.half_resistance(a_ov);
+                    let r = spreader_layer.half_resistance(a_ov) + sink_layer.half_resistance(a_ov);
                     net.add_conductance(spreader[k], sink[cell], 1.0 / r);
                 }
             }
@@ -473,7 +472,10 @@ impl CompactModel {
     ///
     /// Panics if `temps` does not cover all nodes.
     pub fn silicon_temperatures(&self, temps: &[Kelvin]) -> Vec<Celsius> {
-        assert!(temps.len() == self.node_count(), "temperature vector length");
+        assert!(
+            temps.len() == self.node_count(),
+            "temperature vector length"
+        );
         self.silicon
             .iter()
             .map(|id| temps[id.index()].to_celsius())

@@ -112,7 +112,10 @@ impl ThermalNetwork {
             a.0 < self.kinds.len() && b.0 < self.kinds.len(),
             "foreign node id"
         );
-        assert!(g > 0.0 && g.is_finite(), "conductance must be positive, got {g}");
+        assert!(
+            g > 0.0 && g.is_finite(),
+            "conductance must be positive, got {g}"
+        );
         self.edges.push((a.0, b.0, g));
     }
 
@@ -126,7 +129,10 @@ impl ThermalNetwork {
     /// Panics on a foreign id or nonpositive conductance.
     pub fn add_ambient_conductance(&mut self, node: NodeId, g: f64) {
         assert!(node.0 < self.kinds.len(), "foreign node id");
-        assert!(g > 0.0 && g.is_finite(), "conductance must be positive, got {g}");
+        assert!(
+            g > 0.0 && g.is_finite(),
+            "conductance must be positive, got {g}"
+        );
         self.ambient_legs.push((node.0, g));
     }
 

@@ -347,7 +347,10 @@ mod tests {
     fn sink_must_cover_spreader() {
         let grid = TileGrid::new(4, 4, Meters::from_millimeters(0.5)).unwrap();
         let err = PackageConfig::builder(grid)
-            .sink(Meters::from_millimeters(20.0), Meters::from_millimeters(6.9))
+            .sink(
+                Meters::from_millimeters(20.0),
+                Meters::from_millimeters(6.9),
+            )
             .build()
             .unwrap_err();
         assert!(matches!(err, ThermalError::InvalidConfig(_)));

@@ -184,7 +184,12 @@ impl ReferenceModel {
             die_x0 + die_w,
             grid.cols() * settings.lateral_refine,
         );
-        linspace_into(&mut xs, die_x0 + die_w, sp_x0 + sp_side, settings.annulus_cells);
+        linspace_into(
+            &mut xs,
+            die_x0 + die_w,
+            sp_x0 + sp_side,
+            settings.annulus_cells,
+        );
         linspace_into(&mut xs, sp_x0 + sp_side, sink_side, settings.annulus_cells);
         let mut ys = vec![0.0];
         linspace_into(&mut ys, 0.0, sp_x0, settings.annulus_cells);
@@ -195,7 +200,12 @@ impl ReferenceModel {
             die_y0 + die_h,
             grid.rows() * settings.lateral_refine,
         );
-        linspace_into(&mut ys, die_y0 + die_h, sp_x0 + sp_side, settings.annulus_cells);
+        linspace_into(
+            &mut ys,
+            die_y0 + die_h,
+            sp_x0 + sp_side,
+            settings.annulus_cells,
+        );
         linspace_into(&mut ys, sp_x0 + sp_side, sink_side, settings.annulus_cells);
         dedup_sorted(&mut xs);
         dedup_sorted(&mut ys);
@@ -402,12 +412,8 @@ impl ReferenceModel {
                     if id == usize::MAX {
                         continue;
                     }
-                    let cell = Rect::new(
-                        self.xs[ix],
-                        self.ys[iy],
-                        self.xs[ix + 1],
-                        self.ys[iy + 1],
-                    );
+                    let cell =
+                        Rect::new(self.xs[ix], self.ys[iy], self.xs[ix + 1], self.ys[iy + 1]);
                     let a = cell.overlap_area(&rect);
                     if a > 0.0 {
                         covered += a;
@@ -439,12 +445,8 @@ impl ReferenceModel {
                     if id == usize::MAX {
                         continue;
                     }
-                    let cell = Rect::new(
-                        self.xs[ix],
-                        self.ys[iy],
-                        self.xs[ix + 1],
-                        self.ys[iy + 1],
-                    );
+                    let cell =
+                        Rect::new(self.xs[ix], self.ys[iy], self.xs[ix + 1], self.ys[iy + 1]);
                     let a = cell.overlap_area(&rect);
                     if a > 0.0 {
                         num += a * out.x[id];

@@ -57,7 +57,11 @@ impl BackwardEuler {
     ///   *deeply* indefinite (far beyond runaway) relative to `C/Δt`; mild
     ///   super-runaway currents integrate fine and simply diverge in time,
     ///   which is the physical behaviour.
-    pub fn new(a: &DenseMatrix, capacitance: &[f64], dt: f64) -> Result<BackwardEuler, ThermalError> {
+    pub fn new(
+        a: &DenseMatrix,
+        capacitance: &[f64],
+        dt: f64,
+    ) -> Result<BackwardEuler, ThermalError> {
         if dt <= 0.0 || !dt.is_finite() {
             return Err(ThermalError::InvalidConfig(format!(
                 "time step must be positive and finite, got {dt}"

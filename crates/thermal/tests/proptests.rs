@@ -9,15 +9,15 @@ use tecopt_units::{Celsius, KelvinPerWatt, Meters, Watts, WattsPerKelvin};
 
 fn arbitrary_config() -> impl Strategy<Value = PackageConfig> {
     (
-        2usize..6,             // rows
-        2usize..6,             // cols
-        0.3f64..0.8,           // tile mm
-        0.05f64..0.3,          // die thickness mm
-        30f64..150.0,          // tim thickness um
-        0.2f64..1.0,           // convection K/W
-        20f64..60.0,           // ambient C
-        4usize..12,            // spreader cells
-        6usize..14,            // sink cells
+        2usize..6,    // rows
+        2usize..6,    // cols
+        0.3f64..0.8,  // tile mm
+        0.05f64..0.3, // die thickness mm
+        30f64..150.0, // tim thickness um
+        0.2f64..1.0,  // convection K/W
+        20f64..60.0,  // ambient C
+        4usize..12,   // spreader cells
+        6usize..14,   // sink cells
     )
         .prop_map(
             |(rows, cols, tile, die_t, tim_t, conv, amb, sp_cells, sink_cells)| {

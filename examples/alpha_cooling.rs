@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let d = outcome.deployment();
         println!(
             "limit {limit:.0}: {} — {} TECs at {:.2}, peak {:.2}, P_TEC {:.2}",
-            if outcome.is_satisfied() { "satisfied" } else { "NOT satisfiable" },
+            if outcome.is_satisfied() {
+                "satisfied"
+            } else {
+                "NOT satisfiable"
+            },
             d.device_count(),
             d.optimum().current(),
             d.optimum().state().peak(),
@@ -58,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 lim.lambda(),
                 100.0 * d.optimum().current().value() / lim.lambda().value()
             );
-            println!("\ndeployment map:\n{}", deployment_map(config.grid(), d.tiles()));
+            println!(
+                "\ndeployment map:\n{}",
+                deployment_map(config.grid(), d.tiles())
+            );
             break;
         }
     }

@@ -12,9 +12,7 @@ use tecopt::transient::{
     BangBangController, ConstantCurrent, ProportionalController, SlewLimited, TecController,
     TransientSimulator, TransientTrace,
 };
-use tecopt::{
-    greedy_deploy, CoolingSystem, DeploySettings, PackageConfig, TecParams,
-};
+use tecopt::{greedy_deploy, CoolingSystem, DeploySettings, PackageConfig, TecParams};
 use tecopt_units::{Amperes, Celsius, Watts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,11 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let idle: Vec<Watts> = busy.iter().map(|w| *w * 0.25).collect();
 
-    let base = CoolingSystem::without_devices(
-        &config,
-        TecParams::superlattice_thin_film(),
-        busy.clone(),
-    )?;
+    let base =
+        CoolingSystem::without_devices(&config, TecParams::superlattice_thin_film(), busy.clone())?;
     let uncooled = base.solve(Amperes(0.0))?.peak();
     let limit = Celsius(uncooled.value() - 3.0);
     let outcome = greedy_deploy(&base, DeploySettings::with_limit(limit))?;

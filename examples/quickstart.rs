@@ -22,11 +22,8 @@ fn main() -> Result<(), OptError> {
     }
 
     // 3. Build the system with the super-lattice thin-film TEC technology.
-    let base = CoolingSystem::without_devices(
-        &config,
-        TecParams::superlattice_thin_film(),
-        powers,
-    )?;
+    let base =
+        CoolingSystem::without_devices(&config, TecParams::superlattice_thin_film(), powers)?;
     let uncooled = base.solve(Amperes(0.0))?;
     println!("uncooled peak: {:.2}", uncooled.peak());
 

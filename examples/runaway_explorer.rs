@@ -29,12 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TileIndex::new(6, 6),
         TileIndex::new(6, 7),
     ];
-    let system = CoolingSystem::new(
-        &config,
-        TecParams::superlattice_thin_film(),
-        &tiles,
-        powers,
-    )?;
+    let system = CoolingSystem::new(&config, TecParams::superlattice_thin_film(), &tiles, powers)?;
 
     let fractions: Vec<f64> = (0..=24)
         .map(|k| k as f64 / 20.0) // 0 .. 1.2 x lambda_m
@@ -45,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         system.device_count(),
         sweep.limit.lambda().value()
     );
-    println!("{:>8}  {:>8}  {:>10}  {:>10}", "i [A]", "i/λm", "peak [°C]", "P_TEC [W]");
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>10}",
+        "i [A]", "i/λm", "peak [°C]", "P_TEC [W]"
+    );
     for p in &sweep.points {
         let frac = p.current.value() / sweep.limit.lambda().value();
         match (p.peak, p.tec_power) {

@@ -145,7 +145,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 10000 consecutive values", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 10000 consecutive values",
+            self.whence
+        );
     }
 }
 

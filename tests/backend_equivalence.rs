@@ -30,8 +30,8 @@ fn paper_system(rows: usize, cols: usize) -> CoolingSystem {
 fn sparse_backend_matches_dense_on_paper_systems() {
     for (rows, cols) in [(4, 4), (8, 8)] {
         let dense = paper_system(rows, cols).with_backend(SolverBackend::DenseCholesky);
-        let sparse = paper_system(rows, cols)
-            .with_backend(SolverBackend::SparseCg(CgSettings::default()));
+        let sparse =
+            paper_system(rows, cols).with_backend(SolverBackend::SparseCg(CgSettings::default()));
         for i in [0.0, 1.0, 2.5] {
             let a = dense.solve(Amperes(i)).unwrap();
             let b = sparse.solve(Amperes(i)).unwrap();
@@ -129,7 +129,10 @@ fn parallel_candidate_evaluation_is_deterministic() {
             b.optimum().state().peak().value()
         );
         let seq = optimize_current(&base.with_tiles(tiles).unwrap(), settings).unwrap();
-        assert_eq!(a.optimum().state().peak().value(), seq.state().peak().value());
+        assert_eq!(
+            a.optimum().state().peak().value(),
+            seq.state().peak().value()
+        );
     }
 }
 

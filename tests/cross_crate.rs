@@ -124,7 +124,10 @@ fn compact_model_matches_reference_on_power_traces() {
 
 #[test]
 fn hypothetical_chip_flows_through_the_optimizer() {
-    let chip = HypotheticalChip::standard_suite().into_iter().next().unwrap();
+    let chip = HypotheticalChip::standard_suite()
+        .into_iter()
+        .next()
+        .unwrap();
     let config = PackageConfig::hotspot41_like(12, 12).unwrap();
     let base = CoolingSystem::without_devices(
         &config,
@@ -180,7 +183,11 @@ fn per_benchmark_profiles_are_cooler_than_the_envelope() {
 #[test]
 fn floorplan_and_profile_apis_compose() {
     let plan = alpha21364_like().unwrap();
-    let powers: Vec<Watts> = plan.units().iter().map(|u| Watts(u.area().value() * 1e5)).collect();
+    let powers: Vec<Watts> = plan
+        .units()
+        .iter()
+        .map(|u| Watts(u.area().value() * 1e5))
+        .collect();
     let profile = PowerProfile::new(&plan, powers).unwrap();
     // Uniform density -> every unit reports the same density.
     let d0 = profile.unit_density("L2").unwrap().value();

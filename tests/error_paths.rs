@@ -9,8 +9,8 @@
 //! error instead of a panic or a hang.
 
 use tecopt::{
-    greedy_deploy, optimize_current, runaway_limit, CoolingSystem, CurrentSettings,
-    DeploySettings, OptError, PackageConfig, TecParams, TileIndex,
+    greedy_deploy, optimize_current, runaway_limit, CoolingSystem, CurrentSettings, DeploySettings,
+    OptError, PackageConfig, TecParams, TileIndex,
 };
 use tecopt_device::{DeviceError, OperatingPoint, StampedSystem, TecArray};
 use tecopt_faultinject as fi;
@@ -98,7 +98,10 @@ fn every_linalg_error_variant_is_reachable() {
     let g = fi::spd_matrix(3, 6);
     assert!(matches!(
         eigen::generalized_pd_threshold_budgeted(&g, &[1.0, 1.0, 1.0], 1e-9, 0),
-        Err(LinalgError::BudgetExhausted { spent: 0, budget: 0 })
+        Err(LinalgError::BudgetExhausted {
+            spent: 0,
+            budget: 0
+        })
     ));
 
     // InvalidInput: out-of-bounds sparse triplet.
@@ -107,12 +110,8 @@ fn every_linalg_error_variant_is_reachable() {
         Err(LinalgError::InvalidInput(_))
     ));
     // ... and a Jacobi preconditioner with a nonpositive diagonal.
-    let csr = CsrMatrix::from_triplets(
-        2,
-        2,
-        &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, 1.0)],
-    )
-    .unwrap();
+    let csr = CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, 1.0)])
+        .unwrap();
     assert!(matches!(
         conjugate_gradient(&csr, &[1.0, 1.0], CgSettings::default()),
         Err(LinalgError::InvalidInput(_))
@@ -172,12 +171,7 @@ fn every_thermal_error_variant_is_reachable() {
 
     // Linalg: a wrong-length state vector surfaces the underlying kernel
     // error through the transient stepper.
-    let stepper = BackwardEuler::new(
-        model.g_matrix(),
-        &model.capacitance_vector(),
-        1e-3,
-    )
-    .unwrap();
+    let stepper = BackwardEuler::new(model.g_matrix(), &model.capacitance_vector(), 1e-3).unwrap();
     let n = stepper.dim();
     assert!(matches!(
         stepper.step(&vec![300.0; n - 1], &vec![0.0; n]),
@@ -257,10 +251,7 @@ fn every_power_error_variant_is_reachable() {
     let half = Unit::new("half", Rect::new(0.0, 0.0, mm, mm));
 
     // UnitOutOfBounds: a unit leaving the die.
-    let escape = Unit::new(
-        "escape",
-        Rect::new(mm, 0.0, 3.0 * mm, mm),
-    );
+    let escape = Unit::new("escape", Rect::new(mm, 0.0, 3.0 * mm, mm));
     assert!(matches!(
         Floorplan::new("die", Meters(2.0 * mm), Meters(mm), vec![half.clone(), escape]),
         Err(PowerError::UnitOutOfBounds { unit }) if unit == "escape"

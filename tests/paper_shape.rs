@@ -72,8 +72,8 @@ fn full_cover_loses_to_greedy_on_alpha() {
     let greedy = greedy_deploy(&base, DeploySettings::with_limit(Celsius(85.0))).unwrap();
     let full = full_cover(&base, CurrentSettings::default()).unwrap();
     assert_eq!(full.device_count(), 144);
-    let swing_loss =
-        full.optimum().state().peak().value() - greedy.deployment().optimum().state().peak().value();
+    let swing_loss = full.optimum().state().peak().value()
+        - greedy.deployment().optimum().state().peak().value();
     assert!(
         swing_loss > 0.0,
         "full cover should lose: swing loss {swing_loss}"

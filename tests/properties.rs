@@ -3,8 +3,10 @@
 //! the calibrated benchmarks.
 
 use proptest::prelude::*;
-use tecopt::{optimize_current, runaway_limit, CoolingSystem, CurrentSettings, PackageConfig,
-    TecParams, TileIndex};
+use tecopt::{
+    optimize_current, runaway_limit, CoolingSystem, CurrentSettings, PackageConfig, TecParams,
+    TileIndex,
+};
 use tecopt_units::{Amperes, Watts};
 
 fn small_config() -> PackageConfig {
