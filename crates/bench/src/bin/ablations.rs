@@ -12,6 +12,8 @@
 //! cargo run --release -p tecopt-bench --bin ablations
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use std::time::Instant;
 use tecopt::{
     certify_convexity, greedy_deploy, optimize_current, runaway_limit, ConvexitySettings,
@@ -71,7 +73,7 @@ fn main() {
         .tiles()
         .zip(base.tile_powers().iter().copied())
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite powers"));
+    ranked.sort_by(|a, b| b.1.value().total_cmp(&a.1.value()));
     let top_k: Vec<TileIndex> = ranked.iter().take(k).map(|(t, _)| *t).collect();
     let top_k_system = base.with_tiles(&top_k).expect("top-k system");
     report("top_k_power", &top_k_system);

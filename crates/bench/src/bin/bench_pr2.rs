@@ -10,8 +10,11 @@
 //! the same systems. Emits JSON on stdout; the committed copy lives at
 //! `BENCH_PR2.json` and the table in `EXPERIMENTS.md` summarizes it.
 
+#![warn(clippy::unwrap_used)]
+
 use std::time::Instant;
 
+use tecopt::parallel::{par_map_init, worker_count};
 use tecopt::{CoolingSystem, OptError, PackageConfig, TecParams, TileIndex};
 use tecopt_linalg::{Cholesky, SolverBackend};
 use tecopt_units::{Amperes, Watts};
@@ -59,33 +62,23 @@ fn seed_dense_sweep(base: &CoolingSystem, cands: &[Vec<TileIndex>]) -> Result<Ve
 
 /// The PR-2 path: one workspace assembly per candidate, diagonal-shift
 /// retargeting between probes, backend chosen by the `Auto` heuristic, and
-/// candidates spread over scoped threads exactly like the designer sweep.
+/// candidates spread over worker threads exactly like the designer sweep.
 fn cached_parallel_sweep(
     base: &CoolingSystem,
     cands: &[Vec<TileIndex>],
 ) -> Result<Vec<f64>, OptError> {
-    let results: Vec<Result<Vec<f64>, OptError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = cands
-            .iter()
-            .map(|tiles| {
-                scope.spawn(move || -> Result<Vec<f64>, OptError> {
-                    let sys = base.with_tiles(tiles)?;
-                    let mut solver = sys.solver()?;
-                    PROBE_CURRENTS
-                        .iter()
-                        .map(|&i| Ok(solver.solve(Amperes(i))?.peak().value()))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
-            .collect()
-    });
+    let results: Vec<Result<Vec<f64>, OptError>> = par_map_init(
+        cands.to_vec(),
+        || (),
+        |(), tiles| {
+            let sys = base.with_tiles(&tiles)?;
+            let mut solver = sys.solver()?;
+            PROBE_CURRENTS
+                .iter()
+                .map(|&i| Ok(solver.solve(Amperes(i))?.peak().value()))
+                .collect()
+        },
+    );
     let mut peaks = Vec::with_capacity(cands.len() * PROBE_CURRENTS.len());
     for r in results {
         peaks.extend(r?);
@@ -157,7 +150,7 @@ fn run_grid(rows: usize, cols: usize, reps: usize) -> Result<String, OptError> {
 }
 
 fn main() -> Result<(), OptError> {
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = worker_count();
     let mut rows = Vec::new();
     for (r, c, reps) in [(8usize, 8usize, 5usize), (16, 16, 3), (32, 32, 1)] {
         rows.push(run_grid(r, c, reps)?);

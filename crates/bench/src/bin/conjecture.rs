@@ -8,6 +8,8 @@
 //! cargo run --release -p tecopt-bench --bin conjecture [matrices_per_dim]
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::conjecture::randomized_campaign;
 
 fn main() {

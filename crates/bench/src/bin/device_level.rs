@@ -7,6 +7,8 @@
 //! cargo run --release -p tecopt-bench --bin device_level
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::{optimize_current, CoolingSystem, CurrentSettings, TileIndex};
 use tecopt_bench::{paper_package, paper_tec};
 use tecopt_device::OperatingPoint;

@@ -10,6 +10,8 @@
 //! cargo run --release -p tecopt-bench --bin fig6_hkl
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::{greedy_deploy, h_column, runaway_limit, DeploySettings};
 use tecopt_bench::{alpha_system, THETA_LIMIT};
 use tecopt_units::Amperes;
@@ -34,7 +36,7 @@ fn main() {
         .silicon_temperatures()
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
         .expect("tiles");
     let k_node = system.stamped().model().silicon_nodes()[k_hot_tile].index();
     let (cold, hot) = system.stamped().junctions()[0];

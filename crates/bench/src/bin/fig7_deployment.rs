@@ -6,6 +6,8 @@
 //! cargo run --release -p tecopt-bench --bin fig7_deployment
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::report::{deployment_map, temperature_map};
 use tecopt::{greedy_deploy, DeploySettings};
 use tecopt_bench::{alpha_system, THETA_LIMIT};

@@ -6,6 +6,8 @@
 //! cargo run --release -p tecopt-bench --bin runaway
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::runaway::demonstration_sweep;
 use tecopt::{greedy_deploy, DeploySettings};
 use tecopt_bench::{alpha_system, THETA_LIMIT};

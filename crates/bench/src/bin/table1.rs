@@ -7,6 +7,8 @@
 //! cargo run --release -p tecopt-bench --bin table1
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::report::render_table;
 use tecopt_bench::{all_benchmarks, run_table_row, total_power, THETA_LIMIT};
 

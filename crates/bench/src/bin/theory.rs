@@ -6,6 +6,8 @@
 //! cargo run --release -p tecopt-bench --bin theory
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt::theory::check_all;
 use tecopt::{greedy_deploy, DeploySettings};
 use tecopt_bench::{alpha_system, THETA_LIMIT};

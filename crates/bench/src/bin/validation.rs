@@ -17,6 +17,8 @@
 //! cargo run --release -p tecopt-bench --bin validation
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use tecopt_bench::alpha_system;
 use tecopt_power::WorkloadModel;
 use tecopt_thermal::refined::{ReferenceModel, RefinementSettings};

@@ -18,6 +18,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 use std::time::Instant;
 use tecopt::report::TableOneRow;

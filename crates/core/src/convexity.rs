@@ -21,13 +21,13 @@ use tecopt_units::Amperes;
 /// - [`OptError::InvalidParameter`] for an out-of-range node index.
 pub fn h_column(system: &CoolingSystem, current: Amperes, l: usize) -> Result<Vec<f64>, OptError> {
     let n = system.stamped().model().node_count();
-    if l >= n {
+    let mut e = vec![0.0; n];
+    let Some(slot) = e.get_mut(l) else {
         return Err(OptError::InvalidParameter(format!(
             "node index {l} out of range for {n} nodes"
         )));
-    }
-    let mut e = vec![0.0; n];
-    e[l] = 1.0;
+    };
+    *slot = 1.0;
     system.solve_rhs(current, &e)
 }
 
@@ -39,12 +39,25 @@ pub fn h_column(system: &CoolingSystem, current: Amperes, l: usize) -> Result<Ve
 ///
 /// Same failure modes as [`h_column`].
 pub fn eta(system: &CoolingSystem, current: Amperes) -> Result<Vec<f64>, OptError> {
-    let n = system.stamped().model().node_count();
-    let mut rhs = vec![0.0; n];
-    for &j in system.stamped().joule_nodes() {
-        rhs[j] = 1.0;
-    }
+    let rhs = joule_indicator(
+        system.stamped().model().node_count(),
+        system.stamped().joule_nodes(),
+    )?;
     system.solve_rhs(current, &rhs)
+}
+
+/// The indicator vector `1_J` of the Joule (junction) nodes, with a typed
+/// error instead of a panic if the stamped model ever hands out an index
+/// beyond its own node count.
+fn joule_indicator(n: usize, joule_nodes: &[usize]) -> Result<Vec<f64>, OptError> {
+    let mut rhs = vec![0.0; n];
+    for &j in joule_nodes {
+        let slot = rhs.get_mut(j).ok_or_else(|| {
+            OptError::InvalidParameter(format!("joule node index {j} out of range for {n} nodes"))
+        })?;
+        *slot = 1.0;
+    }
+    Ok(rhs)
 }
 
 /// `η(i)` together with its derivative `η′(i) = (H·D·H·1_J)_k` (from
@@ -68,11 +81,7 @@ pub fn eta_and_derivative(
 /// the parallel certificate workers use.
 fn eta_with(solver: &mut SteadySolver<'_>, current: Amperes) -> Result<Vec<f64>, OptError> {
     let stamped = solver.system().stamped();
-    let n = stamped.model().node_count();
-    let mut rhs = vec![0.0; n];
-    for &j in stamped.joule_nodes() {
-        rhs[j] = 1.0;
-    }
+    let rhs = joule_indicator(stamped.model().node_count(), stamped.joule_nodes())?;
     solver.solve_rhs(current, &rhs)
 }
 
@@ -215,9 +224,12 @@ pub fn certify_convexity(
     let results = par_map_init(
         (0..settings.subranges).collect::<Vec<usize>>(),
         || {
-            system
+            #[allow(clippy::expect_used)]
+            let solver = system
                 .solver()
-                .expect("solver() clones the warmed shared core")
+                // tecopt:allow(panic-in-kernel) — the cache is warmed just above
+                .expect("solver() clones the warmed shared core");
+            solver
         },
         |solver, t| check_subrange(solver, t, ceiling, &silicon, settings),
     );
@@ -253,8 +265,9 @@ fn check_subrange(
 ) -> Result<Option<CertificateOutcome>, OptError> {
     let a = ceiling * t as f64 / settings.subranges as f64;
     let b = ceiling * (t + 1) as f64 / settings.subranges as f64;
-    // eta'(i_t), the frozen slope of Lemma 4.
+    // eta'(i_t), the frozen slope of Lemma 4, gathered onto the tiles.
     let (_, etap_a) = eta_and_derivative_with(solver, Amperes(a))?;
+    let etap_s = gather(&etap_a, silicon)?;
     // Probe the subrange; keep (f, f') at each probe for every tile.
     let q = settings.probes_per_subrange;
     let mut fvals: Vec<Vec<f64>> = Vec::with_capacity(q);
@@ -263,8 +276,10 @@ fn check_subrange(
     for j in 0..q {
         let i = a + (b - a) * j as f64 / (q - 1) as f64;
         let (e, ep) = eta_and_derivative_with(solver, Amperes(i))?;
-        let f: Vec<f64> = silicon.iter().map(|&k| e[k] + etap_a[k] * i).collect();
-        let fp: Vec<f64> = silicon.iter().map(|&k| ep[k] + etap_a[k]).collect();
+        let e_s = gather(&e, silicon)?;
+        let ep_s = gather(&ep, silicon)?;
+        let f: Vec<f64> = e_s.iter().zip(&etap_s).map(|(x, tp)| x + tp * i).collect();
+        let fp: Vec<f64> = ep_s.iter().zip(&etap_s).map(|(x, tp)| x + tp).collect();
         fvals.push(f);
         fslopes.push(fp);
         points.push(i);
@@ -275,13 +290,16 @@ fn check_subrange(
         .flat_map(|v| v.iter())
         .fold(0.0_f64, |m, &x| m.max(x.abs()));
     let slack = settings.tolerance * scale.max(1.0);
-    for j in 0..(q - 1) {
-        let (pj, pj1) = (points[j], points[j + 1]);
-        for tile_idx in 0..silicon.len() {
-            let f0 = fvals[j][tile_idx];
-            let s0 = fslopes[j][tile_idx];
-            let f1 = fvals[j + 1][tile_idx];
-            let s1 = fslopes[j + 1][tile_idx];
+    for ((ps, fs), ss) in points
+        .windows(2)
+        .zip(fvals.windows(2))
+        .zip(fslopes.windows(2))
+    {
+        let (&[pj, pj1], [f0s, f1s], [s0s, s1s]) = (ps, fs, ss) else {
+            continue; // windows(2) always yields pairs
+        };
+        let per_tile = f0s.iter().zip(s0s).zip(f1s).zip(s1s).enumerate();
+        for (tile_idx, (((&f0, &s0), &f1), &s1)) in per_tile {
             let lb = if s0 >= 0.0 {
                 f0
             } else if s1 <= 0.0 {
@@ -303,6 +321,22 @@ fn check_subrange(
         }
     }
     Ok(None)
+}
+
+/// Gathers `values[k]` for every node in `nodes`, with a typed error for a
+/// stale or corrupt node index instead of an indexing panic.
+fn gather(values: &[f64], nodes: &[usize]) -> Result<Vec<f64>, OptError> {
+    nodes
+        .iter()
+        .map(|&k| {
+            values.get(k).copied().ok_or_else(|| {
+                OptError::InvalidParameter(format!(
+                    "silicon node index {k} out of range for {} solution entries",
+                    values.len()
+                ))
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -126,19 +126,16 @@ impl CoolingDesigner {
         };
         // The greedy search and the Full-Cover baseline are independent
         // pipelines over the same base system — run them side by side.
-        let (outcome, full_cover) = std::thread::scope(|scope| {
-            let full = self.with_full_cover.then(|| {
-                let base = &base;
-                let current = self.current;
-                scope.spawn(move || full_cover(base, current))
-            });
-            let outcome = greedy_deploy(&base, deploy_settings);
-            let full = full.map(|h| match h.join() {
-                Ok(r) => r,
-                Err(panic) => std::panic::resume_unwind(panic),
-            });
-            (outcome, full)
-        });
+        let (outcome, full_cover) = if self.with_full_cover {
+            let current = self.current;
+            let (full, outcome) = crate::parallel::join(
+                || full_cover(&base, current),
+                || greedy_deploy(&base, deploy_settings),
+            );
+            (outcome, Some(full))
+        } else {
+            (greedy_deploy(&base, deploy_settings), None)
+        };
         let outcome = outcome?;
         let full_cover = full_cover.transpose()?;
         let limit_satisfied = outcome.is_satisfied();
@@ -274,11 +271,11 @@ impl DesignReport {
             d.cooling_swing(),
             d.optimum().state().tec_power(),
         ));
-        if let Some(r) = &self.runaway {
+        if let (Some(r), Some(util)) = (&self.runaway, self.runaway_utilization()) {
             out.push_str(&format!(
                 "runaway limit: {:.2} (operating at {:.0}% of it)\n",
                 r.lambda(),
-                100.0 * self.runaway_utilization().expect("runaway present"),
+                100.0 * util,
             ));
         }
         if let Some(c) = &self.convexity {

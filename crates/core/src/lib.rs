@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 pub mod conjecture;
 mod convexity;
@@ -74,7 +75,7 @@ pub mod designer;
 mod error;
 mod lambda;
 pub mod multipin;
-mod parallel;
+pub mod parallel;
 pub mod report;
 pub mod runaway;
 mod system;

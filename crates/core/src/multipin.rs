@@ -307,15 +307,7 @@ impl MultiPinSystem {
                 // The two seed probes are independent factorizations — run
                 // them side by side; every later iteration adds only one
                 // new probe, so the loop itself stays sequential.
-                let (fc_seed, fd_seed) = std::thread::scope(|scope| {
-                    let handle = scope.spawn(|| eval_at(c));
-                    let fd = eval_at(d);
-                    let fc = match handle.join() {
-                        Ok(r) => r,
-                        Err(panic) => std::panic::resume_unwind(panic),
-                    };
-                    (fc, fd)
-                });
+                let (fc_seed, fd_seed) = crate::parallel::join(|| eval_at(c), || eval_at(d));
                 let mut fc = fc_seed?;
                 let mut fd = fd_seed?;
                 while (b - a) > tolerance {

@@ -13,10 +13,34 @@ use std::sync::Mutex;
 
 /// Upper bound on worker threads: the machine's parallelism, or 1 if it
 /// cannot be queried.
-fn max_workers() -> usize {
+pub fn worker_count() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Runs two independent tasks side by side and returns both results.
+///
+/// `fa` runs on a scoped worker thread while `fb` runs on the calling
+/// thread, so the pair costs exactly one spawn. Panics from either task
+/// are relayed to the caller. This is the sanctioned primitive for the
+/// two-way forks in the designer and multi-pin pipelines; `std::thread`
+/// must not be used outside this module (`unbounded-spawn` lint).
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(fa);
+        let b = fb();
+        let a = match handle.join() {
+            Ok(a) => a,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (a, b)
+    })
 }
 
 /// Maps `f` over `items` in parallel with per-worker state, preserving
@@ -36,14 +60,14 @@ fn max_workers() -> usize {
 /// Falls back to a plain sequential loop when `items` has at most one
 /// element or only one hardware thread is available. Worker panics are
 /// relayed to the caller.
-pub(crate) fn par_map_init<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+pub fn par_map_init<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
-    let workers = max_workers().min(items.len());
+    let workers = worker_count().min(items.len());
     if workers <= 1 {
         let mut state = init();
         return items.into_iter().map(|item| f(&mut state, item)).collect();
@@ -63,6 +87,7 @@ where
                         if idx >= work.len() {
                             break;
                         }
+                        #[allow(clippy::expect_used)] // claimed via the atomic counter
                         let item = work[idx]
                             .lock()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -86,9 +111,12 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            #[allow(clippy::expect_used)] // the scope joins every worker first
+            let result = slot
+                .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every slot filled before scope exit")
+                .expect("every slot filled before scope exit");
+            result
         })
         .collect()
 }
@@ -96,7 +124,7 @@ where
 /// Collapses per-item results to a `Vec` or the first error *by item
 /// index* — exactly the error a sequential loop would have hit first, so
 /// parallel and sequential sweeps report identical failures.
-pub(crate) fn collect_first_err<R, E>(results: Vec<Result<R, E>>) -> Result<Vec<R>, E> {
+pub fn collect_first_err<R, E>(results: Vec<Result<R, E>>) -> Result<Vec<R>, E> {
     results.into_iter().collect()
 }
 
@@ -140,6 +168,14 @@ mod tests {
         assert!(empty.is_empty());
         let one = par_map_init(vec![7usize], || (), |(), i| i + 1);
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn join_runs_both_and_relays_panics() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+        let caught = std::panic::catch_unwind(|| join(|| panic!("boom"), || ()));
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -34,16 +34,15 @@ pub struct RunawaySweep {
 
 impl RunawaySweep {
     /// The minimum sampled peak temperature (the sweep's empirical optimum).
+    ///
+    /// NaN peaks (which a well-formed sweep never produces) order last
+    /// under `total_cmp`, so they can never shadow a finite optimum.
     pub fn best(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .filter(|p| p.peak.is_some())
-            .min_by(|a, b| {
-                a.peak
-                    .expect("filtered")
-                    .partial_cmp(&b.peak.expect("filtered"))
-                    .expect("finite temperatures")
-            })
+            .filter_map(|p| p.peak.map(|k| (p, k)))
+            .min_by(|(_, a), (_, b)| a.value().total_cmp(&b.value()))
+            .map(|(p, _)| p)
     }
 
     /// `true` if the sweep demonstrates divergence: the last finite sample
@@ -93,9 +92,12 @@ pub fn sweep_fractions(
     let results = par_map_init(
         sorted,
         || {
-            system
+            #[allow(clippy::expect_used)]
+            let solver = system
                 .solver()
-                .expect("solver() clones the warmed shared core")
+                // tecopt:allow(panic-in-kernel) — the cache is warmed just above
+                .expect("solver() clones the warmed shared core");
+            solver
         },
         |solver, f| {
             let i = Amperes(lam * f);
@@ -181,6 +183,31 @@ mod tests {
     }
 
     #[test]
+    fn best_is_nan_safe_and_skips_non_steady_points() {
+        // Regression: `best()` used to thread `partial_cmp().expect()`
+        // through the filtered peaks, so a NaN peak was a panic. Under
+        // `total_cmp` a NaN orders after every finite sample and the
+        // finite minimum still wins; `None` peaks are skipped outright.
+        let limit = runaway_limit(&system(), 1e-6).unwrap();
+        let mk = |i: f64, peak: Option<f64>| SweepPoint {
+            current: Amperes(i),
+            peak: peak.map(Celsius),
+            tec_power: None,
+        };
+        let sweep = RunawaySweep {
+            limit,
+            points: vec![
+                mk(0.0, Some(80.0)),
+                mk(0.5, Some(f64::NAN)),
+                mk(1.0, Some(72.5)),
+                mk(1.5, None),
+            ],
+        };
+        let best = sweep.best().expect("finite samples exist");
+        assert_eq!(best.current, Amperes(1.0));
+    }
+
+    #[test]
     fn input_validation() {
         let s = system();
         assert!(matches!(
@@ -242,7 +269,7 @@ mod tests {
         let sweep = sweep_fractions(&system(), &[0.9, 0.1, 0.5], 1e-9).unwrap();
         let currents: Vec<f64> = sweep.points.iter().map(|p| p.current.value()).collect();
         let mut sorted = currents.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert_eq!(currents, sorted);
     }
 }

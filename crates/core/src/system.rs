@@ -150,9 +150,11 @@ impl SolverCore {
     /// an authoritative definiteness verdict.
     fn solve_raw(&mut self, current: Amperes, rhs: &[f64]) -> Result<RawSolve, OptError> {
         self.prepare(current)?;
+        #[allow(clippy::expect_used)]
         let (_, fact) = self
             .factored
             .as_ref()
+            // tecopt:allow(panic-in-kernel) — prepare() just populated it
             .expect("prepare populated the factorization");
         match fact.solve(rhs) {
             Ok(out) => Ok(RawSolve {
@@ -474,6 +476,8 @@ impl CoolingSystem {
             cache.core = Some(SolverCore::build(self)?);
             cache.assemblies += 1;
         }
+        #[allow(clippy::expect_used)]
+        // tecopt:allow(panic-in-kernel) — populated on the line just above
         let core = cache.core.as_mut().expect("core populated just above");
         f(core)
     }

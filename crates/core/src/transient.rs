@@ -338,6 +338,8 @@ impl TransientSimulator {
             self.cache.insert(key, stepper);
         }
         let p = self.system.stamped().power_vector(tile_powers, current)?;
+        // The branch above guarantees the entry exists for `key`.
+        #[allow(clippy::expect_used)]
         let stepper = self.cache.get(&key).expect("stepper cached above");
         self.theta = stepper
             .step(&self.theta, &p)

@@ -83,6 +83,8 @@ impl TecParams {
     /// the paper's measurements. Calibrated so Table I reproduces:
     /// I_opt ≈ 3–7 A, P_TEC ≈ 1–4 W, greedy deployments of a handful of
     /// devices, and a positive full-cover swing loss on every benchmark.
+    // The preset constants are fixed and positive; `new` accepts them.
+    #[allow(clippy::expect_used)]
     pub fn superlattice_thin_film() -> TecParams {
         TecParams::new(
             VoltsPerKelvin(1.0e-3),

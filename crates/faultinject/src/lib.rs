@@ -25,6 +25,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 use rand::{Rng, SeedableRng};
 use tecopt_linalg::DenseMatrix;

@@ -152,9 +152,11 @@ impl Cholesky {
     /// inverse is cheap and the optimization layer consumes whole rows of `H`
     /// (the `η(i)`/`ζ(i)` sums of Eq. 10), so materializing it is the right
     /// trade.
+    #[allow(clippy::expect_used)]
     pub fn inverse(&self) -> DenseMatrix {
         let n = self.dim();
         self.solve_mat(&DenseMatrix::identity(n))
+            // tecopt:allow(panic-in-kernel) — identity RHS always matches dims
             .expect("identity has matching dimension")
     }
 

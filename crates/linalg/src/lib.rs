@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 mod backend;
 mod cg;

@@ -80,7 +80,9 @@ impl CsrMatrix {
                 if t.row != r {
                     break;
                 }
-                let t = iter.next().expect("peeked");
+                let Some(t) = iter.next() else {
+                    break; // unreachable: the peek above saw this entry
+                };
                 // `row_ptr[r] < col_idx.len()` restricts the duplicate check
                 // to entries appended for the current row, so an equal
                 // column index in a *previous* row cannot absorb this value.

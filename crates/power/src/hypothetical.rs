@@ -229,12 +229,16 @@ impl HypotheticalChip {
             .iter()
             .enumerate()
             .map(|(k, &seed)| {
-                HypotheticalChip::generate(
+                // The curated seeds are generated with the default settings,
+                // which `generate` always accepts.
+                #[allow(clippy::expect_used)]
+                let chip = HypotheticalChip::generate(
                     format!("HC{:02}", k + 1),
                     seed,
                     &HypotheticalSettings::default(),
                 )
-                .expect("default settings are valid")
+                .expect("default settings are valid");
+                chip
             })
             .collect()
     }

@@ -259,6 +259,9 @@ impl CompactModel {
                     }
                 }
                 TileInterface::TwoPort(tp) => {
+                    // `interfaces[k]` is `TwoPort` exactly when the builder
+                    // recorded a spec for tile `k` in `splice_at`.
+                    #[allow(clippy::expect_used)]
                     let spec = splice_at[k].expect("two-port tile has a spec");
                     // Die tile -> lower terminal: half die thickness in
                     // series with the lower contact.

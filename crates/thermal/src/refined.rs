@@ -475,7 +475,10 @@ impl ReferenceModel {
 }
 
 fn dedup_sorted(v: &mut Vec<f64>) {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    // `total_cmp` keeps the sort panic-free even if a NaN coordinate ever
+    // slips in (it orders last and survives dedup, so validation still
+    // catches it downstream instead of a sort panic masking the input bug).
+    v.sort_by(f64::total_cmp);
     v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 }
 
@@ -498,6 +501,17 @@ mod tests {
             sink_sublayers: 2,
             cg: CgSettings::default(),
         }
+    }
+
+    #[test]
+    fn dedup_sorted_is_nan_safe() {
+        // Regression: the sort used `partial_cmp().expect()`, so a NaN
+        // coordinate panicked mid-sort. `total_cmp` orders it last and the
+        // finite prefix still comes out sorted and deduplicated.
+        let mut v = vec![3.0, f64::NAN, 1.0, 1.0 + 1e-15, 2.0];
+        dedup_sorted(&mut v);
+        assert_eq!(&v[..3], &[1.0, 2.0, 3.0]);
+        assert!(v[3].is_nan());
     }
 
     #[test]

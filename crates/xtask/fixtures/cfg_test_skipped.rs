@@ -1,0 +1,18 @@
+pub fn live(v: &[f64]) -> f64 {
+    v.iter().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() {
+        let v = vec![1.0, f64::NAN];
+        let mut s = v.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(s[0] < 2.0);
+    }
+}
+
+pub fn after(v: &[f64]) -> f64 {
+    v.first().unwrap() + 1.0
+}

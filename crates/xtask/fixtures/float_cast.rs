@@ -1,0 +1,6 @@
+pub fn quantize(x: f64) -> usize {
+    let k = 2.5 as usize;
+    let j = x as i64;
+    let n = 3 as usize;
+    k + j as usize + n
+}

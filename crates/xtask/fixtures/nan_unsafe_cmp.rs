@@ -1,0 +1,8 @@
+pub fn sorts(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
+    let _ = 1.0_f64.partial_cmp(&2.0).unwrap();
+    let x = 1.0;
+    let _ = x == 3.5;
+    let _ = x == 0.0;
+}

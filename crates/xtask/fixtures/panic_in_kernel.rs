@@ -1,0 +1,12 @@
+pub fn kernel(v: &[f64]) -> f64 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("nonempty");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    let c = v[0];
+    match v.len() {
+        0 => unreachable!(),
+        _ => a + b + c,
+    }
+}

@@ -1,0 +1,11 @@
+pub fn invariants(v: &[f64]) -> f64 {
+    // tecopt:allow(panic-in-kernel)
+    let a = v.first().unwrap();
+    let b = v.last().expect("nonempty"); // tecopt:allow(panic-in-kernel)
+    a + b
+}
+
+pub fn not_covered(v: &[f64]) -> f64 {
+    // tecopt:allow(nan-unsafe-cmp)
+    v.first().unwrap() + 0.0
+}

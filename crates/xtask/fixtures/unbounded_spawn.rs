@@ -1,0 +1,8 @@
+use std::thread;
+
+pub fn fan_out() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    let joined = h.join().unwrap_or(0);
+    thread::sleep(std::time::Duration::from_millis(1));
+    joined
+}

@@ -1,0 +1,3 @@
+pub fn peek(v: &[f64]) -> f64 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,524 @@
+//! A minimal Rust lexer: enough token structure for the rule catalog.
+//!
+//! This is deliberately *not* a parser. It produces a flat token stream
+//! with line/column positions, strips comments and string contents (so
+//! rule patterns cannot fire on prose), collects `tecopt:allow(...)`
+//! suppression comments, and nothing more. Known limitations are listed
+//! in `DESIGN.md` §11: no macro expansion, no type inference, and a few
+//! pathological literal forms (`1.` with no fractional digits followed
+//! by an operator) are tokenized approximately.
+
+/// Classification of a single token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `as`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff_u32`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `3f64`).
+    Float,
+    /// String, byte-string or raw-string literal (contents dropped).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators `::`, `==`, `!=`, `->`,
+    /// `=>`, `<=`, `>=`, `..` are kept as single tokens.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text; empty for string/char literals (contents stripped).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` if this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A `tecopt:allow(rule-a, rule-b)` comment: suppresses matching findings
+/// reported on the comment's own line or on the line directly below it.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Rule ids listed inside the parentheses.
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: the token stream plus any suppression comments.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All suppression comments in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Scans comment text for `tecopt:allow(...)` markers.
+fn scan_comment(text: &str, line: u32, out: &mut Vec<Suppression>) {
+    let mut rest = text;
+    let mut offset_lines = 0u32;
+    loop {
+        let Some(pos) = rest.find("tecopt:allow(") else {
+            return;
+        };
+        let before = &rest[..pos];
+        offset_lines += before.matches('\n').count() as u32;
+        let after = &rest[pos + "tecopt:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            return;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            out.push(Suppression {
+                line: line + offset_lines,
+                rules,
+            });
+        }
+        rest = &after[close..];
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, returning the token stream and suppression comments.
+pub fn lex(src: &str) -> LexOutput {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = LexOutput::default();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Line comments (`//`, `///`, `//!`).
+        if c == '/' && lx.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                lx.bump();
+            }
+            scan_comment(&text, line, &mut out.suppressions);
+            continue;
+        }
+
+        // Block comments, possibly nested.
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump_n(2);
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        lx.bump_n(2);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        lx.bump_n(2);
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        lx.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            scan_comment(&text, line, &mut out.suppressions);
+            continue;
+        }
+
+        // Raw / byte / raw-byte strings and raw identifiers.
+        if (c == 'r' || c == 'b') && matches!(lx.peek(1), Some('"' | '#' | 'r' | 'b')) {
+            if let Some((len, hashes, raw)) = raw_or_byte_string_prefix(&lx) {
+                lx.bump_n(len);
+                lex_string_tail(&mut lx, hashes, raw);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // `r#ident` raw identifier, or a plain identifier starting
+            // with r/b — fall through to the identifier branch.
+        }
+
+        if is_ident_start(c) {
+            let mut text = String::new();
+            // Raw identifier prefix `r#`.
+            if c == 'r' && lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+                lx.bump_n(2);
+            }
+            while let Some(ch) = lx.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                lx.bump();
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let start = lx.pos;
+            let kind = lex_number(&mut lx);
+            let text: String = lx.chars[start..lx.pos].iter().collect();
+            out.tokens.push(Tok {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            lx.bump();
+            lex_plain_string_tail(&mut lx);
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            if lx.peek(1).is_some_and(is_ident_start) && lx.peek(2) != Some('\'') {
+                lx.bump();
+                let mut text = String::from("'");
+                while let Some(ch) = lx.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    lx.bump();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                lx.bump();
+                lex_char_tail(&mut lx);
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Punctuation; merge the few multi-char operators the rules need.
+        let two: String = [c, lx.peek(1).unwrap_or(' ')].iter().collect();
+        let text = match two.as_str() {
+            "::" | "==" | "!=" | "->" | "=>" | "<=" | ">=" | ".." => {
+                lx.bump_n(2);
+                two
+            }
+            _ => {
+                lx.bump();
+                c.to_string()
+            }
+        };
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// Shape of a raw/byte-string opener at the lexer position (`r"`, `r#"`,
+/// `br"`, `b"`, ...): `(char length, hash count, is_raw)`, or `None` if
+/// this is not one.
+fn raw_or_byte_string_prefix(lx: &Lexer) -> Option<(usize, usize, bool)> {
+    let mut i = 0usize;
+    let mut raw = false;
+    match lx.peek(i) {
+        Some('b') => {
+            i += 1;
+            if lx.peek(i) == Some('r') {
+                raw = true;
+                i += 1;
+            }
+        }
+        Some('r') => {
+            raw = true;
+            i += 1;
+        }
+        _ => return None,
+    }
+    let hash_start = i;
+    while lx.peek(i) == Some('#') {
+        i += 1;
+    }
+    let hashes = i - hash_start;
+    if lx.peek(i) == Some('"') && (raw || hashes == 0) {
+        Some((i + 1, hashes, raw))
+    } else {
+        None
+    }
+}
+
+/// Consumes a (raw) string body up to `"` followed by `hashes` `#`s.
+/// The opener must already be consumed. In non-raw strings `\` escapes
+/// the following character.
+fn lex_string_tail(lx: &mut Lexer, hashes: usize, raw: bool) {
+    while let Some(ch) = lx.peek(0) {
+        if ch == '"' {
+            let ok = (0..hashes).all(|k| lx.peek(1 + k) == Some('#'));
+            if ok {
+                lx.bump_n(1 + hashes);
+                return;
+            }
+        }
+        if ch == '\\' && !raw {
+            lx.bump();
+        }
+        lx.bump();
+    }
+}
+
+/// Consumes a plain string body (opening quote already consumed).
+fn lex_plain_string_tail(lx: &mut Lexer) {
+    while let Some(ch) = lx.bump() {
+        match ch {
+            '"' => return,
+            '\\' => {
+                lx.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a char/byte literal body (opening quote already consumed).
+fn lex_char_tail(lx: &mut Lexer) {
+    while let Some(ch) = lx.bump() {
+        match ch {
+            '\'' => return,
+            '\\' => {
+                lx.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal, classifying it as int or float.
+fn lex_number(lx: &mut Lexer) -> TokKind {
+    let mut is_float = false;
+    // Radix prefixes are always integers (suffix letters consumed below).
+    if lx.peek(0) == Some('0') && matches!(lx.peek(1), Some('x' | 'o' | 'b')) {
+        lx.bump_n(2);
+        while lx
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            lx.bump();
+        }
+    } else {
+        while lx.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            lx.bump();
+        }
+        // Fractional part: a `.` belongs to the number only when it is not
+        // a range (`0..n`) or a method/tuple access (`1.max(2)`, `x.0.1`).
+        if lx.peek(0) == Some('.')
+            && lx.peek(1) != Some('.')
+            && !lx.peek(1).is_some_and(is_ident_start)
+        {
+            is_float = true;
+            lx.bump();
+            while lx.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                lx.bump();
+            }
+        }
+        // Exponent.
+        if matches!(lx.peek(0), Some('e' | 'E')) {
+            let mut j = 1usize;
+            if matches!(lx.peek(1), Some('+' | '-')) {
+                j += 1;
+            }
+            if lx.peek(j).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                lx.bump_n(j);
+                while lx.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    lx.bump();
+                }
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, ...).
+    if lx.peek(0) == Some('f') {
+        is_float = true;
+    }
+    while lx.peek(0).is_some_and(is_ident_continue) {
+        lx.bump();
+    }
+    if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let t = texts("let x = a.partial_cmp(&b);");
+        assert!(t.contains(&(TokKind::Ident, "partial_cmp".into())));
+        let t = texts("0..n");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Int, "0".into()),
+                (TokKind::Punct, "..".into()),
+                (TokKind::Ident, "n".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn float_classification() {
+        assert_eq!(texts("1.5")[0].0, TokKind::Float);
+        assert_eq!(texts("2e-3")[0].0, TokKind::Float);
+        assert_eq!(texts("3f64")[0].0, TokKind::Float);
+        assert_eq!(texts("0xff")[0].0, TokKind::Int);
+        assert_eq!(texts("42usize")[0].0, TokKind::Int);
+        // Tuple access is not a float.
+        let t = texts("a.1.partial_cmp(b)");
+        assert_eq!(t[2], (TokKind::Int, "1".into()));
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let t = texts("let s = \"partial_cmp().unwrap()\"; // unsafe todo!()");
+        assert!(!t.iter().any(|(_, s)| s == "unwrap" || s == "unsafe"));
+        let t = texts("let s = r#\"unsafe \"quoted\" unwrap\"#;");
+        assert!(!t.iter().any(|(_, s)| s == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = texts("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        assert!(t.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn suppressions_are_collected() {
+        let out = lex("let x = 1; // tecopt:allow(nan-unsafe-cmp, panic-in-kernel)\nlet y = 2;");
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].line, 1);
+        assert_eq!(
+            out.suppressions[0].rules,
+            vec!["nan-unsafe-cmp".to_string(), "panic-in-kernel".to_string()]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("a\n  b");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+}

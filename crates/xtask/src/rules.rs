@@ -1,0 +1,628 @@
+//! The rule catalog and the token-stream matchers behind it.
+//!
+//! Every rule has an id, a severity, and a `// tecopt:allow(<rule>)`
+//! escape hatch (same line or the line directly above the finding; each
+//! live suppression must be justified in `DESIGN.md` §11). Rules operate
+//! on the lexed token stream after `#[cfg(test)]` items are filtered
+//! out — see [`crate::lexer`] for what the tokens do and do not capture.
+
+use crate::lexer::{lex, Suppression, Tok, TokKind};
+
+/// How serious a finding is. Both severities fail the lint (exit code 1);
+/// the distinction is informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A bug class that has shipped before; must be fixed or justified.
+    Error,
+    /// A readiness/robustness smell.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic produced by the engine.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`nan-unsafe-cmp`, ...).
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-file lint configuration, derived from the file's workspace path
+/// (see [`crate::workspace`]) or constructed directly by fixture tests.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Display path for diagnostics.
+    pub path: String,
+    /// File is a designated numerical hot-path module: `panic-in-kernel`
+    /// and `float-cast-truncation` apply.
+    pub kernel: bool,
+    /// The indexing sub-check of `panic-in-kernel` applies. Off for the
+    /// dense linear-algebra kernels, where bounds-checked slice indexing
+    /// against constructor-established dimensions is the core idiom
+    /// (DESIGN.md §11).
+    pub check_indexing: bool,
+    /// File is the sanctioned thread-management module
+    /// (`crates/core/src/parallel.rs`): `unbounded-spawn` does not apply.
+    pub allow_thread: bool,
+    /// File is on the `unsafe` allowlist (currently empty).
+    pub allow_unsafe: bool,
+}
+
+impl FileContext {
+    /// A context with every check enabled — what fixture tests use.
+    pub fn strictest(path: &str) -> FileContext {
+        FileContext {
+            path: path.to_string(),
+            kernel: true,
+            check_indexing: true,
+            allow_thread: false,
+            allow_unsafe: false,
+        }
+    }
+
+    /// A context with only the everywhere-rules enabled.
+    pub fn plain(path: &str) -> FileContext {
+        FileContext {
+            path: path.to_string(),
+            kernel: false,
+            check_indexing: false,
+            allow_thread: false,
+            allow_unsafe: false,
+        }
+    }
+}
+
+/// Catalog entry describing one rule, for `tecopt-xtask rules` and the
+/// DESIGN.md table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id as used in diagnostics and suppression comments.
+    pub id: &'static str,
+    /// Severity of every finding the rule produces.
+    pub severity: Severity,
+    /// One-line rationale.
+    pub summary: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+}
+
+/// The full rule catalog, in documentation order.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: "nan-unsafe-cmp",
+        severity: Severity::Error,
+        summary: "partial_cmp().unwrap()/.expect()/.unwrap_or(), sort/min/max \
+                  with raw partial_cmp, and float ==/!= against a non-zero \
+                  literal panic or misorder on NaN; use total_cmp on \
+                  validated floats",
+        scope: "all workspace sources",
+    },
+    RuleInfo {
+        id: "panic-in-kernel",
+        severity: Severity::Error,
+        summary: "unwrap/expect/panic!/unreachable! and [] indexing are \
+                  panicking paths inside solver hot-path modules; return a \
+                  typed error or justify the invariant in DESIGN.md §11",
+        scope: "crates/linalg/src/*, crates/core/src/{system,runaway,convexity,lambda}.rs \
+                (indexing sub-check: core kernels only)",
+    },
+    RuleInfo {
+        id: "unbounded-spawn",
+        severity: Severity::Error,
+        summary: "std::thread outside the deterministic fork/join helpers \
+                  bypasses worker capping and first-error-by-index semantics; \
+                  use tecopt::parallel",
+        scope: "everywhere except crates/core/src/parallel.rs",
+    },
+    RuleInfo {
+        id: "unsafe-code",
+        severity: Severity::Error,
+        summary: "unsafe blocks outside an allowlisted module (the allowlist \
+                  is empty; every crate also carries #![forbid(unsafe_code)])",
+        scope: "all workspace sources",
+    },
+    RuleInfo {
+        id: "float-cast-truncation",
+        severity: Severity::Warning,
+        summary: "`as` casts from float to int silently truncate/saturate; \
+                  use try_from on a checked rounding or keep the value in \
+                  float space",
+        scope: "kernel modules (same set as panic-in-kernel)",
+    },
+    RuleInfo {
+        id: "todo-markers",
+        severity: Severity::Warning,
+        summary: "todo!/unimplemented! must not reach production code",
+        scope: "all workspace sources",
+    },
+];
+
+/// Looks up a catalog entry by id.
+fn rule(id: &str) -> &'static RuleInfo {
+    CATALOG.iter().find(|r| r.id == id).unwrap_or(&CATALOG[0])
+}
+
+/// Result of linting one source buffer.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Findings that survived suppression, in source order.
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by `tecopt:allow` comments.
+    pub suppressed: usize,
+}
+
+/// Lints one source buffer under `ctx`.
+pub fn lint_source(src: &str, ctx: &FileContext) -> LintOutcome {
+    let lexed = lex(src);
+    let toks = strip_cfg_test(&lexed.tokens);
+    let mut findings = Vec::new();
+
+    check_nan_unsafe_cmp(&toks, ctx, &mut findings);
+    if ctx.kernel {
+        check_panic_in_kernel(&toks, ctx, &mut findings);
+        check_float_cast(&toks, ctx, &mut findings);
+    }
+    if !ctx.allow_thread {
+        check_unbounded_spawn(&toks, ctx, &mut findings);
+    }
+    if !ctx.allow_unsafe {
+        check_unsafe(&toks, ctx, &mut findings);
+    }
+    check_todo_markers(&toks, ctx, &mut findings);
+
+    apply_suppressions(findings, &lexed.suppressions)
+}
+
+/// Drops findings covered by a `tecopt:allow` comment on the same line or
+/// the line directly above.
+fn apply_suppressions(findings: Vec<Finding>, sups: &[Suppression]) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    for f in findings {
+        let silenced = sups.iter().any(|s| {
+            (s.line == f.line || s.line + 1 == f.line) && s.rules.iter().any(|r| r == f.rule)
+        });
+        if silenced {
+            out.suppressed += 1;
+        } else {
+            out.findings.push(f);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// `#[cfg(test)]` filtering
+// ---------------------------------------------------------------------
+
+/// Removes every item annotated `#[cfg(test)]` (module, fn, use, ...)
+/// from the token stream. Token-level heuristic: after the attribute
+/// (and any further attributes), the item is skipped up to its balanced
+/// `{...}` body or terminating `;` at bracket depth zero.
+fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let attr_end = matching_bracket(toks, i + 1);
+            if attr_is_cfg_test(&toks[i + 2..attr_end]) {
+                let mut j = attr_end + 1;
+                // Skip any further attributes on the same item.
+                while toks.get(j).is_some_and(|t| t.is_punct("#"))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct("["))
+                {
+                    j = matching_bracket(toks, j + 1) + 1;
+                }
+                i = skip_item(toks, j);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// `true` if the attribute tokens (inside `#[...]`) are a `cfg` whose
+/// arguments mention `test` (`cfg(test)`, `cfg(all(test, ...))`, ...).
+fn attr_is_cfg_test(attr: &[Tok]) -> bool {
+    attr.first().is_some_and(|t| t.is_ident("cfg")) && attr.iter().any(|t| t.is_ident("test"))
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("[") {
+            depth += 1;
+        } else if toks[i].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skips one item starting at `start`: consumes up to and including the
+/// first `;` at depth zero, or the balanced `{...}` block if a `{` at
+/// depth zero comes first. Returns the index after the item.
+fn skip_item(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            return i + 1;
+        } else if depth == 0 && t.is_punct("{") {
+            let mut braces = 0isize;
+            while i < toks.len() {
+                if toks[i].is_punct("{") {
+                    braces += 1;
+                } else if toks[i].is_punct("}") {
+                    braces -= 1;
+                    if braces == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------
+// Rule matchers
+// ---------------------------------------------------------------------
+
+fn push(findings: &mut Vec<Finding>, id: &'static str, ctx: &FileContext, tok: &Tok, msg: String) {
+    findings.push(Finding {
+        rule: id,
+        severity: rule(id).severity,
+        file: ctx.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message: msg,
+    });
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn matching_paren_end(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("(") {
+            depth += 1;
+        } else if toks[i].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Parses a float literal's numeric value (`1_000.5f64` → 1000.5).
+fn float_value(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('.');
+    cleaned.parse::<f64>().ok()
+}
+
+const SORT_FAMILY: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+    "max_by",
+    "min_by",
+];
+
+fn check_nan_unsafe_cmp(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    // Pass 1: sort/min/max combinators whose argument span uses raw
+    // `partial_cmp` with no `total_cmp` anywhere in the closure.
+    let mut flagged_spans: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && SORT_FAMILY.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let end = matching_paren_end(toks, i + 1);
+            let span = &toks[i + 1..end];
+            let has_partial = span.iter().any(|s| s.is_ident("partial_cmp"));
+            let has_total = span.iter().any(|s| s.is_ident("total_cmp"));
+            if has_partial && !has_total {
+                flagged_spans.push((i + 1, end));
+                push(
+                    findings,
+                    "nan-unsafe-cmp",
+                    ctx,
+                    t,
+                    format!(
+                        "`{}` with a raw `partial_cmp` comparator panics or \
+                         misorders on NaN; use `total_cmp` on validated floats",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        // Pass 2: `partial_cmp(...)` chained into unwrap/expect/unwrap_or,
+        // unless already covered by a flagged sort-family span.
+        if t.is_ident("partial_cmp") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            if flagged_spans.iter().any(|&(s, e)| i > s && i < e) {
+                continue;
+            }
+            let after = matching_paren_end(toks, i + 1);
+            if toks.get(after).is_some_and(|n| n.is_punct("."))
+                && toks.get(after + 1).is_some_and(|n| {
+                    n.is_ident("unwrap") || n.is_ident("expect") || n.is_ident("unwrap_or")
+                })
+            {
+                let m = &toks[after + 1].text;
+                push(
+                    findings,
+                    "nan-unsafe-cmp",
+                    ctx,
+                    t,
+                    format!(
+                        "`partial_cmp().{m}()` panics or silently misorders on \
+                         NaN; use `total_cmp` on validated floats"
+                    ),
+                );
+            }
+        }
+
+        // Pass 3: float ==/!= against a non-zero literal. Exact-zero
+        // comparisons are well-defined IEEE-754 sentinel tests and exempt.
+        if t.is_punct("==") || t.is_punct("!=") {
+            let nonzero_float = |tok: Option<&Tok>| {
+                tok.is_some_and(|n| {
+                    n.kind == TokKind::Float && float_value(&n.text).is_some_and(|v| v != 0.0)
+                })
+            };
+            if nonzero_float(i.checked_sub(1).and_then(|p| toks.get(p)))
+                || nonzero_float(toks.get(i + 1))
+            {
+                push(
+                    findings,
+                    "nan-unsafe-cmp",
+                    ctx,
+                    t,
+                    format!(
+                        "float `{}` against a non-zero literal is exact-equality \
+                         on inexact arithmetic; compare against a tolerance",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Keyword-ish identifiers that can precede `[` without it being an index
+/// expression (`&mut [f64]`, `for [a, b] in ...`, `dyn [..]`, ...).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "mut", "dyn", "ref", "in", "as", "impl", "where", "return", "break", "continue", "else",
+    "match", "if", "let", "const", "static", "pub", "crate", "move", "box", "fn", "type", "use",
+    "mod", "enum", "struct", "trait", "for", "loop", "while", "yield", "unsafe",
+];
+
+fn check_panic_in_kernel(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && prev.is_some_and(|p| p.is_punct(".") || p.is_punct("::"))
+        {
+            push(
+                findings,
+                "panic-in-kernel",
+                ctx,
+                t,
+                format!(
+                    "`{}` is a panicking path in a solver hot-path module; \
+                     return a typed error (or justify the invariant in \
+                     DESIGN.md §11 and suppress)",
+                    t.text
+                ),
+            );
+        }
+        if (t.is_ident("panic") || t.is_ident("unreachable"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            push(
+                findings,
+                "panic-in-kernel",
+                ctx,
+                t,
+                format!(
+                    "`{}!` aborts a solver hot path; return a typed error",
+                    t.text
+                ),
+            );
+        }
+        if ctx.check_indexing && t.is_punct("[") {
+            let indexes_expr = prev.is_some_and(|p| match p.kind {
+                TokKind::Ident => !NON_INDEX_PRECEDERS.contains(&p.text.as_str()),
+                TokKind::Punct => p.is_punct(")") || p.is_punct("]"),
+                _ => false,
+            });
+            if indexes_expr {
+                push(
+                    findings,
+                    "panic-in-kernel",
+                    ctx,
+                    t,
+                    "`[]` indexing panics on out-of-bounds in a solver hot \
+                     path; use iterators/`get`, or justify the bound \
+                     invariant in DESIGN.md §11 and suppress"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+const THREAD_API: &[&str] = &[
+    "spawn",
+    "scope",
+    "Builder",
+    "sleep",
+    "park",
+    "yield_now",
+    "current",
+    "available_parallelism",
+];
+
+fn check_unbounded_spawn(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let hit = if t.is_ident("std")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("thread"))
+        {
+            true
+        } else {
+            // `thread::spawn(...)` after a `use std::thread;` import. The
+            // path-rooted form above already covers `std::thread::...`.
+            t.is_ident("thread")
+                && !i
+                    .checked_sub(1)
+                    .and_then(|p| toks.get(p))
+                    .is_some_and(|p| p.is_punct("::") || p.is_punct("."))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| THREAD_API.contains(&n.text.as_str()))
+        };
+        if hit {
+            push(
+                findings,
+                "unbounded-spawn",
+                ctx,
+                t,
+                "direct std::thread use outside crates/core/src/parallel.rs \
+                 bypasses the capped, deterministic fork/join helpers; use \
+                 tecopt::parallel"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_unsafe(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for t in toks {
+        if t.is_ident("unsafe") {
+            push(
+                findings,
+                "unsafe-code",
+                ctx,
+                t,
+                "`unsafe` outside an allowlisted module (the allowlist is \
+                 empty; see DESIGN.md §11)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+const INT_TYPES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+
+fn check_float_cast(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    // Pre-pass: identifiers with visible float evidence — an explicit
+    // `: f64`/`: f32` annotation (lets, params, fields) or a direct
+    // float-literal initializer. No type inference (DESIGN.md §11).
+    let mut float_idents: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let ann = toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"));
+        let init = toks.get(i + 1).is_some_and(|n| n.is_punct("="))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Float);
+        if ann || init {
+            float_idents.push(&t.text);
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as")
+            || !toks
+                .get(i + 1)
+                .is_some_and(|n| INT_TYPES.contains(&n.text.as_str()))
+        {
+            continue;
+        }
+        let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+            continue;
+        };
+        let floaty = prev.kind == TokKind::Float
+            || (prev.kind == TokKind::Ident && float_idents.contains(&prev.text.as_str()));
+        if floaty {
+            push(
+                findings,
+                "float-cast-truncation",
+                ctx,
+                t,
+                format!(
+                    "float-to-`{}` `as` cast silently truncates and saturates; \
+                     round explicitly and use a checked conversion",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+fn check_todo_markers(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if (t.is_ident("todo") || t.is_ident("unimplemented"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            push(
+                findings,
+                "todo-markers",
+                ctx,
+                t,
+                format!("`{}!` must not reach production code", t.text),
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Workspace discovery: which files get linted, under which context.
+//!
+//! Members come from the root `Cargo.toml` (`[workspace] members`, with
+//! single-component `*` globs expanded). Per-file rule scoping lives in
+//! [`context_for`]; the policy decisions it encodes (which modules are
+//! kernels, where indexing is idiomatic, where threads are sanctioned)
+//! are documented in `DESIGN.md` §11.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileContext;
+
+/// Core-crate files designated as numerical hot paths: `panic-in-kernel`
+/// and `float-cast-truncation` apply, including the indexing sub-check.
+const KERNEL_CORE_FILES: &[&str] = &[
+    "crates/core/src/system.rs",
+    "crates/core/src/runaway.rs",
+    "crates/core/src/convexity.rs",
+    "crates/core/src/lambda.rs",
+];
+
+/// Prefix of the dense/sparse linear-algebra kernels. Panicking calls are
+/// flagged; the `[]` indexing sub-check is exempt here — bounds-checked
+/// slice indexing against constructor-established dimensions is the core
+/// idiom of the dense kernels (DESIGN.md §11).
+const LINALG_PREFIX: &str = "crates/linalg/src/";
+
+/// The one module allowed to touch `std::thread`.
+const THREAD_MODULE: &str = "crates/core/src/parallel.rs";
+
+/// Modules allowed to contain `unsafe`. Currently empty: every crate also
+/// carries `#![forbid(unsafe_code)]`, so the two layers agree.
+const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Directory names never descended into below a member's `src/`.
+const SKIP_DIRS: &[&str] = &["tests", "fixtures", "benches", "examples", "target"];
+
+/// Member path prefixes excluded from linting: the `shims/` crates are
+/// vendored stand-ins for crates.io dependencies, not project code.
+const SKIP_MEMBER_PREFIXES: &[&str] = &["shims/"];
+
+/// Derives the per-file rule configuration from a repo-relative path.
+pub fn context_for(rel: &str) -> FileContext {
+    let kernel = rel.starts_with(LINALG_PREFIX) || KERNEL_CORE_FILES.contains(&rel);
+    FileContext {
+        path: rel.to_string(),
+        kernel,
+        check_indexing: kernel && !rel.starts_with(LINALG_PREFIX),
+        allow_thread: rel == THREAD_MODULE,
+        allow_unsafe: UNSAFE_ALLOWLIST.contains(&rel),
+    }
+}
+
+/// Every `.rs` file the lint pass covers, as `(absolute path, repo-relative
+/// display path)`, deterministically ordered.
+pub fn workspace_files(root: &Path) -> Result<Vec<(PathBuf, String)>, String> {
+    let manifest = root.join("Cargo.toml");
+    let toml = fs::read_to_string(&manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    let mut member_dirs = expand_members(root, &parse_members(&toml)?)?;
+    if toml.contains("[package]") {
+        // The root manifest also defines a package (the umbrella crate).
+        member_dirs.push(root.to_path_buf());
+    }
+
+    let mut files = Vec::new();
+    for dir in member_dirs {
+        let rel_dir = dir
+            .strip_prefix(root)
+            .unwrap_or(&dir)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if SKIP_MEMBER_PREFIXES
+            .iter()
+            .any(|p| rel_dir.starts_with(p.trim_end_matches('/')))
+        {
+            continue;
+        }
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+
+    let mut out: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            (p, rel)
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    out.dedup_by(|a, b| a.1 == b.1);
+    Ok(out)
+}
+
+/// Extracts the `members` array of the `[workspace]` table. Minimal,
+/// format-tolerant scan: no TOML dependency is available offline.
+fn parse_members(toml: &str) -> Result<Vec<String>, String> {
+    let start = toml
+        .find("members")
+        .ok_or_else(|| "no `members` key in root Cargo.toml".to_string())?;
+    let after = &toml[start..];
+    let open = after
+        .find('[')
+        .ok_or_else(|| "malformed `members` array".to_string())?;
+    let close = after[open..]
+        .find(']')
+        .ok_or_else(|| "unterminated `members` array".to_string())?;
+    let body = &after[open + 1..open + close];
+    Ok(body
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty() && !s.starts_with('#'))
+        .collect())
+}
+
+/// Expands member entries; a trailing `/*` component lists every child
+/// directory containing a `Cargo.toml`.
+fn expand_members(root: &Path, members: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for m in members {
+        if let Some(prefix) = m.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let entries =
+                fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+                let path = entry.path();
+                if path.is_dir() && path.join("Cargo.toml").is_file() {
+                    out.push(path);
+                }
+            }
+        } else {
+            out.push(root.join(m));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_globs_parse() {
+        let members =
+            parse_members("[workspace]\nmembers = [\"crates/*\", \"shims/*\"]\n").unwrap();
+        assert_eq!(members, vec!["crates/*", "shims/*"]);
+    }
+
+    #[test]
+    fn kernel_scoping() {
+        let c = context_for("crates/linalg/src/cholesky.rs");
+        assert!(c.kernel && !c.check_indexing);
+        let c = context_for("crates/core/src/convexity.rs");
+        assert!(c.kernel && c.check_indexing);
+        let c = context_for("crates/core/src/designer.rs");
+        assert!(!c.kernel);
+        assert!(context_for("crates/core/src/parallel.rs").allow_thread);
+        assert!(!context_for("crates/core/src/runaway.rs").allow_thread);
+    }
+}

@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
 # Full local quality gate for the tecopt workspace:
 #   1. release build of every crate,
-#   2. clippy across all targets with warnings promoted to errors
-#      (crates/linalg and crates/core additionally warn on unwrap() in
-#      non-test code; clippy.toml allows unwraps inside tests),
-#   3. compile of every criterion bench target (bench code must never rot),
-#   4. the complete test suite, including the fault-injection error-path
+#   2. rustfmt in check mode (the tree is formatted; diffs fail the gate),
+#   3. clippy across all targets with warnings promoted to errors
+#      (every crate warns on unwrap()/expect() in non-test code;
+#      clippy.toml exempts test code),
+#   4. the workspace-native static analyzer (tecopt-xtask lint): NaN-unsafe
+#      comparisons, panicking paths in solver kernels, std::thread outside
+#      tecopt::parallel, unsafe code, truncating float casts, todo markers
+#      (rule catalog + suppression audit table in DESIGN.md §11),
+#   5. compile of every criterion bench target (bench code must never rot),
+#   6. the complete test suite, including the fault-injection error-path
 #      coverage (tests/error_paths.rs), the property-based robustness
 #      sweeps (tests/robustness.rs), and the cross-backend/parallel
 #      determinism suite (tests/backend_equivalence.rs),
-#   5. a single-threaded re-run of the test suite, so any accidental
+#   7. a single-threaded re-run of the test suite, so any accidental
 #      dependence of the parallel sweeps on test-runner concurrency shows
 #      up as a divergence between the two passes.
 # Run from the repository root: ./scripts/check.sh
@@ -20,8 +25,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p tecopt-xtask -- lint"
+cargo run -q -p tecopt-xtask -- lint
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run

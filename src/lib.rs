@@ -13,6 +13,11 @@
 //! - [`tecopt_linalg`] — linear-algebra kernels
 //! - [`tecopt_units`] — typed physical quantities
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+
 pub use tecopt;
 pub use tecopt_device;
 pub use tecopt_linalg;
