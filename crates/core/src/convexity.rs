@@ -7,8 +7,8 @@
 //! and `η′(i) = H·D·H·1_J` (two solves), so a certificate probe costs one
 //! Cholesky factorization regardless of how many tiles are checked.
 
-use crate::parallel::par_map_init;
-use crate::{runaway_limit, CoolingSystem, OptError, SteadySolver};
+use crate::supervise::{checkpointed_map, fingerprint, hex_f64, Checkpointable, RunContext};
+use crate::{runaway_limit, CoolingSystem, OptError, SteadySolver, SweepFailure};
 use tecopt_units::Amperes;
 
 /// One column of `H(i) = (G − i·D)⁻¹`: the temperature response of every
@@ -189,16 +189,36 @@ pub fn certify_convexity(
     system: &CoolingSystem,
     settings: ConvexitySettings,
 ) -> Result<ConvexityCertificate, OptError> {
+    certify_convexity_supervised(system, settings, &RunContext::unbounded())
+        .map_err(SweepFailure::into_error)
+}
+
+/// [`certify_convexity`] under a [`RunContext`]: cancellation and deadline
+/// checks between sub-ranges, per-sub-range panic isolation, and — when
+/// the context carries a checkpoint path — resumable certificates.
+///
+/// # Errors
+///
+/// Same failure modes as [`certify_convexity`], wrapped in a
+/// [`SweepFailure`] carrying the per-sub-range verdicts already computed,
+/// plus the supervision errors ([`OptError::Cancelled`],
+/// [`OptError::DeadlineExceeded`], [`OptError::WorkerPanicked`]).
+pub fn certify_convexity_supervised(
+    system: &CoolingSystem,
+    settings: ConvexitySettings,
+    ctx: &RunContext,
+) -> Result<ConvexityCertificate, SweepFailure<Option<CertificateOutcome>>> {
+    let fail = |e: OptError| SweepFailure::before_start(e, settings.subranges);
     if settings.subranges == 0 || settings.probes_per_subrange < 2 {
-        return Err(OptError::InvalidParameter(
+        return Err(fail(OptError::InvalidParameter(
             "need at least one subrange and two probes per subrange".into(),
-        ));
+        )));
     }
     if !(settings.ceiling_fraction > 0.0 && settings.ceiling_fraction < 1.0) {
-        return Err(OptError::InvalidParameter(format!(
+        return Err(fail(OptError::InvalidParameter(format!(
             "ceiling fraction must be in (0, 1), got {}",
             settings.ceiling_fraction
-        )));
+        ))));
     }
     if system.device_count() == 0 {
         return Ok(ConvexityCertificate {
@@ -208,36 +228,55 @@ pub fn certify_convexity(
             lambda: Amperes(f64::INFINITY),
         });
     }
-    let lim = runaway_limit(system, settings.lambda_tolerance)?;
-    let ceiling = lim.search_ceiling(settings.ceiling_fraction)?.value();
+    let lim = runaway_limit(system, settings.lambda_tolerance).map_err(fail)?;
+    let ceiling = lim
+        .search_ceiling(settings.ceiling_fraction)
+        .map_err(fail)?
+        .value();
     let lambda = lim.lambda();
 
     let model = system.stamped().model();
     let silicon: Vec<usize> = model.silicon_nodes().iter().map(|id| id.index()).collect();
 
+    // A checkpoint only resumes the certificate it was written by: digest
+    // the interval ceiling (which reflects the system and λ_m) and every
+    // setting that shapes the per-sub-range verdicts.
+    let fp = {
+        let digest = format!(
+            "{} {} {} {} {} {}",
+            <Option<CertificateOutcome>>::KIND,
+            hex_f64(ceiling),
+            settings.subranges,
+            settings.probes_per_subrange,
+            hex_f64(settings.tolerance),
+            hex_f64(settings.lambda_tolerance),
+        );
+        fingerprint(&digest)
+    };
+
     // Sub-ranges are independent (each freezes its own slope at `i_t`), so
     // they are checked in parallel, one warm solver handle per worker.
-    // Assemble the shared core up front: each worker's `solver()` then
-    // clones it (no fallible rebuild), so the expect cannot fire.
-    system.warm_solver_cache()?;
+    // Assemble the shared core up front and clone one prototype handle per
+    // worker: the clone is infallible and carries the context's token, so
+    // a raised token also stops the sparse backend mid-iteration.
+    system.warm_solver_cache().map_err(fail)?;
+    let proto = system
+        .solver()
+        .map_err(fail)?
+        .with_cancel(ctx.token().clone());
     let q = settings.probes_per_subrange;
-    let results = par_map_init(
+    let verdicts = checkpointed_map(
+        ctx,
+        fp,
         (0..settings.subranges).collect::<Vec<usize>>(),
-        || {
-            #[allow(clippy::expect_used)]
-            let solver = system
-                .solver()
-                // tecopt:allow(panic-in-kernel) — the cache is warmed just above
-                .expect("solver() clones the warmed shared core");
-            solver
-        },
+        || proto.clone(),
         |solver, t| check_subrange(solver, t, ceiling, &silicon, settings),
-    );
+    )?;
     // First failing sub-range wins, exactly as the sequential loop: report
     // the probe count it would have accumulated — (q+1) factorizations per
     // examined sub-range, failures included.
-    for (t, res) in results.into_iter().enumerate() {
-        if let Some(outcome) = res? {
+    for (t, verdict) in verdicts.into_iter().enumerate() {
+        if let Some(outcome) = verdict {
             return Ok(ConvexityCertificate {
                 outcome,
                 subranges: settings.subranges,

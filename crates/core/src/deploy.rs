@@ -1,8 +1,10 @@
 //! Deployment of TEC devices: the `GreedyDeploy` algorithm (Fig. 5 of the
 //! paper) and the Full-Cover baseline it is compared against in Table I.
 
-use crate::parallel::{collect_first_err, par_map_init};
-use crate::{optimize_current, CoolingSystem, CurrentOptimum, CurrentSettings, OptError};
+use crate::supervise::{supervised_map, RunContext};
+use crate::{
+    optimize_current, CoolingSystem, CurrentOptimum, CurrentSettings, OptError, SweepFailure,
+};
 use std::collections::BTreeSet;
 use tecopt_thermal::TileIndex;
 use tecopt_units::{Amperes, Celsius};
@@ -245,9 +247,33 @@ pub fn evaluate_deployments(
     candidates: &[Vec<TileIndex>],
     current: CurrentSettings,
 ) -> Result<Vec<Deployment>, OptError> {
-    let passive = base.with_tiles(&[])?;
-    let baseline_peak = passive.solve(Amperes(0.0))?.peak();
-    let results = par_map_init(
+    evaluate_deployments_supervised(base, candidates, current, &RunContext::unbounded())
+        .map_err(SweepFailure::into_error)
+}
+
+/// [`evaluate_deployments`] under a [`RunContext`]: cancellation and
+/// deadline checks between candidates and per-candidate panic isolation.
+/// [`Deployment`] carries a full solved system and is not serializable, so
+/// this sweep does not checkpoint; for the resumable, figures-of-merit
+/// form use [`crate::score_candidates`].
+///
+/// # Errors
+///
+/// Same failure modes as [`evaluate_deployments`], wrapped in a
+/// [`SweepFailure`] that also carries the completed deployments, plus the
+/// supervision errors ([`OptError::Cancelled`],
+/// [`OptError::DeadlineExceeded`], [`OptError::WorkerPanicked`]).
+pub fn evaluate_deployments_supervised(
+    base: &CoolingSystem,
+    candidates: &[Vec<TileIndex>],
+    current: CurrentSettings,
+    ctx: &RunContext,
+) -> Result<Vec<Deployment>, SweepFailure<Deployment>> {
+    let fail = |e: OptError| SweepFailure::before_start(e, candidates.len());
+    let passive = base.with_tiles(&[]).map_err(fail)?;
+    let baseline_peak = passive.solve(Amperes(0.0)).map_err(fail)?.peak();
+    supervised_map(
+        ctx,
         candidates.to_vec(),
         || (),
         |(), tiles| -> Result<Deployment, OptError> {
@@ -260,8 +286,7 @@ pub fn evaluate_deployments(
                 baseline_peak,
             })
         },
-    );
-    collect_first_err(results)
+    )
 }
 
 impl CurrentOptimum {

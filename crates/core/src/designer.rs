@@ -24,10 +24,13 @@
 //! # }
 //! ```
 
+use crate::convexity::certify_convexity_supervised;
+use crate::deploy::evaluate_deployments_supervised;
+use crate::supervise::RunContext;
 use crate::{
-    certify_convexity, evaluate_deployments, full_cover, greedy_deploy, runaway_limit,
-    ConvexityCertificate, ConvexitySettings, CoolingSystem, CurrentSettings, DeployOutcome,
-    DeploySettings, Deployment, OptError, RunawayLimit, TecParams,
+    full_cover, greedy_deploy, runaway_limit, ConvexityCertificate, ConvexitySettings,
+    CoolingSystem, CurrentSettings, DeployOutcome, DeploySettings, Deployment, OptError,
+    RunawayLimit, SweepFailure, TecParams,
 };
 use tecopt_thermal::{PackageConfig, TileIndex};
 use tecopt_units::{Amperes, Celsius, Watts};
@@ -43,6 +46,7 @@ pub struct CoolingDesigner {
     convexity: Option<ConvexitySettings>,
     with_full_cover: bool,
     alternatives: usize,
+    run_context: Option<RunContext>,
 }
 
 impl CoolingDesigner {
@@ -62,6 +66,7 @@ impl CoolingDesigner {
             }),
             with_full_cover: true,
             alternatives: 0,
+            run_context: None,
         }
     }
 
@@ -105,6 +110,15 @@ impl CoolingDesigner {
         self
     }
 
+    /// Supervises the pipeline under `ctx`: the cancellation token and
+    /// deadline are checked between stages and inside every sweep, and
+    /// worker panics in the convexity audit and the alternatives sweep are
+    /// isolated to typed errors. The default is an unbounded context.
+    pub fn run_context(mut self, ctx: RunContext) -> CoolingDesigner {
+        self.run_context = Some(ctx);
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -115,10 +129,19 @@ impl CoolingDesigner {
     ///   best-effort deployment with [`DesignReport::limit_satisfied`]
     ///   false.
     pub fn design(self) -> Result<DesignReport, OptError> {
+        // The pipeline runs two different sweep kinds (convexity subranges
+        // and alternative deployments); a single checkpoint file cannot
+        // serve both, so the facade supervises without checkpointing. The
+        // resumable designer sweep is [`crate::score_candidates`].
+        let ctx = self
+            .run_context
+            .map(|c| c.without_checkpoint())
+            .unwrap_or_default();
         let powers = self
             .tile_powers
             .ok_or_else(|| OptError::InvalidParameter("tile powers were never provided".into()))?;
         let base = CoolingSystem::without_devices(&self.config, self.params, powers)?;
+        ctx.ensure_live()?;
         let uncooled_peak = base.solve(Amperes(0.0))?.peak();
         let deploy_settings = DeploySettings {
             theta_limit: self.limit,
@@ -143,15 +166,21 @@ impl CoolingDesigner {
             DeployOutcome::Satisfied(d) => d,
             DeployOutcome::Failed { best, .. } => best,
         };
+        ctx.ensure_live()?;
         let runaway = if deployment.device_count() > 0 {
             Some(runaway_limit(deployment.system(), 1e-9)?)
         } else {
             None
         };
+        ctx.ensure_live()?;
         let convexity = match (&self.convexity, deployment.device_count()) {
-            (Some(settings), 1..) => Some(certify_convexity(deployment.system(), *settings)?),
+            (Some(settings), 1..) => Some(
+                certify_convexity_supervised(deployment.system(), *settings, &ctx)
+                    .map_err(SweepFailure::into_error)?,
+            ),
             _ => None,
         };
+        ctx.ensure_live()?;
         let alternatives = if self.alternatives > 0 && deployment.device_count() > 1 {
             // The largest strict prefixes of the deployment order, smallest
             // first: peak temperature versus device count.
@@ -160,7 +189,8 @@ impl CoolingDesigner {
             lens.reverse();
             let candidates: Vec<Vec<TileIndex>> =
                 lens.into_iter().map(|k| tiles[..k].to_vec()).collect();
-            evaluate_deployments(&base, &candidates, self.current)?
+            evaluate_deployments_supervised(&base, &candidates, self.current, &ctx)
+                .map_err(SweepFailure::into_error)?
         } else {
             Vec::new()
         };

@@ -41,6 +41,32 @@ pub enum OptError {
         /// The configured budget.
         budget: usize,
     },
+    /// The caller's [`CancelToken`](crate::CancelToken) was raised and the
+    /// supervised computation stopped cooperatively at its next probe
+    /// boundary.
+    Cancelled {
+        /// Probes (sweep items) fully completed before cancellation.
+        completed: usize,
+    },
+    /// A supervised sweep's wall-clock deadline or probe budget expired
+    /// before all items finished. Partial results for the completed probes
+    /// travel alongside this error in
+    /// [`SweepFailure`](crate::supervise::SweepFailure).
+    DeadlineExceeded {
+        /// Probes (sweep items) fully completed within the budget.
+        completed: usize,
+        /// Probes still outstanding when the budget expired.
+        remaining: usize,
+    },
+    /// A supervised worker panicked while evaluating one sweep item. The
+    /// panic was caught at the item boundary: other items were unaffected
+    /// and the process did not abort.
+    WorkerPanicked {
+        /// Index of the sweep item whose evaluation panicked.
+        index: usize,
+        /// Stringified panic payload (best effort).
+        payload: String,
+    },
     /// A device-layer operation failed.
     Device(DeviceError),
     /// A thermal-model operation failed.
@@ -70,6 +96,19 @@ impl fmt::Display for OptError {
                 f,
                 "search budget exhausted after {spent} of {budget} evaluations"
             ),
+            OptError::Cancelled { completed } => {
+                write!(f, "cancelled by the caller after {completed} completed probes")
+            }
+            OptError::DeadlineExceeded {
+                completed,
+                remaining,
+            } => write!(
+                f,
+                "deadline exceeded with {completed} probes completed and {remaining} remaining"
+            ),
+            OptError::WorkerPanicked { index, payload } => {
+                write!(f, "worker panicked on sweep item {index}: {payload}")
+            }
             OptError::Device(e) => write!(f, "device layer failure: {e}"),
             OptError::Thermal(e) => write!(f, "thermal layer failure: {e}"),
             OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
@@ -102,7 +141,14 @@ impl From<ThermalError> for OptError {
 
 impl From<LinalgError> for OptError {
     fn from(e: LinalgError) -> OptError {
-        OptError::Linalg(e)
+        match e {
+            // A cancelled kernel means the whole computation was cancelled;
+            // normalize to the optimizer-level variant so callers match one
+            // shape. The supervisor rewrites `completed` with the true
+            // sweep-level count when it resolves the run.
+            LinalgError::Cancelled { .. } => OptError::Cancelled { completed: 0 },
+            other => OptError::Linalg(other),
+        }
     }
 }
 
@@ -129,9 +175,36 @@ mod tests {
         }
         .to_string()
         .contains("budget"));
+        assert!(OptError::Cancelled { completed: 3 }
+            .to_string()
+            .contains("cancelled"));
+        assert!(OptError::DeadlineExceeded {
+            completed: 5,
+            remaining: 7
+        }
+        .to_string()
+        .contains("5 probes completed and 7 remaining"));
+        assert!(OptError::WorkerPanicked {
+            index: 2,
+            payload: "boom".into()
+        }
+        .to_string()
+        .contains("item 2: boom"));
         let e = OptError::Linalg(LinalgError::NotPositiveDefinite { pivot: 0 });
         assert!(e.source().is_some());
         assert!(OptError::NoDevicesDeployed.source().is_none());
+    }
+
+    #[test]
+    fn cancelled_kernel_errors_normalize() {
+        assert_eq!(
+            OptError::from(LinalgError::Cancelled { iterations: 9 }),
+            OptError::Cancelled { completed: 0 }
+        );
+        assert_eq!(
+            OptError::from(LinalgError::Singular { pivot: 1 }),
+            OptError::Linalg(LinalgError::Singular { pivot: 1 })
+        );
     }
 
     #[test]

@@ -78,22 +78,28 @@ pub mod multipin;
 pub mod parallel;
 pub mod report;
 pub mod runaway;
+pub mod supervise;
 mod system;
 pub mod theory;
 pub mod transient;
 
 pub use convexity::{
-    certify_convexity, eta, eta_and_derivative, h_column, CertificateOutcome, ConvexityCertificate,
-    ConvexitySettings,
+    certify_convexity, certify_convexity_supervised, eta, eta_and_derivative, h_column,
+    CertificateOutcome, ConvexityCertificate, ConvexitySettings,
 };
 pub use current::{optimize_current, CurrentMethod, CurrentOptimum, CurrentSettings};
 pub use deploy::{
-    evaluate_deployments, full_cover, greedy_deploy, DeployIteration, DeployOutcome,
-    DeploySettings, Deployment,
+    evaluate_deployments, evaluate_deployments_supervised, full_cover, greedy_deploy,
+    DeployIteration, DeployOutcome, DeploySettings, Deployment,
 };
 pub use error::OptError;
 pub use lambda::{runaway_limit, RunawayLimit};
+pub use supervise::{score_candidates, CandidateScore, RunContext, SweepFailure};
 pub use system::{CoolingSystem, SolvedState, SteadySolver};
+
+// Cooperative cancellation lives in the kernel crate so the CG loop and the
+// supervisor share one token type.
+pub use tecopt_linalg::CancelToken;
 
 // The substrate types a user of this crate inevitably touches.
 pub use tecopt_device::TecParams;

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+use crate::supervise::RunContext;
 use crate::{CoolingSystem, OptError};
 use tecopt_device::TecParams;
 use tecopt_linalg::eigen::generalized_pd_threshold;
@@ -274,6 +275,25 @@ impl MultiPinSystem {
     ///
     /// Propagates solve errors; validates `max_sweeps > 0`.
     pub fn optimize(&self, max_sweeps: usize, tolerance: f64) -> Result<MultiPinState, OptError> {
+        self.optimize_supervised(max_sweeps, tolerance, &RunContext::unbounded())
+    }
+
+    /// [`MultiPinSystem::optimize`] under a [`RunContext`]: the token,
+    /// deadline and probe budget are consulted before every steady-state
+    /// evaluation of the line search, so a raised token or an expired
+    /// budget stops the descent at the next probe boundary with a typed
+    /// error instead of running the remaining sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MultiPinSystem::optimize`], plus
+    /// [`OptError::Cancelled`] and [`OptError::DeadlineExceeded`].
+    pub fn optimize_supervised(
+        &self,
+        max_sweeps: usize,
+        tolerance: f64,
+        ctx: &RunContext,
+    ) -> Result<MultiPinState, OptError> {
         if max_sweeps == 0 {
             return Err(OptError::InvalidParameter(
                 "need at least one coordinate sweep".into(),
@@ -298,6 +318,7 @@ impl MultiPinSystem {
                 let mut a = 0.0_f64;
                 let mut b = ceiling;
                 let eval_at = |i: f64| -> Result<MultiPinState, OptError> {
+                    ctx.admit_probe()?;
                     let mut probe = currents.clone();
                     probe[g] = Amperes(i);
                     self.solve(&probe)
@@ -331,6 +352,7 @@ impl MultiPinSystem {
                     (d, fd)
                 };
                 // Keep the axis origin if it beats the interior optimum.
+                ctx.admit_probe()?;
                 currents[g] = Amperes(0.0);
                 let at_zero = self.solve(&currents)?;
                 if at_zero.peak() <= state.peak() {

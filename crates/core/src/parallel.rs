@@ -77,30 +77,31 @@ where
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
 
+    let run_worker = || {
+        let mut state = init();
+        loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= work.len() {
+                break;
+            }
+            #[allow(clippy::expect_used)] // claimed via the atomic counter
+            let item = work[idx]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("each work slot is claimed exactly once");
+            let result = f(&mut state, item);
+            *slots[idx]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+        }
+    };
+
+    // One worker runs on the calling thread, so an N-way fan-out costs
+    // N − 1 spawns and the common two-item case costs exactly one.
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= work.len() {
-                            break;
-                        }
-                        #[allow(clippy::expect_used)] // claimed via the atomic counter
-                        let item = work[idx]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .take()
-                            .expect("each work slot is claimed exactly once");
-                        let result = f(&mut state, item);
-                        *slots[idx]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
-                    }
-                })
-            })
-            .collect();
+        let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+        run_worker();
         for handle in handles {
             if let Err(panic) = handle.join() {
                 std::panic::resume_unwind(panic);
@@ -126,6 +127,136 @@ where
 /// parallel and sequential sweeps report identical failures.
 pub fn collect_first_err<R, E>(results: Vec<Result<R, E>>) -> Result<Vec<R>, E> {
     results.into_iter().collect()
+}
+
+/// One item's fate under the panic-isolating mapper
+/// [`par_map_init_isolated`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemOutcome<R> {
+    /// The item was evaluated to completion.
+    Done(R),
+    /// Evaluating the item (or building its worker's state) panicked; the
+    /// unwind was caught at the item boundary and other items continued.
+    Panicked {
+        /// Stringified panic payload (best effort).
+        payload: String,
+    },
+    /// The item was never claimed: the `proceed` gate closed first.
+    Skipped,
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map_init`] with per-item panic isolation and a cooperative
+/// admission gate — the engine under `tecopt::supervise`.
+///
+/// Differences from [`par_map_init`]:
+///
+/// - Each item's evaluation runs under `catch_unwind`. A panic is recorded
+///   as [`ItemOutcome::Panicked`] for that item only; the worker discards
+///   its (possibly torn) state, rebuilds it via `init` for its next item,
+///   and the process never aborts.
+/// - Before *every* claim each worker consults `proceed()`. Once it
+///   returns `false` that worker stops claiming; unclaimed items come back
+///   as [`ItemOutcome::Skipped`]. Because each `true` is followed by
+///   exactly one claim of the monotone counter, a gate that admits `k`
+///   calls admits exactly items `0..k` — deterministically, regardless of
+///   scheduling.
+/// - Worker state is built lazily (first claim), so a gate that is closed
+///   from the start performs no work at all.
+///
+/// Results are stored by index as in [`par_map_init`], and one worker runs
+/// on the calling thread.
+pub fn par_map_init_isolated<T, S, R, I, F, P>(
+    items: Vec<T>,
+    init: I,
+    f: F,
+    proceed: P,
+) -> Vec<ItemOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+    P: Fn() -> bool + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = worker_count().min(items.len());
+    let slots: Vec<Mutex<ItemOutcome<R>>> = items
+        .iter()
+        .map(|_| Mutex::new(ItemOutcome::Skipped))
+        .collect();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+
+    let run_worker = || {
+        let mut state: Option<S> = None;
+        loop {
+            if !proceed() {
+                break;
+            }
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= work.len() {
+                break;
+            }
+            let Some(item) = work[idx]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+            else {
+                continue;
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f(state.get_or_insert_with(&init), item)
+            }));
+            *slots[idx]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = match outcome {
+                Ok(result) => ItemOutcome::Done(result),
+                Err(panic) => {
+                    // The panic may have torn the worker state mid-update;
+                    // rebuild it before the next item.
+                    state = None;
+                    ItemOutcome::Panicked {
+                        payload: panic_payload(panic),
+                    }
+                }
+            };
+        }
+    };
+
+    if workers <= 1 {
+        run_worker();
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+            run_worker();
+            for handle in handles {
+                if let Err(panic) = handle.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -176,6 +307,153 @@ mod tests {
         assert_eq!((a, b), (42, "ok"));
         let caught = std::panic::catch_unwind(|| join(|| panic!("boom"), || ()));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn parallel_map_is_bit_identical_to_sequential() {
+        // Float-heavy mapping: the parallel path (one worker on the calling
+        // thread, the rest spawned) must reproduce the sequential loop's
+        // results bit for bit, because each item's arithmetic is
+        // independent of scheduling.
+        let items: Vec<f64> = (0..129).map(|k| 0.1 + k as f64 * 0.37).collect();
+        let map = |x: f64| (x.sin() * x.exp()).sqrt() + x.powi(3) / (1.0 + x * x);
+        let sequential: Vec<u64> = items.iter().map(|&x| map(x).to_bits()).collect();
+        let parallel: Vec<u64> = par_map_init(items, || (), move |(), x| map(x))
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_per_item() {
+        let out = par_map_init_isolated(
+            (0..32).collect::<Vec<usize>>(),
+            || (),
+            |(), i| {
+                assert!(i != 5, "boom at five");
+                assert!(i != 20, "boom at twenty");
+                i * 2
+            },
+            || true,
+        );
+        assert_eq!(out.len(), 32);
+        for (i, outcome) in out.iter().enumerate() {
+            match (i, outcome) {
+                (5, ItemOutcome::Panicked { payload }) => {
+                    assert!(payload.contains("boom at five"));
+                }
+                (20, ItemOutcome::Panicked { payload }) => {
+                    assert!(payload.contains("boom at twenty"));
+                }
+                (_, ItemOutcome::Done(v)) => assert_eq!(*v, i * 2),
+                (_, other) => panic!("item {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_rebuilds_state_after_a_panic() {
+        // A panic mid-item discards the worker's state; the next item the
+        // worker claims sees a freshly built one, never a torn one.
+        use std::sync::atomic::AtomicUsize;
+        let builds = AtomicUsize::new(0);
+        let out = par_map_init_isolated(
+            (0..8).collect::<Vec<usize>>(),
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, i| {
+                *seen += 1;
+                assert!(i != 3, "poisoned item");
+                i
+            },
+            || true,
+        );
+        assert!(matches!(out[3], ItemOutcome::Panicked { .. }));
+        let done = out
+            .iter()
+            .filter(|o| matches!(o, ItemOutcome::Done(_)))
+            .count();
+        assert_eq!(done, 7);
+        // At least one extra state build beyond the panicking worker's
+        // first is possible; all we require is that every build is fresh.
+        assert!(builds.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn admission_gate_admits_a_deterministic_prefix() {
+        // A gate that admits exactly k calls yields items 0..k Done and the
+        // rest Skipped, regardless of worker scheduling: each passing
+        // admission is followed by exactly one claim of the monotone
+        // counter.
+        use std::sync::atomic::AtomicUsize;
+        for k in [0usize, 1, 3, 7, 12] {
+            let admitted = AtomicUsize::new(0);
+            let out = par_map_init_isolated(
+                (0..12).collect::<Vec<usize>>(),
+                || (),
+                |(), i| i + 100,
+                || admitted.fetch_add(1, Ordering::Relaxed) < k,
+            );
+            for (i, outcome) in out.iter().enumerate() {
+                if i < k {
+                    assert_eq!(*outcome, ItemOutcome::Done(i + 100), "k={k} item {i}");
+                } else {
+                    assert_eq!(*outcome, ItemOutcome::Skipped, "k={k} item {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_gate_never_builds_state() {
+        use std::sync::atomic::AtomicUsize;
+        let builds = AtomicUsize::new(0);
+        let out = par_map_init_isolated(
+            (0..16).collect::<Vec<usize>>(),
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i| i,
+            || false,
+        );
+        assert!(out.iter().all(|o| *o == ItemOutcome::Skipped));
+        assert_eq!(builds.load(Ordering::Relaxed), 0, "state is built lazily");
+    }
+
+    #[test]
+    fn first_error_wins_regardless_of_completion_order() {
+        // Arrange for high-index items to finish *first* (they do trivial
+        // work; the low-index error item spins longest) and confirm the
+        // collapsed error is still the lowest-index one.
+        let items: Vec<usize> = (0..16).collect();
+        let results = par_map_init(
+            items,
+            || (),
+            |(), i| -> Result<usize, String> {
+                if i == 2 {
+                    // Slowest item: real work before failing.
+                    let mut acc = 0.0f64;
+                    for k in 0..200_000 {
+                        acc += (k as f64).sqrt();
+                    }
+                    assert!(acc > 0.0);
+                    Err("index 2 failed".to_string())
+                } else if i == 11 {
+                    // Fast failure at a higher index.
+                    Err("index 11 failed".to_string())
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+        assert_eq!(
+            collect_first_err(results).unwrap_err(),
+            "index 2 failed",
+            "lowest index wins even though index 11 completed first"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! `G − i·D` is no longer positive definite and no bounded steady state
 //! exists at all.
 
-use crate::parallel::{collect_first_err, par_map_init};
-use crate::{runaway_limit, CoolingSystem, OptError, RunawayLimit};
+use crate::supervise::{checkpointed_map, fingerprint, hex_f64, Checkpointable, RunContext};
+use crate::{runaway_limit, CoolingSystem, OptError, RunawayLimit, SweepFailure};
 use tecopt_units::{Amperes, Celsius};
 
 /// One sample of a runaway sweep.
@@ -69,36 +69,80 @@ pub fn sweep_fractions(
     fractions: &[f64],
     lambda_tolerance: f64,
 ) -> Result<RunawaySweep, OptError> {
+    sweep_fractions_supervised(
+        system,
+        fractions,
+        lambda_tolerance,
+        &RunContext::unbounded(),
+    )
+    .map_err(SweepFailure::into_error)
+}
+
+/// [`sweep_fractions`] under a [`RunContext`]: cancellation and deadline
+/// checks between samples, per-sample panic isolation, and — when the
+/// context carries a checkpoint path — resumable, bit-identical sweeps.
+///
+/// # Errors
+///
+/// Same failure modes as [`sweep_fractions`], wrapped in a
+/// [`SweepFailure`] that also carries the completed sample points, plus
+/// the supervision errors ([`OptError::Cancelled`],
+/// [`OptError::DeadlineExceeded`], [`OptError::WorkerPanicked`]).
+pub fn sweep_fractions_supervised(
+    system: &CoolingSystem,
+    fractions: &[f64],
+    lambda_tolerance: f64,
+    ctx: &RunContext,
+) -> Result<RunawaySweep, SweepFailure<SweepPoint>> {
+    let fail = |e: OptError| SweepFailure::before_start(e, fractions.len());
     if fractions.is_empty() {
-        return Err(OptError::InvalidParameter(
+        return Err(fail(OptError::InvalidParameter(
             "sweep needs at least one fraction".into(),
-        ));
+        )));
     }
     // NaN used to slip past the old `!f.is_finite()` guard straight into a
     // `sort_by(partial_cmp().expect())` panic; the shared validators reject
     // NaN/±∞/negative values with a typed error instead.
-    tecopt_units::validate::finite_slice("sweep fraction", fractions)?;
-    tecopt_units::validate::non_negative_slice("sweep fraction", fractions)?;
-    let limit = runaway_limit(system, lambda_tolerance)?;
+    tecopt_units::validate::finite_slice("sweep fraction", fractions)
+        .map_err(|e| fail(e.into()))?;
+    tecopt_units::validate::non_negative_slice("sweep fraction", fractions)
+        .map_err(|e| fail(e.into()))?;
+    let limit = runaway_limit(system, lambda_tolerance).map_err(fail)?;
     let lam = limit.lambda().value();
     let mut sorted = fractions.to_vec();
     sorted.sort_by(f64::total_cmp);
 
+    // A checkpoint only resumes the sweep it was written by: digest the
+    // limit (which already reflects the system), the tolerance and the
+    // sorted sample plan, all bit-exact.
+    let fp = {
+        let mut digest = String::from(SweepPoint::KIND);
+        digest.push(' ');
+        digest.push_str(&hex_f64(lam));
+        digest.push(' ');
+        digest.push_str(&hex_f64(lambda_tolerance));
+        for f in &sorted {
+            digest.push(' ');
+            digest.push_str(&hex_f64(*f));
+        }
+        fingerprint(&digest)
+    };
+
     // Every sample is an independent factor+solve at `lam·f` — fan them
     // out over worker threads, each with its own warm solver handle.
-    // Assemble the shared core up front: each worker's `solver()` then
-    // clones it (no fallible rebuild), so the expect cannot fire.
-    system.warm_solver_cache()?;
-    let results = par_map_init(
+    // Assemble the shared core up front and clone one prototype handle per
+    // worker: the clone is infallible and carries the context's token, so
+    // a raised token also stops the sparse backend mid-iteration.
+    system.warm_solver_cache().map_err(fail)?;
+    let proto = system
+        .solver()
+        .map_err(fail)?
+        .with_cancel(ctx.token().clone());
+    let points = checkpointed_map(
+        ctx,
+        fp,
         sorted,
-        || {
-            #[allow(clippy::expect_used)]
-            let solver = system
-                .solver()
-                // tecopt:allow(panic-in-kernel) — the cache is warmed just above
-                .expect("solver() clones the warmed shared core");
-            solver
-        },
+        || proto.clone(),
         |solver, f| {
             let i = Amperes(lam * f);
             match solver.solve(i) {
@@ -115,8 +159,7 @@ pub fn sweep_fractions(
                 Err(e) => Err(e),
             }
         },
-    );
-    let points = collect_first_err(results)?;
+    )?;
     Ok(RunawaySweep { limit, points })
 }
 

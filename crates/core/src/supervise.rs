@@ -1,0 +1,1041 @@
+//! Supervised execution for long-running design sweeps: cooperative
+//! cancellation, deadlines/probe budgets, worker panic isolation, and
+//! checkpoint/resume.
+//!
+//! The paper's heavy workloads — runaway sweeps (Sec. V.C.1), convexity
+//! certificates (Sec. V.C.2) and designer alternative scoring (Sec. VI) —
+//! are long chains of independent solver probes. A [`RunContext`] wraps
+//! each such sweep so that:
+//!
+//! - a raised [`CancelToken`] stops the sweep at the next item boundary
+//!   (and, on the sparse backend, at the next CG *iteration* boundary),
+//!   returning [`OptError::Cancelled`];
+//! - a wall-clock deadline or probe budget converts an overrun into
+//!   [`OptError::DeadlineExceeded`] carrying the partial results;
+//! - a panicking worker is contained at its item boundary
+//!   ([`OptError::WorkerPanicked`]) instead of aborting the process, with
+//!   the lowest-index failure winning deterministically;
+//! - completed probe results can be serialized to a versioned,
+//!   dependency-free text checkpoint file and resumed bit-identically.
+//!
+//! See `DESIGN.md` §12 for the model and the checkpoint format.
+
+use crate::parallel::{par_map_init_isolated, ItemOutcome};
+use crate::{optimize_current, CoolingSystem, CurrentSettings, OptError};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tecopt_linalg::CancelToken;
+use tecopt_thermal::TileIndex;
+use tecopt_units::{Amperes, Celsius, Watts};
+
+/// Magic first line of every checkpoint file; the trailing integer is the
+/// format version.
+pub const CHECKPOINT_HEADER: &str = "tecopt-checkpoint v1";
+
+/// Shared supervision state for one logical run (a sweep, a certificate, a
+/// whole designer pipeline).
+///
+/// Cloning is cheap and clones share the cancellation flag and probe
+/// counter, so one context can be handed to several stages. The default
+/// context is [`RunContext::unbounded`]: no deadline, no budget, no
+/// checkpoint, a fresh token — supervised entry points behave exactly like
+/// their plain counterparts under it.
+#[derive(Debug, Clone, Default)]
+pub struct RunContext {
+    token: CancelToken,
+    deadline: Option<Instant>,
+    probe_budget: Option<usize>,
+    probes: Arc<AtomicUsize>,
+    checkpoint: Option<PathBuf>,
+}
+
+impl RunContext {
+    /// A context with no limits: never cancels, never expires.
+    pub fn unbounded() -> RunContext {
+        RunContext::default()
+    }
+
+    /// Uses `token` as the cancellation flag (e.g. one shared with a
+    /// signal handler or another thread).
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> RunContext {
+        self.token = token;
+        self
+    }
+
+    /// Sets a wall-clock deadline `timeout` from now.
+    #[must_use]
+    pub fn deadline_in(self, timeout: Duration) -> RunContext {
+        self.deadline_at(Instant::now() + timeout)
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    #[must_use]
+    pub fn deadline_at(mut self, deadline: Instant) -> RunContext {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of probes (sweep items) admitted across the whole
+    /// run. Admission is consumed at *claim* time, so a budget of `k`
+    /// admits exactly the first `k` items of a sweep regardless of worker
+    /// scheduling — which is what makes kill/resume tests deterministic.
+    #[must_use]
+    pub fn probe_budget(mut self, budget: usize) -> RunContext {
+        self.probe_budget = Some(budget);
+        self
+    }
+
+    /// Enables checkpointing to `path` for the sweeps that support it.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> RunContext {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// The cancellation token of this run.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// The checkpoint path, if checkpointing was requested.
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint.as_deref()
+    }
+
+    /// A clone sharing this context's token, counter, deadline and budget
+    /// but with no checkpoint path. Multi-sweep facades use it so two
+    /// different sweep kinds never contend for one checkpoint file.
+    pub(crate) fn without_checkpoint(&self) -> RunContext {
+        let mut ctx = self.clone();
+        ctx.checkpoint = None;
+        ctx
+    }
+
+    /// Probe admissions recorded so far (diagnostic; may exceed the budget
+    /// by denied attempts).
+    pub fn probes_recorded(&self) -> usize {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// The admission gate consumed before every item claim: `false` once
+    /// the token is raised, the deadline has passed, or the budget is
+    /// spent. Each `true` consumes one unit of the probe budget.
+    pub(crate) fn admit(&self) -> bool {
+        if self.token.is_cancelled() {
+            return false;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
+        match self.probe_budget {
+            Some(budget) => self.probes.fetch_add(1, Ordering::Relaxed) < budget,
+            None => {
+                self.probes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Why the gate is (or would be) closed, as a typed error — `None`
+    /// while the run is still admissible.
+    fn exhaustion(&self, completed: usize, total: usize) -> Option<OptError> {
+        if self.token.is_cancelled() {
+            return Some(OptError::Cancelled { completed });
+        }
+        let deadline_passed = self.deadline.is_some_and(|d| Instant::now() >= d);
+        let budget_spent = self
+            .probe_budget
+            .is_some_and(|b| self.probes.load(Ordering::Relaxed) >= b);
+        if deadline_passed || budget_spent {
+            return Some(OptError::DeadlineExceeded {
+                completed,
+                remaining: total.saturating_sub(completed),
+            });
+        }
+        None
+    }
+
+    /// Per-probe gate for iterative optimizers (e.g. the multi-pin
+    /// coordinate descent): consumes one admission like the sweep gate,
+    /// but reports a denial as the matching typed error directly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RunContext::ensure_live`].
+    pub fn admit_probe(&self) -> Result<(), OptError> {
+        if self.admit() {
+            return Ok(());
+        }
+        let completed = self.probes_recorded();
+        Err(self
+            .exhaustion(completed, completed)
+            .unwrap_or(OptError::DeadlineExceeded {
+                completed,
+                remaining: 0,
+            }))
+    }
+
+    /// Checks the context between pipeline stages, converting a raised
+    /// token / expired deadline / spent budget into the matching typed
+    /// error. Facades call this at stage boundaries; sweeps enforce the
+    /// same conditions per item via the admission gate.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptError::Cancelled`] once the token is raised.
+    /// - [`OptError::DeadlineExceeded`] past the deadline or budget.
+    pub fn ensure_live(&self) -> Result<(), OptError> {
+        match self.exhaustion(self.probes_recorded(), self.probes_recorded()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A supervised sweep that stopped early: the typed error plus whatever
+/// per-item results had already completed (`None` for items that failed,
+/// panicked, or were never admitted).
+#[derive(Debug, Clone)]
+pub struct SweepFailure<R> {
+    /// Why the sweep stopped — the same error a sequential loop would have
+    /// reported first (lowest item index wins).
+    pub error: OptError,
+    /// Per-item results, item order preserved; `Some` for each item that
+    /// completed.
+    pub partial: Vec<Option<R>>,
+}
+
+impl<R> SweepFailure<R> {
+    /// A failure before any item ran (validation, setup, checkpoint I/O).
+    pub(crate) fn before_start(error: OptError, total: usize) -> SweepFailure<R> {
+        let mut partial = Vec::with_capacity(total);
+        partial.resize_with(total, || None);
+        SweepFailure { error, partial }
+    }
+
+    /// Number of items that completed.
+    pub fn completed(&self) -> usize {
+        self.partial.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Discards the partial results, keeping the error.
+    pub fn into_error(self) -> OptError {
+        self.error
+    }
+}
+
+impl<R> From<SweepFailure<R>> for OptError {
+    fn from(f: SweepFailure<R>) -> OptError {
+        f.error
+    }
+}
+
+impl<R> core::fmt::Display for SweepFailure<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ({} of {} items completed)",
+            self.error,
+            self.completed(),
+            self.partial.len()
+        )
+    }
+}
+
+/// Rewrites kernel-level cancellation (which cannot know the sweep-level
+/// count) with the true number of completed items.
+fn normalize_error(error: OptError, completed: usize) -> OptError {
+    match error {
+        OptError::Cancelled { .. } => OptError::Cancelled { completed },
+        other => other,
+    }
+}
+
+/// Collapses isolated per-item outcomes into either the full result vector
+/// or a [`SweepFailure`]. The lowest-index failure wins — `Err` results
+/// and caught panics compete on equal footing by index, matching what a
+/// sequential loop would have hit first.
+fn resolve<R>(
+    ctx: &RunContext,
+    outcomes: Vec<ItemOutcome<Result<R, OptError>>>,
+) -> Result<Vec<R>, SweepFailure<R>> {
+    let total = outcomes.len();
+    let mut partial: Vec<Option<R>> = Vec::with_capacity(total);
+    let mut first_error: Option<OptError> = None;
+    let mut skipped = 0usize;
+    for (index, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            ItemOutcome::Done(Ok(r)) => partial.push(Some(r)),
+            ItemOutcome::Done(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+                partial.push(None);
+            }
+            ItemOutcome::Panicked { payload } => {
+                if first_error.is_none() {
+                    first_error = Some(OptError::WorkerPanicked { index, payload });
+                }
+                partial.push(None);
+            }
+            ItemOutcome::Skipped => {
+                skipped += 1;
+                partial.push(None);
+            }
+        }
+    }
+    let completed = partial.iter().filter(|p| p.is_some()).count();
+    if let Some(error) = first_error {
+        return Err(SweepFailure {
+            error: normalize_error(error, completed),
+            partial,
+        });
+    }
+    if skipped > 0 {
+        let error = ctx
+            .exhaustion(completed, total)
+            .unwrap_or(OptError::DeadlineExceeded {
+                completed,
+                remaining: total - completed,
+            });
+        return Err(SweepFailure { error, partial });
+    }
+    Ok(partial.into_iter().flatten().collect())
+}
+
+/// Maps `f` over `items` under full supervision: panic isolation per item,
+/// the context's admission gate before every claim, deterministic
+/// first-error semantics, and partial results on failure.
+///
+/// This is the supervised counterpart of
+/// [`par_map_init`](crate::parallel::par_map_init); with an unbounded
+/// context and an error-free `f` the results are bit-identical to it.
+///
+/// # Errors
+///
+/// [`SweepFailure`] carrying the lowest-index item error (or
+/// [`OptError::WorkerPanicked`] / [`OptError::Cancelled`] /
+/// [`OptError::DeadlineExceeded`]) plus all completed results.
+pub fn supervised_map<T, S, R, I, F>(
+    ctx: &RunContext,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, SweepFailure<R>>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> Result<R, OptError> + Sync,
+{
+    let outcomes = par_map_init_isolated(items, init, f, || ctx.admit());
+    resolve(ctx, outcomes)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+/// A sweep result that can round-trip through the text checkpoint format.
+///
+/// Encoding must be *bit-exact* for floating-point payloads (use
+/// [`hex_f64`]/[`parse_hex_f64`]), because resume correctness is defined
+/// as bit-identity with the uninterrupted run.
+pub trait Checkpointable: Sized {
+    /// Stable record-kind tag written to (and checked against) the
+    /// checkpoint header.
+    const KIND: &'static str;
+    /// Encodes the record as one line of space-separated fields (must not
+    /// contain newlines).
+    fn encode(&self) -> String;
+    /// Decodes what [`Checkpointable::encode`] produced; `None` for
+    /// malformed input (e.g. a torn final line after a crash).
+    fn decode(fields: &str) -> Option<Self>;
+}
+
+/// FNV-1a hash of `data` — the dependency-free fingerprint binding a
+/// checkpoint file to the exact sweep parameters that produced it.
+pub fn fingerprint(data: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in data.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Bit-exact hex encoding of an `f64` (16 lowercase hex digits).
+pub fn hex_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`hex_f64`].
+pub fn parse_hex_f64(s: &str) -> Option<f64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok().map(f64::from_bits))
+        .flatten()
+}
+
+fn hex_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => hex_f64(v),
+        None => "-".to_string(),
+    }
+}
+
+fn parse_hex_opt(s: &str) -> Option<Option<f64>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        parse_hex_f64(s).map(Some)
+    }
+}
+
+fn checkpoint_io(e: std::io::Error) -> OptError {
+    OptError::InvalidParameter(format!("checkpoint io: {e}"))
+}
+
+/// Reads the completed items recorded in `path`, validating the header
+/// against this sweep's kind, fingerprint and item count. A missing file
+/// is an empty (fresh) checkpoint; a header mismatch is a typed error —
+/// resuming under different parameters would silently mix sweeps.
+fn load_checkpoint<R: Checkpointable>(
+    path: &Path,
+    fp: u64,
+    total: usize,
+) -> Result<Vec<Option<R>>, OptError> {
+    let mut prefilled: Vec<Option<R>> = Vec::with_capacity(total);
+    prefilled.resize_with(total, || None);
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(prefilled),
+        Err(e) => return Err(checkpoint_io(e)),
+    };
+    let mut lines = text.lines();
+    let header_ok = lines.next() == Some(CHECKPOINT_HEADER)
+        && lines.next() == Some(&format!("kind {}", R::KIND))
+        && lines.next() == Some(&format!("fingerprint {fp:016x}"))
+        && lines.next() == Some(&format!("total {total}"));
+    if !header_ok {
+        return Err(OptError::InvalidParameter(format!(
+            "stale checkpoint {}: header does not match this sweep (kind {}, fingerprint \
+             {fp:016x}, total {total}); delete it to start fresh",
+            path.display(),
+            R::KIND,
+        )));
+    }
+    for line in lines {
+        // Item lines are order-insensitive; a malformed line (torn final
+        // write after a crash) is skipped, so its item simply re-runs.
+        let Some(rest) = line.strip_prefix("item ") else {
+            continue;
+        };
+        let Some((idx_str, fields)) = rest.split_once(' ') else {
+            continue;
+        };
+        let Ok(idx) = idx_str.parse::<usize>() else {
+            continue;
+        };
+        if idx >= total {
+            continue;
+        }
+        if let Some(record) = R::decode(fields) {
+            prefilled[idx] = Some(record);
+        }
+    }
+    Ok(prefilled)
+}
+
+/// Opens `path` for appending item records, writing the header first if
+/// the file is fresh.
+fn open_checkpoint<R: Checkpointable>(
+    path: &Path,
+    fp: u64,
+    total: usize,
+    fresh: bool,
+) -> Result<std::fs::File, OptError> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(checkpoint_io)?;
+    if fresh {
+        writeln!(
+            file,
+            "{CHECKPOINT_HEADER}\nkind {}\nfingerprint {fp:016x}\ntotal {total}",
+            R::KIND
+        )
+        .map_err(checkpoint_io)?;
+        file.flush().map_err(checkpoint_io)?;
+    }
+    Ok(file)
+}
+
+/// Appends one completed item record and flushes, so a kill immediately
+/// after a probe boundary loses at most the probe in flight.
+fn append_item<R: Checkpointable>(
+    file: &Mutex<std::fs::File>,
+    index: usize,
+    record: &R,
+) -> Result<(), OptError> {
+    let mut file = file
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    writeln!(file, "item {index} {}", record.encode()).map_err(checkpoint_io)?;
+    file.flush().map_err(checkpoint_io)
+}
+
+/// [`supervised_map`] with checkpoint/resume: when the context carries a
+/// checkpoint path, completed items are appended to the file as they
+/// finish and previously recorded items are not re-run — their recorded
+/// (bit-exact) results are spliced back in at their original indices.
+///
+/// `params_fingerprint` must digest every input that determines the
+/// per-item results (system parameters, sweep settings, the item list);
+/// a mismatch against an existing file is a typed error, never a silent
+/// mixed resume.
+///
+/// # Errors
+///
+/// Same contract as [`supervised_map`], plus checkpoint I/O and
+/// stale-header errors (reported as
+/// [`OptError::InvalidParameter`] before any item runs).
+pub fn checkpointed_map<T, S, R, I, F>(
+    ctx: &RunContext,
+    params_fingerprint: u64,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, SweepFailure<R>>
+where
+    T: Send,
+    R: Checkpointable + Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> Result<R, OptError> + Sync,
+{
+    let Some(path) = ctx.checkpoint_path() else {
+        return supervised_map(ctx, items, init, f);
+    };
+    let path = path.to_path_buf();
+    let total = items.len();
+    let fresh = !path.exists();
+    let prefilled = load_checkpoint::<R>(&path, params_fingerprint, total)
+        .map_err(|e| SweepFailure::before_start(e, total))?;
+    let file = open_checkpoint::<R>(&path, params_fingerprint, total, fresh)
+        .map_err(|e| SweepFailure::before_start(e, total))?;
+    let file = Mutex::new(file);
+
+    let missing: Vec<(usize, T)> = items
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| prefilled[*i].is_none())
+        .collect();
+    let missing_indices: Vec<usize> = missing.iter().map(|(i, _)| *i).collect();
+    let outcomes = par_map_init_isolated(
+        missing,
+        init,
+        |state, (index, item)| {
+            let record = f(state, item)?;
+            append_item(&file, index, &record)?;
+            Ok(record)
+        },
+        || ctx.admit(),
+    );
+
+    // Splice fresh outcomes back at their original indices; recorded items
+    // count as completed.
+    let mut full: Vec<ItemOutcome<Result<R, OptError>>> = prefilled
+        .into_iter()
+        .map(|p| match p {
+            Some(record) => ItemOutcome::Done(Ok(record)),
+            None => ItemOutcome::Skipped,
+        })
+        .collect();
+    for (slot, outcome) in missing_indices.into_iter().zip(outcomes) {
+        full[slot] = outcome;
+    }
+    resolve(ctx, full)
+}
+
+impl Checkpointable for crate::runaway::SweepPoint {
+    const KIND: &'static str = "runaway-sweep";
+
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {}",
+            hex_f64(self.current.value()),
+            hex_opt(self.peak.map(|c| c.value())),
+            hex_opt(self.tec_power.map(|w| w.value())),
+        )
+    }
+
+    fn decode(fields: &str) -> Option<crate::runaway::SweepPoint> {
+        let mut it = fields.split_ascii_whitespace();
+        let current = Amperes(parse_hex_f64(it.next()?)?);
+        let peak = parse_hex_opt(it.next()?)?.map(Celsius);
+        let tec_power = parse_hex_opt(it.next()?)?.map(Watts);
+        it.next().is_none().then_some(crate::runaway::SweepPoint {
+            current,
+            peak,
+            tec_power,
+        })
+    }
+}
+
+impl Checkpointable for Option<crate::CertificateOutcome> {
+    const KIND: &'static str = "convexity-subranges";
+
+    fn encode(&self) -> String {
+        match self {
+            None => "pass".to_string(),
+            Some(crate::CertificateOutcome::Certified) => "certified".to_string(),
+            Some(crate::CertificateOutcome::Inconclusive {
+                tile,
+                interval,
+                lower_bound,
+            }) => format!(
+                "inconclusive {tile} {} {} {}",
+                hex_f64(interval.0),
+                hex_f64(interval.1),
+                hex_f64(*lower_bound),
+            ),
+        }
+    }
+
+    fn decode(fields: &str) -> Option<Option<crate::CertificateOutcome>> {
+        let mut it = fields.split_ascii_whitespace();
+        let out = match it.next()? {
+            "pass" => None,
+            "certified" => Some(crate::CertificateOutcome::Certified),
+            "inconclusive" => Some(crate::CertificateOutcome::Inconclusive {
+                tile: it.next()?.parse().ok()?,
+                interval: (parse_hex_f64(it.next()?)?, parse_hex_f64(it.next()?)?),
+                lower_bound: parse_hex_f64(it.next()?)?,
+            }),
+            _ => return None,
+        };
+        it.next().is_none().then_some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Designer-alternative scoring (the checkpointed designer sweep)
+// ---------------------------------------------------------------------------
+
+/// The resumable record of one scored candidate deployment: the flat
+/// figures of merit a design comparison needs, without the (unserializable)
+/// solved system behind them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Devices in the candidate deployment.
+    pub device_count: usize,
+    /// Optimal shared supply current.
+    pub current: Amperes,
+    /// Peak silicon temperature at that current.
+    pub peak: Celsius,
+    /// Electrical power drawn by the TECs at that current.
+    pub tec_power: Watts,
+    /// Steady-state solves the current optimization spent.
+    pub evaluations: usize,
+}
+
+impl Checkpointable for CandidateScore {
+    const KIND: &'static str = "designer-candidates";
+
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.device_count,
+            hex_f64(self.current.value()),
+            hex_f64(self.peak.value()),
+            hex_f64(self.tec_power.value()),
+            self.evaluations,
+        )
+    }
+
+    fn decode(fields: &str) -> Option<CandidateScore> {
+        let mut it = fields.split_ascii_whitespace();
+        let device_count = it.next()?.parse().ok()?;
+        let current = Amperes(parse_hex_f64(it.next()?)?);
+        let peak = Celsius(parse_hex_f64(it.next()?)?);
+        let tec_power = Watts(parse_hex_f64(it.next()?)?);
+        let evaluations = it.next()?.parse().ok()?;
+        it.next().is_none().then_some(CandidateScore {
+            device_count,
+            current,
+            peak,
+            tec_power,
+            evaluations,
+        })
+    }
+}
+
+/// Scores candidate deployments (each with its own optimized current)
+/// under supervision, checkpointing each completed candidate when the
+/// context asks for it. This is the resumable form of the designer's
+/// alternative-deployment sweep: equivalent figures of merit to
+/// [`evaluate_deployments`](crate::evaluate_deployments), minus the
+/// unserializable solved systems.
+///
+/// # Errors
+///
+/// [`SweepFailure`] with the lowest-index candidate error, a supervision
+/// error, or a checkpoint error; partial scores ride along.
+pub fn score_candidates(
+    base: &CoolingSystem,
+    candidates: &[Vec<TileIndex>],
+    current: CurrentSettings,
+    ctx: &RunContext,
+) -> Result<Vec<CandidateScore>, SweepFailure<CandidateScore>> {
+    let fp = {
+        let mut digest = String::from(CandidateScore::KIND);
+        let grid = base.config().grid();
+        digest.push_str(&format!(" grid {}x{}", grid.rows(), grid.cols()));
+        for p in base.tile_powers() {
+            digest.push(' ');
+            digest.push_str(&hex_f64(p.value()));
+        }
+        for tiles in candidates {
+            digest.push(';');
+            for t in tiles {
+                digest.push_str(&format!(" {},{}", t.row, t.col));
+            }
+        }
+        digest.push_str(&format!(
+            " settings {} {} {} {} {:?}",
+            hex_f64(current.tolerance),
+            current.max_evaluations,
+            hex_f64(current.ceiling_fraction),
+            hex_f64(current.lambda_tolerance),
+            current.method,
+        ));
+        fingerprint(&digest)
+    };
+    checkpointed_map(
+        ctx,
+        fp,
+        candidates.to_vec(),
+        || (),
+        |(), tiles| {
+            let system = base.with_tiles(&tiles)?;
+            let optimum = optimize_current(&system, current)?;
+            Ok(CandidateScore {
+                device_count: system.device_count(),
+                current: optimum.current(),
+                peak: optimum.state().peak(),
+                tec_power: optimum.state().tec_power(),
+                evaluations: optimum.evaluations(),
+            })
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_context_admits_everything() {
+        let ctx = RunContext::unbounded();
+        for _ in 0..100 {
+            assert!(ctx.admit());
+        }
+        assert!(ctx.ensure_live().is_ok());
+        assert_eq!(ctx.probes_recorded(), 100);
+    }
+
+    #[test]
+    fn cancelled_context_denies_and_reports() {
+        let ctx = RunContext::unbounded();
+        ctx.token().cancel();
+        assert!(!ctx.admit());
+        assert_eq!(
+            ctx.ensure_live().unwrap_err(),
+            OptError::Cancelled { completed: 0 }
+        );
+    }
+
+    #[test]
+    fn budget_admits_exactly_its_size() {
+        let ctx = RunContext::unbounded().probe_budget(3);
+        assert!(ctx.admit());
+        assert!(ctx.admit());
+        assert!(ctx.admit());
+        assert!(!ctx.admit());
+        assert!(matches!(
+            ctx.ensure_live(),
+            Err(OptError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_denies() {
+        let ctx = RunContext::unbounded().deadline_in(Duration::from_secs(0));
+        assert!(!ctx.admit());
+        assert!(matches!(
+            ctx.ensure_live(),
+            Err(OptError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn supervised_map_matches_plain_map_when_unbounded() {
+        let ctx = RunContext::unbounded();
+        let out = supervised_map(
+            &ctx,
+            (0..64usize).collect(),
+            || (),
+            |(), i| Ok::<usize, OptError>(i * i),
+        )
+        .unwrap();
+        let expected: Vec<usize> = (0..64).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn lowest_index_failure_wins_across_errors_and_panics() {
+        // A panic at index 5 and errors at indices 2 and 9: index 2 wins,
+        // exactly as a sequential loop would report — and the panic at 5
+        // is still visible in the partials as an uncompleted item.
+        let ctx = RunContext::unbounded();
+        let failure = supervised_map(
+            &ctx,
+            (0..12usize).collect(),
+            || (),
+            |(), i| {
+                assert!(i != 5, "worker blew up");
+                if i == 2 || i == 9 {
+                    return Err(OptError::NoDevicesDeployed);
+                }
+                Ok(i)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(failure.error, OptError::NoDevicesDeployed);
+        assert_eq!(failure.completed(), 9);
+        assert!(failure.partial[2].is_none());
+        assert!(failure.partial[5].is_none());
+        assert!(failure.partial[9].is_none());
+        assert_eq!(failure.partial[0], Some(0));
+    }
+
+    #[test]
+    fn panic_is_reported_with_its_index() {
+        let ctx = RunContext::unbounded();
+        let failure = supervised_map(
+            &ctx,
+            (0..8usize).collect(),
+            || (),
+            |(), i| {
+                assert!(i != 3, "boom");
+                Ok::<usize, OptError>(i)
+            },
+        )
+        .unwrap_err();
+        match &failure.error {
+            OptError::WorkerPanicked { index, payload } => {
+                assert_eq!(*index, 3);
+                assert!(payload.contains("boom"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(failure.completed(), 7);
+    }
+
+    #[test]
+    fn budgeted_map_returns_prefix_partials() {
+        let ctx = RunContext::unbounded().probe_budget(4);
+        let failure = supervised_map(
+            &ctx,
+            (0..10usize).collect(),
+            || (),
+            |(), i| Ok::<usize, OptError>(i + 1),
+        )
+        .unwrap_err();
+        match failure.error {
+            OptError::DeadlineExceeded {
+                completed,
+                remaining,
+            } => {
+                assert_eq!(completed, 4);
+                assert_eq!(remaining, 6);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        for (i, p) in failure.partial.iter().enumerate() {
+            if i < 4 {
+                assert_eq!(*p, Some(i + 1));
+            } else {
+                assert!(p.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_map_reports_cancellation() {
+        let ctx = RunContext::unbounded();
+        ctx.token().cancel();
+        let failure = supervised_map(
+            &ctx,
+            (0..5usize).collect(),
+            || (),
+            |(), i| Ok::<usize, OptError>(i),
+        )
+        .unwrap_err();
+        assert_eq!(failure.error, OptError::Cancelled { completed: 0 });
+        assert_eq!(failure.completed(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+    }
+
+    #[test]
+    fn hex_f64_round_trips_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+            1.234_567_890_123_456_7e-300,
+        ] {
+            let enc = hex_f64(v);
+            let back = parse_hex_f64(&enc).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} via {enc}");
+        }
+        assert!(parse_hex_f64("nonsense").is_none());
+        assert!(parse_hex_f64("123").is_none());
+        assert_eq!(parse_hex_opt("-"), Some(None));
+    }
+
+    #[test]
+    fn candidate_score_round_trips() {
+        let score = CandidateScore {
+            device_count: 7,
+            current: Amperes(3.25),
+            peak: Celsius(81.123_456_789),
+            tec_power: Watts(0.75),
+            evaluations: 42,
+        };
+        let enc = score.encode();
+        assert_eq!(CandidateScore::decode(&enc), Some(score));
+        assert!(CandidateScore::decode("7 deadbeef").is_none());
+        assert!(CandidateScore::decode("").is_none());
+    }
+
+    #[test]
+    fn checkpointed_map_resumes_without_rerunning() {
+        use std::sync::atomic::AtomicUsize;
+        let dir = std::env::temp_dir().join("tecopt-supervise-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume-unit.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let score = |i: usize| CandidateScore {
+            device_count: i,
+            current: Amperes(i as f64 * 0.5),
+            peak: Celsius(80.0 - i as f64),
+            tec_power: Watts(0.1 * i as f64),
+            evaluations: i,
+        };
+        let runs = AtomicUsize::new(0);
+        let fp = fingerprint("unit-test");
+
+        // First attempt: budget of 3 admits items 0..3 only.
+        let ctx = RunContext::unbounded().probe_budget(3).checkpoint(&path);
+        let failure = checkpointed_map(
+            &ctx,
+            fp,
+            (0..6usize).collect(),
+            || (),
+            |(), i| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                Ok(score(i))
+            },
+        )
+        .unwrap_err();
+        assert_eq!(failure.completed(), 3);
+        assert_eq!(runs.load(Ordering::Relaxed), 3);
+
+        // Resume: the three recorded items are not re-run.
+        let ctx = RunContext::unbounded().checkpoint(&path);
+        let out = checkpointed_map(
+            &ctx,
+            fp,
+            (0..6usize).collect(),
+            || (),
+            |(), i| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                Ok(score(i))
+            },
+        )
+        .unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 6, "only items 3..6 re-ran");
+        let expected: Vec<CandidateScore> = (0..6).map(score).collect();
+        assert_eq!(out, expected);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_checkpoint_is_rejected() {
+        let dir = std::env::temp_dir().join("tecopt-supervise-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale-unit.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let run = |fp: u64| {
+            let ctx = RunContext::unbounded().checkpoint(&path);
+            checkpointed_map(
+                &ctx,
+                fp,
+                (0..2usize).collect(),
+                || (),
+                |(), i| {
+                    Ok(CandidateScore {
+                        device_count: i,
+                        current: Amperes(0.0),
+                        peak: Celsius(0.0),
+                        tec_power: Watts(0.0),
+                        evaluations: 0,
+                    })
+                },
+            )
+        };
+        run(fingerprint("params A")).unwrap();
+        let failure = run(fingerprint("params B")).unwrap_err();
+        assert!(matches!(failure.error, OptError::InvalidParameter(_)));
+        assert!(failure.error.to_string().contains("stale checkpoint"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let dir = std::env::temp_dir().join("tecopt-supervise-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-unit.ckpt");
+        let fp = fingerprint("torn");
+        let header = format!(
+            "{CHECKPOINT_HEADER}\nkind {}\nfingerprint {fp:016x}\ntotal 3\nitem 0 1 {} {} {} 9\nitem 1 2 3fb",
+            CandidateScore::KIND,
+            hex_f64(1.0),
+            hex_f64(2.0),
+            hex_f64(3.0),
+        );
+        std::fs::write(&path, header).unwrap();
+        let loaded = load_checkpoint::<CandidateScore>(&path, fp, 3).unwrap();
+        assert!(loaded[0].is_some(), "intact record survives");
+        assert!(loaded[1].is_none(), "torn record re-runs");
+        assert!(loaded[2].is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -2,8 +2,8 @@ use crate::OptError;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use tecopt_device::{SolveWorkspace, StampedSystem, TecParams};
 use tecopt_linalg::{
-    solve_robust, Cholesky, CsrMatrix, FactoredSystem, LinalgError, ResolvedBackend, SolveMethod,
-    SolverBackend, SolverPolicy,
+    solve_robust, CancelToken, Cholesky, CsrMatrix, FactoredSystem, LinalgError, ResolvedBackend,
+    SolveMethod, SolverBackend, SolverPolicy,
 };
 use tecopt_thermal::{PackageConfig, TileIndex};
 use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
@@ -87,6 +87,11 @@ struct SolverCore {
     ws: SolveWorkspace,
     resolved: ResolvedBackend,
     factored: Option<(f64, FactoredSystem)>,
+    /// Cooperative cancellation flag, set only on private
+    /// [`SteadySolver`] handles via [`SteadySolver::with_cancel`]; the
+    /// shared cache never carries one, so a token cannot leak into
+    /// unrelated [`CoolingSystem::solve`] calls through the cache.
+    cancel: Option<CancelToken>,
 }
 
 impl SolverCore {
@@ -101,6 +106,7 @@ impl SolverCore {
             resolved: system.backend.resolve(ws.dim(), nnz),
             ws,
             factored: None,
+            cancel: None,
         })
     }
 
@@ -149,6 +155,9 @@ impl SolverCore {
     /// back to a dense factorization if the sparse backend stalls or needs
     /// an authoritative definiteness verdict.
     fn solve_raw(&mut self, current: Amperes, rhs: &[f64]) -> Result<RawSolve, OptError> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(OptError::from(LinalgError::Cancelled { iterations: 0 }));
+        }
         self.prepare(current)?;
         #[allow(clippy::expect_used)]
         let (_, fact) = self
@@ -156,12 +165,16 @@ impl SolverCore {
             .as_ref()
             // tecopt:allow(panic-in-kernel) — prepare() just populated it
             .expect("prepare populated the factorization");
-        match fact.solve(rhs) {
+        match fact.solve_with_cancel(rhs, self.cancel.as_ref()) {
             Ok(out) => Ok(RawSolve {
                 theta: out.x,
                 condition_estimate: out.condition_estimate,
                 method: fact.method(),
             }),
+            // A cancelled CG solve must NOT fall back to a dense
+            // factorization below — that retry is exactly the expensive
+            // work the caller asked to stop.
+            Err(e @ LinalgError::Cancelled { .. }) => Err(OptError::from(e)),
             Err(_) if matches!(fact, FactoredSystem::Sparse { .. }) => {
                 // CG failed: nonpositive curvature, a nonpositive Jacobi
                 // diagonal, or stagnation. Dense Cholesky is the
@@ -211,10 +224,31 @@ pub struct SteadySolver<'a> {
     core: SolverCore,
 }
 
+impl Clone for SteadySolver<'_> {
+    fn clone(&self) -> Self {
+        SteadySolver {
+            system: self.system,
+            core: self.core.clone(),
+        }
+    }
+}
+
 impl<'a> SteadySolver<'a> {
     /// The system this solver probes.
     pub fn system(&self) -> &'a CoolingSystem {
         self.system
+    }
+
+    /// Attaches a cooperative cancellation token: every subsequent solve
+    /// through this handle checks it before preparing a factorization and
+    /// (on the sparse backend) at every CG iteration boundary, returning
+    /// [`OptError::Cancelled`] once it is raised. The token is private to
+    /// this handle and its clones — the system's shared solver cache never
+    /// carries one.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.core.cancel = Some(token);
+        self
     }
 
     /// Solves the steady state at supply current `i` — same contract as

@@ -20,7 +20,10 @@
 //! thousand iterations win, and the gap only widens with n.
 
 use crate::SolveMethod;
-use crate::{conjugate_gradient, CgSettings, Cholesky, CsrMatrix, DenseMatrix, LinalgError};
+use crate::{
+    conjugate_gradient_cancellable, CancelToken, CgSettings, Cholesky, CsrMatrix, DenseMatrix,
+    LinalgError,
+};
 
 /// Dense-vs-sparse crossover: minimum dimension for the sparse backend.
 pub const SPARSE_MIN_DIM: usize = 512;
@@ -182,14 +185,38 @@ impl FactoredSystem {
     /// - [`LinalgError::NoConvergence`] if CG stalls within its iteration
     ///   budget (callers may fall back to the dense backend).
     pub fn solve(&self, b: &[f64]) -> Result<BackendSolve, LinalgError> {
+        self.solve_with_cancel(b, None)
+    }
+
+    /// [`FactoredSystem::solve`] with a cooperative cancellation token.
+    ///
+    /// The dense backend checks the token once before its (short,
+    /// non-iterative) triangular solves; the sparse backend polls at every
+    /// CG iteration boundary. With `cancel: None` the result is
+    /// bit-identical to [`FactoredSystem::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FactoredSystem::solve`], plus
+    /// [`LinalgError::Cancelled`] once the token is raised.
+    pub fn solve_with_cancel(
+        &self,
+        b: &[f64],
+        cancel: Option<&CancelToken>,
+    ) -> Result<BackendSolve, LinalgError> {
         match self {
-            FactoredSystem::Dense(chol) => Ok(BackendSolve {
-                x: chol.solve(b)?,
-                condition_estimate: chol.condition_estimate(),
-                iterations: 0,
-            }),
+            FactoredSystem::Dense(chol) => {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return Err(LinalgError::Cancelled { iterations: 0 });
+                }
+                Ok(BackendSolve {
+                    x: chol.solve(b)?,
+                    condition_estimate: chol.condition_estimate(),
+                    iterations: 0,
+                })
+            }
             FactoredSystem::Sparse { matrix, settings } => {
-                let out = conjugate_gradient(matrix, b, *settings)?;
+                let out = conjugate_gradient_cancellable(matrix, b, *settings, cancel)?;
                 Ok(BackendSolve {
                     condition_estimate: cg_condition_estimate(out.iterations, settings.tolerance),
                     iterations: out.iterations,

@@ -1,0 +1,66 @@
+//! Cooperative cancellation for long-running kernels.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a
+//! controller (which calls [`CancelToken::cancel`]) and the kernels doing
+//! the work (which poll [`CancelToken::is_cancelled`] at iteration
+//! boundaries). Cancellation is *cooperative*: nothing is interrupted
+//! preemptively, the kernel simply returns
+//! [`LinalgError::Cancelled`](crate::LinalgError::Cancelled) at its next
+//! check point. The token lives in this bottom-layer crate so both the
+//! iterative solvers here and the sweep supervisor in `tecopt` can share
+//! one flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Clones observe the same flag; once cancelled, a token stays cancelled
+/// forever (there is deliberately no reset — a fresh run takes a fresh
+/// token, so a stale clone can never un-cancel a sweep).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone has called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+        t.cancel();
+        assert!(t.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -1,5 +1,5 @@
 use crate::matrix::{dot, norm2};
-use crate::{CsrMatrix, LinalgError};
+use crate::{CancelToken, CsrMatrix, LinalgError};
 
 /// Settings for the preconditioned conjugate-gradient solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +71,28 @@ pub fn conjugate_gradient(
     b: &[f64],
     settings: CgSettings,
 ) -> Result<CgOutcome, LinalgError> {
+    conjugate_gradient_cancellable(a, b, settings, None)
+}
+
+/// [`conjugate_gradient`] with a cooperative cancellation check at every
+/// iteration boundary.
+///
+/// With `cancel: None` the behavior (and the floating-point result) is
+/// bit-identical to [`conjugate_gradient`]. With a token, the loop returns
+/// [`LinalgError::Cancelled`] as soon as it observes the raised flag —
+/// before the next matrix-vector product, so a sweep supervisor can stop a
+/// long solve within one iteration's latency.
+///
+/// # Errors
+///
+/// Same contract as [`conjugate_gradient`], plus
+/// [`LinalgError::Cancelled`] when the token is raised mid-iteration.
+pub fn conjugate_gradient_cancellable(
+    a: &CsrMatrix,
+    b: &[f64],
+    settings: CgSettings,
+    cancel: Option<&CancelToken>,
+) -> Result<CgOutcome, LinalgError> {
     if a.rows() != a.cols() {
         return Err(LinalgError::NotSquare {
             rows: a.rows(),
@@ -109,6 +131,11 @@ pub fn conjugate_gradient(
     let mut ap = vec![0.0; n];
 
     for iter in 1..=settings.max_iterations {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(LinalgError::Cancelled {
+                iterations: iter - 1,
+            });
+        }
         a.mul_vec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
@@ -232,6 +259,32 @@ mod tests {
             err,
             LinalgError::NoConvergence { iterations: 1, .. }
         ));
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_the_first_iteration() {
+        let a = laplacian_2d(10);
+        let b = vec![1.0; a.rows()];
+        let token = CancelToken::new();
+        token.cancel();
+        let err = conjugate_gradient_cancellable(&a, &b, CgSettings::default(), Some(&token))
+            .unwrap_err();
+        assert_eq!(err, LinalgError::Cancelled { iterations: 0 });
+    }
+
+    #[test]
+    fn live_token_is_bit_identical_to_the_plain_solver() {
+        let a = laplacian_2d(12);
+        let b: Vec<f64> = (0..a.rows()).map(|k| (k as f64 * 0.13).cos()).collect();
+        let token = CancelToken::new();
+        let plain = conjugate_gradient(&a, &b, CgSettings::default()).unwrap();
+        let gated =
+            conjugate_gradient_cancellable(&a, &b, CgSettings::default(), Some(&token)).unwrap();
+        assert_eq!(plain.iterations, gated.iterations);
+        assert_eq!(
+            plain.x, gated.x,
+            "cancellation polling must not change math"
+        );
     }
 
     #[test]

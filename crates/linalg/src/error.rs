@@ -71,6 +71,12 @@ pub enum LinalgError {
     },
     /// Input violated a documented precondition.
     InvalidInput(String),
+    /// The caller's [`CancelToken`](crate::CancelToken) was raised and the
+    /// kernel stopped cooperatively at its next iteration boundary.
+    Cancelled {
+        /// Iterations completed before the cancellation was observed.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -113,6 +119,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "budget exhausted after {spent} of {budget} work units")
             }
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            LinalgError::Cancelled { iterations } => {
+                write!(f, "cancelled by the caller after {iterations} iterations")
+            }
         }
     }
 }
@@ -147,6 +156,7 @@ mod tests {
             }
             .to_string(),
             LinalgError::InvalidInput("bad".into()).to_string(),
+            LinalgError::Cancelled { iterations: 3 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -40,6 +40,7 @@
 #![warn(clippy::expect_used)]
 
 mod backend;
+mod cancel;
 mod cg;
 mod cholesky;
 pub mod eigen;
@@ -54,7 +55,8 @@ pub use backend::{
     BackendSolve, FactoredSystem, ResolvedBackend, SolverBackend, SPARSE_MAX_DENSITY,
     SPARSE_MIN_DIM,
 };
-pub use cg::{conjugate_gradient, CgOutcome, CgSettings};
+pub use cancel::CancelToken;
+pub use cg::{conjugate_gradient, conjugate_gradient_cancellable, CgOutcome, CgSettings};
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use lu::{determinant, log_abs_determinant, Lu};

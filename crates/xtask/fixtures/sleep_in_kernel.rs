@@ -1,0 +1,16 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn drain(flag: &AtomicBool) {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    while !flag.load(Ordering::Acquire) {}
+    loop {}
+}
+
+pub fn polite(flag: &AtomicBool) {
+    std::thread::yield_now();
+    // tecopt:allow(sleep-in-kernel)
+    while !flag.load(Ordering::Acquire) {}
+    while !flag.load(Ordering::Acquire) {
+        return;
+    }
+}

@@ -59,6 +59,10 @@ pub struct FileContext {
     /// against constructor-established dimensions is the core idiom
     /// (DESIGN.md §11).
     pub check_indexing: bool,
+    /// `sleep-in-kernel` applies: blocking sleeps and busy-wait loops are
+    /// banned from solver hot paths and the thread-management module,
+    /// where they would stall cooperative cancellation.
+    pub check_sleep: bool,
     /// File is the sanctioned thread-management module
     /// (`crates/core/src/parallel.rs`): `unbounded-spawn` does not apply.
     pub allow_thread: bool,
@@ -73,6 +77,7 @@ impl FileContext {
             path: path.to_string(),
             kernel: true,
             check_indexing: true,
+            check_sleep: true,
             allow_thread: false,
             allow_unsafe: false,
         }
@@ -84,6 +89,7 @@ impl FileContext {
             path: path.to_string(),
             kernel: false,
             check_indexing: false,
+            check_sleep: false,
             allow_thread: false,
             allow_unsafe: false,
         }
@@ -140,6 +146,16 @@ pub const CATALOG: &[RuleInfo] = &[
         scope: "all workspace sources",
     },
     RuleInfo {
+        id: "sleep-in-kernel",
+        severity: Severity::Error,
+        summary: "thread::sleep/park/yield_now/spin_loop calls and empty \
+                  busy-wait loops stall solver hot paths and starve the \
+                  cooperative cancellation checks; block on real \
+                  synchronization primitives instead",
+        scope: "kernel modules (same set as panic-in-kernel) plus \
+                crates/core/src/parallel.rs",
+    },
+    RuleInfo {
         id: "float-cast-truncation",
         severity: Severity::Warning,
         summary: "`as` casts from float to int silently truncate/saturate; \
@@ -179,6 +195,9 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> LintOutcome {
     if ctx.kernel {
         check_panic_in_kernel(&toks, ctx, &mut findings);
         check_float_cast(&toks, ctx, &mut findings);
+    }
+    if ctx.check_sleep {
+        check_sleep_in_kernel(&toks, ctx, &mut findings);
     }
     if !ctx.allow_thread {
         check_unbounded_spawn(&toks, ctx, &mut findings);
@@ -489,6 +508,84 @@ fn check_panic_in_kernel(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Fin
                     "`[]` indexing panics on out-of-bounds in a solver hot \
                      path; use iterators/`get`, or justify the bound \
                      invariant in DESIGN.md §11 and suppress"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Blocking or spinning primitives that have no place in a solver hot
+/// path: they stall the worker between cancellation checks.
+const SLEEP_CALLS: &[&str] = &[
+    "sleep",
+    "sleep_ms",
+    "park",
+    "park_timeout",
+    "yield_now",
+    "spin_loop",
+];
+
+fn check_sleep_in_kernel(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        // Pass 1: blocking/spinning calls, path-qualified or bare.
+        if t.kind == TokKind::Ident
+            && SLEEP_CALLS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            push(
+                findings,
+                "sleep-in-kernel",
+                ctx,
+                t,
+                format!(
+                    "`{}` blocks a solver hot path and starves the cooperative \
+                     cancellation checks; use a real synchronization primitive",
+                    t.text
+                ),
+            );
+        }
+
+        // Pass 2: empty busy-wait loops — `while <cond> {}` and `loop {}`
+        // burn a core polling a condition the loop body never advances.
+        let empty_body_at = |open: usize| {
+            toks.get(open).is_some_and(|n| n.is_punct("{"))
+                && toks.get(open + 1).is_some_and(|n| n.is_punct("}"))
+        };
+        if t.is_ident("loop") && empty_body_at(i + 1) {
+            push(
+                findings,
+                "sleep-in-kernel",
+                ctx,
+                t,
+                "empty `loop {}` busy-waits a core in a solver hot path; \
+                 block on a synchronization primitive"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("while") {
+            // Find the body `{` of this `while` at paren/bracket depth 0.
+            let mut depth = 0isize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let n = &toks[j];
+                if n.is_punct("(") || n.is_punct("[") {
+                    depth += 1;
+                } else if n.is_punct(")") || n.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && (n.is_punct("{") || n.is_punct(";")) {
+                    break;
+                }
+                j += 1;
+            }
+            if empty_body_at(j) {
+                push(
+                    findings,
+                    "sleep-in-kernel",
+                    ctx,
+                    t,
+                    "`while ... {}` busy-waits a core in a solver hot path; \
+                     block on a synchronization primitive"
                         .to_string(),
                 );
             }

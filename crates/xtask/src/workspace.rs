@@ -47,6 +47,10 @@ pub fn context_for(rel: &str) -> FileContext {
         path: rel.to_string(),
         kernel,
         check_indexing: kernel && !rel.starts_with(LINALG_PREFIX),
+        // Sleeps and busy-waits are banned from the hot paths *and* from
+        // the sanctioned thread module: its fork/join workers sit between
+        // the supervisor's cancellation checks.
+        check_sleep: kernel || rel == THREAD_MODULE,
         allow_thread: rel == THREAD_MODULE,
         allow_unsafe: UNSAFE_ALLOWLIST.contains(&rel),
     }
@@ -183,5 +187,10 @@ mod tests {
         assert!(!c.kernel);
         assert!(context_for("crates/core/src/parallel.rs").allow_thread);
         assert!(!context_for("crates/core/src/runaway.rs").allow_thread);
+        // Sleep scoping: hot paths and the thread module, nothing else.
+        assert!(context_for("crates/core/src/parallel.rs").check_sleep);
+        assert!(context_for("crates/linalg/src/cg.rs").check_sleep);
+        assert!(context_for("crates/core/src/runaway.rs").check_sleep);
+        assert!(!context_for("crates/core/src/designer.rs").check_sleep);
     }
 }

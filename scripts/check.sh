@@ -16,7 +16,12 @@
 #      determinism suite (tests/backend_equivalence.rs),
 #   7. a single-threaded re-run of the test suite, so any accidental
 #      dependence of the parallel sweeps on test-runner concurrency shows
-#      up as a divergence between the two passes.
+#      up as a divergence between the two passes,
+#   8. the chaos pass (tests/chaos.rs): fault injection against the
+#      supervised sweep runtime (cancellation, deadlines, worker panics,
+#      checkpoint kill/resume), single-threaded and including the
+#      `#[ignore]`d heavyweight 32x32 kill-at-every-probe-boundary sweep
+#      that the ordinary test passes skip.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -42,5 +47,8 @@ cargo test -q --workspace
 
 echo "==> cargo test -q --workspace -- --test-threads=1"
 cargo test -q --workspace -- --test-threads=1
+
+echo "==> cargo test -q --test chaos -- --test-threads=1 --include-ignored"
+cargo test -q --test chaos -- --test-threads=1 --include-ignored
 
 echo "==> all checks passed"
