@@ -1,0 +1,254 @@
+//! PR-5 acceptance benchmark: end-to-end latency and load-shedding
+//! behavior of the `tecopt-serve` evaluation service over TCP loopback.
+//!
+//! Two fixed load scripts against a live server on an ephemeral port:
+//!
+//! - **nominal** — capacity matched to load (queue 64, 2 evaluation
+//!   workers, 4 clients x 40 steady solves). Every request must succeed;
+//!   the p50/p99 report the service stack's end-to-end latency floor.
+//! - **overload** — capacity deliberately starved (queue 2, 1 evaluation
+//!   worker, 8 clients x 16 steady solves, no retries). The bounded
+//!   admission queue must shed the excess with typed `overloaded`
+//!   refusals; shed p99 demonstrates that refusal is immediate (an
+//!   admission-time check), not a disguised timeout.
+//!
+//! Everything runs on the `tecopt::parallel::service_workers` pool — the
+//! server on one worker, one client per remaining worker — so the bench
+//! stays inside the workspace's sanctioned threading surface. Emits JSON
+//! on stdout; the committed copy lives at `BENCH_PR5.json`.
+
+#![warn(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use tecopt::parallel::service_workers;
+use tecopt::{CoolingSystem, CurrentSettings, OptError, PackageConfig, TecParams, TileIndex};
+use tecopt_serve::{
+    Client, ClientError, Engine, EngineConfig, Listener, Request, RetryPolicy, Server,
+    ServerConfig, ServerReport, TecEvaluator,
+};
+use tecopt_units::{Amperes, Watts};
+
+fn bench_system() -> Result<CoolingSystem, OptError> {
+    let config = PackageConfig::hotspot41_like(4, 4)?;
+    let mut powers = vec![Watts(0.05); 16];
+    powers[5] = Watts(0.7);
+    CoolingSystem::new(
+        &config,
+        TecParams::superlattice_thin_film(),
+        &[TileIndex::new(1, 1), TileIndex::new(2, 2)],
+        powers,
+    )
+}
+
+/// Latencies (seconds) collected by one client worker, split by outcome.
+#[derive(Default)]
+struct ClientLog {
+    ok: Vec<f64>,
+    shed: Vec<f64>,
+    other_errors: usize,
+}
+
+struct Scenario {
+    name: &'static str,
+    clients: usize,
+    requests_per_client: usize,
+    queue_capacity: usize,
+    eval_workers: usize,
+}
+
+const SCENARIOS: [Scenario; 2] = [
+    Scenario {
+        name: "nominal",
+        clients: 4,
+        requests_per_client: 40,
+        queue_capacity: 64,
+        eval_workers: 2,
+    },
+    Scenario {
+        name: "overload",
+        clients: 8,
+        requests_per_client: 16,
+        queue_capacity: 2,
+        eval_workers: 1,
+    },
+];
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Quantile of an already-sorted sample by nearest-rank.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn client_loop(scenario: &Scenario, addr: &str, who: usize, log: &Mutex<ClientLog>) {
+    // No retries: every admission decision shows up in the log exactly
+    // once, so shed counts are exact rather than retry-inflated.
+    let mut client = Client::tcp(addr.to_string()).with_policy(RetryPolicy {
+        max_attempts: 1,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(1),
+        response_timeout: Duration::from_secs(60),
+    });
+    for i in 0..scenario.requests_per_client {
+        // A fixed, deterministic current script per (client, index).
+        let current = 0.5 + ((who * scenario.requests_per_client + i) % 32) as f64 * 0.01;
+        let start = Instant::now();
+        let outcome = client.request(
+            Request::Steady {
+                current: Amperes(current),
+            },
+            None,
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut log = lock(log);
+        match outcome {
+            Ok(_) => log.ok.push(elapsed),
+            Err(ClientError::RetriesExhausted { last, .. }) if matches!(&*last, ClientError::Server { code, .. } if code == "overloaded") =>
+            {
+                log.shed.push(elapsed);
+            }
+            Err(_) => log.other_errors += 1,
+        }
+    }
+}
+
+fn run_scenario(scenario: &Scenario) -> Result<(String, ServerReport), String> {
+    let system = bench_system().map_err(|e| format!("system setup failed: {e}"))?;
+    let listener = Listener::bind_tcp("127.0.0.1:0").map_err(|e| format!("bind failed: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .ok_or("listener has no local address")?
+        .to_string();
+    let engine = Arc::new(Engine::new(
+        TecEvaluator::new(system, CurrentSettings::default()),
+        EngineConfig {
+            queue_capacity: scenario.queue_capacity,
+            ..EngineConfig::default()
+        },
+    ));
+    let server = Server::new(
+        listener,
+        engine,
+        ServerConfig {
+            handlers: scenario.clients,
+            eval_workers: scenario.eval_workers,
+            poll_interval: Duration::from_millis(2),
+            drain_timeout: Duration::from_secs(30),
+        },
+    );
+    let shutdown = server.shutdown_token();
+
+    let logs: Vec<Mutex<ClientLog>> = (0..scenario.clients)
+        .map(|_| Mutex::new(ClientLog::default()))
+        .collect();
+    let report: Mutex<Option<ServerReport>> = Mutex::new(None);
+    let remaining = AtomicUsize::new(scenario.clients);
+
+    // Worker 0 hosts the whole server (which spins up its own pool);
+    // workers 1..=clients each run one client script. The last client to
+    // finish raises the shutdown token, which drains the server cleanly.
+    let wall = Instant::now();
+    let panics = service_workers(scenario.clients + 1, |w| {
+        if w == 0 {
+            *lock(&report) = Some(server.run());
+        } else {
+            client_loop(scenario, &addr, w - 1, &logs[w - 1]);
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                shutdown.cancel();
+            }
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    if let Some(p) = panics.into_iter().flatten().next() {
+        return Err(format!("bench worker panicked: {p}"));
+    }
+    let report = lock(&report).take().ok_or("server produced no report")?;
+
+    let mut ok = Vec::new();
+    let mut shed = Vec::new();
+    let mut other_errors = 0usize;
+    for log in &logs {
+        let log = lock(log);
+        ok.extend_from_slice(&log.ok);
+        shed.extend_from_slice(&log.shed);
+        other_errors += log.other_errors;
+    }
+    ok.sort_by(f64::total_cmp);
+    shed.sort_by(f64::total_cmp);
+
+    let total = scenario.clients * scenario.requests_per_client;
+    if ok.len() + shed.len() + other_errors != total {
+        return Err(format!(
+            "lost requests: {} + {} + {other_errors} != {total}",
+            ok.len(),
+            shed.len()
+        ));
+    }
+    if scenario.name == "nominal" && (ok.len() != total || !report.drained_cleanly) {
+        return Err(format!(
+            "nominal load must fully succeed: ok={}, drained={}",
+            ok.len(),
+            report.drained_cleanly
+        ));
+    }
+    if scenario.name == "overload" && shed.is_empty() {
+        return Err("overload scenario shed nothing; capacity is not starved".into());
+    }
+
+    let ms = 1e3;
+    eprintln!(
+        "[{}] ok={} shed={} errors={} p50={:.3} ms p99={:.3} ms shed_p99={:.3} ms wall={wall_s:.3} s",
+        scenario.name,
+        ok.len(),
+        shed.len(),
+        other_errors,
+        quantile(&ok, 0.50) * ms,
+        quantile(&ok, 0.99) * ms,
+        quantile(&shed, 0.99) * ms,
+    );
+
+    let json = format!(
+        "    {{\n      \"scenario\": \"{}\",\n      \"clients\": {},\n      \"requests_per_client\": {},\n      \"queue_capacity\": {},\n      \"eval_workers\": {},\n      \"ok\": {},\n      \"shed\": {},\n      \"other_errors\": {},\n      \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3} }},\n      \"shed_refusal_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3} }},\n      \"server\": {{ \"submitted\": {}, \"shed_overload\": {}, \"completed_ok\": {}, \"panics_contained\": {}, \"disconnects\": {}, \"drained_cleanly\": {} }},\n      \"wall_seconds\": {wall_s:.3}\n    }}",
+        scenario.name,
+        scenario.clients,
+        scenario.requests_per_client,
+        scenario.queue_capacity,
+        scenario.eval_workers,
+        ok.len(),
+        shed.len(),
+        other_errors,
+        quantile(&ok, 0.50) * ms,
+        quantile(&ok, 0.99) * ms,
+        if shed.is_empty() { 0.0 } else { quantile(&shed, 0.50) * ms },
+        if shed.is_empty() { 0.0 } else { quantile(&shed, 0.99) * ms },
+        report.engine.submitted,
+        report.engine.shed_overload,
+        report.engine.completed_ok,
+        report.engine.panics_contained,
+        report.disconnects,
+        report.drained_cleanly,
+    );
+    Ok((json, report))
+}
+
+fn main() -> Result<(), String> {
+    let mut rows = Vec::new();
+    for scenario in &SCENARIOS {
+        let (json, _report) = run_scenario(scenario)?;
+        rows.push(json);
+    }
+    println!(
+        "{{\n  \"bench\": \"bench_pr5\",\n  \"description\": \"end-to-end tecopt-serve latency and load shedding over TCP loopback on a 4x4 hotspot41-like system; nominal = capacity-matched (every request must succeed), overload = starved queue (typed overloaded refusals, no retries); latencies are client-observed, nearest-rank percentiles\",\n  \"scenarios\": [\n{}\n  ]\n}}",
+        rows.join(",\n")
+    );
+    Ok(())
+}

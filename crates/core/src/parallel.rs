@@ -145,8 +145,10 @@ pub enum ItemOutcome<R> {
     Skipped,
 }
 
-/// Best-effort stringification of a caught panic payload.
-fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Best-effort stringification of a caught panic payload — the one
+/// translation used everywhere a panic becomes data (sweep item outcomes,
+/// service worker reports, `OptError::WorkerPanicked`).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -154,6 +156,62 @@ fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Runs `count` long-lived service workers to completion and reports, per
+/// worker, the panic that killed it (if any).
+///
+/// This is the sanctioned primitive for *service* threading (acceptors,
+/// connection handlers, evaluation-queue workers in `tecopt-serve`), as
+/// [`par_map_init`] is for sweep fan-outs: the worker count is fixed up
+/// front — never per-request — and every worker body runs under
+/// `catch_unwind`, so a panicking worker retires its own thread without
+/// aborting the process or its siblings. The call blocks until every
+/// worker returns; worker 0 runs on the calling thread, so `count`
+/// workers cost `count − 1` spawns.
+///
+/// Unlike the sweep mappers, `count` is **not** capped by the machine's
+/// parallelism: service workers spend their lives blocked on sockets and
+/// queues, not saturating cores, and capping them would deadlock a
+/// server whose roles (accept / handle / evaluate) each need a live
+/// thread.
+pub fn service_workers<F>(count: usize, f: F) -> Vec<Option<String>>
+where
+    F: Fn(usize) + Sync,
+{
+    let panics: Vec<Mutex<Option<String>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let run = |index: usize| {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
+        if let Err(panic) = outcome {
+            *panics[index]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(panic_message(panic));
+        }
+    };
+    if count <= 1 {
+        if count == 1 {
+            run(0);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..count).map(|i| scope.spawn(move || run(i))).collect();
+            run(0);
+            for handle in handles {
+                if let Err(panic) = handle.join() {
+                    // Unreachable: `run` catches unwinds. Do not abort a
+                    // service over it — record it like any other panic.
+                    drop(panic);
+                }
+            }
+        });
+    }
+    panics
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect()
 }
 
 /// [`par_map_init`] with per-item panic isolation and a cooperative
@@ -229,7 +287,7 @@ where
                     // rebuild it before the next item.
                     state = None;
                     ItemOutcome::Panicked {
-                        payload: panic_payload(panic),
+                        payload: panic_message(panic),
                     }
                 }
             };
@@ -454,6 +512,29 @@ mod tests {
             "index 2 failed",
             "lowest index wins even though index 11 completed first"
         );
+    }
+
+    #[test]
+    fn service_workers_run_all_and_isolate_panics() {
+        use std::sync::atomic::AtomicUsize;
+        let ran = AtomicUsize::new(0);
+        let report = service_workers(6, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            assert!(i != 2, "worker two died");
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 6, "every worker ran");
+        assert_eq!(report.len(), 6);
+        for (i, slot) in report.iter().enumerate() {
+            if i == 2 {
+                let payload = slot.as_deref().unwrap();
+                assert!(payload.contains("worker two died"));
+            } else {
+                assert!(slot.is_none(), "worker {i} reported a phantom panic");
+            }
+        }
+        // Zero and one workers: degenerate but well-defined.
+        assert!(service_workers(0, |_| ()).is_empty());
+        assert_eq!(service_workers(1, |_| ()), vec![None]);
     }
 
     #[test]

@@ -67,9 +67,17 @@ impl RunContext {
     }
 
     /// Sets a wall-clock deadline `timeout` from now.
+    ///
+    /// A `timeout` so large that the deadline overflows the clock's
+    /// representable range (e.g. `Duration::MAX`) is indistinguishable
+    /// from "no deadline" and is treated as exactly that, instead of
+    /// panicking inside `Instant` arithmetic.
     #[must_use]
     pub fn deadline_in(self, timeout: Duration) -> RunContext {
-        self.deadline_at(Instant::now() + timeout)
+        match Instant::now().checked_add(timeout) {
+            Some(deadline) => self.deadline_at(deadline),
+            None => self,
+        }
     }
 
     /// Sets an absolute wall-clock deadline.
@@ -104,6 +112,18 @@ impl RunContext {
     /// The checkpoint path, if checkpointing was requested.
     pub fn checkpoint_path(&self) -> Option<&Path> {
         self.checkpoint.as_deref()
+    }
+
+    /// Wall-clock time left before the deadline: `None` when no deadline
+    /// is set, saturating at [`Duration::ZERO`] once the deadline has
+    /// passed (never a panic, even for a deadline set in the past).
+    ///
+    /// Services use this to derive a nested budget for downstream work —
+    /// e.g. `tecopt-serve` maps a request's remaining time onto the
+    /// per-request `RunContext` it hands the evaluator.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// A clone sharing this context's token, counter, deadline and budget
@@ -300,7 +320,7 @@ fn resolve<R>(
             .exhaustion(completed, total)
             .unwrap_or(OptError::DeadlineExceeded {
                 completed,
-                remaining: total - completed,
+                remaining: total.saturating_sub(completed),
             });
         return Err(SweepFailure { error, partial });
     }
@@ -778,6 +798,72 @@ mod tests {
         assert!(!ctx.admit());
         assert!(matches!(
             ctx.ensure_live(),
+            Err(OptError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_deadline_means_unbounded() {
+        // `Instant::now() + Duration::MAX` panics; the builder must treat
+        // an unrepresentable deadline as "no deadline" instead.
+        let ctx = RunContext::unbounded().deadline_in(Duration::MAX);
+        assert!(ctx.admit());
+        assert!(ctx.ensure_live().is_ok());
+        assert_eq!(ctx.remaining_time(), None);
+    }
+
+    #[test]
+    fn remaining_time_saturates_at_zero() {
+        // A deadline already in the past at admission: `remaining_time`
+        // reports zero (never underflows or panics) and the gate denies.
+        let now = Instant::now();
+        let past = now.checked_sub(Duration::from_secs(5)).unwrap_or(now);
+        let ctx = RunContext::unbounded().deadline_at(past);
+        assert_eq!(ctx.remaining_time(), Some(Duration::ZERO));
+        assert!(!ctx.admit());
+
+        let ctx = RunContext::unbounded();
+        assert_eq!(ctx.remaining_time(), None, "no deadline, no remaining");
+        let ctx = ctx.deadline_in(Duration::from_secs(3600));
+        let left = ctx.remaining_time().unwrap();
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn past_deadline_at_admission_skips_every_item() {
+        // Zero remaining time at the first probe boundary: nothing runs,
+        // and the typed error reports completed=0 / remaining=total.
+        let now = Instant::now();
+        let past = now.checked_sub(Duration::from_millis(1)).unwrap_or(now);
+        let ctx = RunContext::unbounded().deadline_at(past);
+        let failure = supervised_map(
+            &ctx,
+            (0..6usize).collect(),
+            || (),
+            |(), i| Ok::<usize, OptError>(i),
+        )
+        .unwrap_err();
+        match failure.error {
+            OptError::DeadlineExceeded {
+                completed,
+                remaining,
+            } => {
+                assert_eq!(completed, 0);
+                assert_eq!(remaining, 6);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(failure.partial.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn deadline_exactly_now_denies_at_probe_boundary() {
+        // The boundary case: a deadline equal to "now" (zero remaining at
+        // a probe boundary) must deny, not admit one more probe.
+        let ctx = RunContext::unbounded().deadline_at(Instant::now());
+        assert!(!ctx.admit());
+        assert!(matches!(
+            ctx.admit_probe(),
             Err(OptError::DeadlineExceeded { .. })
         ));
     }

@@ -5,7 +5,10 @@
 //! hardened pipeline must survive — rank-deficient and near-singular
 //! matrices, NaN poisoning, broken symmetry, lost definiteness — so the
 //! integration tests can drive **every** public error variant of the
-//! workspace instead of only the happy path.
+//! workspace instead of only the happy path. A second family of
+//! injectors targets the `tecopt-serve` service layer: torn wire frames,
+//! dribbling slow clients, scheduled mid-request panics, and artificially
+//! slow evaluations for deadline and drain chaos.
 //!
 //! The perturbations operate on [`DenseMatrix`] (and plain slices) and are
 //! intended for `#[cfg(test)]` / dev-dependency use; nothing here belongs in
@@ -131,6 +134,124 @@ pub fn near_runaway_current(feasible: f64, infeasible: f64, fraction: f64) -> f6
     feasible + (infeasible - feasible) * fraction
 }
 
+// ---------------------------------------------------------------------
+// Service-level chaos: wire and evaluator injectors for tecopt-serve
+// ---------------------------------------------------------------------
+
+/// A torn wire frame: the first `keep` bytes of the encoded request, with
+/// no terminator — what a server sees when a client dies mid-frame. The
+/// chaos suites write this and then drop the connection; the server must
+/// answer with a typed decode/disconnect error and free the slot, never
+/// hang a worker.
+pub fn torn_frame(frame: &str, keep: usize) -> Vec<u8> {
+    frame.as_bytes()[..keep.min(frame.len())].to_vec()
+}
+
+/// Writes `bytes` in `chunk`-sized dribbles, invoking `between` between
+/// chunks — a slow-client injector. Tests pass a short sleep (or a
+/// cancellation check) as `between`; keeping the pacing a callback keeps
+/// this crate free of thread APIs.
+///
+/// # Errors
+///
+/// Whatever the underlying writer reports.
+pub fn dribble<W: std::io::Write>(
+    w: &mut W,
+    bytes: &[u8],
+    chunk: usize,
+    mut between: impl FnMut(),
+) -> std::io::Result<()> {
+    let chunk = chunk.max(1);
+    let mut first = true;
+    for piece in bytes.chunks(chunk) {
+        if !first {
+            between();
+        }
+        first = false;
+        w.write_all(piece)?;
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// An evaluator wrapper that panics mid-request on a deterministic
+/// schedule: every `period`-th call (1-based) dies before delegating.
+/// Drives `tecopt-serve`'s per-request panic containment — the process
+/// must never abort and the other `period − 1` calls must succeed.
+pub struct MidRequestPanic<E> {
+    inner: E,
+    period: usize,
+    calls: std::sync::atomic::AtomicUsize,
+}
+
+impl<E> MidRequestPanic<E> {
+    /// Panics on calls `period`, `2·period`, … delegating otherwise.
+    /// A `period` of 0 is clamped to 1 (every call panics).
+    pub fn every(inner: E, period: usize) -> MidRequestPanic<E> {
+        MidRequestPanic {
+            inner,
+            period: period.max(1),
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Calls observed so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl<E: tecopt_serve::Evaluator> tecopt_serve::Evaluator for MidRequestPanic<E> {
+    fn evaluate(
+        &self,
+        request: &tecopt_serve::Request,
+        ctx: &tecopt::RunContext,
+    ) -> Result<tecopt_serve::Response, tecopt::OptError> {
+        let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        if call.is_multiple_of(self.period) {
+            panic!("injected mid-request panic (call {call})");
+        }
+        self.inner.evaluate(request, ctx)
+    }
+}
+
+/// An evaluator wrapper that stretches every request to at least
+/// `min_duration` by spinning at the supervision gate — so deadline
+/// storms, load shedding, and drain windows have something slow to bite
+/// on. The spin honors the request's context: a raised cancel token or an
+/// expired deadline ends the wait with the matching typed error, exactly
+/// like a long factorization hitting its gate.
+pub struct SlowEvaluator<E> {
+    inner: E,
+    min_duration: std::time::Duration,
+}
+
+impl<E> SlowEvaluator<E> {
+    /// Delays every evaluation by at least `min_duration`.
+    pub fn new(inner: E, min_duration: std::time::Duration) -> SlowEvaluator<E> {
+        SlowEvaluator {
+            inner,
+            min_duration,
+        }
+    }
+}
+
+impl<E: tecopt_serve::Evaluator> tecopt_serve::Evaluator for SlowEvaluator<E> {
+    fn evaluate(
+        &self,
+        request: &tecopt_serve::Request,
+        ctx: &tecopt::RunContext,
+    ) -> Result<tecopt_serve::Response, tecopt::OptError> {
+        if let Some(until) = std::time::Instant::now().checked_add(self.min_duration) {
+            while std::time::Instant::now() < until {
+                ctx.ensure_live()?;
+                std::hint::spin_loop();
+            }
+        }
+        self.inner.evaluate(request, ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +322,80 @@ mod tests {
     fn near_runaway_interpolates() {
         let i = near_runaway_current(2.0, 4.0, 0.75);
         assert!((i - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torn_frame_truncates_without_terminator() {
+        let t = torn_frame("req - - steady 00\n", 9);
+        assert_eq!(t, b"req - - s");
+        assert!(!t.contains(&b'\n'));
+        // keep beyond the frame is clamped, not a panic
+        assert_eq!(torn_frame("ab", 10), b"ab");
+    }
+
+    #[test]
+    fn dribble_writes_everything_in_order() {
+        let mut out = Vec::new();
+        let mut pauses = 0;
+        dribble(&mut out, b"hello world", 3, || pauses += 1).unwrap();
+        assert_eq!(out, b"hello world");
+        assert_eq!(pauses, 3); // 4 chunks, a pause between each pair
+        let mut out = Vec::new();
+        dribble(&mut out, b"x", 0, || ()).unwrap(); // chunk 0 clamps to 1
+        assert_eq!(out, b"x");
+    }
+
+    struct EchoEval;
+    impl tecopt_serve::Evaluator for EchoEval {
+        fn evaluate(
+            &self,
+            _request: &tecopt_serve::Request,
+            _ctx: &tecopt::RunContext,
+        ) -> Result<tecopt_serve::Response, tecopt::OptError> {
+            Ok(tecopt_serve::Response::Steady {
+                peak: tecopt_units::Celsius(1.0),
+                tec_power: tecopt_units::Watts(1.0),
+            })
+        }
+    }
+
+    #[test]
+    fn mid_request_panic_fires_on_schedule() {
+        use tecopt_serve::Evaluator as _;
+        let eval = MidRequestPanic::every(EchoEval, 3);
+        let req = tecopt_serve::Request::Steady {
+            current: tecopt_units::Amperes(1.0),
+        };
+        let ctx = tecopt::RunContext::unbounded();
+        for call in 1..=6 {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eval.evaluate(&req, &ctx)
+            }));
+            assert_eq!(outcome.is_err(), call % 3 == 0, "call {call}");
+        }
+        assert_eq!(eval.calls(), 6);
+    }
+
+    #[test]
+    fn slow_evaluator_honors_cancellation() {
+        use tecopt_serve::Evaluator as _;
+        let eval = SlowEvaluator::new(EchoEval, std::time::Duration::from_secs(60));
+        let req = tecopt_serve::Request::Steady {
+            current: tecopt_units::Amperes(1.0),
+        };
+        let token = tecopt::CancelToken::new();
+        token.cancel();
+        let ctx = tecopt::RunContext::unbounded().cancel_token(token);
+        // A raised token ends the 60 s spin immediately with a typed error.
+        assert!(matches!(
+            eval.evaluate(&req, &ctx),
+            Err(tecopt::OptError::Cancelled { .. })
+        ));
+        // And an expired deadline does the same.
+        let ctx = tecopt::RunContext::unbounded().deadline_in(std::time::Duration::ZERO);
+        assert!(matches!(
+            eval.evaluate(&req, &ctx),
+            Err(tecopt::OptError::DeadlineExceeded { .. })
+        ));
     }
 }

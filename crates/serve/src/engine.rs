@@ -1,0 +1,886 @@
+//! The evaluation engine: admission control, idempotent deduplication,
+//! per-request supervision, and graceful drain.
+//!
+//! The engine is the in-process face of the service — the socket layer in
+//! `server` is a thin codec in front of it. Life of a request:
+//!
+//! 1. [`Engine::submit`] — admission. A draining engine sheds with
+//!    [`ServeError::ShuttingDown`]; a full [`BoundedQueue`] sheds with
+//!    [`ServeError::Overloaded`] *before any work is spent*. A request
+//!    carrying an idempotency key is first checked against the result
+//!    cache (a completed deterministic result is returned instantly) and
+//!    the in-flight table (a retry of running work joins the existing
+//!    [`Ticket`] instead of doubling the load).
+//! 2. A worker ([`Engine::worker_loop`], run on
+//!    [`tecopt::parallel::service_workers`]) claims the job, maps the
+//!    request's remaining deadline and cancel token onto a
+//!    [`RunContext`], and runs the evaluator under `catch_unwind` — a
+//!    panicking evaluation becomes `Eval(WorkerPanicked)` on that one
+//!    ticket, never a dead worker or an aborted process.
+//! 3. The waiter blocks on [`Ticket::wait`] (or the polling variant the
+//!    connection handlers use). If every waiter abandons the ticket —
+//!    the client disconnected — the job's cancel token is raised so the
+//!    evaluation stops at its next supervision gate; it is never aborted
+//!    mid-solve.
+//! 4. Drain: [`Engine::begin_drain`] closes admission, workers finish the
+//!    backlog, [`Engine::await_drained`] bounds the wait, and
+//!    [`Engine::cancel_outstanding`] raises every live token past the
+//!    drain deadline. Checkpointed designer sweeps persist completed
+//!    probes, so a keyed retry after a restart resumes bit-identically
+//!    (DESIGN.md §12).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{Request, RequestFrame, Response};
+use tecopt::parallel::panic_message;
+use tecopt::runaway::sweep_fractions_supervised;
+use tecopt::{
+    score_candidates, CancelToken, CoolingSystem, CurrentSettings, OptError, RunContext,
+    SweepFailure,
+};
+
+/// Evaluates one request under a supervision context. Implementations
+/// must honor the context's cancel token and deadline at their internal
+/// gates; the engine never aborts a running evaluation.
+pub trait Evaluator: Send + Sync {
+    /// Runs `request` to completion or to a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Any [`OptError`] — including the supervision variants when the
+    /// context expires mid-run.
+    fn evaluate(&self, request: &Request, ctx: &RunContext) -> Result<Response, OptError>;
+}
+
+/// The production evaluator: one shared [`CoolingSystem`] snapshot.
+pub struct TecEvaluator {
+    system: CoolingSystem,
+    settings: CurrentSettings,
+}
+
+impl TecEvaluator {
+    /// Serves evaluations of `system`, optimizing designer candidates
+    /// with `settings`.
+    pub fn new(system: CoolingSystem, settings: CurrentSettings) -> TecEvaluator {
+        TecEvaluator { system, settings }
+    }
+}
+
+impl Evaluator for TecEvaluator {
+    fn evaluate(&self, request: &Request, ctx: &RunContext) -> Result<Response, OptError> {
+        match request {
+            Request::Steady { current } => {
+                let mut solver = self.system.solver()?.with_cancel(ctx.token().clone());
+                let state = solver.solve(*current)?;
+                Ok(Response::Steady {
+                    peak: state.peak(),
+                    tec_power: state.tec_power(),
+                })
+            }
+            Request::Runaway {
+                lambda_tolerance,
+                fractions,
+            } => {
+                let sweep =
+                    sweep_fractions_supervised(&self.system, fractions, *lambda_tolerance, ctx)
+                        .map_err(SweepFailure::into_error)?;
+                Ok(Response::Runaway {
+                    lambda: sweep.limit.lambda(),
+                    points: sweep.points,
+                })
+            }
+            Request::Designer { candidates } => {
+                let scores = score_candidates(&self.system, candidates, self.settings, ctx)
+                    .map_err(SweepFailure::into_error)?;
+                Ok(Response::Designer { scores })
+            }
+        }
+    }
+}
+
+/// Sizing and policy knobs of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bounded admission-queue capacity (the load-shedding threshold).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline: Option<Duration>,
+    /// Most completed results kept for idempotent retries.
+    pub cache_capacity: usize,
+    /// Directory for designer-sweep checkpoints (keyed requests only).
+    /// `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            queue_capacity: 32,
+            default_deadline: None,
+            cache_capacity: 256,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Counters the engine maintains; snapshot with [`Engine::metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Requests offered to `submit` (including shed and deduplicated).
+    pub submitted: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed_overload: u64,
+    /// Requests refused with `ShuttingDown`.
+    pub shed_shutdown: u64,
+    /// Requests answered from the idempotency cache or joined onto
+    /// in-flight work.
+    pub deduplicated: u64,
+    /// Requests that completed with `Ok`.
+    pub completed_ok: u64,
+    /// Requests that completed with a typed error.
+    pub completed_err: u64,
+    /// Evaluations that panicked (contained per request).
+    pub panics_contained: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    submitted: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_shutdown: AtomicU64,
+    deduplicated: AtomicU64,
+    completed_ok: AtomicU64,
+    completed_err: AtomicU64,
+    panics_contained: AtomicU64,
+}
+
+/// The shared handle a waiter holds for one admitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    done: Condvar,
+    token: CancelToken,
+    waiters: AtomicUsize,
+}
+
+impl Ticket {
+    fn pending(seq: u64) -> Arc<Ticket> {
+        Arc::new(Ticket {
+            seq,
+            state: Mutex::new(None),
+            done: Condvar::new(),
+            token: CancelToken::new(),
+            waiters: AtomicUsize::new(1),
+        })
+    }
+
+    fn resolved(seq: u64, result: Result<Response, ServeError>) -> Arc<Ticket> {
+        let t = Ticket::pending(seq);
+        t.complete(result);
+        t
+    }
+
+    fn complete(&self, result: Result<Response, ServeError>) {
+        let mut state = self.lock_state();
+        if state.is_none() {
+            *state = Some(result);
+        }
+        drop(state);
+        self.done.notify_all();
+    }
+
+    /// The engine-assigned admission sequence number (diagnostic; it is
+    /// also the `index` a contained panic reports).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The result, if the request has finished.
+    pub fn try_result(&self) -> Option<Result<Response, ServeError>> {
+        self.lock_state().clone()
+    }
+
+    /// Blocks until the request finishes and returns its result.
+    pub fn wait(&self) -> Result<Response, ServeError> {
+        let mut state = self.lock_state();
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until the request finishes, waking every `poll_every` to
+    /// run `poll` — the connection handlers use this to notice a client
+    /// that died while its request was in flight. A `poll` error is
+    /// returned as-is (the caller then [`Engine::abandon`]s the ticket).
+    ///
+    /// # Errors
+    ///
+    /// The request's own typed error, or whatever `poll` reported.
+    pub fn wait_polling<F>(&self, poll_every: Duration, mut poll: F) -> Result<Response, ServeError>
+    where
+        F: FnMut() -> Result<(), ServeError>,
+    {
+        let mut state = self.lock_state();
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            let (next, _timed_out) = self
+                .done
+                .wait_timeout(state, poll_every)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if state.is_none() {
+                drop(state);
+                poll()?;
+                state = self.lock_state();
+            }
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, Option<Result<Response, ServeError>>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+enum CacheEntry {
+    Done(Result<Response, ServeError>),
+    InFlight(Arc<Ticket>),
+}
+
+#[derive(Default)]
+struct IdemCache {
+    entries: HashMap<String, CacheEntry>,
+    /// Keys of `Done` entries, oldest first, for bounded eviction.
+    done_order: Vec<String>,
+}
+
+struct Job {
+    seq: u64,
+    key: Option<String>,
+    deadline: Option<Instant>,
+    request: Request,
+    ticket: Arc<Ticket>,
+}
+
+/// The evaluation engine. `E` runs the actual physics; everything here is
+/// scheduling, supervision, and failure containment.
+pub struct Engine<E: Evaluator> {
+    evaluator: E,
+    config: EngineConfig,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<IdemCache>,
+    in_flight: Mutex<HashMap<u64, CancelToken>>,
+    outstanding: Mutex<usize>,
+    idle: Condvar,
+    draining: AtomicBool,
+    seq: AtomicU64,
+    metrics: Metrics,
+}
+
+impl<E: Evaluator> Engine<E> {
+    /// Builds an engine around `evaluator`.
+    pub fn new(evaluator: E, config: EngineConfig) -> Engine<E> {
+        let queue = BoundedQueue::new(config.queue_capacity);
+        Engine {
+            evaluator,
+            config,
+            queue,
+            cache: Mutex::new(IdemCache::default()),
+            in_flight: Mutex::new(HashMap::new()),
+            outstanding: Mutex::new(0),
+            idle: Condvar::new(),
+            draining: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// A snapshot of the engine's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.metrics;
+        MetricsSnapshot {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            shed_overload: m.shed_overload.load(Ordering::Relaxed),
+            shed_shutdown: m.shed_shutdown.load(Ordering::Relaxed),
+            deduplicated: m.deduplicated.load(Ordering::Relaxed),
+            completed_ok: m.completed_ok.load(Ordering::Relaxed),
+            completed_err: m.completed_err.load(Ordering::Relaxed),
+            panics_contained: m.panics_contained.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Admits one request, returning the ticket its result will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::ShuttingDown`] once [`Engine::begin_drain`] ran.
+    /// - [`ServeError::Overloaded`] when the admission queue is full —
+    ///   shed before any evaluation work is spent.
+    pub fn submit(&self, frame: RequestFrame) -> Result<Arc<Ticket>, ServeError> {
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.draining.load(Ordering::Acquire) {
+            self.metrics.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+
+        // Idempotent retry? Serve from the cache or join in-flight work.
+        if let Some(key) = frame.key.as_deref() {
+            let cache = self.lock_cache();
+            match cache.entries.get(key) {
+                Some(CacheEntry::Done(result)) => {
+                    self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Ticket::resolved(seq, result.clone()));
+                }
+                Some(CacheEntry::InFlight(ticket)) => {
+                    self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    ticket.waiters.fetch_add(1, Ordering::AcqRel);
+                    return Ok(Arc::clone(ticket));
+                }
+                None => {}
+            }
+        }
+
+        let ticket = Ticket::pending(seq);
+        let deadline = frame
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.config.default_deadline)
+            .and_then(|t| Instant::now().checked_add(t));
+        let job = Job {
+            seq,
+            key: frame.key.clone(),
+            deadline,
+            request: frame.request,
+            ticket: Arc::clone(&ticket),
+        };
+        if let Some(key) = &frame.key {
+            self.lock_cache()
+                .entries
+                .insert(key.clone(), CacheEntry::InFlight(Arc::clone(&ticket)));
+        }
+        // Count the job outstanding BEFORE it becomes visible to workers:
+        // a worker that pops and finishes it instantly would otherwise
+        // decrement first (clamped at zero) and the late increment would
+        // leak one outstanding forever, wedging every future drain.
+        *self.lock_outstanding() += 1;
+        match self.queue.try_push(job) {
+            Ok(()) => Ok(ticket),
+            Err(e) => {
+                self.finish_one();
+                if let Some(key) = &frame.key {
+                    self.remove_in_flight_entry(key, &ticket);
+                }
+                Err(match e {
+                    PushError::Full { depth, capacity } => {
+                        self.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
+                        ServeError::Overloaded { depth, capacity }
+                    }
+                    PushError::Closed => {
+                        self.metrics.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+                        ServeError::ShuttingDown
+                    }
+                })
+            }
+        }
+    }
+
+    /// Releases one waiter's interest in `ticket`. When the *last* waiter
+    /// abandons a still-pending request — every client that asked for it
+    /// has disconnected — its cancel token is raised so the evaluation
+    /// stops at the next supervision gate, and its idempotency entry is
+    /// dropped so a later retry starts fresh.
+    pub fn abandon(&self, ticket: &Arc<Ticket>, key: Option<&str>) {
+        if ticket.waiters.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        if ticket.try_result().is_none() {
+            ticket.token.cancel();
+            if let Some(key) = key {
+                self.remove_in_flight_entry(key, ticket);
+            }
+        }
+    }
+
+    /// One worker's run loop: claims jobs until the queue closes and
+    /// drains. Run a fixed pool of these on
+    /// [`tecopt::parallel::service_workers`].
+    pub fn worker_loop(&self, _worker: usize) {
+        while let Some(job) = self.queue.pop() {
+            self.run_job(job);
+        }
+    }
+
+    fn run_job(&self, job: Job) {
+        self.lock_in_flight()
+            .insert(job.seq, job.ticket.token.clone());
+
+        let result = self.evaluate_supervised(&job);
+
+        self.lock_in_flight().remove(&job.seq);
+        match &result {
+            Ok(_) => self.metrics.completed_ok.fetch_add(1, Ordering::Relaxed),
+            Err(e) => {
+                if matches!(e, ServeError::Eval(OptError::WorkerPanicked { .. })) {
+                    self.metrics
+                        .panics_contained
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                self.metrics.completed_err.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        if let Some(key) = &job.key {
+            self.settle_cache(key, &job.ticket, &result);
+        }
+        job.ticket.complete(result);
+        self.finish_one();
+    }
+
+    fn evaluate_supervised(&self, job: &Job) -> Result<Response, ServeError> {
+        // A deadline that expired while the job sat in the queue is a
+        // typed refusal, not a doomed evaluation.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ServeError::Eval(OptError::DeadlineExceeded {
+                completed: 0,
+                remaining: 1,
+            }));
+        }
+        let mut ctx = RunContext::unbounded().cancel_token(job.ticket.token.clone());
+        if let Some(deadline) = job.deadline {
+            ctx = ctx.deadline_at(deadline);
+        }
+        if let (Some(dir), Some(key), Request::Designer { .. }) =
+            (&self.config.checkpoint_dir, &job.key, &job.request)
+        {
+            ctx = ctx.checkpoint(dir.join(format!("{key}.ckpt")));
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.evaluator.evaluate(&job.request, &ctx)
+        }));
+        match outcome {
+            Ok(result) => result.map_err(ServeError::from),
+            Err(payload) => Err(ServeError::Eval(OptError::WorkerPanicked {
+                index: usize::try_from(job.seq).unwrap_or(usize::MAX),
+                payload: panic_message(payload),
+            })),
+        }
+    }
+
+    /// Records a finished keyed request in the idempotency cache.
+    /// Only *deterministic* outcomes are cached — a retry of a cancelled,
+    /// expired, or panicked request must re-run, not replay the failure.
+    fn settle_cache(&self, key: &str, ticket: &Arc<Ticket>, result: &Result<Response, ServeError>) {
+        let deterministic = match result {
+            Ok(_) => true,
+            Err(ServeError::Eval(e)) => !matches!(
+                e,
+                OptError::Cancelled { .. }
+                    | OptError::DeadlineExceeded { .. }
+                    | OptError::WorkerPanicked { .. }
+            ),
+            Err(_) => false,
+        };
+        let mut cache = self.lock_cache();
+        let ours = matches!(
+            cache.entries.get(key),
+            Some(CacheEntry::InFlight(t)) if Arc::ptr_eq(t, ticket)
+        );
+        if !ours {
+            return; // a fresh retry superseded this entry; leave it alone
+        }
+        if deterministic {
+            cache
+                .entries
+                .insert(key.to_string(), CacheEntry::Done(result.clone()));
+            cache.done_order.push(key.to_string());
+            while cache.done_order.len() > self.config.cache_capacity {
+                let evict = cache.done_order.remove(0);
+                if matches!(cache.entries.get(&evict), Some(CacheEntry::Done(_))) {
+                    cache.entries.remove(&evict);
+                }
+            }
+        } else {
+            cache.entries.remove(key);
+        }
+    }
+
+    /// Closes admission: `submit` refuses with `ShuttingDown`, workers
+    /// drain the already-admitted backlog and then exit. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.queue.close();
+    }
+
+    /// Requests still queued or running.
+    pub fn outstanding(&self) -> usize {
+        *self.lock_outstanding()
+    }
+
+    /// Blocks until every admitted request has completed, or `timeout`
+    /// elapses. Returns `true` when fully drained.
+    pub fn await_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut outstanding = self.lock_outstanding();
+        loop {
+            if *outstanding == 0 {
+                return true;
+            }
+            let remaining = match deadline {
+                Some(d) => d.saturating_duration_since(Instant::now()),
+                None => Duration::from_secs(3600),
+            };
+            if deadline.is_some() && remaining.is_zero() {
+                return false;
+            }
+            let (next, _timed_out) = self
+                .idle
+                .wait_timeout(outstanding, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            outstanding = next;
+        }
+    }
+
+    /// The hard edge of a drain deadline: fails every still-queued job
+    /// with [`ServeError::ShuttingDown`] and raises the cancel token of
+    /// every running one. Running evaluations stop at their next
+    /// supervision gate — checkpointed sweeps persist completed probes
+    /// first — and complete their tickets with typed errors. Never aborts.
+    pub fn cancel_outstanding(&self) {
+        for job in self.queue.close_and_drain() {
+            if let Some(key) = &job.key {
+                self.remove_in_flight_entry(key, &job.ticket);
+            }
+            self.metrics.completed_err.fetch_add(1, Ordering::Relaxed);
+            job.ticket.complete(Err(ServeError::ShuttingDown));
+            self.finish_one();
+        }
+        for token in self.lock_in_flight().values() {
+            token.cancel();
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut outstanding = self.lock_outstanding();
+        *outstanding = outstanding.saturating_sub(1);
+        drop(outstanding);
+        self.idle.notify_all();
+    }
+
+    fn remove_in_flight_entry(&self, key: &str, ticket: &Arc<Ticket>) {
+        let mut cache = self.lock_cache();
+        if matches!(
+            cache.entries.get(key),
+            Some(CacheEntry::InFlight(t)) if Arc::ptr_eq(t, ticket)
+        ) {
+            cache.entries.remove(key);
+        }
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, IdemCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_in_flight(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+        self.in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_outstanding(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.outstanding
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use tecopt_units::{Celsius, Watts};
+
+    /// A scriptable evaluator: sleeps-by-gate, panics, or answers.
+    struct FakeEval {
+        calls: AtomicUsize,
+        panic_on: Option<f64>,
+        block_until_cancelled: bool,
+    }
+
+    impl FakeEval {
+        fn answering() -> FakeEval {
+            FakeEval {
+                calls: AtomicUsize::new(0),
+                panic_on: None,
+                block_until_cancelled: false,
+            }
+        }
+    }
+
+    impl Evaluator for FakeEval {
+        fn evaluate(&self, request: &Request, ctx: &RunContext) -> Result<Response, OptError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let current = match request {
+                Request::Steady { current } => current.value(),
+                _ => 0.0,
+            };
+            if self.panic_on == Some(current) {
+                panic!("scripted evaluation panic at {current}");
+            }
+            if self.block_until_cancelled {
+                loop {
+                    ctx.ensure_live()?;
+                    std::hint::spin_loop();
+                }
+            }
+            Ok(Response::Steady {
+                peak: Celsius(current * 10.0),
+                tec_power: Watts(current),
+            })
+        }
+    }
+
+    fn steady(key: Option<&str>, current: f64) -> RequestFrame {
+        RequestFrame {
+            key: key.map(String::from),
+            deadline_ms: None,
+            request: Request::Steady {
+                current: tecopt_units::Amperes(current),
+            },
+        }
+    }
+
+    fn drive<E: Evaluator, R>(engine: &Engine<E>, workers: usize, f: impl Fn() -> R + Sync) {
+        tecopt::parallel::service_workers(workers + 1, |w| {
+            if w == 0 {
+                f();
+                engine.begin_drain();
+            } else {
+                engine.worker_loop(w);
+            }
+        });
+    }
+
+    #[test]
+    fn submits_evaluate_and_resolve_tickets() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        drive(&engine, 2, || {
+            let t = engine.submit(steady(None, 2.0)).unwrap();
+            let r = t.wait().unwrap();
+            assert_eq!(
+                r,
+                Response::Steady {
+                    peak: Celsius(20.0),
+                    tec_power: Watts(2.0)
+                }
+            );
+        });
+        let m = engine.metrics();
+        assert_eq!(m.completed_ok, 1);
+        assert_eq!(m.completed_err, 0);
+    }
+
+    #[test]
+    fn rapid_submit_complete_cycles_leave_outstanding_exactly_zero() {
+        // Regression: `submit` must count a job outstanding *before*
+        // pushing it. When the increment came after `try_push`, a worker
+        // finishing the job instantly would decrement first (clamped at
+        // zero) and the late increment leaked one outstanding forever —
+        // an intermittent drain-timeout under load. Instant evaluations
+        // in a tight loop give the race thousands of chances.
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        drive(&engine, 2, || {
+            for i in 0..2_000 {
+                let t = engine.submit(steady(None, 1.0 + f64::from(i % 7))).unwrap();
+                assert!(t.wait().is_ok());
+            }
+        });
+        assert_eq!(engine.outstanding(), 0);
+        assert!(engine.await_drained(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error_before_any_work() {
+        let eval = FakeEval::answering();
+        let engine = Engine::new(
+            eval,
+            EngineConfig {
+                queue_capacity: 2,
+                ..EngineConfig::default()
+            },
+        );
+        // No workers running: the queue fills and the third submit sheds.
+        engine.submit(steady(None, 1.0)).unwrap();
+        engine.submit(steady(None, 2.0)).unwrap();
+        match engine.submit(steady(None, 3.0)) {
+            Err(ServeError::Overloaded { depth, capacity }) => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(engine.metrics().shed_overload, 1);
+        assert_eq!(engine.evaluator.calls.load(Ordering::SeqCst), 0);
+        // Drain the backlog so nothing dangles.
+        engine.begin_drain();
+        engine.worker_loop(0);
+        assert!(engine.await_drained(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn a_panicking_evaluation_is_contained_to_its_ticket() {
+        let eval = FakeEval {
+            calls: AtomicUsize::new(0),
+            panic_on: Some(13.0),
+            block_until_cancelled: false,
+        };
+        let engine = Engine::new(eval, EngineConfig::default());
+        drive(&engine, 1, || {
+            let bad = engine.submit(steady(None, 13.0)).unwrap();
+            match bad.wait() {
+                Err(ServeError::Eval(OptError::WorkerPanicked { payload, .. })) => {
+                    assert!(payload.contains("scripted evaluation panic"));
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            // The same (sole) worker survives to serve the next request.
+            let good = engine.submit(steady(None, 1.0)).unwrap();
+            assert!(good.wait().is_ok());
+        });
+        let m = engine.metrics();
+        assert_eq!(m.panics_contained, 1);
+        assert_eq!(m.completed_ok, 1);
+    }
+
+    #[test]
+    fn idempotency_cache_replays_and_inflight_dedupes() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        drive(&engine, 1, || {
+            let first = engine.submit(steady(Some("k1"), 4.0)).unwrap();
+            let r1 = first.wait().unwrap();
+            // Retry with the same key: answered from the cache.
+            let retry = engine.submit(steady(Some("k1"), 4.0)).unwrap();
+            assert_eq!(retry.wait().unwrap(), r1);
+        });
+        assert_eq!(engine.evaluator.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(engine.metrics().deduplicated, 1);
+    }
+
+    #[test]
+    fn inflight_retries_share_one_evaluation() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        // Submit twice with one key before any worker runs: the second
+        // joins the first's ticket and only one job is queued.
+        let a = engine.submit(steady(Some("dup"), 5.0)).unwrap();
+        let b = engine.submit(steady(Some("dup"), 5.0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(engine.queue.depth(), 1);
+        engine.begin_drain();
+        engine.worker_loop(0);
+        assert_eq!(a.wait().unwrap(), b.wait().unwrap());
+        assert_eq!(engine.evaluator.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn last_abandoning_waiter_cancels_the_job() {
+        let eval = FakeEval {
+            calls: AtomicUsize::new(0),
+            panic_on: None,
+            block_until_cancelled: true,
+        };
+        let engine = Engine::new(eval, EngineConfig::default());
+        drive(&engine, 1, || {
+            let t = engine.submit(steady(Some("gone"), 1.0)).unwrap();
+            // The only waiter walks away: the evaluation must observe the
+            // raised token and complete with Cancelled.
+            engine.abandon(&t, Some("gone"));
+            assert!(t.token.is_cancelled());
+            assert!(matches!(
+                t.wait(),
+                Err(ServeError::Eval(OptError::Cancelled { .. }))
+            ));
+        });
+        // A cancelled outcome is transient: nothing was cached.
+        assert!(engine.lock_cache().entries.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_in_queue_is_a_typed_refusal() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        let frame = RequestFrame {
+            deadline_ms: Some(0),
+            ..steady(None, 1.0)
+        };
+        let t = engine.submit(frame).unwrap();
+        engine.begin_drain();
+        engine.worker_loop(0);
+        assert!(matches!(
+            t.wait(),
+            Err(ServeError::Eval(OptError::DeadlineExceeded { .. }))
+        ));
+        assert_eq!(engine.evaluator.calls.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_finishes_admitted_work() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        let t = engine.submit(steady(None, 2.0)).unwrap();
+        engine.begin_drain();
+        assert!(matches!(
+            engine.submit(steady(None, 3.0)),
+            Err(ServeError::ShuttingDown)
+        ));
+        engine.worker_loop(0); // drains the backlog, then exits
+        assert!(t.wait().is_ok());
+        assert!(engine.await_drained(Duration::from_secs(5)));
+        assert_eq!(engine.outstanding(), 0);
+    }
+
+    #[test]
+    fn cancel_outstanding_fails_queued_work_with_typed_errors() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        let t1 = engine.submit(steady(None, 1.0)).unwrap();
+        let t2 = engine.submit(steady(Some("q"), 2.0)).unwrap();
+        engine.begin_drain();
+        engine.cancel_outstanding();
+        assert!(matches!(t1.wait(), Err(ServeError::ShuttingDown)));
+        assert!(matches!(t2.wait(), Err(ServeError::ShuttingDown)));
+        assert!(engine.await_drained(Duration::from_millis(100)));
+        // The key points at nothing: a post-restart retry starts fresh.
+        assert!(engine.lock_cache().entries.is_empty());
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded_and_oldest_first() {
+        let engine = Engine::new(
+            FakeEval::answering(),
+            EngineConfig {
+                cache_capacity: 2,
+                ..EngineConfig::default()
+            },
+        );
+        drive(&engine, 1, || {
+            for (i, key) in ["a", "b", "c"].iter().enumerate() {
+                let t = engine.submit(steady(Some(key), i as f64)).unwrap();
+                t.wait().unwrap();
+            }
+        });
+        let cache = engine.lock_cache();
+        assert_eq!(cache.entries.len(), 2);
+        assert!(!cache.entries.contains_key("a"));
+        assert!(cache.entries.contains_key("b") && cache.entries.contains_key("c"));
+    }
+}

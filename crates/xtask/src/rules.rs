@@ -66,6 +66,11 @@ pub struct FileContext {
     /// File is the sanctioned thread-management module
     /// (`crates/core/src/parallel.rs`): `unbounded-spawn` does not apply.
     pub allow_thread: bool,
+    /// `unbounded-queue` applies: queue-growth calls without a visible
+    /// capacity guard are flagged. On for the service layer
+    /// (`crates/serve/src/*`) and the thread module, where an unbounded
+    /// backlog defeats admission control.
+    pub check_queue: bool,
     /// File is on the `unsafe` allowlist (currently empty).
     pub allow_unsafe: bool,
 }
@@ -80,6 +85,7 @@ impl FileContext {
             check_sleep: true,
             allow_thread: false,
             allow_unsafe: false,
+            check_queue: true,
         }
     }
 
@@ -92,6 +98,7 @@ impl FileContext {
             check_sleep: false,
             allow_thread: false,
             allow_unsafe: false,
+            check_queue: false,
         }
     }
 }
@@ -137,6 +144,16 @@ pub const CATALOG: &[RuleInfo] = &[
                   bypasses worker capping and first-error-by-index semantics; \
                   use tecopt::parallel",
         scope: "everywhere except crates/core/src/parallel.rs",
+    },
+    RuleInfo {
+        id: "unbounded-queue",
+        severity: Severity::Error,
+        summary: "std::sync::mpsc::channel() and VecDeque push_back/push_front \
+                  with no visible len/capacity guard grow without bound under \
+                  load; every service-layer queue must be bounded and shed \
+                  (guard heuristic: a `len`/`capacity` token within the \
+                  preceding 64 tokens)",
+        scope: "crates/serve/src/* and crates/core/src/parallel.rs",
     },
     RuleInfo {
         id: "unsafe-code",
@@ -201,6 +218,9 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> LintOutcome {
     }
     if !ctx.allow_thread {
         check_unbounded_spawn(&toks, ctx, &mut findings);
+    }
+    if ctx.check_queue {
+        check_unbounded_queue(&toks, ctx, &mut findings);
     }
     if !ctx.allow_unsafe {
         check_unsafe(&toks, ctx, &mut findings);
@@ -635,6 +655,59 @@ fn check_unbounded_spawn(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Fin
                  tecopt::parallel"
                     .to_string(),
             );
+        }
+    }
+}
+
+/// How far back (in tokens) the guard scan of `unbounded-queue` looks for
+/// a `len`/`capacity` mention before a growth call. Wide enough for a
+/// guard clause a few statements up, narrow enough that an unrelated
+/// `len()` in a different function rarely shadows a real finding.
+const QUEUE_GUARD_WINDOW: usize = 64;
+
+fn check_unbounded_queue(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        // Pass 1: the unbounded std channel constructor. `sync_channel`
+        // (bounded) is a different identifier and never matches.
+        if t.is_ident("channel") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            push(
+                findings,
+                "unbounded-queue",
+                ctx,
+                t,
+                "`channel()` is the *unbounded* std mpsc constructor; a \
+                 service-layer queue must be bounded so overload sheds with \
+                 a typed error instead of growing the backlog"
+                    .to_string(),
+            );
+        }
+
+        // Pass 2: VecDeque growth with no visible capacity guard nearby.
+        if (t.is_ident("push_back") || t.is_ident("push_front"))
+            && i.checked_sub(1)
+                .and_then(|p| toks.get(p))
+                .is_some_and(|p| p.is_punct("."))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let start = i.saturating_sub(QUEUE_GUARD_WINDOW);
+            let guarded = toks[start..i]
+                .iter()
+                .any(|g| g.is_ident("len") || g.is_ident("capacity"));
+            if !guarded {
+                push(
+                    findings,
+                    "unbounded-queue",
+                    ctx,
+                    t,
+                    format!(
+                        "`{}` with no visible len/capacity guard in the \
+                         preceding {QUEUE_GUARD_WINDOW} tokens grows a queue \
+                         without bound under load; check depth against a cap \
+                         and shed before pushing",
+                        t.text
+                    ),
+                );
+            }
         }
     }
 }

@@ -29,6 +29,10 @@ const LINALG_PREFIX: &str = "crates/linalg/src/";
 /// The one module allowed to touch `std::thread`.
 const THREAD_MODULE: &str = "crates/core/src/parallel.rs";
 
+/// Prefix of the service layer: every queue here must be bounded
+/// (`unbounded-queue`), or admission control is a fiction.
+const QUEUE_PREFIX: &str = "crates/serve/src/";
+
 /// Modules allowed to contain `unsafe`. Currently empty: every crate also
 /// carries `#![forbid(unsafe_code)]`, so the two layers agree.
 const UNSAFE_ALLOWLIST: &[&str] = &[];
@@ -53,6 +57,9 @@ pub fn context_for(rel: &str) -> FileContext {
         check_sleep: kernel || rel == THREAD_MODULE,
         allow_thread: rel == THREAD_MODULE,
         allow_unsafe: UNSAFE_ALLOWLIST.contains(&rel),
+        // Queues grown in the service layer or inside the thread module's
+        // work distribution must stay visibly bounded.
+        check_queue: rel.starts_with(QUEUE_PREFIX) || rel == THREAD_MODULE,
     }
 }
 
@@ -192,5 +199,11 @@ mod tests {
         assert!(context_for("crates/linalg/src/cg.rs").check_sleep);
         assert!(context_for("crates/core/src/runaway.rs").check_sleep);
         assert!(!context_for("crates/core/src/designer.rs").check_sleep);
+        // Queue-bounding scoping: the service layer and the thread module.
+        assert!(context_for("crates/serve/src/queue.rs").check_queue);
+        assert!(context_for("crates/serve/src/engine.rs").check_queue);
+        assert!(context_for("crates/core/src/parallel.rs").check_queue);
+        assert!(!context_for("crates/core/src/designer.rs").check_queue);
+        assert!(!context_for("crates/linalg/src/cholesky.rs").check_queue);
     }
 }

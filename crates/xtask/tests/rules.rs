@@ -29,6 +29,7 @@ fn catalog_is_complete_and_unique() {
             "nan-unsafe-cmp",
             "panic-in-kernel",
             "unbounded-spawn",
+            "unbounded-queue",
             "unsafe-code",
             "sleep-in-kernel",
             "float-cast-truncation",
@@ -113,6 +114,31 @@ fn unbounded_spawn_fixture() {
     let mut ctx = FileContext::plain("fx");
     ctx.allow_thread = true;
     let out = lint_source(&fixture("unbounded_spawn.rs"), &ctx);
+    assert_eq!(triples(&out), []);
+}
+
+#[test]
+fn unbounded_queue_fixture() {
+    let mut ctx = FileContext::plain("fx");
+    ctx.check_queue = true;
+    let out = lint_source(&fixture("unbounded_queue.rs"), &ctx);
+    assert_eq!(
+        triples(&out),
+        [
+            // the unbounded std mpsc constructor
+            ("unbounded-queue", 3, 37),
+            // VecDeque growth with no len/capacity guard in the window
+            ("unbounded-queue", 4, 7),
+            ("unbounded-queue", 5, 7),
+            // `sync_channel` and the len-guarded push_back are not findings
+        ]
+    );
+    // The justified growth on line 10 is silenced by its allow comment.
+    assert_eq!(out.suppressed, 1);
+
+    // Outside the queue scope (everywhere but crates/serve and the thread
+    // module) the rule is fully off.
+    let out = lint_source(&fixture("unbounded_queue.rs"), &FileContext::plain("fx"));
     assert_eq!(triples(&out), []);
 }
 

@@ -21,7 +21,12 @@
 #      supervised sweep runtime (cancellation, deadlines, worker panics,
 #      checkpoint kill/resume), single-threaded and including the
 #      `#[ignore]`d heavyweight 32x32 kill-at-every-probe-boundary sweep
-#      that the ordinary test passes skip.
+#      that the ordinary test passes skip,
+#   9. the serve chaos pass (tests/serve_chaos.rs): torn frames, client
+#      deaths mid-request, overload shedding, deadline storms, panic
+#      containment, and graceful drain against a live tecopt-serve
+#      server, single-threaded and including the `#[ignore]`d 8-client
+#      mixed-chaos soak.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -50,5 +55,8 @@ cargo test -q --workspace -- --test-threads=1
 
 echo "==> cargo test -q --test chaos -- --test-threads=1 --include-ignored"
 cargo test -q --test chaos -- --test-threads=1 --include-ignored
+
+echo "==> cargo test -q --test serve_chaos -- --test-threads=1 --include-ignored"
+cargo test -q --test serve_chaos -- --test-threads=1 --include-ignored
 
 echo "==> all checks passed"
