@@ -67,6 +67,25 @@ pub enum OptError {
         /// Stringified panic payload (best effort).
         payload: String,
     },
+    /// A transient controller panicked while choosing the next current.
+    /// The panic was caught at the step boundary: the simulator state and
+    /// the partial trace up to that step remain valid.
+    ControllerPanicked {
+        /// Zero-based timestep whose control decision panicked.
+        step: usize,
+        /// Stringified panic payload (best effort).
+        payload: String,
+    },
+    /// A transient schedule carried a non-finite tile power. The sample
+    /// never reached the solver; the partial trace up to the poisoned
+    /// segment travels alongside this error in
+    /// [`TransientFailure`](crate::transient::TransientFailure).
+    NonFinitePower {
+        /// Zero-based timestep at which the poisoned segment begins.
+        step: usize,
+        /// Index of the first non-finite tile power in the segment.
+        tile: usize,
+    },
     /// A device-layer operation failed.
     Device(DeviceError),
     /// A thermal-model operation failed.
@@ -109,6 +128,13 @@ impl fmt::Display for OptError {
             OptError::WorkerPanicked { index, payload } => {
                 write!(f, "worker panicked on sweep item {index}: {payload}")
             }
+            OptError::ControllerPanicked { step, payload } => {
+                write!(f, "controller panicked at timestep {step}: {payload}")
+            }
+            OptError::NonFinitePower { step, tile } => write!(
+                f,
+                "non-finite tile power at timestep {step}, tile {tile}; sample refused before the solver"
+            ),
             OptError::Device(e) => write!(f, "device layer failure: {e}"),
             OptError::Thermal(e) => write!(f, "thermal layer failure: {e}"),
             OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
@@ -190,6 +216,15 @@ mod tests {
         }
         .to_string()
         .contains("item 2: boom"));
+        assert!(OptError::ControllerPanicked {
+            step: 4,
+            payload: "bad policy".into()
+        }
+        .to_string()
+        .contains("timestep 4: bad policy"));
+        assert!(OptError::NonFinitePower { step: 7, tile: 3 }
+            .to_string()
+            .contains("timestep 7, tile 3"));
         let e = OptError::Linalg(LinalgError::NotPositiveDefinite { pivot: 0 });
         assert!(e.source().is_some());
         assert!(OptError::NoDevicesDeployed.source().is_none());

@@ -72,6 +72,7 @@ mod convexity;
 mod current;
 mod deploy;
 pub mod designer;
+pub mod envelope;
 mod error;
 mod lambda;
 pub mod multipin;
@@ -91,6 +92,9 @@ pub use current::{optimize_current, CurrentMethod, CurrentOptimum, CurrentSettin
 pub use deploy::{
     evaluate_deployments, evaluate_deployments_supervised, full_cover, greedy_deploy,
     DeployIteration, DeployOutcome, DeploySettings, Deployment,
+};
+pub use envelope::{
+    EnvelopeEvent, EnvelopeSettings, EnvelopedController, SafetyEnvelope, ViolationKind,
 };
 pub use error::OptError;
 pub use lambda::{runaway_limit, RunawayLimit};

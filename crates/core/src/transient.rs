@@ -32,10 +32,21 @@
 //! # }
 //! ```
 
+use core::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use crate::parallel::panic_message;
+use crate::supervise::{fingerprint, hex_f64, parse_hex_f64, RunContext, CHECKPOINT_HEADER};
 use crate::{CoolingSystem, OptError};
 use tecopt_thermal::transient::BackwardEuler;
 use tecopt_thermal::ThermalError;
 use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
+
+/// `kind` field of a transient-playback checkpoint file.
+const CHECKPOINT_KIND: &str = "transient-playback";
 
 /// One recorded instant of a transient run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +68,12 @@ pub struct TransientTrace {
 }
 
 impl TransientTrace {
+    /// Builds a trace directly from recorded samples (property tests and
+    /// checkpoint resume).
+    pub fn from_samples(samples: Vec<TransientSample>) -> TransientTrace {
+        TransientTrace { samples }
+    }
+
     /// The recorded samples in time order.
     pub fn samples(&self) -> &[TransientSample] {
         &self.samples
@@ -92,6 +109,12 @@ pub trait TecController {
     /// Chooses the current for the next step given the latest monitor
     /// reading.
     fn next_current(&mut self, peak: Celsius) -> Amperes;
+}
+
+impl<T: TecController + ?Sized> TecController for Box<T> {
+    fn next_current(&mut self, peak: Celsius) -> Amperes {
+        (**self).next_current(peak)
+    }
 }
 
 /// Always-on constant current (the paper's static operating point).
@@ -239,6 +262,207 @@ impl<C: TecController> TecController for SlewLimited<C> {
     }
 }
 
+/// A serializable controller description: what travels over the serve
+/// wire and into checkpoint fingerprints.
+///
+/// Unlike the panicking controller constructors, [`ControllerSpec::build`]
+/// validates the parameters and returns a typed error, so untrusted input
+/// (a wire frame, a config file) can never abort the process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControllerSpec {
+    /// An always-on [`ConstantCurrent`].
+    Constant {
+        /// The constant supply current.
+        current: Amperes,
+    },
+    /// A hysteretic [`BangBangController`].
+    BangBang {
+        /// Switch-on threshold.
+        upper: Celsius,
+        /// Switch-off threshold; must be below `upper`.
+        lower: Celsius,
+        /// Current applied while engaged.
+        on_current: Amperes,
+    },
+    /// A [`ProportionalController`].
+    Proportional {
+        /// Target peak temperature.
+        target: Celsius,
+        /// Gain in amperes per kelvin of error.
+        gain: f64,
+        /// Output clamp.
+        max_current: Amperes,
+    },
+}
+
+impl ControllerSpec {
+    /// Validates the parameters and constructs the controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidParameter`] for non-finite fields, a
+    /// negative constant or on-current, an empty hysteresis band, or a
+    /// nonpositive gain or current clamp.
+    pub fn build(&self) -> Result<Box<dyn TecController + Send>, OptError> {
+        match *self {
+            ControllerSpec::Constant { current } => {
+                if !current.value().is_finite() || current.value() < 0.0 {
+                    return Err(OptError::InvalidParameter(format!(
+                        "constant controller current must be finite and nonnegative, got {}",
+                        current.value()
+                    )));
+                }
+                Ok(Box::new(ConstantCurrent(current)))
+            }
+            ControllerSpec::BangBang {
+                upper,
+                lower,
+                on_current,
+            } => {
+                if !upper.value().is_finite()
+                    || !lower.value().is_finite()
+                    || upper.value() <= lower.value()
+                {
+                    return Err(OptError::InvalidParameter(format!(
+                        "bang-bang band [{}, {}] °C must be finite and non-empty",
+                        lower.value(),
+                        upper.value()
+                    )));
+                }
+                if !on_current.value().is_finite() || on_current.value() < 0.0 {
+                    return Err(OptError::InvalidParameter(format!(
+                        "bang-bang on-current must be finite and nonnegative, got {}",
+                        on_current.value()
+                    )));
+                }
+                Ok(Box::new(BangBangController::new(upper, lower, on_current)))
+            }
+            ControllerSpec::Proportional {
+                target,
+                gain,
+                max_current,
+            } => {
+                if !target.value().is_finite() {
+                    return Err(OptError::InvalidParameter(format!(
+                        "proportional target must be finite, got {}",
+                        target.value()
+                    )));
+                }
+                if !gain.is_finite() || gain <= 0.0 {
+                    return Err(OptError::InvalidParameter(format!(
+                        "proportional gain must be finite and positive, got {gain}"
+                    )));
+                }
+                if !max_current.value().is_finite() || max_current.value() <= 0.0 {
+                    return Err(OptError::InvalidParameter(format!(
+                        "proportional current clamp must be finite and positive, got {}",
+                        max_current.value()
+                    )));
+                }
+                Ok(Box::new(ProportionalController::new(
+                    target,
+                    gain,
+                    max_current,
+                )))
+            }
+        }
+    }
+
+    /// Canonical bit-exact encoding, used in checkpoint and result-cache
+    /// fingerprints.
+    pub fn digest(&self) -> String {
+        match *self {
+            ControllerSpec::Constant { current } => {
+                format!("const {}", hex_f64(current.value()))
+            }
+            ControllerSpec::BangBang {
+                upper,
+                lower,
+                on_current,
+            } => format!(
+                "bang {} {} {}",
+                hex_f64(upper.value()),
+                hex_f64(lower.value()),
+                hex_f64(on_current.value())
+            ),
+            ControllerSpec::Proportional {
+                target,
+                gain,
+                max_current,
+            } => format!(
+                "prop {} {} {}",
+                hex_f64(target.value()),
+                hex_f64(gain),
+                hex_f64(max_current.value())
+            ),
+        }
+    }
+}
+
+/// A failed supervised transient run: the typed error plus the partial
+/// trace recorded before the failure. Mirrors
+/// [`SweepFailure`](crate::supervise::SweepFailure) for sweeps: nothing
+/// already simulated is thrown away.
+#[derive(Debug, Clone)]
+pub struct TransientFailure {
+    /// Why the run stopped.
+    pub error: OptError,
+    /// Samples recorded before the failure (possibly empty).
+    pub partial: TransientTrace,
+}
+
+impl TransientFailure {
+    /// Steps fully recorded before the failure.
+    pub fn completed(&self) -> usize {
+        self.partial.samples().len()
+    }
+
+    /// Discards the partial trace, keeping the error.
+    pub fn into_error(self) -> OptError {
+        self.error
+    }
+}
+
+impl fmt::Display for TransientFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transient run failed after {} recorded steps: {}",
+            self.completed(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for TransientFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<TransientFailure> for OptError {
+    fn from(failure: TransientFailure) -> OptError {
+        failure.error
+    }
+}
+
+/// Counters from the solve-site guard: how many implicit solves were
+/// issued, and how many commands were refused at the solve boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Steps that reached the implicit solver (all with `i < λ_m`).
+    pub solves_issued: u64,
+    /// Commands refused at the solve site with `i ≥ λ_m` or non-finite.
+    pub refused: u64,
+}
+
+/// The guard itself: limit plus counters.
+#[derive(Debug, Clone, Copy)]
+struct SolveGuard {
+    limit: f64,
+    stats: GuardStats,
+}
+
 /// The transient co-simulator.
 #[derive(Debug, Clone)]
 pub struct TransientSimulator {
@@ -251,6 +475,11 @@ pub struct TransientSimulator {
     /// that toggle between a few levels (bang-bang, quantized P-control)
     /// reuse factorizations instead of re-factoring every switch.
     cache: std::collections::HashMap<u64, BackwardEuler>,
+    /// `false` switches to the refactor-per-step oracle path, kept only
+    /// as an equivalence reference and a benchmark baseline.
+    reuse_factorization: bool,
+    /// Optional solve-site guard enforcing `i < λ_m` at every step.
+    guard: Option<SolveGuard>,
 }
 
 impl TransientSimulator {
@@ -275,13 +504,77 @@ impl TransientSimulator {
             theta: vec![ambient; n],
             time: 0.0,
             cache: std::collections::HashMap::new(),
+            reuse_factorization: true,
+            guard: None,
         })
     }
 
     /// Seeds the state from a solved steady state instead of ambient.
-    pub fn start_from(&mut self, temps: &[Kelvin]) {
-        assert_eq!(temps.len(), self.theta.len(), "state length mismatch");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidParameter`] if the state length does not
+    /// match the model's node count or any entry is non-finite.
+    pub fn start_from(&mut self, temps: &[Kelvin]) -> Result<(), OptError> {
+        if temps.len() != self.theta.len() {
+            return Err(OptError::InvalidParameter(format!(
+                "state has {} entries, model has {} nodes",
+                temps.len(),
+                self.theta.len()
+            )));
+        }
+        if let Some(bad) = temps.iter().position(|t| !t.value().is_finite()) {
+            return Err(OptError::InvalidParameter(format!(
+                "state entry {bad} is not finite"
+            )));
+        }
         self.theta = temps.iter().map(|t| t.value()).collect();
+        Ok(())
+    }
+
+    /// Installs a solve-site guard: every subsequent [`step`] with a
+    /// current at or beyond `limit` (or non-finite) is refused with a
+    /// typed [`OptError::BeyondRunaway`] *before* any factorization or
+    /// solve, and counted in [`guard_stats`]. Pass the system's λ_m to
+    /// turn Lemma 1's envelope into a hard invariant of the simulator.
+    ///
+    /// [`step`]: TransientSimulator::step
+    /// [`guard_stats`]: TransientSimulator::guard_stats
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidParameter`] for a non-finite or
+    /// nonpositive limit.
+    pub fn set_guard(&mut self, limit: Amperes) -> Result<(), OptError> {
+        if !limit.value().is_finite() || limit.value() <= 0.0 {
+            return Err(OptError::InvalidParameter(format!(
+                "guard limit must be positive and finite, got {}",
+                limit.value()
+            )));
+        }
+        self.guard = Some(SolveGuard {
+            limit: limit.value(),
+            stats: GuardStats::default(),
+        });
+        Ok(())
+    }
+
+    /// Counters of the installed guard, or `None` if no guard is set.
+    /// Counters reflect this process only: steps recovered from a
+    /// checkpoint were solved (and counted) by the process that wrote it.
+    pub fn guard_stats(&self) -> Option<GuardStats> {
+        self.guard.map(|g| g.stats)
+    }
+
+    /// Chooses between the factorization-reuse fast path (the default)
+    /// and the refactor-per-step oracle used for equivalence testing and
+    /// benchmarking. Both paths are bit-identical by construction — the
+    /// same matrix is factored either once or every step.
+    pub fn set_factorization_reuse(&mut self, reuse: bool) {
+        self.reuse_factorization = reuse;
+        if !reuse {
+            self.cache.clear();
+        }
     }
 
     /// Elapsed simulation time in seconds.
@@ -325,8 +618,16 @@ impl TransientSimulator {
                 actual: tile_powers.len(),
             }));
         }
+        if let Some(guard) = self.guard.as_mut() {
+            if !current.value().is_finite() || current.value() >= guard.limit {
+                guard.stats.refused += 1;
+                return Err(OptError::BeyondRunaway {
+                    current: current.value(),
+                });
+            }
+        }
         let key = current.value().to_bits();
-        if !self.cache.contains_key(&key) {
+        if self.reuse_factorization && !self.cache.contains_key(&key) {
             // Bound the cache so a continuously-varying controller cannot
             // hold an unbounded number of factorizations.
             if self.cache.len() >= 8 {
@@ -338,9 +639,21 @@ impl TransientSimulator {
             self.cache.insert(key, stepper);
         }
         let p = self.system.stamped().power_vector(tile_powers, current)?;
-        // The branch above guarantees the entry exists for `key`.
-        #[allow(clippy::expect_used)]
-        let stepper = self.cache.get(&key).expect("stepper cached above");
+        let fresh;
+        let stepper = if self.reuse_factorization {
+            // The branch above guarantees the entry exists for `key`.
+            #[allow(clippy::expect_used)]
+            {
+                self.cache.get(&key).expect("stepper cached above")
+            }
+        } else {
+            let a = self.system.stamped().system_matrix(current)?;
+            fresh = BackwardEuler::new(&a, &self.capacitance, self.dt).map_err(OptError::from)?;
+            &fresh
+        };
+        if let Some(guard) = self.guard.as_mut() {
+            guard.stats.solves_issued += 1;
+        }
         self.theta = stepper
             .step(&self.theta, &p)
             .map_err(|e: ThermalError| OptError::from(e))?;
@@ -395,6 +708,420 @@ impl TransientSimulator {
         }
         Ok(trace)
     }
+
+    /// Per-segment step counts and the total, after validating durations.
+    fn plan_schedule(
+        &self,
+        schedule: &[(f64, Vec<Watts>)],
+    ) -> Result<(Vec<usize>, usize), OptError> {
+        let mut plan = Vec::with_capacity(schedule.len());
+        let mut total = 0usize;
+        for (seg, (duration, _)) in schedule.iter().enumerate() {
+            if !duration.is_finite() || *duration <= 0.0 {
+                return Err(OptError::InvalidParameter(format!(
+                    "schedule segment {seg} duration must be positive and finite, got {duration}"
+                )));
+            }
+            let steps = (duration / self.dt).ceil() as usize;
+            plan.push(steps);
+            total += steps;
+        }
+        Ok((plan, total))
+    }
+
+    /// Runs a schedule under a [`RunContext`]: one probe admission per
+    /// timestep (cancellation, deadline, and probe budget all gate at step
+    /// boundaries), non-finite tile powers refused before they reach the
+    /// solver, and controller panics caught at the step they occur. Every
+    /// failure carries the partial trace recorded so far.
+    ///
+    /// Any checkpoint path on `ctx` is ignored here; use
+    /// [`run_schedule_checkpointed`](TransientSimulator::run_schedule_checkpointed)
+    /// for resumable playback.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientFailure`] wrapping the typed [`OptError`]: `Cancelled`
+    /// or `DeadlineExceeded` on supervision exhaustion,
+    /// [`OptError::NonFinitePower`] for poisoned samples,
+    /// [`OptError::ControllerPanicked`] for caught panics, and any
+    /// stepping error.
+    pub fn run_schedule_supervised(
+        &mut self,
+        schedule: &[(f64, Vec<Watts>)],
+        controller: &mut (dyn TecController + Send),
+        ctx: &RunContext,
+    ) -> Result<TransientTrace, TransientFailure> {
+        let (plan, total) = self
+            .plan_schedule(schedule)
+            .map_err(|error| TransientFailure {
+                error,
+                partial: TransientTrace::default(),
+            })?;
+        self.play(
+            schedule,
+            &plan,
+            total,
+            controller,
+            ctx,
+            TransientTrace::default(),
+            None,
+        )
+    }
+
+    /// [`run_schedule_supervised`](TransientSimulator::run_schedule_supervised)
+    /// with versioned checkpoint/resume at timestep boundaries.
+    ///
+    /// When `ctx` carries a checkpoint path, every completed step is
+    /// appended (and flushed) to the checkpoint before it is reported, so
+    /// a killed run resumes *bit-identically*: the recorded samples are
+    /// decoded from their exact bit patterns, the thermal state `θ` and
+    /// clock are restored from the last intact record, and the controller
+    /// — which must be passed in its **initial** state — is fast-forwarded
+    /// by replaying its decisions over the recorded peak sequence (no
+    /// solves are re-issued for recovered steps).
+    ///
+    /// `params_fingerprint` must bind every input that is not digested
+    /// internally — in particular the controller and envelope
+    /// configuration (see [`ControllerSpec::digest`]). The simulator
+    /// digests its own timestep, node count, starting state, and the full
+    /// schedule; a checkpoint whose fingerprint or step total disagrees is
+    /// rejected as stale instead of silently resumed.
+    ///
+    /// # Errors
+    ///
+    /// As `run_schedule_supervised`, plus
+    /// [`OptError::InvalidParameter`] for stale or unreadable checkpoints.
+    pub fn run_schedule_checkpointed(
+        &mut self,
+        schedule: &[(f64, Vec<Watts>)],
+        controller: &mut (dyn TecController + Send),
+        params_fingerprint: u64,
+        ctx: &RunContext,
+    ) -> Result<TransientTrace, TransientFailure> {
+        let Some(path) = ctx.checkpoint_path().map(Path::to_path_buf) else {
+            return self.run_schedule_supervised(schedule, controller, ctx);
+        };
+        let fail = |error: OptError| TransientFailure {
+            error,
+            partial: TransientTrace::default(),
+        };
+        let (plan, total) = self.plan_schedule(schedule).map_err(fail)?;
+        let fp = self.playback_fingerprint(schedule, params_fingerprint);
+        let recovered =
+            load_transient_checkpoint(&path, fp, total, self.theta.len()).map_err(fail)?;
+
+        let mut trace = TransientTrace::default();
+        if let Some((samples, theta, time)) = recovered {
+            // Fast-forward the controller over the recorded peak sequence:
+            // the pre-step peak of step j is the post-step peak of j−1
+            // (the simulator's own starting peak for j = 0).
+            for (j, sample) in samples.iter().enumerate() {
+                let peak = if j == 0 {
+                    self.peak()
+                } else {
+                    samples[j - 1].peak
+                };
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(|| controller.next_current(peak)))
+                {
+                    return Err(TransientFailure {
+                        error: OptError::ControllerPanicked {
+                            step: j,
+                            payload: panic_message(payload),
+                        },
+                        partial: TransientTrace::from_samples(samples[..j].to_vec()),
+                    });
+                }
+                let _ = sample;
+            }
+            self.theta = theta;
+            self.time = time;
+            trace.samples = samples;
+        }
+
+        let mut writer = CheckpointWriter::open(&path, fp, total, !trace.samples.is_empty())
+            .map_err(|error| TransientFailure {
+                error,
+                partial: trace.clone(),
+            })?;
+        self.play(
+            schedule,
+            &plan,
+            total,
+            controller,
+            ctx,
+            trace,
+            Some(&mut writer),
+        )
+    }
+
+    /// Digest of everything the simulator itself contributes to a
+    /// playback checkpoint's identity.
+    fn playback_fingerprint(&self, schedule: &[(f64, Vec<Watts>)], params: u64) -> u64 {
+        let mut data = format!(
+            "{CHECKPOINT_KIND} params {params:016x} dt {} nodes {} time {} state",
+            hex_f64(self.dt),
+            self.theta.len(),
+            hex_f64(self.time)
+        );
+        for t in &self.theta {
+            data.push(' ');
+            data.push_str(&hex_f64(*t));
+        }
+        for (duration, powers) in schedule {
+            data.push_str(&format!(" seg {}", hex_f64(*duration)));
+            for p in powers {
+                data.push(' ');
+                data.push_str(&hex_f64(p.value()));
+            }
+        }
+        fingerprint(&data)
+    }
+
+    /// The shared playback loop: `trace` already holds the recovered
+    /// prefix (if any) and the simulator state matches its last sample.
+    #[allow(clippy::too_many_arguments)]
+    fn play(
+        &mut self,
+        schedule: &[(f64, Vec<Watts>)],
+        plan: &[usize],
+        total: usize,
+        controller: &mut (dyn TecController + Send),
+        ctx: &RunContext,
+        mut trace: TransientTrace,
+        mut writer: Option<&mut CheckpointWriter>,
+    ) -> Result<TransientTrace, TransientFailure> {
+        let mut done = trace.samples.len();
+        let mut base = 0usize;
+        for (seg_steps, (_, powers)) in plan.iter().zip(schedule) {
+            let seg_end = base + seg_steps;
+            if seg_end <= done {
+                // Entirely recovered from the checkpoint.
+                base = seg_end;
+                continue;
+            }
+            if let Some(tile) = powers.iter().position(|p| !p.value().is_finite()) {
+                return Err(TransientFailure {
+                    error: OptError::NonFinitePower { step: done, tile },
+                    partial: trace,
+                });
+            }
+            while done < seg_end {
+                if !ctx.admit() {
+                    let error = exhaustion(ctx, done, total);
+                    return Err(TransientFailure {
+                        error,
+                        partial: trace,
+                    });
+                }
+                let peak = self.peak();
+                let applied = match catch_unwind(AssertUnwindSafe(|| controller.next_current(peak)))
+                {
+                    Ok(amps) => amps,
+                    Err(payload) => {
+                        return Err(TransientFailure {
+                            error: OptError::ControllerPanicked {
+                                step: done,
+                                payload: panic_message(payload),
+                            },
+                            partial: trace,
+                        });
+                    }
+                };
+                let sample = match self.step(powers, applied) {
+                    Ok(sample) => sample,
+                    Err(error) => {
+                        return Err(TransientFailure {
+                            error,
+                            partial: trace,
+                        });
+                    }
+                };
+                if let Some(w) = writer.as_deref_mut() {
+                    if let Err(error) = w.append(done, &sample, &self.theta) {
+                        return Err(TransientFailure {
+                            error,
+                            partial: trace,
+                        });
+                    }
+                }
+                trace.samples.push(sample);
+                done += 1;
+            }
+            base = seg_end;
+        }
+        Ok(trace)
+    }
+}
+
+/// Maps a denied step admission to the matching typed error.
+fn exhaustion(ctx: &RunContext, done: usize, total: usize) -> OptError {
+    match ctx.ensure_live() {
+        Err(OptError::Cancelled { .. }) => OptError::Cancelled { completed: done },
+        _ => OptError::DeadlineExceeded {
+            completed: done,
+            remaining: total.saturating_sub(done),
+        },
+    }
+}
+
+/// Sequentially appends per-step records to a playback checkpoint.
+struct CheckpointWriter {
+    file: fs::File,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` for appending. A fresh file gets the four-line header;
+    /// on reopen (`resuming`) a defensive newline first terminates any
+    /// record torn by a mid-write kill, so the next append starts clean.
+    fn open(
+        path: &Path,
+        fp: u64,
+        total: usize,
+        resuming: bool,
+    ) -> Result<CheckpointWriter, OptError> {
+        let io = |e: std::io::Error| {
+            OptError::InvalidParameter(format!("checkpoint io at {}: {e}", path.display()))
+        };
+        let fresh = !path.exists();
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io)?;
+        if fresh {
+            write!(
+                file,
+                "{CHECKPOINT_HEADER}\nkind {CHECKPOINT_KIND}\nfingerprint {fp:016x}\ntotal {total}\n"
+            )
+            .map_err(io)?;
+        } else if resuming {
+            writeln!(file).map_err(io)?;
+        }
+        file.flush().map_err(io)?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Appends and flushes one step record: the sample fields plus the
+    /// full post-step state `θ`, all as bit-exact hex.
+    fn append(
+        &mut self,
+        idx: usize,
+        sample: &TransientSample,
+        theta: &[f64],
+    ) -> Result<(), OptError> {
+        let mut line = format!(
+            "item {idx} {} {} {} {}",
+            hex_f64(sample.time),
+            hex_f64(sample.peak.value()),
+            hex_f64(sample.current.value()),
+            hex_f64(sample.tec_power.value())
+        );
+        for t in theta {
+            line.push(' ');
+            line.push_str(&hex_f64(*t));
+        }
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| OptError::InvalidParameter(format!("checkpoint io: {e}")))
+    }
+}
+
+/// A recovered checkpoint prefix: the recorded samples, the post-step
+/// state `θ` of the last one, and its clock reading.
+type RecoveredPlayback = (Vec<TransientSample>, Vec<f64>, f64);
+
+/// Loads the longest intact step prefix of a playback checkpoint:
+/// `(samples, last θ, last time)`, or `None` for a missing file or an
+/// empty prefix. A header that disagrees with the expected fingerprint or
+/// step total is a stale checkpoint and a typed error; torn or duplicated
+/// item lines (a kill mid-append) are tolerated, later duplicates winning.
+fn load_transient_checkpoint(
+    path: &Path,
+    fp: u64,
+    total: usize,
+    nodes: usize,
+) -> Result<Option<RecoveredPlayback>, OptError> {
+    let content = match fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(OptError::InvalidParameter(format!(
+                "checkpoint io at {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let stale = |why: String| {
+        OptError::InvalidParameter(format!("stale checkpoint at {}: {why}", path.display()))
+    };
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let expect_header: [String; 4] = [
+        CHECKPOINT_HEADER.to_string(),
+        format!("kind {CHECKPOINT_KIND}"),
+        format!("fingerprint {fp:016x}"),
+        format!("total {total}"),
+    ];
+    for want in &expect_header {
+        let got = lines.next().unwrap_or("");
+        if got != want {
+            return Err(stale(format!("expected `{want}`, found `{got}`")));
+        }
+    }
+
+    // Item lines keyed by index, later duplicates winning (a torn line may
+    // be re-appended intact after a resume).
+    let mut records: Vec<Option<&str>> = vec![None; total];
+    for line in lines {
+        let mut it = line.split_ascii_whitespace();
+        if it.next() != Some("item") {
+            continue;
+        }
+        let Some(idx) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+            continue;
+        };
+        if idx >= total {
+            continue;
+        }
+        // A record is intact only with exactly 4 sample fields plus the
+        // full state vector, every one a well-formed hex f64.
+        let fields: Vec<&str> = it.collect();
+        if fields.len() != 4 + nodes || fields.iter().any(|f| parse_hex_f64(f).is_none()) {
+            continue;
+        }
+        records[idx] = Some(line);
+    }
+
+    let prefix = records.iter().take_while(|r| r.is_some()).count();
+    if prefix == 0 {
+        return Ok(None);
+    }
+    let mut samples = Vec::with_capacity(prefix);
+    let mut theta = Vec::new();
+    let mut time = 0.0f64;
+    for record in records.iter().take(prefix) {
+        // `prefix` only counts leading `Some` records.
+        #[allow(clippy::expect_used)]
+        let line = record.expect("prefix records are present");
+        let vals: Vec<f64> = line
+            .split_ascii_whitespace()
+            .skip(2)
+            .filter_map(parse_hex_f64)
+            .collect();
+        // Validated above: 4 sample fields + `nodes` state entries.
+        samples.push(TransientSample {
+            time: vals[0],
+            peak: Celsius(vals[1]),
+            current: Amperes(vals[2]),
+            tec_power: Watts(vals[3]),
+        });
+        time = vals[0];
+        theta = vals[4..].to_vec();
+    }
+    Ok(Some((samples, theta, time)))
 }
 
 #[cfg(test)]
@@ -443,7 +1170,7 @@ mod tests {
         let sys = system();
         let steady = sys.solve(Amperes(2.0)).unwrap();
         let mut sim = TransientSimulator::new(sys, 0.1).unwrap();
-        sim.start_from(steady.node_temperatures());
+        sim.start_from(steady.node_temperatures()).unwrap();
         let before = sim.peak();
         let mut ctl = ConstantCurrent(Amperes(2.0));
         let trace = sim.run(&hot_powers(), &mut ctl, 5.0).unwrap();
@@ -557,6 +1284,168 @@ mod tests {
             TransientSimulator::new(system(), 0.0),
             Err(OptError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn start_from_rejects_mismatched_and_poisoned_slices() {
+        let mut sim = TransientSimulator::new(system(), 0.5).unwrap();
+        let n = sim.system().stamped().model().node_count();
+        assert!(matches!(
+            sim.start_from(&vec![Kelvin(300.0); n - 1]),
+            Err(OptError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            sim.start_from(&vec![Kelvin(300.0); n + 3]),
+            Err(OptError::InvalidParameter(_))
+        ));
+        let mut poisoned = vec![Kelvin(300.0); n];
+        poisoned[2] = Kelvin(f64::NAN);
+        assert!(matches!(
+            sim.start_from(&poisoned),
+            Err(OptError::InvalidParameter(_))
+        ));
+        // The rejected calls left the state untouched and usable.
+        assert!(sim.start_from(&vec![Kelvin(300.0); n]).is_ok());
+        assert!(sim.peak().value().is_finite());
+    }
+
+    #[test]
+    fn step_rejects_mismatched_power_slices() {
+        let mut sim = TransientSimulator::new(system(), 0.5).unwrap();
+        for len in [0usize, 15, 17] {
+            assert!(matches!(
+                sim.step(&vec![Watts(0.05); len], Amperes(1.0)),
+                Err(OptError::Thermal(ThermalError::PowerLengthMismatch { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn refactor_oracle_is_bit_identical_to_factorization_reuse() {
+        let mut fast = TransientSimulator::new(system(), 0.5).unwrap();
+        let mut oracle = TransientSimulator::new(system(), 0.5).unwrap();
+        oracle.set_factorization_reuse(false);
+        let mut ctl_a = BangBangController::new(Celsius(80.0), Celsius(76.0), Amperes(4.0));
+        let mut ctl_b = ctl_a;
+        let ta = fast.run(&hot_powers(), &mut ctl_a, 30.0).unwrap();
+        let tb = oracle.run(&hot_powers(), &mut ctl_b, 30.0).unwrap();
+        assert_eq!(ta.samples().len(), tb.samples().len());
+        for (a, b) in ta.samples().iter().zip(tb.samples()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.peak.value().to_bits(), b.peak.value().to_bits());
+            assert_eq!(a.current.value().to_bits(), b.current.value().to_bits());
+            assert_eq!(a.tec_power.value().to_bits(), b.tec_power.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn guard_refuses_unsafe_and_non_finite_currents_before_solving() {
+        let mut sim = TransientSimulator::new(system(), 0.5).unwrap();
+        sim.set_guard(Amperes(5.0)).unwrap();
+        for unsafe_amps in [5.0, 7.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                sim.step(&hot_powers(), Amperes(unsafe_amps)),
+                Err(OptError::BeyondRunaway { .. })
+            ));
+        }
+        assert!(sim.step(&hot_powers(), Amperes(3.0)).is_ok());
+        let stats = sim.guard_stats().unwrap();
+        assert_eq!(stats.refused, 4);
+        assert_eq!(stats.solves_issued, 1);
+        assert!(sim.set_guard(Amperes(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn controller_spec_builds_validate_instead_of_panicking() {
+        assert!(ControllerSpec::Constant {
+            current: Amperes(2.0)
+        }
+        .build()
+        .is_ok());
+        for bad in [
+            ControllerSpec::Constant {
+                current: Amperes(-1.0),
+            },
+            ControllerSpec::Constant {
+                current: Amperes(f64::NAN),
+            },
+            ControllerSpec::BangBang {
+                upper: Celsius(70.0),
+                lower: Celsius(75.0),
+                on_current: Amperes(2.0),
+            },
+            ControllerSpec::BangBang {
+                upper: Celsius(80.0),
+                lower: Celsius(75.0),
+                on_current: Amperes(-2.0),
+            },
+            ControllerSpec::Proportional {
+                target: Celsius(70.0),
+                gain: 0.0,
+                max_current: Amperes(4.0),
+            },
+            ControllerSpec::Proportional {
+                target: Celsius(f64::NAN),
+                gain: 1.0,
+                max_current: Amperes(4.0),
+            },
+        ] {
+            assert!(
+                matches!(bad.build(), Err(OptError::InvalidParameter(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        // Digests are bit-exact and shape-distinct.
+        let a = ControllerSpec::Constant {
+            current: Amperes(2.0),
+        };
+        let b = ControllerSpec::Constant {
+            current: Amperes(2.0 + 1e-16),
+        };
+        assert_eq!(a.digest(), a.digest());
+        assert_ne!(
+            a.digest(),
+            ControllerSpec::Proportional {
+                target: Celsius(70.0),
+                gain: 1.0,
+                max_current: Amperes(2.0)
+            }
+            .digest()
+        );
+        let _ = b;
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised_bitwise() {
+        let schedule = vec![(5.0, hot_powers()), (5.0, vec![Watts(0.02); 16])];
+        let mut plain = TransientSimulator::new(system(), 0.5).unwrap();
+        let mut ctl_a = ConstantCurrent(Amperes(2.0));
+        let reference = plain.run_schedule(&schedule, &mut ctl_a).unwrap();
+        let mut supervised = TransientSimulator::new(system(), 0.5).unwrap();
+        let mut ctl_b = ConstantCurrent(Amperes(2.0));
+        let ctx = RunContext::unbounded();
+        let trace = supervised
+            .run_schedule_supervised(&schedule, &mut ctl_b, &ctx)
+            .unwrap();
+        assert_eq!(reference.samples().len(), trace.samples().len());
+        for (a, b) in reference.samples().iter().zip(trace.samples()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.peak.value().to_bits(), b.peak.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn supervised_run_rejects_bad_durations_with_empty_partial() {
+        let mut sim = TransientSimulator::new(system(), 0.5).unwrap();
+        let mut ctl = ConstantCurrent(Amperes(1.0));
+        let ctx = RunContext::unbounded();
+        for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let failure = sim
+                .run_schedule_supervised(&[(bad, hot_powers())], &mut ctl, &ctx)
+                .unwrap_err();
+            assert!(matches!(failure.error, OptError::InvalidParameter(_)));
+            assert_eq!(failure.completed(), 0);
+        }
     }
 
     #[test]

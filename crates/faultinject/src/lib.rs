@@ -252,6 +252,65 @@ impl<E: tecopt_serve::Evaluator> tecopt_serve::Evaluator for SlowEvaluator<E> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Transient-schedule chaos: workload injectors for the safety envelope
+// ---------------------------------------------------------------------
+
+/// Injects a power spike into a transient schedule: a new segment of
+/// `duration` seconds, with `extra` watts added to every tile of the
+/// preceding segment's power map, spliced in after segment
+/// `after_segment`. Drives the safety envelope's trip path — a
+/// temperature excursion mid-trace that a correct envelope must ride out
+/// without ever issuing a solve at `i ≥ λ_m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeTrace {
+    /// Zero-based segment index the spike follows.
+    pub after_segment: usize,
+    /// Spike duration, seconds.
+    pub duration: f64,
+    /// Power added to every tile for the spike's duration.
+    pub extra: tecopt_units::Watts,
+}
+
+impl SpikeTrace {
+    /// Splices the spike segment into `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (test helper) when `after_segment` is out of bounds.
+    pub fn apply(&self, schedule: &mut Vec<(f64, Vec<tecopt_units::Watts>)>) {
+        let (_, base) = &schedule[self.after_segment];
+        let spiked: Vec<tecopt_units::Watts> = base
+            .iter()
+            .map(|p| tecopt_units::Watts(p.value() + self.extra.value()))
+            .collect();
+        schedule.insert(self.after_segment + 1, (self.duration, spiked));
+    }
+}
+
+/// Poisons one tile power of one schedule segment with NaN. The hardened
+/// playback loop must refuse the sample *before* the solver sees it —
+/// [`OptError::NonFinitePower`](tecopt::OptError::NonFinitePower) naming
+/// this exact segment boundary and tile, with the partial trace intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NanSample {
+    /// Zero-based segment whose power map is poisoned.
+    pub segment: usize,
+    /// Zero-based tile index set to NaN.
+    pub tile: usize,
+}
+
+impl NanSample {
+    /// Applies the poisoning in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics (test helper) when either index is out of bounds.
+    pub fn apply(&self, schedule: &mut [(f64, Vec<tecopt_units::Watts>)]) {
+        schedule[self.segment].1[self.tile] = tecopt_units::Watts(f64::NAN);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +433,41 @@ mod tests {
             assert_eq!(outcome.is_err(), call % 3 == 0, "call {call}");
         }
         assert_eq!(eval.calls(), 6);
+    }
+
+    #[test]
+    fn spike_trace_splices_an_elevated_segment() {
+        use tecopt_units::Watts;
+        let mut schedule = vec![
+            (2.0, vec![Watts(0.1), Watts(0.2)]),
+            (3.0, vec![Watts(0.3), Watts(0.4)]),
+        ];
+        SpikeTrace {
+            after_segment: 0,
+            duration: 0.5,
+            extra: Watts(1.0),
+        }
+        .apply(&mut schedule);
+        assert_eq!(schedule.len(), 3);
+        assert_eq!(schedule[1].0, 0.5);
+        assert_eq!(schedule[1].1, vec![Watts(1.1), Watts(1.2)]);
+        // The surrounding segments are untouched.
+        assert_eq!(schedule[0].1, vec![Watts(0.1), Watts(0.2)]);
+        assert_eq!(schedule[2].1, vec![Watts(0.3), Watts(0.4)]);
+    }
+
+    #[test]
+    fn nan_sample_poisons_exactly_one_tile() {
+        use tecopt_units::Watts;
+        let mut schedule = vec![(1.0, vec![Watts(0.1), Watts(0.2), Watts(0.3)])];
+        NanSample {
+            segment: 0,
+            tile: 1,
+        }
+        .apply(&mut schedule);
+        assert!(schedule[0].1[1].value().is_nan());
+        assert_eq!(schedule[0].1[0], Watts(0.1));
+        assert_eq!(schedule[0].1[2], Watts(0.3));
     }
 
     #[test]

@@ -38,13 +38,16 @@ use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, PushError};
-use crate::wire::{Request, RequestFrame, Response};
+use crate::wire::{encode_request, Request, RequestFrame, Response};
 use tecopt::parallel::panic_message;
 use tecopt::runaway::sweep_fractions_supervised;
+use tecopt::supervise::fingerprint;
+use tecopt::transient::{TransientFailure, TransientSimulator};
 use tecopt::{
-    score_candidates, CancelToken, CoolingSystem, CurrentSettings, OptError, RunContext,
-    SweepFailure,
+    runaway_limit, score_candidates, CancelToken, CoolingSystem, CurrentSettings,
+    EnvelopedController, OptError, RunContext, SafetyEnvelope, SweepFailure,
 };
+use tecopt_units::Amperes;
 
 /// Evaluates one request under a supervision context. Implementations
 /// must honor the context's cancel token and deadline at their internal
@@ -59,17 +62,115 @@ pub trait Evaluator: Send + Sync {
     fn evaluate(&self, request: &Request, ctx: &RunContext) -> Result<Response, OptError>;
 }
 
+/// Completed transient summaries kept for fingerprint-keyed replay.
+/// Transient playbacks are the service's most expensive evaluations and
+/// fully deterministic, so identical traces (same body, *regardless* of
+/// idempotency key) replay from here. The cache clears wholesale when
+/// full — eviction order is irrelevant at this size and clearing keeps
+/// the structure allocation-free on the hit path.
+const TRANSIENT_CACHE_CAPACITY: usize = 128;
+
 /// The production evaluator: one shared [`CoolingSystem`] snapshot.
 pub struct TecEvaluator {
     system: CoolingSystem,
     settings: CurrentSettings,
+    /// The runaway limit λ_m, computed once on first transient request.
+    /// Every request shares one system snapshot, so λ_m never changes.
+    lambda: Mutex<Option<Amperes>>,
+    /// Deterministic transient results keyed on the trace fingerprint.
+    transient_cache: Mutex<HashMap<u64, Response>>,
 }
 
 impl TecEvaluator {
     /// Serves evaluations of `system`, optimizing designer candidates
     /// with `settings`.
     pub fn new(system: CoolingSystem, settings: CurrentSettings) -> TecEvaluator {
-        TecEvaluator { system, settings }
+        TecEvaluator {
+            system,
+            settings,
+            lambda: Mutex::new(None),
+            transient_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// λ_m for the served system, computed lazily and cached. Transient
+    /// requests on a passive system fail here with
+    /// [`OptError::NoDevicesDeployed`] — an envelope without a runaway
+    /// limit to enforce would be vacuous.
+    fn lambda_limit(&self) -> Result<Amperes, OptError> {
+        let mut slot = self.lambda.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(lambda) = *slot {
+            return Ok(lambda);
+        }
+        let lambda = runaway_limit(&self.system, self.settings.lambda_tolerance)?.lambda();
+        *slot = Some(lambda);
+        Ok(lambda)
+    }
+
+    fn evaluate_transient(
+        &self,
+        request: &Request,
+        ctx: &RunContext,
+    ) -> Result<Response, OptError> {
+        let Request::Transient {
+            dt,
+            limit,
+            envelope,
+            controller,
+            schedule,
+        } = request
+        else {
+            return Err(OptError::InvalidParameter(
+                "evaluate_transient called with a non-transient request".into(),
+            ));
+        };
+        // The trace fingerprint: the canonical wire encoding of the bare
+        // request digests every parameter bit-exactly. It keys the result
+        // cache and binds the controller + envelope configuration into the
+        // playback checkpoint identity (the simulator digests the rest).
+        let fp = fingerprint(&encode_request(&RequestFrame {
+            key: None,
+            deadline_ms: None,
+            request: request.clone(),
+        }));
+        if let Some(hit) = self
+            .transient_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fp)
+        {
+            return Ok(hit.clone());
+        }
+
+        let lambda = self.lambda_limit()?;
+        let mut ctl = EnvelopedController::new(
+            controller.build()?,
+            SafetyEnvelope::new(lambda, envelope.clone())?,
+        );
+        let mut sim = TransientSimulator::new(self.system.clone(), *dt)?;
+        sim.set_guard(lambda)?;
+        let trace = sim
+            .run_schedule_checkpointed(schedule, &mut ctl, fp, ctx)
+            .map_err(TransientFailure::into_error)?;
+        let solves = sim.guard_stats().map_or(0, |s| s.solves_issued);
+        let response = Response::Transient {
+            steps: trace.samples().len(),
+            peak: trace.peak().unwrap_or_else(|| sim.peak()),
+            violation_fraction: trace.violation_fraction(*limit),
+            tec_energy_joules: trace.tec_energy_joules(*dt),
+            envelope_events: ctl.envelope().violations_total(),
+            tripped: ctl.envelope().trips() > 0,
+            solves,
+        };
+        let mut cache = self
+            .transient_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if cache.len() >= TRANSIENT_CACHE_CAPACITY {
+            cache.clear();
+        }
+        cache.insert(fp, response.clone());
+        Ok(response)
     }
 }
 
@@ -101,6 +202,7 @@ impl Evaluator for TecEvaluator {
                     .map_err(SweepFailure::into_error)?;
                 Ok(Response::Designer { scores })
             }
+            Request::Transient { .. } => self.evaluate_transient(request, ctx),
         }
     }
 }
@@ -464,10 +566,16 @@ impl<E: Evaluator> Engine<E> {
         if let Some(deadline) = job.deadline {
             ctx = ctx.deadline_at(deadline);
         }
-        if let (Some(dir), Some(key), Request::Designer { .. }) =
-            (&self.config.checkpoint_dir, &job.key, &job.request)
-        {
-            ctx = ctx.checkpoint(dir.join(format!("{key}.ckpt")));
+        if let (Some(dir), Some(key)) = (&self.config.checkpoint_dir, &job.key) {
+            // Only the resumable request kinds get a checkpoint path:
+            // designer sweeps (probe-granular) and transient playbacks
+            // (timestep-granular, DESIGN.md §14).
+            if matches!(
+                job.request,
+                Request::Designer { .. } | Request::Transient { .. }
+            ) {
+                ctx = ctx.checkpoint(dir.join(format!("{key}.ckpt")));
+            }
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             self.evaluator.evaluate(&job.request, &ctx)

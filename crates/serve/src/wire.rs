@@ -27,7 +27,8 @@
 use crate::error::ServeError;
 use tecopt::runaway::SweepPoint;
 use tecopt::supervise::{hex_f64, parse_hex_f64};
-use tecopt::{CandidateScore, TileIndex};
+use tecopt::transient::ControllerSpec;
+use tecopt::{CandidateScore, EnvelopeSettings, TileIndex};
 use tecopt_units::{Amperes, Celsius, Watts};
 
 /// Hard cap on one frame, bytes, terminator included. Large enough for a
@@ -43,6 +44,16 @@ pub const MAX_CANDIDATES: usize = 1024;
 
 /// Most tiles one candidate deployment may carry.
 pub const MAX_TILES_PER_CANDIDATE: usize = 4096;
+
+/// Most workload segments one transient request may carry.
+pub const MAX_SCHEDULE_SEGMENTS: usize = 256;
+
+/// Most tile powers one workload segment may carry.
+pub const MAX_TILES_PER_SEGMENT: usize = 4096;
+
+/// Most timesteps one transient request may imply (`Σ ceil(duration/dt)`),
+/// checked at decode so an admitted frame can never demand unbounded work.
+pub const MAX_TRANSIENT_STEPS: usize = 200_000;
 
 /// One evaluation request, as admitted by the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +75,20 @@ pub enum Request {
     Designer {
         /// Candidate deployments, each a set of tiles.
         candidates: Vec<Vec<TileIndex>>,
+    },
+    /// A safety-enveloped transient trace playback (checkpointable; see
+    /// DESIGN.md §14).
+    Transient {
+        /// Backward-Euler timestep, seconds.
+        dt: f64,
+        /// Peak-temperature threshold for the violation-fraction summary.
+        limit: Celsius,
+        /// Safety-envelope tuning applied around the controller.
+        envelope: EnvelopeSettings,
+        /// The current-control policy to play the trace under.
+        controller: ControllerSpec,
+        /// Piecewise-constant workload: `(duration_seconds, tile_powers)`.
+        schedule: Vec<(f64, Vec<Watts>)>,
     },
 }
 
@@ -88,6 +113,23 @@ pub enum Response {
     Designer {
         /// One score per candidate, input order preserved.
         scores: Vec<CandidateScore>,
+    },
+    /// Result of [`Request::Transient`]: the trace summary.
+    Transient {
+        /// Timesteps simulated.
+        steps: usize,
+        /// Hottest recorded peak temperature.
+        peak: Celsius,
+        /// Fraction of samples whose peak exceeded the request's limit.
+        violation_fraction: f64,
+        /// Electrical energy the TEC array consumed, joules.
+        tec_energy_joules: f64,
+        /// Envelope violations latched over the run.
+        envelope_events: usize,
+        /// Whether the envelope's trip latch ever engaged.
+        tripped: bool,
+        /// Implicit solves issued (all with `i < λ_m`, by the guard).
+        solves: u64,
     },
 }
 
@@ -158,6 +200,60 @@ pub fn encode_request(frame: &RequestFrame) -> String {
                 })
                 .collect();
             format!("designer {}", cands.join(";"))
+        }
+        Request::Transient {
+            dt,
+            limit,
+            envelope,
+            controller,
+            schedule,
+        } => {
+            let ctl = match controller {
+                ControllerSpec::Constant { current } => {
+                    format!("const:{}", hex_f64(current.value()))
+                }
+                ControllerSpec::BangBang {
+                    upper,
+                    lower,
+                    on_current,
+                } => format!(
+                    "bang:{}:{}:{}",
+                    hex_f64(upper.value()),
+                    hex_f64(lower.value()),
+                    hex_f64(on_current.value())
+                ),
+                ControllerSpec::Proportional {
+                    target,
+                    gain,
+                    max_current,
+                } => format!(
+                    "prop:{}:{}:{}",
+                    hex_f64(target.value()),
+                    hex_f64(*gain),
+                    hex_f64(max_current.value())
+                ),
+            };
+            let segs: Vec<String> = schedule
+                .iter()
+                .map(|(duration, powers)| {
+                    let mut s = hex_f64(*duration);
+                    for p in powers {
+                        s.push(':');
+                        s.push_str(&hex_f64(p.value()));
+                    }
+                    s
+                })
+                .collect();
+            format!(
+                "transient {} {} {}:{}:{}:{} {ctl} {}",
+                hex_f64(*dt),
+                hex_f64(limit.value()),
+                hex_f64(envelope.margin),
+                envelope.trip_after,
+                hex_f64(envelope.fallback.value()),
+                envelope.recovery_steps,
+                segs.join(";")
+            )
         }
     };
     format!(
@@ -231,6 +327,38 @@ pub fn decode_request(line: &str) -> Result<RequestFrame, ServeError> {
                 candidates: parse_candidates(spec)?,
             }
         }
+        "transient" => {
+            let dt = next_hex(&mut it, "transient dt")?;
+            if !dt.is_finite() || dt <= 0.0 {
+                return Err(decode_err(format!(
+                    "transient dt must be positive and finite, got {dt}"
+                )));
+            }
+            let limit = next_hex(&mut it, "transient limit")?;
+            if !limit.is_finite() {
+                return Err(decode_err("transient limit must be finite"));
+            }
+            let envelope = parse_envelope(
+                it.next()
+                    .ok_or_else(|| decode_err("missing envelope spec"))?,
+            )?;
+            let controller = parse_controller(
+                it.next()
+                    .ok_or_else(|| decode_err("missing controller spec"))?,
+            )?;
+            let schedule = parse_schedule(
+                it.next()
+                    .ok_or_else(|| decode_err("transient request needs a schedule"))?,
+                dt,
+            )?;
+            Request::Transient {
+                dt,
+                limit: Celsius(limit),
+                envelope,
+                controller,
+                schedule,
+            }
+        }
         other => return Err(decode_err(format!("unknown request kind `{other}`"))),
     };
     if it.next().is_some() {
@@ -288,6 +416,116 @@ fn parse_candidates(spec: &str) -> Result<Vec<Vec<TileIndex>>, ServeError> {
     Ok(candidates)
 }
 
+/// Parses `margin:trip_after:fallback:recovery_steps`. Semantic envelope
+/// validation (margin range, fallback bound) happens against λ_m at
+/// evaluation time; the decode layer only rejects malformed fields.
+fn parse_envelope(spec: &str) -> Result<EnvelopeSettings, ServeError> {
+    let bad = || decode_err(format!("malformed envelope spec `{spec}`"));
+    let mut parts = spec.split(':');
+    let margin = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let trip_after = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(bad)?;
+    let fallback = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let recovery_steps = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(EnvelopeSettings {
+        margin,
+        trip_after,
+        fallback: Amperes(fallback),
+        recovery_steps,
+    })
+}
+
+/// Parses `const:<i>`, `bang:<upper>:<lower>:<on>` or
+/// `prop:<target>:<gain>:<max>`. Semantic validation is
+/// [`ControllerSpec::build`]'s job at evaluation time.
+fn parse_controller(spec: &str) -> Result<ControllerSpec, ServeError> {
+    let bad = || decode_err(format!("malformed controller spec `{spec}`"));
+    let mut parts = spec.split(':');
+    let tag = parts.next().ok_or_else(bad)?;
+    let next = |parts: &mut std::str::Split<'_, char>| -> Result<f64, ServeError> {
+        parts.next().and_then(parse_hex_f64).ok_or_else(bad)
+    };
+    let ctl = match tag {
+        "const" => ControllerSpec::Constant {
+            current: Amperes(next(&mut parts)?),
+        },
+        "bang" => ControllerSpec::BangBang {
+            upper: Celsius(next(&mut parts)?),
+            lower: Celsius(next(&mut parts)?),
+            on_current: Amperes(next(&mut parts)?),
+        },
+        "prop" => ControllerSpec::Proportional {
+            target: Celsius(next(&mut parts)?),
+            gain: next(&mut parts)?,
+            max_current: Amperes(next(&mut parts)?),
+        },
+        _ => return Err(bad()),
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(ctl)
+}
+
+/// Parses `dur:p0:p1,...` segments joined by `;`, enforcing the segment,
+/// tile and total-step caps and rejecting non-finite fields — a NaN
+/// smuggled into a trace never reaches the engine.
+fn parse_schedule(spec: &str, dt: f64) -> Result<Vec<(f64, Vec<Watts>)>, ServeError> {
+    let mut schedule = Vec::new();
+    let mut total_steps = 0.0f64;
+    for seg in spec.split(';') {
+        if schedule.len() >= MAX_SCHEDULE_SEGMENTS {
+            return Err(decode_err(format!(
+                "schedule exceeds {MAX_SCHEDULE_SEGMENTS} segments"
+            )));
+        }
+        let mut parts = seg.split(':');
+        let duration = parts
+            .next()
+            .and_then(parse_hex_f64)
+            .ok_or_else(|| decode_err(format!("malformed schedule segment `{seg}`")))?;
+        if !duration.is_finite() || duration <= 0.0 {
+            return Err(decode_err(format!(
+                "segment duration must be positive and finite, got {duration}"
+            )));
+        }
+        let mut powers = Vec::new();
+        for field in parts {
+            if powers.len() >= MAX_TILES_PER_SEGMENT {
+                return Err(decode_err(format!(
+                    "segment exceeds {MAX_TILES_PER_SEGMENT} tile powers"
+                )));
+            }
+            let p = parse_hex(field, "tile power")?;
+            if !p.is_finite() {
+                return Err(decode_err("non-finite tile power in schedule"));
+            }
+            powers.push(Watts(p));
+        }
+        if powers.is_empty() {
+            return Err(decode_err("schedule segment carries no tile powers"));
+        }
+        // Durations and dt are finite and positive here, so the running
+        // total is never NaN; an overflow to +inf still trips the cap.
+        total_steps += (duration / dt).ceil();
+        if total_steps > MAX_TRANSIENT_STEPS as f64 {
+            return Err(decode_err(format!(
+                "schedule implies more than {MAX_TRANSIENT_STEPS} timesteps"
+            )));
+        }
+        schedule.push((duration, powers));
+    }
+    Ok(schedule)
+}
+
 // ---------------------------------------------------------------------
 // Response encoding
 // ---------------------------------------------------------------------
@@ -338,6 +576,21 @@ pub fn encode_response(key: Option<&str>, result: &Result<Response, ServeError>)
                     }
                     s
                 }
+                Response::Transient {
+                    steps,
+                    peak,
+                    violation_fraction,
+                    tec_energy_joules,
+                    envelope_events,
+                    tripped,
+                    solves,
+                } => format!(
+                    "transient {steps} {} {} {} {envelope_events} {} {solves}",
+                    hex_f64(peak.value()),
+                    hex_f64(*violation_fraction),
+                    hex_f64(*tec_energy_joules),
+                    u8::from(*tripped),
+                ),
             };
             format!("ok {} {body}", encode_key(key))
         }
@@ -407,6 +660,38 @@ pub fn decode_response(line: &str) -> Result<ResponseFrame, ServeError> {
                         scores.push(parse_score(field)?);
                     }
                     Response::Designer { scores }
+                }
+                "transient" => {
+                    let bad = |what: &str| decode_err(format!("malformed transient {what}"));
+                    let steps = it
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| bad("steps"))?;
+                    let peak = Celsius(next_hex(&mut it, "transient peak")?);
+                    let violation_fraction = next_hex(&mut it, "violation fraction")?;
+                    let tec_energy_joules = next_hex(&mut it, "tec energy")?;
+                    let envelope_events = it
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| bad("event count"))?;
+                    let tripped = match it.next() {
+                        Some("0") => false,
+                        Some("1") => true,
+                        _ => return Err(bad("trip flag")),
+                    };
+                    let solves = it
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| bad("solve count"))?;
+                    Response::Transient {
+                        steps,
+                        peak,
+                        violation_fraction,
+                        tec_energy_joules,
+                        envelope_events,
+                        tripped,
+                        solves,
+                    }
                 }
                 other => return Err(decode_err(format!("unknown response kind `{other}`"))),
             };
@@ -522,6 +807,98 @@ mod tests {
                 ],
             },
         });
+    }
+
+    #[test]
+    fn transient_requests_round_trip() {
+        for controller in [
+            ControllerSpec::Constant {
+                current: Amperes(2.5),
+            },
+            ControllerSpec::BangBang {
+                upper: Celsius(80.0),
+                lower: Celsius(76.0),
+                on_current: Amperes(4.0),
+            },
+            ControllerSpec::Proportional {
+                target: Celsius(78.0),
+                gain: 0.75,
+                max_current: Amperes(6.0),
+            },
+        ] {
+            round_trip_request(RequestFrame {
+                key: Some("t-1".into()),
+                deadline_ms: Some(2000),
+                request: Request::Transient {
+                    dt: 0.5,
+                    limit: Celsius(85.0),
+                    envelope: EnvelopeSettings {
+                        margin: 0.9,
+                        trip_after: 3,
+                        fallback: Amperes(0.25),
+                        recovery_steps: 8,
+                    },
+                    controller,
+                    schedule: vec![
+                        (2.0, vec![Watts(0.05), Watts(0.6)]),
+                        (3.0, vec![Watts(0.02), Watts(0.02)]),
+                    ],
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_transient_requests_yield_typed_decode_errors() {
+        let env = "3feccccccccccccd:3:0000000000000000:8";
+        let seg = "3ff0000000000000:3fa999999999999a";
+        let nan = "7ff8000000000000";
+        let cases = [
+            // dt must be positive and finite.
+            format!("req - - transient 0000000000000000 4054000000000000 {env} const:00 {seg}"),
+            format!("req - - transient {nan} 4054000000000000 {env} const:0000000000000000 {seg}"),
+            // Limit must be finite.
+            format!("req - - transient 3ff0000000000000 {nan} {env} const:0000000000000000 {seg}"),
+            // Envelope spec arity.
+            format!("req - - transient 3ff0000000000000 4054000000000000 3feccccccccccccd:3 const:0000000000000000 {seg}"),
+            // Unknown controller tag / arity.
+            format!("req - - transient 3ff0000000000000 4054000000000000 {env} pid:00:00:00 {seg}"),
+            format!("req - - transient 3ff0000000000000 4054000000000000 {env} bang:0000000000000000 {seg}"),
+            // Schedule: bad duration, NaN power, empty segment.
+            format!("req - - transient 3ff0000000000000 4054000000000000 {env} const:0000000000000000 8000000000000000:3fa999999999999a"),
+            format!("req - - transient 3ff0000000000000 4054000000000000 {env} const:0000000000000000 3ff0000000000000:{nan}"),
+            format!("req - - transient 3ff0000000000000 4054000000000000 {env} const:0000000000000000 3ff0000000000000"),
+        ];
+        for line in &cases {
+            match decode_request(line) {
+                Err(ServeError::DecodeError(_)) => {}
+                other => panic!("`{line}` should fail decode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_step_cap_is_enforced_at_decode() {
+        // One segment of 1e9 s at dt = 1 s implies 1e9 steps: far beyond
+        // the cap, rejected before any work is admitted.
+        let frame = RequestFrame {
+            key: None,
+            deadline_ms: None,
+            request: Request::Transient {
+                dt: 1.0,
+                limit: Celsius(85.0),
+                envelope: EnvelopeSettings::default(),
+                controller: ControllerSpec::Constant {
+                    current: Amperes(1.0),
+                },
+                schedule: vec![(1e9, vec![Watts(0.05)])],
+            },
+        };
+        let line = encode_request(&frame);
+        assert!(matches!(
+            decode_request(&line),
+            Err(ServeError::DecodeError(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,14 @@
+pub fn f(envelope: &mut Env, policy: &mut P, peak: f64) -> f64 {
+    let current = policy.next_current(peak);
+    let applied_current = envelope.clamp_command(current);
+    let commanded = raw_policy_output(peak);
+    let on_current = spec.on * 2.0;
+    current_total = current_total + applied_current;
+    let voltage = bus.next_voltage(peak);
+    if current == 0.0 {
+        return 0.0;
+    }
+    // tecopt:allow(unclamped-current) startup default, clamped at the solve site
+    let fallback_current = 0.0;
+    applied_current + fallback_current
+}

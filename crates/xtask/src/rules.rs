@@ -73,6 +73,12 @@ pub struct FileContext {
     pub check_queue: bool,
     /// File is on the `unsafe` allowlist (currently empty).
     pub allow_unsafe: bool,
+    /// `unclamped-current` applies: assignments to commanded-current
+    /// identifiers must show clamping evidence on their right-hand side.
+    /// On for the transient simulator and the safety envelope, where an
+    /// unclamped command is exactly the bug class the envelope exists to
+    /// stop.
+    pub check_current_clamp: bool,
 }
 
 impl FileContext {
@@ -86,6 +92,7 @@ impl FileContext {
             allow_thread: false,
             allow_unsafe: false,
             check_queue: true,
+            check_current_clamp: true,
         }
     }
 
@@ -99,6 +106,7 @@ impl FileContext {
             allow_thread: false,
             allow_unsafe: false,
             check_queue: false,
+            check_current_clamp: false,
         }
     }
 }
@@ -173,6 +181,16 @@ pub const CATALOG: &[RuleInfo] = &[
                 crates/core/src/parallel.rs",
     },
     RuleInfo {
+        id: "unclamped-current",
+        severity: Severity::Error,
+        summary: "an assignment to a commanded-current identifier \
+                  (`current`, `*_current`, `commanded*`) with no `clamp` \
+                  call on its right-hand side can reach the solver at or \
+                  beyond the runaway limit; route commands through \
+                  SafetyEnvelope::clamp_command",
+        scope: "crates/core/src/transient.rs and crates/core/src/envelope.rs",
+    },
+    RuleInfo {
         id: "float-cast-truncation",
         severity: Severity::Warning,
         summary: "`as` casts from float to int silently truncate/saturate; \
@@ -221,6 +239,9 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> LintOutcome {
     }
     if ctx.check_queue {
         check_unbounded_queue(&toks, ctx, &mut findings);
+    }
+    if ctx.check_current_clamp {
+        check_unclamped_current(&toks, ctx, &mut findings);
     }
     if !ctx.allow_unsafe {
         check_unsafe(&toks, ctx, &mut findings);
@@ -708,6 +729,64 @@ fn check_unbounded_queue(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Fin
                     ),
                 );
             }
+        }
+    }
+}
+
+/// Identifier shapes treated as "a commanded current". Deliberately
+/// narrow: `current_total` or `recurrent` are not commands, and a rename
+/// that dodges the shape also dodges the reviewer-facing convention the
+/// rule enforces.
+fn is_current_ident(text: &str) -> bool {
+    text == "current" || text.ends_with("_current") || text.starts_with("commanded")
+}
+
+fn check_unclamped_current(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !is_current_ident(&t.text) {
+            continue;
+        }
+        // Only plain assignments (including `let` bindings): the lexer
+        // merges `==`, `!=`, `<=`, `>=` and `=>` into single tokens, so a
+        // bare `=` after the identifier is always an assignment target.
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("=")) {
+            continue;
+        }
+        // Scan the right-hand side — up to the `;` at bracket depth zero —
+        // for clamping evidence: any identifier mentioning `clamp`
+        // (`clamp`, `clamp_command`, `clamped_fallback`, ...).
+        let mut depth = 0isize;
+        let mut j = i + 2;
+        let mut clamped = false;
+        while let Some(n) = toks.get(j) {
+            if n.is_punct("(") || n.is_punct("[") || n.is_punct("{") {
+                depth += 1;
+            } else if n.is_punct(")") || n.is_punct("]") || n.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    break; // end of the enclosing block: expression tail
+                }
+            } else if depth == 0 && n.is_punct(";") {
+                break;
+            } else if n.kind == TokKind::Ident && n.text.contains("clamp") {
+                clamped = true;
+            }
+            j += 1;
+        }
+        if !clamped {
+            push(
+                findings,
+                "unclamped-current",
+                ctx,
+                t,
+                format!(
+                    "`{}` is assigned with no clamping evidence on the \
+                     right-hand side; route commanded currents through \
+                     `SafetyEnvelope::clamp_command` (or a clamp helper) \
+                     before they can reach the solver",
+                    t.text
+                ),
+            );
         }
     }
 }

@@ -37,6 +37,14 @@ const QUEUE_PREFIX: &str = "crates/serve/src/";
 /// carries `#![forbid(unsafe_code)]`, so the two layers agree.
 const UNSAFE_ALLOWLIST: &[&str] = &[];
 
+/// Files where every assignment to a commanded-current identifier must
+/// show clamping evidence (`unclamped-current`): the transient simulator
+/// and the safety envelope itself.
+const CURRENT_CLAMP_FILES: &[&str] = &[
+    "crates/core/src/transient.rs",
+    "crates/core/src/envelope.rs",
+];
+
 /// Directory names never descended into below a member's `src/`.
 const SKIP_DIRS: &[&str] = &["tests", "fixtures", "benches", "examples", "target"];
 
@@ -60,6 +68,7 @@ pub fn context_for(rel: &str) -> FileContext {
         // Queues grown in the service layer or inside the thread module's
         // work distribution must stay visibly bounded.
         check_queue: rel.starts_with(QUEUE_PREFIX) || rel == THREAD_MODULE,
+        check_current_clamp: CURRENT_CLAMP_FILES.contains(&rel),
     }
 }
 
@@ -205,5 +214,10 @@ mod tests {
         assert!(context_for("crates/core/src/parallel.rs").check_queue);
         assert!(!context_for("crates/core/src/designer.rs").check_queue);
         assert!(!context_for("crates/linalg/src/cholesky.rs").check_queue);
+        // Current-clamp scoping: transient playback and the envelope only.
+        assert!(context_for("crates/core/src/transient.rs").check_current_clamp);
+        assert!(context_for("crates/core/src/envelope.rs").check_current_clamp);
+        assert!(!context_for("crates/core/src/current.rs").check_current_clamp);
+        assert!(!context_for("crates/serve/src/engine.rs").check_current_clamp);
     }
 }

@@ -32,6 +32,7 @@ fn catalog_is_complete_and_unique() {
             "unbounded-queue",
             "unsafe-code",
             "sleep-in-kernel",
+            "unclamped-current",
             "float-cast-truncation",
             "todo-markers",
         ]
@@ -179,6 +180,32 @@ fn sleep_in_kernel_fixture() {
     assert!(triples(&out)
         .iter()
         .all(|(rule, _, _)| *rule != "sleep-in-kernel"));
+}
+
+#[test]
+fn unclamped_current_fixture() {
+    let mut ctx = FileContext::plain("fx");
+    ctx.check_current_clamp = true;
+    let out = lint_source(&fixture("unclamped_current.rs"), &ctx);
+    assert_eq!(
+        triples(&out),
+        [
+            // `let current = policy.next_current(...)` — no clamp in sight.
+            ("unclamped-current", 2, 9),
+            // `commanded*` and `*_current` shapes are covered too; the
+            // clamp_command assignment on line 3, the `current_total`
+            // accumulator, the non-current binding, and the `==`
+            // comparison are all non-findings.
+            ("unclamped-current", 4, 9),
+            ("unclamped-current", 5, 9),
+        ]
+    );
+    // Line 12's startup default is justified by its allow comment.
+    assert_eq!(out.suppressed, 1);
+
+    // Outside the transient/envelope scope the rule is fully off.
+    let out = lint_source(&fixture("unclamped_current.rs"), &FileContext::plain("fx"));
+    assert_eq!(triples(&out), []);
 }
 
 #[test]

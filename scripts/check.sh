@@ -26,7 +26,15 @@
 #      deaths mid-request, overload shedding, deadline storms, panic
 #      containment, and graceful drain against a live tecopt-serve
 #      server, single-threaded and including the `#[ignore]`d 8-client
-#      mixed-chaos soak.
+#      mixed-chaos soak,
+#  10. the transient chaos pass (tests/transient_chaos.rs): hostile and
+#      panicking controllers, mid-trace power spikes, NaN samples, and
+#      kill-at-every-step checkpoint resume against the safety-enveloped
+#      transient runtime (DESIGN.md §14), single-threaded and including
+#      the `#[ignore]`d playback-resume chains,
+#  11. the PR-6 acceptance benchmark (bench_pr6): factorization-reuse
+#      speedup ≥ 5x and safety-envelope overhead ≤ 2%, regenerating the
+#      committed BENCH_PR6.json.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -58,5 +66,11 @@ cargo test -q --test chaos -- --test-threads=1 --include-ignored
 
 echo "==> cargo test -q --test serve_chaos -- --test-threads=1 --include-ignored"
 cargo test -q --test serve_chaos -- --test-threads=1 --include-ignored
+
+echo "==> cargo test -q --test transient_chaos -- --test-threads=1 --include-ignored"
+cargo test -q --test transient_chaos -- --test-threads=1 --include-ignored
+
+echo "==> cargo run --release -p tecopt-bench --bin bench_pr6 > BENCH_PR6.json"
+cargo run --release -q -p tecopt-bench --bin bench_pr6 > BENCH_PR6.json
 
 echo "==> all checks passed"

@@ -4,11 +4,12 @@
 //! panics and never unbounded loops.
 
 use proptest::prelude::*;
+use tecopt::transient::{TransientSample, TransientTrace};
 use tecopt::{runaway_limit, CoolingSystem, OptError, PackageConfig, TecParams, TileIndex};
 use tecopt_linalg::SolverPolicy;
 use tecopt_power::{Floorplan, Unit};
 use tecopt_thermal::Rect;
-use tecopt_units::{Amperes, Meters, Watts};
+use tecopt_units::{Amperes, Celsius, Meters, Watts};
 
 fn base_system(tile_power: f64) -> Result<CoolingSystem, OptError> {
     let config = PackageConfig::hotspot41_like(4, 4).unwrap();
@@ -119,5 +120,88 @@ proptest! {
             }
             Err(e) => prop_assert!(false, "unexpected error {e:?}"),
         }
+    }
+}
+
+/// A trace of `(peak °C, TEC power W)` pairs with bounded finite values —
+/// the raw material for the summary-statistic properties below.
+fn trace_samples() -> impl Strategy<Value = Vec<TransientSample>> {
+    collection::vec((-50.0f64..200.0, 0.0f64..10.0), 0..64).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (peak, power))| TransientSample {
+                time: (i + 1) as f64 * 0.25,
+                peak: Celsius(peak),
+                current: Amperes(1.0),
+                tec_power: Watts(power),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn violation_fraction_is_a_nan_free_monotone_fraction(
+        samples in trace_samples(),
+        limit in -100.0f64..250.0,
+        slack in 0.0f64..50.0,
+    ) {
+        let trace = TransientTrace::from_samples(samples.clone());
+        let f = trace.violation_fraction(Celsius(limit));
+        // Always a well-defined fraction — an empty trace included (0.0,
+        // not 0/0), and never NaN for any finite limit.
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        // It is exactly the count of strictly-over samples.
+        let over = samples.iter().filter(|s| s.peak.value() > limit).count();
+        if samples.is_empty() {
+            prop_assert!(f == 0.0);
+        } else {
+            prop_assert!(f == over as f64 / samples.len() as f64);
+        }
+        // Loosening the limit can only shrink the fraction.
+        let looser = trace.violation_fraction(Celsius(limit + slack));
+        prop_assert!(looser <= f, "loosening {limit} by {slack} grew {f} to {looser}");
+    }
+
+    #[test]
+    fn tec_energy_is_the_finite_rectangle_sum(
+        samples in trace_samples(),
+        dt in 1e-6f64..10.0,
+    ) {
+        let trace = TransientTrace::from_samples(samples.clone());
+        let e = trace.tec_energy_joules(dt);
+        // Nonnegative powers integrate to a finite, nonnegative energy;
+        // the empty trace integrates to exactly zero.
+        prop_assert!(e.is_finite() && e >= 0.0, "energy {e}");
+        if samples.is_empty() {
+            prop_assert!(e == 0.0);
+        }
+        let expected: f64 = samples.iter().map(|s| s.tec_power.value() * dt).sum();
+        prop_assert!(e == expected, "{e} != rectangle sum {expected}");
+        // Doubling the timestep doubles the energy bit-exactly: scaling
+        // every term and every partial sum by 2 is lossless in binary.
+        prop_assert!(trace.tec_energy_joules(2.0 * dt) == 2.0 * e);
+    }
+
+    #[test]
+    fn single_sample_statistics_are_exact(
+        peak in -50.0f64..200.0,
+        power in 0.0f64..10.0,
+        dt in 1e-6f64..10.0,
+    ) {
+        let trace = TransientTrace::from_samples(vec![TransientSample {
+            time: dt,
+            peak: Celsius(peak),
+            current: Amperes(0.5),
+            tec_power: Watts(power),
+        }]);
+        prop_assert!(trace.tec_energy_joules(dt) == power * dt);
+        // A one-sample fraction is exactly 0 or 1, decided strictly.
+        prop_assert!(trace.violation_fraction(Celsius(peak)) == 0.0);
+        prop_assert!(trace.violation_fraction(Celsius(peak - 1.0)) == 1.0);
+        prop_assert_eq!(trace.peak(), Some(Celsius(peak)));
     }
 }
