@@ -31,6 +31,36 @@ pub fn h_column(system: &CoolingSystem, current: Amperes, l: usize) -> Result<Ve
     system.solve_rhs(current, &e)
 }
 
+/// Several columns of `H(i)` from one factorization: the batched form of
+/// [`h_column`], solving every unit vector in `ls` against the same
+/// factored `G − i·D` with a blocked multi-RHS substitution. Agrees with
+/// per-column [`h_column`] solves to solver accuracy.
+///
+/// # Errors
+///
+/// Same failure modes as [`h_column`].
+pub fn h_columns(
+    system: &CoolingSystem,
+    current: Amperes,
+    ls: &[usize],
+) -> Result<Vec<Vec<f64>>, OptError> {
+    let n = system.stamped().model().node_count();
+    let rhs: Vec<Vec<f64>> = ls
+        .iter()
+        .map(|&l| {
+            let mut e = vec![0.0; n];
+            let Some(slot) = e.get_mut(l) else {
+                return Err(OptError::InvalidParameter(format!(
+                    "node index {l} out of range for {n} nodes"
+                )));
+            };
+            *slot = 1.0;
+            Ok(e)
+        })
+        .collect::<Result<_, _>>()?;
+    system.solve_rhs_many(current, &rhs)
+}
+
 /// `η_k(i) = Σ_{l ∈ HOT∪CLD} h_kl(i)` for every node `k` (Eq. 10): the
 /// temperature response to a unit of Joule heat spread over the device
 /// junctions.
@@ -427,6 +457,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_columns_match_per_column_solves() {
+        let s = system(&[TileIndex::new(1, 1), TileIndex::new(2, 2)]);
+        let (cold, hot) = s.stamped().junctions()[0];
+        let peak_node = s.stamped().model().silicon_nodes()[5].index();
+        let ls = [cold, hot, peak_node];
+        for i in [0.0, 1.5, 3.0] {
+            let batched = h_columns(&s, Amperes(i), &ls).unwrap();
+            assert_eq!(batched.len(), ls.len());
+            for (col, &l) in batched.iter().zip(&ls) {
+                let single = h_column(&s, Amperes(i), l).unwrap();
+                for (a, b) in col.iter().zip(&single) {
+                    assert!(
+                        (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+                        "column {l} at i={i}: batched {a} vs single {b}"
+                    );
+                }
+            }
+        }
+        assert!(matches!(
+            h_columns(&s, Amperes(0.0), &[0, 10_000]),
+            Err(OptError::InvalidParameter(_))
+        ));
     }
 
     #[test]

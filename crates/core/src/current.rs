@@ -13,7 +13,8 @@
 //!   subgradient `dθ/di = H·D·H·p + H·p′(i)` evaluated with two extra
 //!   triangular solves, plus a backtracking line search.
 
-use crate::{runaway_limit, CoolingSystem, OptError, SolvedState, SteadySolver};
+use crate::lambda::runaway_limit_fast;
+use crate::{runaway_limit, CoolingSystem, FactorStrategy, OptError, SolvedState, SteadySolver};
 use tecopt_units::Amperes;
 
 /// Optimization back end.
@@ -136,6 +137,25 @@ pub fn optimize_current(
     system: &CoolingSystem,
     settings: CurrentSettings,
 ) -> Result<CurrentOptimum, OptError> {
+    optimize_current_with(system, settings, FactorStrategy::Refactor)
+}
+
+/// [`optimize_current`] routed through a [`FactorStrategy`]:
+/// [`FactorStrategy::Refactor`] is exactly `optimize_current` (bit for
+/// bit), while [`FactorStrategy::RankKUpdate`] replaces the per-probe
+/// Cholesky factorizations with rank-k updates over one cached `i = 0`
+/// factor and the `λ_m` bisection with O(k³) inertia probes
+/// ([`runaway_limit_fast`]) — the per-placement evaluation the fast greedy
+/// deployment runs.
+///
+/// # Errors
+///
+/// Same contract as [`optimize_current`].
+pub fn optimize_current_with(
+    system: &CoolingSystem,
+    settings: CurrentSettings,
+    strategy: FactorStrategy,
+) -> Result<CurrentOptimum, OptError> {
     if system.device_count() == 0 {
         return Err(OptError::NoDevicesDeployed);
     }
@@ -156,7 +176,10 @@ pub fn optimize_current(
             "max_evaluations must be positive".into(),
         ));
     }
-    let lim = runaway_limit(system, settings.lambda_tolerance)?;
+    let lim = match strategy {
+        FactorStrategy::Refactor => runaway_limit(system, settings.lambda_tolerance)?,
+        FactorStrategy::RankKUpdate => runaway_limit_fast(system, settings.lambda_tolerance)?,
+    };
     let ceiling = lim.search_ceiling(settings.ceiling_fraction)?.value();
     let lambda = lim.lambda();
     let probes = lim.probes();
@@ -164,7 +187,7 @@ pub fn optimize_current(
     // One solver handle for the whole line search: `G` and `p` are
     // assembled once, and consecutive probes at the same current (the
     // gradient's extra right-hand sides) reuse the factorization.
-    let mut solver = system.solver()?;
+    let mut solver = system.solver()?.with_strategy(strategy);
     let mut opt = match settings.method {
         CurrentMethod::GoldenSection => golden_section(&mut solver, ceiling, lambda, settings)?,
         CurrentMethod::GradientDescent => gradient_descent(&mut solver, ceiling, lambda, settings)?,
@@ -346,8 +369,14 @@ fn peak_gradient(solver: &mut SteadySolver<'_>, state: &SolvedState) -> Result<f
     let k_star = nan_safe_argmax(&silicon)
         .ok_or_else(|| OptError::InvalidParameter("system has no silicon tiles".into()))?;
     let node = model.silicon_nodes()[k_star].index();
-    let w = solver.solve_rhs(i, &v)?; // H D H p
-    let x = solver.solve_rhs(i, &dp)?; // H p'
+    // The two right-hand sides are independent, so they share one blocked
+    // multi-RHS sweep through the factorization: w = H·D·H·p, x = H·p′.
+    let sols = solver.solve_rhs_many(i, &[v, dp])?;
+    let [w, x] = sols.as_slice() else {
+        return Err(OptError::InvalidParameter(
+            "batched gradient solve returned the wrong number of columns".into(),
+        ));
+    };
     Ok(w[node] + x[node])
 }
 
@@ -431,6 +460,25 @@ mod tests {
             (g - fd).abs() < 1e-4 * fd.abs().max(1.0),
             "analytic {g} vs finite-difference {fd}"
         );
+    }
+
+    #[test]
+    fn rank_k_strategy_reproduces_the_optimum() {
+        // The fast path probes at slightly different currents (its λ_m
+        // bracket agrees with the dense search to ~1e-8 relative, and the
+        // golden-section probes scale with the ceiling), so the comparison
+        // is at the optimum level: same current to within the search
+        // tolerance, same peak to well under a millikelvin.
+        let s = system(&[TileIndex::new(1, 1), TileIndex::new(1, 2)]);
+        let settings = CurrentSettings::default();
+        let plain = optimize_current(&s, settings).unwrap();
+        let fast = optimize_current_with(&s, settings, FactorStrategy::RankKUpdate).unwrap();
+        let di = (plain.current().value() - fast.current().value()).abs();
+        assert!(di <= 2.0 * settings.tolerance, "current drift {di}");
+        let dp = (plain.state().peak().value() - fast.state().peak().value()).abs();
+        assert!(dp < 1e-6, "peak drift {dp}");
+        let dl = (plain.lambda().value() - fast.lambda().value()).abs() / plain.lambda().value();
+        assert!(dl < 1e-8, "λ drift {dl}");
     }
 
     #[test]

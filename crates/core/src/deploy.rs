@@ -1,9 +1,11 @@
 //! Deployment of TEC devices: the `GreedyDeploy` algorithm (Fig. 5 of the
 //! paper) and the Full-Cover baseline it is compared against in Table I.
 
+use crate::current::optimize_current_with;
 use crate::supervise::{supervised_map, RunContext};
 use crate::{
-    optimize_current, CoolingSystem, CurrentOptimum, CurrentSettings, OptError, SweepFailure,
+    optimize_current, CoolingSystem, CurrentOptimum, CurrentSettings, FactorStrategy, OptError,
+    SweepFailure,
 };
 use std::collections::BTreeSet;
 use tecopt_thermal::TileIndex;
@@ -17,6 +19,10 @@ pub struct DeploySettings {
     pub theta_limit: Celsius,
     /// Settings for the per-iteration supply-current optimization.
     pub current: CurrentSettings,
+    /// How per-placement evaluations factor `G − i·D` (private so adding it
+    /// did not break existing struct literals; set via
+    /// [`DeploySettings::with_strategy`]).
+    strategy: FactorStrategy,
 }
 
 impl DeploySettings {
@@ -25,7 +31,51 @@ impl DeploySettings {
         DeploySettings {
             theta_limit,
             current: CurrentSettings::default(),
+            strategy: FactorStrategy::default(),
         }
+    }
+
+    /// Routes every per-iteration placement evaluation (the `λ_m` search
+    /// and the current line search) through `strategy`.
+    /// [`FactorStrategy::RankKUpdate`] evaluates each placement with one
+    /// `i = 0` factorization plus rank-k Sherman–Morrison–Woodbury
+    /// corrections per probed current — the PR-7 fast deployment path,
+    /// equivalent to the default within ~1e-8 on accepted peaks.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: FactorStrategy) -> DeploySettings {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The factorization strategy placement evaluations run under.
+    pub fn strategy(&self) -> FactorStrategy {
+        self.strategy
+    }
+}
+
+/// A deployment run that stopped on an error mid-loop, carrying whatever
+/// had been completed when it failed.
+///
+/// Greedy deployment used to surface a mid-loop optimizer failure (e.g. a
+/// not-positive-definite factorization on a later placement) as a bare
+/// [`OptError`], discarding every finished iteration. The checked entry
+/// points return this instead, so callers keep the last fully evaluated
+/// deployment for diagnosis or restart.
+#[derive(Debug)]
+pub struct DeployFailure {
+    /// The error that stopped the greedy loop.
+    pub error: OptError,
+    /// The deployment of the last fully evaluated iteration — `None` when
+    /// the loop failed before completing its first iteration. Boxed so the
+    /// `Err` variant stays pointer-sized next to the happy path.
+    pub partial: Option<Box<Deployment>>,
+}
+
+impl DeployFailure {
+    /// Discards the partial deployment, keeping the error — how the
+    /// unchecked [`greedy_deploy`] adapts the checked core.
+    pub fn into_error(self) -> OptError {
+        self.error
     }
 }
 
@@ -153,8 +203,63 @@ pub fn greedy_deploy(
     base: &CoolingSystem,
     settings: DeploySettings,
 ) -> Result<DeployOutcome, OptError> {
-    let passive = base.with_tiles(&[])?;
-    let state0 = passive.solve(Amperes(0.0))?;
+    greedy_deploy_checked(base, settings).map_err(DeployFailure::into_error)
+}
+
+/// [`greedy_deploy`] with mid-loop failure context: an error on a later
+/// iteration (a not-positive-definite placement, an exhausted search
+/// budget, …) comes back as a [`DeployFailure`] carrying the last fully
+/// evaluated deployment instead of discarding it.
+///
+/// # Errors
+///
+/// Same failure modes as [`greedy_deploy`], wrapped in [`DeployFailure`].
+pub fn greedy_deploy_checked(
+    base: &CoolingSystem,
+    settings: DeploySettings,
+) -> Result<DeployOutcome, DeployFailure> {
+    greedy_deploy_supervised(base, settings, &RunContext::unbounded())
+}
+
+/// [`greedy_deploy_checked`] under a [`RunContext`]: each greedy iteration
+/// claims one probe from the context (cancellation, deadline and probe
+/// budget are all checked at that boundary), so a run stopped mid-loop
+/// still hands back the completed prefix through
+/// [`DeployFailure::partial`].
+///
+/// # Errors
+///
+/// Same failure modes as [`greedy_deploy_checked`], plus
+/// [`OptError::Cancelled`] / [`OptError::DeadlineExceeded`] from the
+/// context.
+pub fn greedy_deploy_supervised(
+    base: &CoolingSystem,
+    settings: DeploySettings,
+    ctx: &RunContext,
+) -> Result<DeployOutcome, DeployFailure> {
+    let strategy = settings.strategy();
+    let current = settings.current;
+    greedy_deploy_core(base, settings, ctx, &mut |system| {
+        optimize_current_with(system, current, strategy)
+    })
+}
+
+/// The greedy loop over an injectable placement evaluator — the seam the
+/// mid-deploy failure regression tests use to fail a chosen iteration
+/// deterministically. Production callers evaluate via
+/// [`optimize_current_with`].
+fn greedy_deploy_core(
+    base: &CoolingSystem,
+    settings: DeploySettings,
+    ctx: &RunContext,
+    eval: &mut dyn FnMut(&CoolingSystem) -> Result<CurrentOptimum, OptError>,
+) -> Result<DeployOutcome, DeployFailure> {
+    let before_start = |error: OptError| DeployFailure {
+        error,
+        partial: None,
+    };
+    let passive = base.with_tiles(&[]).map_err(before_start)?;
+    let state0 = passive.solve(Amperes(0.0)).map_err(before_start)?;
     let baseline_peak = state0.peak();
     let mut covered: BTreeSet<TileIndex> = BTreeSet::new();
     let mut hot = passive.tiles_above(&state0, settings.theta_limit);
@@ -171,7 +276,16 @@ pub fn greedy_deploy(
         }));
     }
 
+    // The deployment of the last fully evaluated iteration: moved into the
+    // failure on a mid-loop error, never cloned on the happy path.
+    let mut last: Option<Deployment> = None;
     loop {
+        if let Err(error) = ctx.admit_probe() {
+            return Err(DeployFailure {
+                error,
+                partial: last.map(Box::new),
+            });
+        }
         let added: Vec<TileIndex> = hot
             .iter()
             .copied()
@@ -179,8 +293,24 @@ pub fn greedy_deploy(
             .collect();
         covered.extend(added.iter().copied());
         let tiles: Vec<TileIndex> = covered.iter().copied().collect();
-        let system = base.with_tiles(&tiles)?;
-        let optimum = optimize_current(&system, settings.current)?;
+        let system = match base.with_tiles(&tiles) {
+            Ok(s) => s,
+            Err(error) => {
+                return Err(DeployFailure {
+                    error,
+                    partial: last.map(Box::new),
+                })
+            }
+        };
+        let optimum = match eval(&system) {
+            Ok(o) => o,
+            Err(error) => {
+                return Err(DeployFailure {
+                    error,
+                    partial: last.map(Box::new),
+                })
+            }
+        };
         iterations.push(DeployIteration {
             added,
             cumulative: covered.len(),
@@ -203,6 +333,7 @@ pub fn greedy_deploy(
                 still_hot: hot,
             });
         }
+        last = Some(deployment);
     }
 }
 
@@ -430,5 +561,128 @@ mod tests {
         let peak0 = b.solve(Amperes(0.0)).unwrap().peak();
         let full = full_cover(&b, CurrentSettings::default()).unwrap();
         assert!((full.baseline_peak().value() - peak0.value()).abs() < 1e-9);
+    }
+
+    /// An evaluator that reports a deliberately terrible operating point on
+    /// its first call — just below thermal runaway every tile overheats, so
+    /// the greedy loop is forced into a second iteration — and then defers
+    /// to `and_then` for every later call.
+    fn near_runaway_then(
+        calls: &mut usize,
+        system: &CoolingSystem,
+        and_then: impl FnOnce() -> Result<CurrentOptimum, OptError>,
+    ) -> Result<CurrentOptimum, OptError> {
+        *calls += 1;
+        if *calls > 1 {
+            return and_then();
+        }
+        let lim = crate::runaway_limit(system, 1e-9)?;
+        let hot = Amperes(lim.lambda().value() * 0.98);
+        let state = system.solve(hot)?;
+        Ok(crate::CurrentOptimum::from_parts(
+            state,
+            lim.lambda(),
+            1,
+            crate::CurrentMethod::GoldenSection,
+        ))
+    }
+
+    #[test]
+    fn mid_loop_failure_carries_the_partial_deployment() {
+        // Regression: a not-positive-definite factorization on a later
+        // greedy iteration used to discard every finished iteration; the
+        // checked core must hand back the last fully evaluated deployment.
+        let b = base(0.5);
+        let limit = limit_just_below_peak(&b, 0.8);
+        let mut calls = 0usize;
+        let result = greedy_deploy_core(
+            &b,
+            DeploySettings::with_limit(limit),
+            &RunContext::unbounded(),
+            &mut |system| {
+                near_runaway_then(&mut calls, system, || {
+                    Err(OptError::Linalg(
+                        tecopt_linalg::LinalgError::NotPositiveDefinite { pivot: 3 },
+                    ))
+                })
+            },
+        );
+        assert_eq!(calls, 2, "the injected failure must hit iteration 2");
+        let failure = match result {
+            Err(f) => f,
+            Ok(o) => panic!("injected failure must surface, got {o:?}"),
+        };
+        assert!(
+            matches!(
+                failure.error,
+                OptError::Linalg(tecopt_linalg::LinalgError::NotPositiveDefinite { pivot: 3 })
+            ),
+            "unexpected error {:?}",
+            failure.error
+        );
+        let partial = failure.partial.unwrap();
+        assert_eq!(partial.iterations().len(), 1);
+        assert!(partial.device_count() >= 1);
+    }
+
+    #[test]
+    fn spent_probe_budget_keeps_the_completed_prefix() {
+        let b = base(0.5);
+        let limit = limit_just_below_peak(&b, 0.8);
+        let settings = DeploySettings::with_limit(limit);
+        let mut calls = 0usize;
+        let result = greedy_deploy_core(
+            &b,
+            settings,
+            &RunContext::unbounded().probe_budget(1),
+            &mut |system| {
+                near_runaway_then(&mut calls, system, || {
+                    panic!("budget of 1 must stop the loop before a second evaluation")
+                })
+            },
+        );
+        let failure = match result {
+            Err(f) => f,
+            Ok(o) => panic!("budget must stop the loop, got {o:?}"),
+        };
+        assert!(matches!(failure.error, OptError::DeadlineExceeded { .. }));
+        assert_eq!(failure.partial.unwrap().iterations().len(), 1);
+    }
+
+    #[test]
+    fn zero_probe_budget_fails_before_the_first_iteration() {
+        let b = base(0.5);
+        let limit = limit_just_below_peak(&b, 0.8);
+        let settings = DeploySettings::with_limit(limit);
+        let failure =
+            greedy_deploy_supervised(&b, settings, &RunContext::unbounded().probe_budget(0))
+                .unwrap_err();
+        assert!(matches!(failure.error, OptError::DeadlineExceeded { .. }));
+        assert!(failure.partial.is_none());
+        // The unchecked adapter reduces the same failure to the bare error.
+        assert!(matches!(
+            failure.into_error(),
+            OptError::DeadlineExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn rank_k_strategy_matches_the_default_greedy() {
+        let b = base(0.5);
+        let limit = limit_just_below_peak(&b, 0.8);
+        let slow = greedy_deploy(&b, DeploySettings::with_limit(limit)).unwrap();
+        let fast = greedy_deploy(
+            &b,
+            DeploySettings::with_limit(limit).with_strategy(FactorStrategy::RankKUpdate),
+        )
+        .unwrap();
+        assert_eq!(slow.is_satisfied(), fast.is_satisfied());
+        let (s, f) = (slow.deployment(), fast.deployment());
+        assert_eq!(s.tiles(), f.tiles(), "strategies diverged on placement");
+        let dp = (s.optimum().state().peak().value() - f.optimum().state().peak().value()).abs();
+        assert!(dp < 1e-6, "peak drift {dp}");
+        let di = (s.optimum().current().value() - f.optimum().current().value()).abs();
+        let tol = CurrentSettings::default().tolerance;
+        assert!(di <= 2.0 * tol, "current drift {di} vs tolerance {tol}");
     }
 }

@@ -85,21 +85,24 @@ pub mod theory;
 pub mod transient;
 
 pub use convexity::{
-    certify_convexity, certify_convexity_supervised, eta, eta_and_derivative, h_column,
+    certify_convexity, certify_convexity_supervised, eta, eta_and_derivative, h_column, h_columns,
     CertificateOutcome, ConvexityCertificate, ConvexitySettings,
 };
-pub use current::{optimize_current, CurrentMethod, CurrentOptimum, CurrentSettings};
+pub use current::{
+    optimize_current, optimize_current_with, CurrentMethod, CurrentOptimum, CurrentSettings,
+};
 pub use deploy::{
     evaluate_deployments, evaluate_deployments_supervised, full_cover, greedy_deploy,
-    DeployIteration, DeployOutcome, DeploySettings, Deployment,
+    greedy_deploy_checked, greedy_deploy_supervised, DeployFailure, DeployIteration, DeployOutcome,
+    DeploySettings, Deployment,
 };
 pub use envelope::{
     EnvelopeEvent, EnvelopeSettings, EnvelopedController, SafetyEnvelope, ViolationKind,
 };
 pub use error::OptError;
-pub use lambda::{runaway_limit, RunawayLimit};
+pub use lambda::{runaway_limit, runaway_limit_fast, RunawayLimit};
 pub use supervise::{score_candidates, CandidateScore, RunContext, SweepFailure};
-pub use system::{CoolingSystem, SolvedState, SteadySolver};
+pub use system::{CoolingSystem, FactorStrategy, SolvedState, SteadySolver};
 
 // Cooperative cancellation lives in the kernel crate so the CG loop and the
 // supervisor share one token type.

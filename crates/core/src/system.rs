@@ -1,9 +1,9 @@
 use crate::OptError;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tecopt_device::{SolveWorkspace, StampedSystem, TecParams};
 use tecopt_linalg::{
-    solve_robust, CancelToken, Cholesky, CsrMatrix, FactoredSystem, LinalgError, ResolvedBackend,
-    SolveMethod, SolverBackend, SolverPolicy,
+    solve_robust, CancelToken, Cholesky, CsrMatrix, DiagonalUpdate, FactoredSystem, LinalgError,
+    ResolvedBackend, SolveMethod, SolverBackend, SolverPolicy, UpdatableFactor,
 };
 use tecopt_thermal::{PackageConfig, TileIndex};
 use tecopt_units::{Amperes, Celsius, Kelvin, Watts};
@@ -68,6 +68,50 @@ struct SolverCache {
     assemblies: usize,
 }
 
+/// How a solver obtains the factorization of `G − i·D` when the probe
+/// current changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FactorStrategy {
+    /// Factor from scratch at every new current — the reference path (and
+    /// the equivalence oracle for the update path). This is the default and
+    /// the only strategy the shared [`CoolingSystem::solve`] cache uses.
+    #[default]
+    Refactor,
+    /// Apply a rank-k Sherman–Morrison–Woodbury diagonal update over one
+    /// cached factorization of the placement's `i = 0` matrix instead of
+    /// refactoring, falling back to a fresh factorization automatically when
+    /// the update's condition estimate degrades (DESIGN.md §15). Opt-in via
+    /// [`SteadySolver::with_strategy`]: results agree with
+    /// [`FactorStrategy::Refactor`] to ~1e-12 relative, not bit for bit.
+    /// On the sparse backend this strategy is a no-op — the CSR
+    /// diagonal-patch reuse in `prepare` is already incremental.
+    RankKUpdate,
+}
+
+/// Condition-estimate ceiling above which an applied rank-k update is
+/// discarded and the matrix refactored from scratch. The estimate is the
+/// product of the base factor's pivot ratio and the capacitance LDLᵀ's
+/// pivot ratio — a cheap upper-bound heuristic for how much the SMW
+/// correction can amplify rounding. See DESIGN.md §15 for the policy.
+const UPDATE_CONDITION_LIMIT: f64 = 1.0e12;
+
+/// Cache key of the last factorization held by a [`SolverCore`].
+///
+/// The current alone is NOT a sound key: two factorizations at the same
+/// current can represent the same matrix in different ways (a fresh
+/// Cholesky factor vs an SMW-updated one, which agree only to rounding),
+/// and the PR-2 cache-poisoning regression showed how a stale hit turns
+/// into silently wrong temperatures. The key therefore pairs the exact
+/// current bits with a representation fingerprint: the workspace's
+/// structural fingerprint for plain factorizations, with an extra marker
+/// folded in for rank-k-updated ones, so the two representations can never
+/// share a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    current_bits: u64,
+    fingerprint: u64,
+}
+
 /// One steady-state solve, before the user-facing state is derived.
 #[derive(Debug)]
 struct RawSolve {
@@ -86,7 +130,21 @@ struct RawSolve {
 struct SolverCore {
     ws: SolveWorkspace,
     resolved: ResolvedBackend,
-    factored: Option<(f64, FactoredSystem)>,
+    factored: Option<(CacheKey, FactoredSystem)>,
+    /// Workspace structural fingerprint, fixed at assembly time (retargeting
+    /// the current does not change it) — the plain-path half of [`CacheKey`].
+    fingerprint: u64,
+    /// How new currents obtain their factorization; [`FactorStrategy::Refactor`]
+    /// unless a private handle opted into rank-k updates.
+    strategy: FactorStrategy,
+    /// The shared `i = 0` factorization behind [`FactorStrategy::RankKUpdate`],
+    /// built lazily on the first updated probe and kept for the lifetime of
+    /// the placement (clones share it through the [`Arc`]).
+    updatable: Option<Arc<UpdatableFactor>>,
+    /// Rank-k updates applied in place of full refactorizations.
+    updates_applied: usize,
+    /// Full refactorizations forced by a degraded update condition estimate.
+    refactor_fallbacks: usize,
     /// Cooperative cancellation flag, set only on private
     /// [`SteadySolver`] handles via [`SteadySolver::with_cancel`]; the
     /// shared cache never carries one, so a token cannot leak into
@@ -104,19 +162,44 @@ impl SolverCore {
         let nnz = g.as_slice().iter().filter(|&&v| v != 0.0).count();
         Ok(SolverCore {
             resolved: system.backend.resolve(ws.dim(), nnz),
+            fingerprint: ws.structural_fingerprint(),
             ws,
             factored: None,
+            strategy: FactorStrategy::Refactor,
+            updatable: None,
+            updates_applied: 0,
+            refactor_fallbacks: 0,
             cancel: None,
         })
     }
 
+    /// The cache key a factorization at `current` would be stored under.
+    ///
+    /// Rank-k-updated factors agree with fresh ones only to rounding, so the
+    /// update strategy folds a marker into the fingerprint half: a plain
+    /// probe can never hit an updated entry (or vice versa), which is the
+    /// stale-representation half of the PR-2 cache-poisoning shape. The
+    /// sparse backend patches exact diagonal values in place, so its reuse
+    /// stays under the plain fingerprint.
+    fn cache_key(&self, current: Amperes) -> CacheKey {
+        let fingerprint = if self.strategy == FactorStrategy::RankKUpdate
+            && matches!(self.resolved, ResolvedBackend::DenseCholesky)
+        {
+            // FNV-style fold of an arbitrary marker ("updated!" in ASCII).
+            (self.fingerprint ^ 0x7570_6461_7465_6421).wrapping_mul(0x0000_0100_0000_01B3)
+        } else {
+            self.fingerprint
+        };
+        CacheKey {
+            current_bits: current.value().to_bits(),
+            fingerprint,
+        }
+    }
+
     /// Retargets the workspace (and any factorization) to `current`.
     fn prepare(&mut self, current: Amperes) -> Result<(), OptError> {
-        if self
-            .factored
-            .as_ref()
-            .is_some_and(|(key, _)| *key == current.value())
-        {
+        let key = self.cache_key(current);
+        if self.factored.as_ref().is_some_and(|(k, _)| *k == key) {
             return Ok(());
         }
         // Drop the previous factorization before touching the workspace: if
@@ -127,8 +210,12 @@ impl SolverCore {
         self.ws.set_current(current)?;
         let fact = match self.resolved {
             ResolvedBackend::DenseCholesky => {
-                FactoredSystem::factor(self.ws.matrix(), self.resolved)
-                    .map_err(|e| runaway_from(current, e))?
+                if self.strategy == FactorStrategy::RankKUpdate {
+                    self.factor_via_update(current)?
+                } else {
+                    FactoredSystem::factor(self.ws.matrix(), self.resolved)
+                        .map_err(|e| runaway_from(current, e))?
+                }
             }
             ResolvedBackend::SparseCg(settings) => {
                 // Reuse the CSR structure of the previous probe when
@@ -147,8 +234,52 @@ impl SolverCore {
                 FactoredSystem::Sparse { matrix, settings }
             }
         };
-        self.factored = Some((current.value(), fact));
+        self.factored = Some((key, fact));
         Ok(())
+    }
+
+    /// Produces the factorization at `current` by rank-k update over the
+    /// shared `i = 0` base factor, refactoring from scratch when the update
+    /// is ill-conditioned or its condition estimate exceeds
+    /// [`UPDATE_CONDITION_LIMIT`] (the fallback policy of DESIGN.md §15).
+    ///
+    /// The workspace has already been retargeted to `current` by `prepare`,
+    /// so its power vector matches the probe; only the base-factor build
+    /// temporarily rewinds the current to zero.
+    fn factor_via_update(&mut self, current: Amperes) -> Result<FactoredSystem, OptError> {
+        let updatable = match self.updatable.clone() {
+            Some(u) => u,
+            None => {
+                self.ws.set_current(Amperes(0.0))?;
+                let base = Cholesky::factor(self.ws.matrix())
+                    .map_err(|e| runaway_from(Amperes(0.0), e))?;
+                let nodes = self.ws.placement_delta();
+                let u =
+                    Arc::new(UpdatableFactor::new(base, nodes.nodes()).map_err(OptError::from)?);
+                self.ws.set_current(current)?;
+                self.updatable = Some(Arc::clone(&u));
+                u
+            }
+        };
+        let update = DiagonalUpdate::new(self.ws.placement_delta().deltas_at(current))
+            .map_err(OptError::from)?;
+        match updatable.apply(&update) {
+            Ok(applied) if applied.condition_estimate() <= UPDATE_CONDITION_LIMIT => {
+                self.updates_applied += 1;
+                Ok(FactoredSystem::Updated(applied))
+            }
+            Ok(_) | Err(LinalgError::IllConditioned { .. }) => {
+                // Degraded conditioning (typically near the runaway limit,
+                // where the capacitance matrix approaches singularity):
+                // the update's answer cannot be trusted to the equivalence
+                // tolerance, so pay for a fresh factorization instead.
+                self.refactor_fallbacks += 1;
+                let chol =
+                    Cholesky::factor(self.ws.matrix()).map_err(|e| runaway_from(current, e))?;
+                Ok(FactoredSystem::Dense(chol))
+            }
+            Err(e) => Err(runaway_from(current, e)),
+        }
     }
 
     /// Solves against an arbitrary right-hand side at `current`, falling
@@ -184,7 +315,7 @@ impl SolverCore {
                     Cholesky::factor(self.ws.matrix()).map_err(|e| runaway_from(current, e))?;
                 let condition_estimate = chol.condition_estimate();
                 let theta = chol.solve(rhs).map_err(OptError::from)?;
-                self.factored = Some((current.value(), FactoredSystem::Dense(chol)));
+                self.factored = Some((self.cache_key(current), FactoredSystem::Dense(chol)));
                 Ok(RawSolve {
                     theta,
                     condition_estimate,
@@ -200,6 +331,40 @@ impl SolverCore {
         self.prepare(current)?;
         let rhs = self.ws.power().to_vec();
         self.solve_raw(current, &rhs)
+    }
+
+    /// Solves several right-hand sides at one current through one
+    /// factorization, using the blocked multi-RHS triangular sweeps on the
+    /// dense (and rank-k-updated) representations. The sparse backend has
+    /// no shared-factor economy to exploit, so it delegates to per-column
+    /// [`SolverCore::solve_raw`] calls — fallback behavior included.
+    fn solve_raw_many(
+        &mut self,
+        current: Amperes,
+        rhs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, OptError> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(OptError::from(LinalgError::Cancelled { iterations: 0 }));
+        }
+        self.prepare(current)?;
+        let sparse = matches!(
+            self.factored.as_ref().map(|(_, f)| f.method()),
+            Some(SolveMethod::SparseCg)
+        );
+        if sparse {
+            return rhs
+                .iter()
+                .map(|b| Ok(self.solve_raw(current, b)?.theta))
+                .collect();
+        }
+        #[allow(clippy::expect_used)]
+        let (_, fact) = self
+            .factored
+            .as_ref()
+            // tecopt:allow(panic-in-kernel) — prepare() just populated it
+            .expect("prepare populated the factorization");
+        let outs = fact.solve_many(rhs).map_err(|e| runaway_from(current, e))?;
+        Ok(outs.into_iter().map(|o| o.x).collect())
     }
 }
 
@@ -251,6 +416,39 @@ impl<'a> SteadySolver<'a> {
         self
     }
 
+    /// Routes this handle's factorizations through `strategy`.
+    ///
+    /// [`FactorStrategy::RankKUpdate`] turns per-current refactorizations
+    /// into rank-k Sherman–Morrison–Woodbury corrections over one cached
+    /// `i = 0` factor — the fast path behind the PR-7 greedy-deployment
+    /// speedup. The strategy is private to this handle and its clones; the
+    /// shared [`CoolingSystem::solve`] cache always refactors, and the
+    /// factorization cache key distinguishes the two representations, so
+    /// switching strategies can never serve a stale updated factor to a
+    /// plain probe (see the PR-7 cache-poisoning regression tests).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: FactorStrategy) -> Self {
+        self.core.strategy = strategy;
+        self
+    }
+
+    /// The factorization strategy this handle routes new currents through.
+    pub fn strategy(&self) -> FactorStrategy {
+        self.core.strategy
+    }
+
+    /// Rank-k updates this handle applied in place of full
+    /// refactorizations (diagnostic; 0 under [`FactorStrategy::Refactor`]).
+    pub fn rank_k_updates(&self) -> usize {
+        self.core.updates_applied
+    }
+
+    /// Full refactorizations forced by a degraded update condition
+    /// estimate — the automatic fallback of DESIGN.md §15.
+    pub fn refactor_fallbacks(&self) -> usize {
+        self.core.refactor_fallbacks
+    }
+
     /// Solves the steady state at supply current `i` — same contract as
     /// [`CoolingSystem::solve`], minus the lock and the reassembly.
     ///
@@ -274,6 +472,21 @@ impl<'a> SteadySolver<'a> {
         rhs: &[f64],
     ) -> Result<Vec<f64>, OptError> {
         Ok(self.core.solve_raw(current, rhs)?.theta)
+    }
+
+    /// Solves `(G − i·D)·x_j = rhs_j` for several independent right-hand
+    /// sides through one factorization — the batched form behind the
+    /// gradient's paired solves and the multi-column response probes.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CoolingSystem::solve`].
+    pub(crate) fn solve_rhs_many(
+        &mut self,
+        current: Amperes,
+        rhs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, OptError> {
+        self.core.solve_raw_many(current, rhs)
     }
 }
 
@@ -400,7 +613,9 @@ impl CoolingSystem {
     }
 
     /// Returns a copy of this system with a different TEC tile set (same
-    /// package, parameters and powers) — the deployment algorithm's step.
+    /// package, parameters, powers — and solver backend: a forced backend
+    /// used to silently revert to [`SolverBackend::Auto`] here, so every
+    /// greedy-deployment iteration escaped the override).
     ///
     /// # Errors
     ///
@@ -412,6 +627,7 @@ impl CoolingSystem {
             tec_tiles,
             self.tile_powers.clone(),
         )
+        .map(|s| s.with_backend(self.backend))
     }
 
     /// Returns this system routed through `backend` (the solves of the copy
@@ -696,6 +912,21 @@ impl CoolingSystem {
     pub(crate) fn solve_rhs(&self, current: Amperes, rhs: &[f64]) -> Result<Vec<f64>, OptError> {
         self.with_core(|core| Ok(core.solve_raw(current, rhs)?.theta))
     }
+
+    /// Batched form of [`CoolingSystem::solve_rhs`]: several independent
+    /// right-hand sides against one factorization at `current`, via the
+    /// blocked multi-RHS triangular sweeps on the dense backend.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CoolingSystem::solve`].
+    pub(crate) fn solve_rhs_many(
+        &self,
+        current: Amperes,
+        rhs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, OptError> {
+        self.with_core(|core| core.solve_raw_many(current, rhs))
+    }
 }
 
 #[cfg(test)]
@@ -932,6 +1163,20 @@ mod tests {
     }
 
     #[test]
+    fn with_tiles_preserves_a_forced_backend() {
+        // Regression: the deployment step used to rebuild through
+        // `CoolingSystem::new` with the default (Auto) backend, so a
+        // forced backend silently escaped after the first greedy
+        // iteration.
+        let s = system(&[TileIndex::new(1, 1)])
+            .with_backend(SolverBackend::SparseCg(tecopt_linalg::CgSettings::default()));
+        let stepped = s.with_tiles(&[TileIndex::new(2, 2)]).unwrap();
+        assert!(matches!(stepped.backend(), SolverBackend::SparseCg(_)));
+        let state = stepped.solve(Amperes(1.0)).unwrap();
+        assert_eq!(state.solve_method(), SolveMethod::SparseCg);
+    }
+
+    #[test]
     fn sparse_backend_still_reports_runaway() {
         let s = system(&[TileIndex::new(1, 1)])
             .with_backend(SolverBackend::SparseCg(tecopt_linalg::CgSettings::default()));
@@ -1015,6 +1260,135 @@ mod tests {
         let a = s.solve(Amperes(1.0)).unwrap();
         let b = c.solve(Amperes(1.0)).unwrap();
         assert_eq!(a.peak().value(), b.peak().value());
+    }
+
+    #[test]
+    fn rank_k_strategy_matches_refactor_to_tolerance() {
+        let s = system(&[TileIndex::new(1, 1), TileIndex::new(2, 2)]);
+        let mut fast = s
+            .solver()
+            .unwrap()
+            .with_strategy(FactorStrategy::RankKUpdate);
+        assert_eq!(fast.strategy(), FactorStrategy::RankKUpdate);
+        for i in [0.0, 1.0, 2.5, 4.0, 2.5] {
+            let reference = s.solve(Amperes(i)).unwrap();
+            let updated = fast.solve(Amperes(i)).unwrap();
+            for (a, b) in reference
+                .node_temperatures()
+                .iter()
+                .zip(updated.node_temperatures())
+            {
+                let rel = (a.value() - b.value()).abs() / a.value().abs().max(1.0);
+                assert!(rel < 1e-9, "rel err {rel} at i={i}");
+            }
+            let dp = (reference.peak().value() - updated.peak().value()).abs();
+            assert!(dp < 1e-8, "peak drift {dp} at i={i}");
+        }
+        // i = 0 is the base factor itself; every other distinct current is
+        // one rank-k correction, never a refactorization.
+        assert!(fast.rank_k_updates() >= 3, "{}", fast.rank_k_updates());
+        assert_eq!(fast.refactor_fallbacks(), 0);
+    }
+
+    #[test]
+    fn stale_post_update_cache_hit_is_impossible() {
+        // Regression (the PR-2 cache-poisoning shape, across
+        // representations): an SMW-updated factor at current `i` represents
+        // the same matrix as a fresh factor but NOT bit-identically. If the
+        // factorization cache were keyed by current alone, flipping a handle
+        // back to the refactor strategy would cache-hit the stale updated
+        // factor and silently break the plain path's bit-exactness contract.
+        let s = system(&[TileIndex::new(1, 1)]);
+        let i = Amperes(2.0);
+        let reference = s.solve(i).unwrap();
+
+        let mut fast = s
+            .solver()
+            .unwrap()
+            .with_strategy(FactorStrategy::RankKUpdate);
+        fast.solve(i).unwrap();
+        assert!(
+            matches!(fast.core.factored, Some((_, FactoredSystem::Updated(_)))),
+            "fast path should have cached an updated factor"
+        );
+        // The two strategies must never agree on a cache key at one current.
+        let updated_key = fast.core.cache_key(i);
+        fast.core.strategy = FactorStrategy::Refactor;
+        let plain_key = fast.core.cache_key(i);
+        assert_ne!(updated_key, plain_key);
+        assert_eq!(updated_key.current_bits, plain_key.current_bits);
+
+        // Re-solving through the plain strategy must refactor (structural
+        // proof: the cached entry is now a plain dense factor) and agree
+        // with the shared path bit for bit.
+        let mut plain = SteadySolver {
+            system: &s,
+            core: fast.core,
+        };
+        let again = plain.solve(i).unwrap();
+        assert!(
+            matches!(plain.core.factored, Some((_, FactoredSystem::Dense(_)))),
+            "plain probe must not reuse the updated factor"
+        );
+        for (a, b) in reference
+            .node_temperatures()
+            .iter()
+            .zip(again.node_temperatures())
+        {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn update_fallback_refactors_near_runaway() {
+        // Very close to the runaway limit the capacitance LDLᵀ is nearly
+        // singular: the update must detect its degraded conditioning and
+        // refactor from scratch rather than return an untrustworthy
+        // correction. The fallback's answer equals the plain path's.
+        let s = system(&[TileIndex::new(1, 1)]);
+        let lim = crate::runaway_limit(&s, 1e-13).unwrap();
+        let edge = lim.feasible();
+        let reference = s.solve(edge).unwrap();
+        let mut fast = s
+            .solver()
+            .unwrap()
+            .with_strategy(FactorStrategy::RankKUpdate);
+        let updated = fast.solve(edge).unwrap();
+        assert!(
+            fast.refactor_fallbacks() >= 1,
+            "conditioning at the bracket edge must trip the fallback"
+        );
+        assert_eq!(reference.peak().value(), updated.peak().value());
+        // The fallback is per-probe: a healthy current afterwards goes back
+        // to the update path.
+        fast.solve(Amperes(edge.value() * 0.5)).unwrap();
+        assert!(fast.rank_k_updates() >= 1);
+    }
+
+    #[test]
+    fn solve_rhs_many_matches_per_column_solves() {
+        let dense = system(&[TileIndex::new(1, 1)]);
+        let sparse = system(&[TileIndex::new(1, 1)])
+            .with_backend(SolverBackend::SparseCg(tecopt_linalg::CgSettings::default()));
+        for s in [&dense, &sparse] {
+            let n = s.stamped().model().node_count();
+            let cols: Vec<Vec<f64>> = (0..3)
+                .map(|j| {
+                    (0..n)
+                        .map(|k| ((k + 7 * j) % 5) as f64 * 0.1 + 0.01)
+                        .collect()
+                })
+                .collect();
+            let batched = s.solve_rhs_many(Amperes(1.5), &cols).unwrap();
+            assert_eq!(batched.len(), cols.len());
+            for (b, col) in batched.iter().zip(&cols) {
+                let single = s.solve_rhs(Amperes(1.5), col).unwrap();
+                for (x, y) in b.iter().zip(&single) {
+                    let rel = (x - y).abs() / y.abs().max(1.0);
+                    assert!(rel < 1e-10, "batched vs scalar rel err {rel}");
+                }
+            }
+        }
     }
 
     #[test]

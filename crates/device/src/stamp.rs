@@ -207,6 +207,23 @@ impl StampedSystem {
         })
     }
 
+    /// The rank-k structure of the placement: which nodes the deployed
+    /// devices perturb and by how much per ampere — `A(i) = G + Σ_k
+    /// (−i·d_k)·e_k·e_kᵀ` over exactly these nodes. This is the handle the
+    /// solver layer feeds to `tecopt_linalg::UpdatableFactor` so that
+    /// retargeting the supply current costs a rank-k correction instead of
+    /// a fresh factorization.
+    pub fn placement_delta(&self) -> PlacementDelta {
+        let (nodes, per_ampere): (Vec<usize>, Vec<f64>) = self
+            .d_diagonal
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != 0.0)
+            .map(|(k, &d)| (k, d))
+            .unzip();
+        PlacementDelta { nodes, per_ampere }
+    }
+
     /// Total electrical input power of the deployed devices given a solved
     /// temperature field: `Σ (r·i² + α·i·(θ_hot − θ_cold))` (Eq. 3) — the
     /// `P_TEC` column of Table I.
@@ -316,6 +333,91 @@ impl SolveWorkspace {
             .zip(&self.base_diag)
             .zip(&self.shift_d)
             .map(move |((&k, &g_kk), &d_k)| (k, g_kk - self.current * d_k))
+    }
+
+    /// The placement's rank-k structure as seen by this workspace — same
+    /// data as [`StampedSystem::placement_delta`], recoverable without the
+    /// stamped system in hand.
+    pub fn placement_delta(&self) -> PlacementDelta {
+        PlacementDelta {
+            nodes: self.shift_nodes.clone(),
+            per_ampere: self.shift_d.clone(),
+        }
+    }
+
+    /// FNV-1a fingerprint of the *structure* this workspace assembles:
+    /// dimension, shifted nodes, their `D` values, and the unshifted base
+    /// diagonal. Two workspaces with equal fingerprints stamp the same
+    /// matrix family `i ↦ G − i·D` (up to the off-diagonal entries, which
+    /// are fixed by the model the workspace was built from); two different
+    /// placements virtually always differ. Solver caches fold this into
+    /// their key so a factor produced for one matrix lineage can never be
+    /// replayed for another — see the PR-7 cache-poisoning regression
+    /// tests.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.matrix.rows() as u64);
+        eat(self.shift_nodes.len() as u64);
+        for &k in &self.shift_nodes {
+            eat(k as u64);
+        }
+        for &d in &self.shift_d {
+            eat(d.to_bits());
+        }
+        for &g in &self.base_diag {
+            eat(g.to_bits());
+        }
+        h
+    }
+}
+
+/// The structured rank-k perturbation a TEC placement induces on the
+/// passive conductance matrix `G`.
+///
+/// A placement touches only its junction nodes: at supply current `i` the
+/// system matrix is `G + Σ_k δ_k(i)·e_k·e_kᵀ` with `δ_k(i) = −i·d_k` (Eq. 4
+/// restricted to the nonzero support of `D`). [`PlacementDelta::deltas_at`]
+/// materializes the `(node, δ)` pairs for one operating point in the exact
+/// form `tecopt_linalg::DiagonalUpdate` consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementDelta {
+    /// Junction nodes in ascending order.
+    nodes: Vec<usize>,
+    /// `D` diagonal values at `nodes`: `+α` hot, `−α` cold.
+    per_ampere: Vec<f64>,
+}
+
+impl PlacementDelta {
+    /// The perturbed nodes (ascending: the nonzero support of `D`).
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Rank of the perturbation (`2 × #devices`).
+    pub fn rank(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `D` values per node: the per-ampere diagonal shift is `−d_k`.
+    pub fn per_ampere(&self) -> &[f64] {
+        &self.per_ampere
+    }
+
+    /// The `(node, δ_k)` pairs at supply current `i`: `δ_k = −i·d_k`,
+    /// relative to the passive matrix `G`.
+    pub fn deltas_at(&self, current: Amperes) -> Vec<(usize, f64)> {
+        let i = current.value();
+        self.nodes
+            .iter()
+            .zip(&self.per_ampere)
+            .map(|(&k, &d)| (k, -i * d))
+            .collect()
     }
 }
 
@@ -479,6 +581,43 @@ mod tests {
         for &(cold, hot) in s.junctions() {
             assert!(shifted.contains(&cold) && shifted.contains(&hot));
         }
+    }
+
+    #[test]
+    fn placement_delta_reproduces_the_stamped_matrix() {
+        let s = system(&[TileIndex::new(1, 1), TileIndex::new(2, 3)]);
+        let delta = s.placement_delta();
+        assert_eq!(delta.rank(), 4);
+        assert_eq!(delta.nodes().len(), delta.per_ampere().len());
+        assert!(delta.nodes().windows(2).all(|w| w[0] < w[1]));
+        // G plus the structured deltas equals the stamped G - iD exactly.
+        let i = Amperes(2.5);
+        let mut rebuilt = s.model().g_matrix().clone();
+        for (k, d) in delta.deltas_at(i) {
+            rebuilt[(k, k)] += d;
+        }
+        let stamped = s.system_matrix(i).unwrap();
+        assert_eq!(rebuilt.as_slice(), stamped.as_slice());
+        // The workspace view agrees with the stamped-system view.
+        let ws = s.solve_workspace(&[Watts(0.1); 16]).unwrap();
+        assert_eq!(ws.placement_delta(), delta);
+        // Passive system: empty perturbation.
+        assert_eq!(system(&[]).placement_delta().rank(), 0);
+    }
+
+    #[test]
+    fn structural_fingerprint_separates_placements_and_is_stable() {
+        let a = system(&[TileIndex::new(1, 1)]);
+        let b = system(&[TileIndex::new(2, 2)]);
+        let powers = vec![Watts(0.1); 16];
+        let fa = a.solve_workspace(&powers).unwrap().structural_fingerprint();
+        let fb = b.solve_workspace(&powers).unwrap().structural_fingerprint();
+        assert_ne!(fa, fb, "different placements must fingerprint apart");
+        // Deterministic across rebuilds and invariant under set_current.
+        let mut ws = a.solve_workspace(&powers).unwrap();
+        assert_eq!(ws.structural_fingerprint(), fa);
+        ws.set_current(Amperes(3.0)).unwrap();
+        assert_eq!(ws.structural_fingerprint(), fa);
     }
 
     #[test]

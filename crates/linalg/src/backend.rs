@@ -21,8 +21,8 @@
 
 use crate::SolveMethod;
 use crate::{
-    conjugate_gradient_cancellable, CancelToken, CgSettings, Cholesky, CsrMatrix, DenseMatrix,
-    LinalgError,
+    conjugate_gradient_cancellable, AppliedUpdate, CancelToken, CgSettings, Cholesky, CsrMatrix,
+    DenseMatrix, DiagonalUpdate, LinalgError, UpdatableFactor,
 };
 
 /// Dense-vs-sparse crossover: minimum dimension for the sparse backend.
@@ -91,6 +91,11 @@ pub enum FactoredSystem {
         /// CG iteration controls.
         settings: CgSettings,
     },
+    /// A dense factor carrying a Sherman–Morrison–Woodbury rank-k diagonal
+    /// correction (see [`crate::UpdatableFactor`]): solves go through the
+    /// *base* Cholesky factor plus an `O(k·n)` correction instead of a
+    /// fresh `O(n³)` factorization.
+    Updated(AppliedUpdate),
 }
 
 /// One backend solve with its diagnostics.
@@ -160,9 +165,12 @@ impl FactoredSystem {
     }
 
     /// Which [`SolveMethod`] solves through this factored system report.
+    ///
+    /// The updated variant still solves through triangular substitutions of
+    /// the base Cholesky factor, so it reports [`SolveMethod::Cholesky`].
     pub fn method(&self) -> SolveMethod {
         match self {
-            FactoredSystem::Dense(_) => SolveMethod::Cholesky,
+            FactoredSystem::Dense(_) | FactoredSystem::Updated(_) => SolveMethod::Cholesky,
             FactoredSystem::Sparse { .. } => SolveMethod::SparseCg,
         }
     }
@@ -172,6 +180,115 @@ impl FactoredSystem {
         match self {
             FactoredSystem::Dense(chol) => chol.dim(),
             FactoredSystem::Sparse { matrix, .. } => matrix.rows(),
+            FactoredSystem::Updated(applied) => applied.dim(),
+        }
+    }
+
+    /// Re-keys this factored system to the diagonally perturbed matrix
+    /// `A + Δ` without a full refactorization.
+    ///
+    /// - **Dense**: builds an [`UpdatableFactor`] over the perturbed nodes
+    ///   and applies the Sherman–Morrison–Woodbury correction (`O(k)`
+    ///   triangular solves once, then `O(k³)`). Callers updating the same
+    ///   node set repeatedly should hold an [`UpdatableFactor`] themselves
+    ///   and pay the setup once; this entry point is the uniform-interface
+    ///   form.
+    /// - **Sparse**: patches the CSR diagonal in place via
+    ///   [`CsrMatrix::set_diagonal_entry`] (inserting structurally missing
+    ///   diagonals) and re-screens positivity, exactly like
+    ///   [`FactoredSystem::factor`] does.
+    /// - **Updated**: merges the new deltas into the existing correction
+    ///   over the shared base factor (same node-set restriction as
+    ///   [`UpdatableFactor::apply`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotPositiveDefinite`] if the perturbed matrix is no
+    ///   longer positive definite (past thermal runaway).
+    /// - [`LinalgError::IllConditioned`] when the update's small pivots are
+    ///   too degraded to trust — fall back to a fresh factorization.
+    /// - [`LinalgError::InvalidInput`] for out-of-bounds nodes, or (on the
+    ///   updated variant) nodes outside the prepared set.
+    pub fn update_rank_k(&self, update: &DiagonalUpdate) -> Result<FactoredSystem, LinalgError> {
+        match self {
+            FactoredSystem::Dense(chol) => {
+                let nodes: Vec<usize> = update.entries().iter().map(|&(k, _)| k).collect();
+                let factor = UpdatableFactor::new(chol.clone(), &nodes)?;
+                Ok(FactoredSystem::Updated(factor.apply(update)?))
+            }
+            FactoredSystem::Sparse { matrix, settings } => {
+                let mut patched = matrix.clone();
+                for &(k, delta) in update.entries() {
+                    if k >= patched.rows() || k >= patched.cols() {
+                        return Err(LinalgError::InvalidInput(format!(
+                            "update node {k} out of bounds for {}x{}",
+                            patched.rows(),
+                            patched.cols()
+                        )));
+                    }
+                    let value = patched.get(k, k) + delta;
+                    if value <= 0.0 || !value.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: k });
+                    }
+                    patched.set_diagonal_entry(k, value)?;
+                }
+                Ok(FactoredSystem::Sparse {
+                    matrix: patched,
+                    settings: *settings,
+                })
+            }
+            FactoredSystem::Updated(applied) => {
+                let mut merged: Vec<(usize, f64)> = applied.entries().to_vec();
+                for &(node, delta) in update.entries() {
+                    match merged.binary_search_by_key(&node, |&(n, _)| n) {
+                        Ok(pos) => merged[pos].1 += delta,
+                        Err(pos) => merged.insert(pos, (node, delta)),
+                    }
+                }
+                let combined = DiagonalUpdate::new(merged)?;
+                Ok(FactoredSystem::Updated(applied.factor().apply(&combined)?))
+            }
+        }
+    }
+
+    /// Solves `A·X = B` for a block of right-hand sides.
+    ///
+    /// The dense and updated backends use the blocked triangular sweeps of
+    /// [`Cholesky::solve_many`] (one pass over the factor for the whole
+    /// block); the sparse backend runs CG per column against the shared CSR
+    /// matrix. Diagnostics are per column, exactly as
+    /// [`FactoredSystem::solve`] would report them.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FactoredSystem::solve`], applied per column.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<BackendSolve>, LinalgError> {
+        match self {
+            FactoredSystem::Dense(chol) => {
+                let condition_estimate = chol.condition_estimate();
+                Ok(chol
+                    .solve_many(rhs)?
+                    .into_iter()
+                    .map(|x| BackendSolve {
+                        x,
+                        condition_estimate,
+                        iterations: 0,
+                    })
+                    .collect())
+            }
+            FactoredSystem::Updated(applied) => {
+                let condition_estimate = applied.condition_estimate();
+                Ok(applied
+                    .solve_many(rhs)?
+                    .into_iter()
+                    .map(|x| BackendSolve {
+                        x,
+                        condition_estimate,
+                        iterations: 0,
+                    })
+                    .collect())
+            }
+            FactoredSystem::Sparse { .. } => rhs.iter().map(|b| self.solve(b)).collect(),
         }
     }
 
@@ -223,6 +340,11 @@ impl FactoredSystem {
                     x: out.x,
                 })
             }
+            FactoredSystem::Updated(applied) => Ok(BackendSolve {
+                x: applied.solve_with_cancel(b, cancel)?,
+                condition_estimate: applied.condition_estimate(),
+                iterations: 0,
+            }),
         }
     }
 }
@@ -339,6 +461,125 @@ mod tests {
         assert_eq!(s.method(), SolveMethod::SparseCg);
         assert_eq!(d.dim(), 12);
         assert_eq!(s.dim(), 12);
+    }
+
+    fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+        let num: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = a.iter().map(|u| u * u).sum::<f64>().sqrt().max(1e-30);
+        num / den
+    }
+
+    #[test]
+    fn rank_k_update_matches_fresh_factor_on_all_backends() {
+        let dim = 48;
+        let a = spd(dim, 0.1, 17);
+        let update = DiagonalUpdate::new([(3, 0.6), (20, -0.05), (41, 1.2)]).expect("finite");
+        let mut perturbed = a.clone();
+        let mut diag = vec![0.0; dim];
+        for &(k, v) in update.entries() {
+            diag[k] = v;
+        }
+        perturbed
+            .add_scaled_diagonal(&diag, 1.0)
+            .expect("dims match");
+        let b: Vec<f64> = (0..dim).map(|k| (k as f64 * 0.23).cos() + 1.0).collect();
+        let oracle = FactoredSystem::factor(&perturbed, ResolvedBackend::DenseCholesky)
+            .expect("SPD")
+            .solve(&b)
+            .expect("solves");
+
+        for backend in [
+            ResolvedBackend::DenseCholesky,
+            ResolvedBackend::SparseCg(CgSettings::default()),
+        ] {
+            let base = FactoredSystem::factor(&a, backend).expect("SPD");
+            let updated = base.update_rank_k(&update).expect("updatable");
+            let got = updated.solve(&b).expect("solves");
+            assert!(
+                rel_err(&oracle.x, &got.x) < 1e-8,
+                "{backend:?}: rel err {}",
+                rel_err(&oracle.x, &got.x)
+            );
+            assert_eq!(updated.dim(), dim);
+        }
+    }
+
+    #[test]
+    fn stacked_updates_compose_on_the_updated_variant() {
+        let dim = 24;
+        let a = spd(dim, 0.2, 23);
+        let first = DiagonalUpdate::new([(2, 0.5), (11, -0.1)]).expect("finite");
+        let second = DiagonalUpdate::new([(2, -0.2), (11, 0.3)]).expect("finite");
+        let base = FactoredSystem::factor(&a, ResolvedBackend::DenseCholesky).expect("SPD");
+        let once = base.update_rank_k(&first).expect("updatable");
+        let twice = once.update_rank_k(&second).expect("stacks");
+
+        let mut perturbed = a.clone();
+        let mut diag = vec![0.0; dim];
+        diag[2] = 0.3;
+        diag[11] = 0.2;
+        perturbed
+            .add_scaled_diagonal(&diag, 1.0)
+            .expect("dims match");
+        let b: Vec<f64> = (0..dim).map(|k| (k as f64 * 0.7).sin()).collect();
+        let oracle = Cholesky::factor(&perturbed)
+            .expect("SPD")
+            .solve(&b)
+            .expect("solves");
+        let got = twice.solve(&b).expect("solves");
+        assert!(rel_err(&oracle, &got.x) < 1e-10);
+        assert_eq!(twice.method(), SolveMethod::Cholesky);
+    }
+
+    #[test]
+    fn indefinite_update_is_rejected_uniformly() {
+        let a = spd(20, 0.2, 31);
+        let update = DiagonalUpdate::new([(7, -1e9)]).expect("finite");
+        for backend in [
+            ResolvedBackend::DenseCholesky,
+            ResolvedBackend::SparseCg(CgSettings::default()),
+        ] {
+            let base = FactoredSystem::factor(&a, backend).expect("SPD");
+            assert!(
+                matches!(
+                    base.update_rank_k(&update),
+                    Err(LinalgError::NotPositiveDefinite { .. })
+                ),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_per_rhs_solve_on_all_variants() {
+        let dim = 40;
+        let a = spd(dim, 0.1, 41);
+        let update = DiagonalUpdate::new([(5, 0.4)]).expect("finite");
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|c| {
+                (0..dim)
+                    .map(|k| ((k + 3 * c) as f64 * 0.37).sin() + 1.5)
+                    .collect()
+            })
+            .collect();
+        let dense = FactoredSystem::factor(&a, ResolvedBackend::DenseCholesky).expect("SPD");
+        let sparse = FactoredSystem::factor(&a, ResolvedBackend::SparseCg(CgSettings::default()))
+            .expect("positive diagonal");
+        let updated = dense.update_rank_k(&update).expect("updatable");
+        for f in [&dense, &sparse, &updated] {
+            let block = f.solve_many(&rhs).expect("solves");
+            assert_eq!(block.len(), rhs.len());
+            for (col, b) in block.iter().zip(&rhs) {
+                let one = f.solve(b).expect("solves");
+                assert!(rel_err(&one.x, &col.x) < 1e-10);
+            }
+        }
+        assert!(dense.solve_many(&[]).expect("empty").is_empty());
     }
 
     #[test]

@@ -146,6 +146,85 @@ impl Cholesky {
         Ok(out)
     }
 
+    /// Solves `A·X = B` for many right-hand sides in one blocked pass.
+    ///
+    /// Mathematically identical to calling [`Cholesky::solve`] per column,
+    /// but each substitution sweep walks the factor `L` **once** for all
+    /// columns together (an axpy across the block per `L` entry), so the
+    /// `O(n²)` factor traffic is amortized over the whole block instead of
+    /// being re-streamed per right-hand side. This is the kernel behind
+    /// `FactoredSystem::solve_many` and the `W = A⁻¹·U` precomputation of
+    /// the rank-k update path.
+    ///
+    /// Summation order differs from the scalar path, so results may differ
+    /// from [`Cholesky::solve`] in the last bits (never beyond normal
+    /// rounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any column's length is
+    /// not `n`.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        let n = self.dim();
+        let m = rhs.len();
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        for b in rhs {
+            if b.len() != n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    actual: b.len(),
+                });
+            }
+        }
+        // Row-major n×m block: y[i·m + j] is row i of column j.
+        let mut y = vec![0.0; n * m];
+        for (j, b) in rhs.iter().enumerate() {
+            for (i, &v) in b.iter().enumerate() {
+                y[i * m + j] = v;
+            }
+        }
+        // Forward substitution L·Y = B, blocked across columns.
+        for i in 0..n {
+            let row = self.l.row(i);
+            let (head, tail) = y.split_at_mut(i * m);
+            let yi = &mut tail[..m];
+            for (k, &lik) in row[..i].iter().enumerate() {
+                if lik == 0.0 {
+                    continue;
+                }
+                let yk = &head[k * m..(k + 1) * m];
+                for (a, &b) in yi.iter_mut().zip(yk) {
+                    *a -= lik * b;
+                }
+            }
+            for a in yi.iter_mut() {
+                *a /= row[i];
+            }
+        }
+        // Back substitution Lᵀ·X = Y, blocked across columns.
+        for i in (0..n).rev() {
+            let (head, tail) = y.split_at_mut((i + 1) * m);
+            let yi = &mut head[i * m..];
+            for (off, yk) in tail.chunks_exact(m).enumerate() {
+                let lki = self.l[(i + 1 + off, i)];
+                if lki == 0.0 {
+                    continue;
+                }
+                for (a, &b) in yi.iter_mut().zip(yk) {
+                    *a -= lki * b;
+                }
+            }
+            for a in yi.iter_mut() {
+                *a /= self.l[(i, i)];
+            }
+        }
+        Ok((0..m)
+            .map(|j| (0..n).map(|i| y[i * m + j]).collect())
+            .collect())
+    }
+
     /// The full inverse `A⁻¹` — the matrix `H(i)` of the paper.
     ///
     /// For the compact models in this workspace (n in the hundreds) the dense
@@ -305,6 +384,27 @@ mod tests {
         for r in 0..3 {
             assert!((x[(r, 0)] - x0[r]).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn solve_many_matches_per_column_solve() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let rhs = vec![
+            vec![1.0, 0.0, 1.0],
+            vec![-2.0, 0.5, 3.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let many = chol.solve_many(&rhs).unwrap();
+        assert_eq!(many.len(), 3);
+        for (col, b) in many.iter().zip(&rhs) {
+            let one = chol.solve(b).unwrap();
+            for (u, v) in col.iter().zip(&one) {
+                assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+            }
+        }
+        assert!(chol.solve_many(&[vec![1.0; 2]]).is_err());
+        assert!(chol.solve_many(&[]).unwrap().is_empty());
     }
 
     #[test]

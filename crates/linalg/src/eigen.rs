@@ -12,7 +12,7 @@
 //! [`min_eigenvalue_symmetric`] support the Conjecture-1 experiments and
 //! diagnostics.
 
-use crate::{Cholesky, DenseMatrix, LinalgError};
+use crate::{Cholesky, DenseMatrix, DiagonalUpdate, LinalgError, UpdatableFactor};
 
 /// Outcome of the positive-definiteness bisection for
 /// `λ_m = sup { i ≥ 0 : G − i·D is positive definite }`.
@@ -152,6 +152,128 @@ pub fn generalized_pd_threshold_budgeted(
             // The floating-point midpoint reached a fixed point: the bracket
             // is one ULP wide and cannot shrink further, so requesting a
             // tighter rel_tol would spin forever. Accept the bracket.
+            break;
+        }
+        if pd_at(mid)? {
+            lower = mid;
+        } else {
+            upper = mid;
+        }
+    }
+    Ok(PdThreshold {
+        lower,
+        upper,
+        probes,
+    })
+}
+
+/// [`generalized_pd_threshold_budgeted`] with `O(k³)` inertia probes
+/// instead of `O(n³)` Cholesky factorizations.
+///
+/// `D` is diagonal and supported on only the TEC junction nodes, so
+/// `G − i·D = G + U·C(i)·Uᵀ` is a rank-k diagonal perturbation of the
+/// *fixed* matrix `G`. This routine factors `G` once, prepares an
+/// [`UpdatableFactor`] over the support of `d` (a `k`-column solve), and
+/// then answers every bisection probe from the Haynsworth inertia of the
+/// `k×k` capacitance matrix — the bracketing policy (exponential doubling,
+/// `1e18` ceiling, midpoint fixed-point guard) mirrors
+/// [`generalized_pd_threshold_budgeted`] exactly, so the two agree to
+/// `rel_tol`.
+///
+/// A probe whose capacitance pivots degrade below trust
+/// ([`LinalgError::IllConditioned`]) falls back to a fresh dense Cholesky
+/// probe for that current — the verdict is then authoritative, just paid at
+/// the full price. `probes` counts both kinds.
+///
+/// # Errors
+///
+/// Same contract as [`generalized_pd_threshold_budgeted`] (the base
+/// factorization of `G` counts as the `i = 0` probe).
+pub fn generalized_pd_threshold_lowrank(
+    g: &DenseMatrix,
+    d: &[f64],
+    rel_tol: f64,
+    max_probes: usize,
+) -> Result<PdThreshold, LinalgError> {
+    if d.len() != g.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: g.rows(),
+            actual: d.len(),
+        });
+    }
+    if !(rel_tol > 0.0 && rel_tol < 1.0) {
+        return Err(LinalgError::InvalidInput(format!(
+            "relative tolerance must be in (0, 1), got {rel_tol}"
+        )));
+    }
+    if !d.iter().any(|&x| x > 0.0) {
+        return Err(LinalgError::InvalidInput(
+            "d has no positive entry; G - i*D remains positive definite for all i".into(),
+        ));
+    }
+    if max_probes == 0 {
+        return Err(LinalgError::BudgetExhausted {
+            spent: 0,
+            budget: 0,
+        });
+    }
+    let support: Vec<(usize, f64)> = d
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0.0)
+        .map(|(k, &v)| (k, v))
+        .collect();
+    let nodes: Vec<usize> = support.iter().map(|&(k, _)| k).collect();
+    // The base factorization doubles as the i = 0 probe.
+    let mut probes = 1usize;
+    let base = match Cholesky::factor(g) {
+        Ok(chol) => chol,
+        Err(LinalgError::NotPositiveDefinite { .. }) => {
+            return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+        }
+        Err(e) => return Err(e),
+    };
+    let factor = UpdatableFactor::new(base, &nodes)?;
+    let mut pd_at = |i: f64| -> Result<bool, LinalgError> {
+        if probes >= max_probes {
+            return Err(LinalgError::BudgetExhausted {
+                spent: probes,
+                budget: max_probes,
+            });
+        }
+        probes += 1;
+        let update = DiagonalUpdate::new(support.iter().map(|&(k, v)| (k, -i * v)))?;
+        match factor.is_positive_definite(&update) {
+            Ok(verdict) => Ok(verdict),
+            Err(LinalgError::IllConditioned { .. }) => {
+                // Degraded capacitance pivots: answer this probe with the
+                // authoritative dense oracle instead of a shaky inertia.
+                let mut m = g.clone();
+                m.add_scaled_diagonal(d, -i)?;
+                Ok(Cholesky::factor(&m).is_ok())
+            }
+            Err(e) => Err(e),
+        }
+    };
+    let mut lower = 0.0_f64;
+    let mut upper = {
+        let mut u = 1.0_f64;
+        while pd_at(u)? {
+            lower = u;
+            u *= 2.0;
+            if u > 1e18 {
+                return Err(LinalgError::NoConvergence {
+                    iterations: probes,
+                    residual: u,
+                });
+            }
+        }
+        u
+    };
+    while (upper - lower) > rel_tol * upper.max(1e-300) {
+        let mid = 0.5 * (lower + upper);
+        if mid <= lower || mid >= upper {
+            // One-ULP bracket: accept it (see the dense-oracle twin above).
             break;
         }
         if pd_at(mid)? {
@@ -354,6 +476,58 @@ mod tests {
         let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
         let t = generalized_pd_threshold(&g, &[1.0, 1.0], 1e-15).unwrap();
         assert!(t.probes < DEFAULT_PROBE_BUDGET / 10);
+    }
+
+    #[test]
+    fn lowrank_threshold_agrees_with_dense_oracle() {
+        use crate::stieltjes::{random_stieltjes, seeded_rng, StieltjesSampler};
+        for seed in [5_u64, 19, 42] {
+            let g = random_stieltjes(
+                StieltjesSampler {
+                    dim: 14,
+                    ..StieltjesSampler::default()
+                },
+                &mut seeded_rng(seed),
+            );
+            // TEC-shaped D: a few +/- pairs, zero elsewhere.
+            let mut d = vec![0.0; 14];
+            d[1] = 1.0;
+            d[4] = -1.0;
+            d[7] = 0.5;
+            d[12] = -0.5;
+            let dense = generalized_pd_threshold(&g, &d, 1e-10).unwrap();
+            let fast = generalized_pd_threshold_lowrank(&g, &d, 1e-10, 4096).unwrap();
+            let lam = dense.estimate();
+            assert!(
+                (fast.estimate() - lam).abs() <= 1e-7 * lam.max(1.0),
+                "seed {seed}: dense {lam} vs lowrank {}",
+                fast.estimate()
+            );
+            assert!(fast.lower <= fast.upper);
+        }
+    }
+
+    #[test]
+    fn lowrank_threshold_validates_like_the_dense_twin() {
+        let g = DenseMatrix::identity(2);
+        assert!(generalized_pd_threshold_lowrank(&g, &[1.0], 1e-9, 100).is_err());
+        assert!(generalized_pd_threshold_lowrank(&g, &[1.0, 1.0], 0.0, 100).is_err());
+        assert!(generalized_pd_threshold_lowrank(&g, &[0.0, -1.0], 1e-9, 100).is_err());
+        assert!(matches!(
+            generalized_pd_threshold_lowrank(&g, &[1.0, 1.0], 1e-9, 0),
+            Err(LinalgError::BudgetExhausted { budget: 0, .. })
+        ));
+        let indef = DenseMatrix::from_diagonal(&[-1.0, 1.0]);
+        assert!(matches!(
+            generalized_pd_threshold_lowrank(&indef, &[1.0, 1.0], 1e-9, 100),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        // Budget exhaustion mid-search is a typed error, not a hang.
+        let g = DenseMatrix::from_diagonal(&[2.0, 4.0]);
+        assert!(matches!(
+            generalized_pd_threshold_lowrank(&g, &[1.0, 1.0], 1e-12, 3),
+            Err(LinalgError::BudgetExhausted { .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   irreducible) and seeded random generation of positive-definite Stieltjes
 //!   matrices for the Conjecture-1 experiments,
 //! - [`eigen`] — power/inverse iteration and the generalized smallest
-//!   "eigenvalue" `λ_m = min θᵀGθ/θᵀDθ` via positive-definiteness bisection.
+//!   "eigenvalue" `λ_m = min θᵀGθ/θᵀDθ` via positive-definiteness bisection,
+//! - [`UpdatableFactor`] / [`DiagonalUpdate`] — Sherman–Morrison–Woodbury
+//!   rank-k diagonal updates over a cached Cholesky factor, with Haynsworth
+//!   inertia certificates replacing per-probe refactorizations.
 //!
 //! ```
 //! use tecopt_linalg::{Cholesky, DenseMatrix};
@@ -50,6 +53,7 @@ mod matrix;
 mod robust;
 mod sparse;
 pub mod stieltjes;
+mod update;
 
 pub use backend::{
     BackendSolve, FactoredSystem, ResolvedBackend, SolverBackend, SPARSE_MAX_DENSITY,
@@ -63,3 +67,4 @@ pub use lu::{determinant, log_abs_determinant, Lu};
 pub use matrix::DenseMatrix;
 pub use robust::{solve_robust, RobustSolution, SolveDiagnostics, SolveMethod, SolverPolicy};
 pub use sparse::{CsrMatrix, Triplet};
+pub use update::{AppliedUpdate, DiagonalUpdate, SmallLdl, UpdatableFactor, LDL_PIVOT_FLOOR};

@@ -137,7 +137,8 @@ impl CsrMatrix {
         }
     }
 
-    /// Overwrites the stored diagonal entry `(k, k)` in place.
+    /// Sets the diagonal entry `(k, k)`, inserting it if structurally
+    /// absent.
     ///
     /// This is the sparse counterpart of
     /// [`DenseMatrix::add_scaled_diagonal`]: the system matrices `G − i·D`
@@ -145,11 +146,18 @@ impl CsrMatrix {
     /// the current), so per-probe restamping reduces to a handful of these
     /// updates instead of a fresh format conversion.
     ///
+    /// A structurally absent diagonal (legal CSR — e.g. a row whose diagonal
+    /// conductance cancelled to exactly zero) is **inserted**: the column
+    /// index and value slide into row `k` and the tail of `row_ptr` shifts
+    /// by one. Earlier revisions rejected this case, which silently stranded
+    /// rank-k current updates on such rows. Writing an exact `0.0` into an
+    /// absent slot is a no-op (the entry already reads as zero), preserving
+    /// [`CsrMatrix::from_dense`] round-trip parity, which never stores
+    /// zeros.
+    ///
     /// # Errors
     ///
-    /// Returns [`LinalgError::InvalidInput`] if `(k, k)` is out of bounds or
-    /// structurally absent (it cannot be inserted without reshaping the
-    /// storage).
+    /// Returns [`LinalgError::InvalidInput`] if `(k, k)` is out of bounds.
     pub fn set_diagonal_entry(&mut self, k: usize, value: f64) -> Result<(), LinalgError> {
         if k >= self.rows || k >= self.cols {
             return Err(LinalgError::InvalidInput(format!(
@@ -164,9 +172,17 @@ impl CsrMatrix {
                 self.values[start + pos] = value;
                 Ok(())
             }
-            Err(_) => Err(LinalgError::InvalidInput(format!(
-                "diagonal entry ({k}, {k}) is structurally absent"
-            ))),
+            Err(pos) => {
+                if value == 0.0 {
+                    return Ok(());
+                }
+                self.col_idx.insert(start + pos, k);
+                self.values.insert(start + pos, value);
+                for p in &mut self.row_ptr[k + 1..] {
+                    *p += 1;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -354,11 +370,40 @@ mod tests {
         assert_eq!(a.get(1, 1), 2.0);
         assert_eq!(a.nnz(), 10);
         assert!(a.set_diagonal_entry(9, 1.0).is_err());
-        // A structurally absent diagonal cannot be set.
-        let mut b =
-            CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, 1.0), Triplet::new(1, 0, 1.0)])
-                .unwrap();
-        assert!(b.set_diagonal_entry(1, 1.0).is_err());
+    }
+
+    #[test]
+    fn set_diagonal_entry_inserts_structurally_absent_diagonal() {
+        // Regression: a structurally absent diagonal used to be rejected,
+        // silently stranding rank-k current updates on rows whose diagonal
+        // conductance cancelled to exact zero. It must now be inserted.
+        let mut b = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(1, 0, 1.0),
+                Triplet::new(1, 2, 4.0),
+                Triplet::new(2, 2, 2.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(b.get(1, 1), 0.0);
+        b.set_diagonal_entry(1, 5.0).unwrap();
+        assert_eq!(b.get(1, 1), 5.0);
+        // Neighbors in the row and every other entry survive the insert.
+        assert_eq!(b.get(1, 0), 1.0);
+        assert_eq!(b.get(1, 2), 4.0);
+        assert_eq!(b.get(0, 0), 1.0);
+        assert_eq!(b.get(2, 2), 2.0);
+        assert_eq!(b.nnz(), 5);
+        // The patched matrix round-trips through mul_vec consistently.
+        assert_eq!(b.mul_vec(&[1.0, 1.0, 1.0]).unwrap(), vec![1.0, 10.0, 2.0]);
+        // Writing exact zero into an absent slot is a storage no-op.
+        let mut c = CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, 1.0)]).unwrap();
+        c.set_diagonal_entry(1, 0.0).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(1, 1), 0.0);
     }
 
     #[test]

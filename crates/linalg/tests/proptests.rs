@@ -167,6 +167,49 @@ proptest! {
     }
 
     #[test]
+    fn set_diagonal_entry_round_trips_against_from_dense(
+        seed in 0u64..3000,
+        dim in 1usize..14,
+        node_pick in 0usize..14,
+        value in -3.0f64..3.0,
+    ) {
+        // Patch one diagonal entry of a CSR copy (including structurally
+        // absent diagonals, the fill-in case) and compare against
+        // re-compressing the patched dense matrix: every entry and a
+        // mat-vec must agree exactly, and nnz parity must hold because
+        // `from_dense` stores no zeros and the patch inserts none.
+        let mut a = random_spd(seed, dim);
+        let node = node_pick % dim;
+        // Blow away the whole row/column crossing, so some cases exercise a
+        // structurally absent diagonal after compression.
+        if seed % 3 == 0 {
+            for c in 0..dim {
+                a[(node, c)] = 0.0;
+                a[(c, node)] = 0.0;
+            }
+        }
+        let mut sparse = CsrMatrix::from_dense(&a);
+        sparse.set_diagonal_entry(node, value).unwrap();
+        let mut dense_patched = a.clone();
+        dense_patched[(node, node)] = value;
+        let oracle = CsrMatrix::from_dense(&dense_patched);
+        for r in 0..dim {
+            for c in 0..dim {
+                prop_assert_eq!(sparse.get(r, c), oracle.get(r, c), "entry ({}, {})", r, c);
+            }
+        }
+        if value != 0.0 || a[(node, node)] != 0.0 {
+            prop_assert_eq!(sparse.nnz(), oracle.nnz());
+        }
+        let x: Vec<f64> = (0..dim).map(|k| (k as f64 * 0.53).sin() + 0.5).collect();
+        let ys = sparse.mul_vec(&x).unwrap();
+        let yo = oracle.mul_vec(&x).unwrap();
+        for (u, v) in ys.iter().zip(&yo) {
+            prop_assert_eq!(u, v);
+        }
+    }
+
+    #[test]
     fn cg_agrees_with_cholesky(seed in 0u64..5000, dim in 2usize..15) {
         let a = random_spd(seed, dim);
         let mut trips = Vec::new();

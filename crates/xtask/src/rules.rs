@@ -79,6 +79,13 @@ pub struct FileContext {
     /// unclamped command is exactly the bug class the envelope exists to
     /// stop.
     pub check_current_clamp: bool,
+    /// `cholesky-factor-in-loop` applies: a `Cholesky::factor` call inside
+    /// a loop body is an O(n³)-per-iteration refactorization — the cost
+    /// profile the rank-k update path (`FactorStrategy::RankKUpdate`)
+    /// exists to avoid. On for `crates/core/src/*`; the linalg crate
+    /// itself legitimately factors in loops (bisection probes, tests of
+    /// the factorizer).
+    pub check_factor_in_loop: bool,
 }
 
 impl FileContext {
@@ -93,6 +100,7 @@ impl FileContext {
             allow_unsafe: false,
             check_queue: true,
             check_current_clamp: true,
+            check_factor_in_loop: true,
         }
     }
 
@@ -107,6 +115,7 @@ impl FileContext {
             allow_unsafe: false,
             check_queue: false,
             check_current_clamp: false,
+            check_factor_in_loop: false,
         }
     }
 }
@@ -204,6 +213,15 @@ pub const CATALOG: &[RuleInfo] = &[
         summary: "todo!/unimplemented! must not reach production code",
         scope: "all workspace sources",
     },
+    RuleInfo {
+        id: "cholesky-factor-in-loop",
+        severity: Severity::Warning,
+        summary: "`Cholesky::factor` inside a loop body refactorizes at \
+                  O(n³) per iteration; reuse a cached factorization \
+                  (FactorStrategy::RankKUpdate, the solver cache) or hoist \
+                  the factor out of the loop",
+        scope: "crates/core/src/*",
+    },
 ];
 
 /// Looks up a catalog entry by id.
@@ -242,6 +260,9 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> LintOutcome {
     }
     if ctx.check_current_clamp {
         check_unclamped_current(&toks, ctx, &mut findings);
+    }
+    if ctx.check_factor_in_loop {
+        check_factor_in_loop(&toks, ctx, &mut findings);
     }
     if !ctx.allow_unsafe {
         check_unsafe(&toks, ctx, &mut findings);
@@ -786,6 +807,94 @@ fn check_unclamped_current(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<F
                      before they can reach the solver",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+/// Finds the body-opening `{` of a `while`/`for` header starting at
+/// `start`, skipping over parenthesized/bracketed sub-expressions. A
+/// `for` header must contain an `in` at depth zero before the body —
+/// that is what distinguishes a for-loop from `impl Trait for Type {`
+/// and `for<'a>` higher-ranked bounds. Returns `None` when a `;` ends
+/// the construct first (no body: a trait bound, a macro fragment, ...).
+fn loop_body_open(toks: &[Tok], start: usize, needs_in: bool) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut saw_in = false;
+    let mut j = start;
+    while let Some(n) = toks.get(j) {
+        if n.is_punct("(") || n.is_punct("[") {
+            depth += 1;
+        } else if n.is_punct(")") || n.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && n.is_punct(";") {
+            return None;
+        } else if depth == 0 && n.is_punct("{") {
+            return (!needs_in || saw_in).then_some(j);
+        } else if depth == 0 && n.is_ident("in") {
+            saw_in = true;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace_end(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn check_factor_in_loop(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    // Pass 1: collect every loop-body brace span — `loop { ... }`,
+    // `while <cond> { ... }`, `for <pat> in <iter> { ... }`.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let open = if t.is_ident("loop") {
+            toks.get(i + 1)
+                .is_some_and(|n| n.is_punct("{"))
+                .then_some(i + 1)
+        } else if t.is_ident("while") {
+            loop_body_open(toks, i + 1, false)
+        } else if t.is_ident("for") {
+            loop_body_open(toks, i + 1, true)
+        } else {
+            None
+        };
+        if let Some(open) = open {
+            spans.push((open, matching_brace_end(toks, open)));
+        }
+    }
+
+    // Pass 2: flag `Cholesky::factor` inside any collected span.
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("Cholesky")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("factor"))
+            && spans.iter().any(|&(s, e)| i > s && i < e)
+        {
+            push(
+                findings,
+                "cholesky-factor-in-loop",
+                ctx,
+                t,
+                "`Cholesky::factor` inside a loop body pays O(n³) per \
+                 iteration; reuse a cached factorization (the solver cache, \
+                 FactorStrategy::RankKUpdate) or hoist the factor out of \
+                 the loop"
+                    .to_string(),
             );
         }
     }

@@ -35,6 +35,7 @@ fn catalog_is_complete_and_unique() {
             "unclamped-current",
             "float-cast-truncation",
             "todo-markers",
+            "cholesky-factor-in-loop",
         ]
     );
 }
@@ -234,6 +235,33 @@ fn todo_markers_fixture() {
 }
 
 #[test]
+fn cholesky_factor_in_loop_fixture() {
+    let mut ctx = FileContext::plain("fx");
+    ctx.check_factor_in_loop = true;
+    let out = lint_source(&fixture("cholesky_factor_in_loop.rs"), &ctx);
+    assert_eq!(
+        triples(&out),
+        [
+            // for-loop and while-loop bodies refactorizing per iteration;
+            // the factor after the loops and the one inside the
+            // `impl Factorable for Holder` body (a `for` that heads no
+            // loop) are non-findings.
+            ("cholesky-factor-in-loop", 4, 17),
+            ("cholesky-factor-in-loop", 8, 17),
+        ]
+    );
+    // The justified loop-body probe on line 13 is silenced by its comment.
+    assert_eq!(out.suppressed, 1);
+
+    // Outside the core orchestration scope the rule is fully off.
+    let out = lint_source(
+        &fixture("cholesky_factor_in_loop.rs"),
+        &FileContext::plain("fx"),
+    );
+    assert_eq!(triples(&out), []);
+}
+
+#[test]
 fn suppression_comments_silence_only_their_rule_and_lines() {
     let out = lint_source(&fixture("suppressed.rs"), &FileContext::strictest("fx"));
     // Line 3 is covered by the comment on the line above, line 4 by the
@@ -283,7 +311,7 @@ fn live_workspace_is_lint_clean() {
         "scan looks truncated: {rendered}"
     );
     assert_eq!(
-        report.suppressed, 3,
+        report.suppressed, 4,
         "suppression count drifted from DESIGN.md §11:\n{rendered}"
     );
 }

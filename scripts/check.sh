@@ -34,7 +34,15 @@
 #      the `#[ignore]`d playback-resume chains,
 #  11. the PR-6 acceptance benchmark (bench_pr6): factorization-reuse
 #      speedup ≥ 5x and safety-envelope overhead ≤ 2%, regenerating the
-#      committed BENCH_PR6.json.
+#      committed BENCH_PR6.json,
+#  12. the rank-k update equivalence suite (tests/update_equivalence.rs):
+#      property-based agreement (≤ 1e-8) between SMW-updated and freshly
+#      factored solves, the degraded-condition refactorization fallback,
+#      and cancellation of a supervised fast deployment (DESIGN.md §15),
+#  13. the PR-7 acceptance benchmark (bench_pr7): greedy deployment with
+#      FactorStrategy::RankKUpdate ≥ 5x over the refactor-per-probe dense
+#      baseline at 32x32 with peak drift ≤ 1e-8 vs fresh factorizations,
+#      regenerating the committed BENCH_PR7.json.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -72,5 +80,11 @@ cargo test -q --test transient_chaos -- --test-threads=1 --include-ignored
 
 echo "==> cargo run --release -p tecopt-bench --bin bench_pr6 > BENCH_PR6.json"
 cargo run --release -q -p tecopt-bench --bin bench_pr6 > BENCH_PR6.json
+
+echo "==> cargo test -q --test update_equivalence"
+cargo test -q --test update_equivalence
+
+echo "==> cargo run --release -p tecopt-bench --bin bench_pr7 > BENCH_PR7.json"
+cargo run --release -q -p tecopt-bench --bin bench_pr7 > BENCH_PR7.json
 
 echo "==> all checks passed"

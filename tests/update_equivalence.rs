@@ -1,0 +1,136 @@
+//! Equivalence of the PR-7 rank-k update path against fresh factorization,
+//! across the whole stack: random placement sequences must produce the
+//! same temperatures (to solver accuracy) whether each current is solved
+//! through a Sherman–Morrison–Woodbury correction of the cached `i = 0`
+//! Cholesky factor or through a from-scratch refactorization, the
+//! degraded-condition fallback must engage near runaway, and a raised
+//! cancellation token must stop a supervised fast deployment cleanly.
+
+use proptest::prelude::*;
+use tecopt::{
+    greedy_deploy_supervised, runaway_limit, CoolingSystem, DeploySettings, FactorStrategy,
+    OptError, PackageConfig, RunContext, TecParams, TileIndex,
+};
+use tecopt_units::{Amperes, Celsius, Watts};
+
+fn system(tiles: &[TileIndex], powers: &[f64]) -> CoolingSystem {
+    let config = PackageConfig::hotspot41_like(4, 4).unwrap();
+    let powers: Vec<Watts> = powers.iter().copied().map(Watts).collect();
+    CoolingSystem::new(&config, TecParams::superlattice_thin_film(), tiles, powers).unwrap()
+}
+
+fn power_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.02f64..0.6, 16)
+}
+
+/// A random sequence of growing placements, mirroring how greedy deploy
+/// walks the placement lattice: each element is a set of covered tiles.
+fn placement_sequence() -> impl Strategy<Value = Vec<Vec<TileIndex>>> {
+    proptest::collection::vec(proptest::collection::btree_set(0usize..16, 1..6), 1..4).prop_map(
+        |sets| {
+            sets.into_iter()
+                .map(|s| {
+                    s.into_iter()
+                        .map(|k| TileIndex::new(k / 4, k % 4))
+                        .collect()
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any placement sequence and any feasible current, the rank-k
+    /// update path and a fresh factorization agree on the peak to 1e-8 at
+    /// matched currents.
+    #[test]
+    fn updated_and_fresh_peaks_agree(
+        powers in power_vec(),
+        placements in placement_sequence(),
+        fractions in proptest::collection::vec(0.05f64..0.9, 2..5),
+    ) {
+        for tiles in &placements {
+            let s = system(tiles, &powers);
+            let lim = runaway_limit(&s, 1e-9).unwrap();
+            let feasible = lim.feasible().value();
+            let mut fast = s.solver().unwrap().with_strategy(FactorStrategy::RankKUpdate);
+            for &f in &fractions {
+                let i = Amperes(feasible * f);
+                let updated = fast.solve(i).unwrap();
+                let fresh = s.with_tiles(tiles).unwrap().solve(i).unwrap();
+                let dp = (updated.peak().value() - fresh.peak().value()).abs();
+                prop_assert!(
+                    dp <= 1e-8,
+                    "peak drift {dp} at i={i:?} on {tiles:?}"
+                );
+                for (a, b) in updated
+                    .node_temperatures()
+                    .iter()
+                    .zip(fresh.node_temperatures())
+                {
+                    let d = (a.value() - b.value()).abs();
+                    prop_assert!(d <= 1e-8 * b.value().abs().max(1.0));
+                }
+            }
+            // After the first solve every further current reuses the i=0
+            // base factor through an update (or a counted fallback).
+            prop_assert!(
+                fast.rank_k_updates() + fast.refactor_fallbacks() >= fractions.len() - 1,
+                "updates {} + fallbacks {} vs {} solves",
+                fast.rank_k_updates(),
+                fast.refactor_fallbacks(),
+                fractions.len(),
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_condition_falls_back_to_refactorization() {
+    let powers = vec![0.08; 16];
+    let tiles = [TileIndex::new(1, 1)];
+    let s = system(&tiles, &powers);
+    // At the feasible bracket edge of a near-machine-precision λ search the
+    // system is catastrophically ill-conditioned: the update path must
+    // detect it and refactor instead of returning a corrupted correction.
+    let lim = runaway_limit(&s, 1e-13).unwrap();
+    let mut fast = s
+        .solver()
+        .unwrap()
+        .with_strategy(FactorStrategy::RankKUpdate);
+    let warm = fast.solve(Amperes(lim.feasible().value() * 0.5)).unwrap();
+    assert!(warm.peak().value().is_finite());
+    let edge = fast.solve(lim.feasible()).unwrap();
+    assert!(
+        fast.refactor_fallbacks() >= 1,
+        "the near-runaway solve must trip the condition fallback"
+    );
+    let fresh = s.solve(lim.feasible()).unwrap();
+    assert_eq!(
+        edge.peak().value(),
+        fresh.peak().value(),
+        "a fallback refactorization is bit-identical to the shared path"
+    );
+}
+
+#[test]
+fn cancellation_stops_a_supervised_fast_deployment() {
+    let mut powers = vec![0.08; 16];
+    powers[5] = 0.5;
+    powers[10] = 0.45;
+    let base = system(&[], &powers);
+    let uncooled = base.solve(Amperes(0.0)).unwrap().peak();
+    let settings = DeploySettings::with_limit(Celsius(uncooled.value() - 0.8))
+        .with_strategy(FactorStrategy::RankKUpdate);
+    let ctx = RunContext::unbounded();
+    ctx.token().cancel();
+    let failure = greedy_deploy_supervised(&base, settings, &ctx).unwrap_err();
+    assert!(
+        matches!(failure.error, OptError::Cancelled { .. }),
+        "unexpected error {:?}",
+        failure.error
+    );
+    assert!(failure.partial.is_none());
+}
