@@ -505,6 +505,10 @@ fn append_item<R: Checkpointable>(
     let mut file = file
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // The mutex exists to serialize exactly this append+flush; writing
+    // outside it would interleave records from concurrent workers and
+    // corrupt the checkpoint file.
+    // tecopt:allow(lock-across-blocking)
     writeln!(file, "item {index} {}", record.encode()).map_err(checkpoint_io)?;
     file.flush().map_err(checkpoint_io)
 }

@@ -446,13 +446,27 @@ impl<E: Evaluator> Engine<E> {
             let cache = self.lock_cache();
             match cache.entries.get(key) {
                 Some(CacheEntry::Done(result)) => {
+                    // Clone the result and release the cache guard before
+                    // building the resolved ticket: `Ticket::resolved`
+                    // takes the ticket's own state lock, and nesting it
+                    // under the cache lock both widens the critical
+                    // section and adds an avoidable edge to the
+                    // workspace lock-acquisition graph.
+                    let result = result.clone();
+                    drop(cache);
                     self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Ticket::resolved(seq, result.clone()));
+                    return Ok(Ticket::resolved(seq, result));
                 }
                 Some(CacheEntry::InFlight(ticket)) => {
-                    self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    // The waiter count must rise while the entry is still
+                    // pinned by the guard (the resolver pairs it with a
+                    // `fetch_sub` when removing the entry), but the Arc
+                    // clone is all we need the guard for beyond that.
                     ticket.waiters.fetch_add(1, Ordering::AcqRel);
-                    return Ok(Arc::clone(ticket));
+                    let ticket = Arc::clone(ticket);
+                    drop(cache);
+                    self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    return Ok(ticket);
                 }
                 None => {}
             }

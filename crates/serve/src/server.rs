@@ -330,6 +330,9 @@ impl<E: Evaluator> Server<E> {
                     let err = ServeError::DecodeError(format!(
                         "frame exceeds {MAX_FRAME_LEN} bytes without a terminator"
                     ));
+                    // Best-effort error reply on a connection we are
+                    // about to drop anyway.
+                    // tecopt:allow(swallowed-result)
                     let _ = conn.write_all_bytes(respond(None, &Err(err)).as_bytes());
                     return;
                 }
@@ -473,7 +476,10 @@ fn poll_disconnect(conn: &mut Conn, buf: &mut Vec<u8>) -> Result<(), ServeError>
             }
         }
     };
-    // Back to blocking-with-timeout for the frame reader.
+    // Back to blocking-with-timeout for the frame reader. If restoring
+    // blocking mode fails the next read errors immediately and the
+    // connection is torn down there.
+    // tecopt:allow(swallowed-result)
     let _ = conn.set_nonblocking(false);
     verdict
 }

@@ -1,0 +1,37 @@
+//! Guards held across blocking I/O: direct, transitive through a helper,
+//! and two clean patterns (explicit drop, temporary guard).
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Sink {
+    m: Mutex<Vec<u8>>,
+}
+
+impl Sink {
+    pub fn bad(&self, out: &mut std::net::TcpStream) {
+        let g = self.m.lock().unwrap();
+        out.write_all(&g).unwrap();
+    }
+
+    pub fn dropped(&self, out: &mut std::net::TcpStream) {
+        let g = self.m.lock().unwrap();
+        let copy = g.clone();
+        drop(g);
+        out.write_all(&copy).unwrap();
+    }
+
+    pub fn temp(&self, out: &mut std::net::TcpStream) {
+        self.m.lock().unwrap().push(1);
+        out.write_all(b"x").unwrap();
+    }
+}
+
+pub fn transitive(s: &Sink) {
+    let g = s.m.lock().unwrap();
+    pause();
+    let _n = g.len();
+}
+
+fn pause() {
+    let _c = std::net::TcpStream::connect("127.0.0.1:9");
+}

@@ -1,0 +1,29 @@
+//! Seeded two-thread lock-order inversion: `ab` takes `a` then `b`,
+//! `ba` takes `b` then `a`; interleaved threads deadlock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+
+    /// Consistent order: no inversion from this pair.
+    pub fn ab_again(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga * *gb
+    }
+}

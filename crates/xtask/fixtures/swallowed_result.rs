@@ -1,0 +1,17 @@
+//! Discarded Results: `let _ =` on a workspace Result fn and a
+//! statement-position `.ok()`; binding and propagating are clean.
+fn save(x: u64) -> Result<u64, String> {
+    Err(format!("{x}"))
+}
+
+fn plain(x: u64) -> u64 {
+    x
+}
+
+pub fn run() -> Result<(), String> {
+    let _ = save(1);
+    save(2).ok();
+    let kept = save(3)?;
+    let _ = plain(kept);
+    Ok(())
+}

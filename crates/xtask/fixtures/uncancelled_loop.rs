@@ -1,0 +1,38 @@
+//! Sweep loops under a RunContext: a `while` that never consults the
+//! context is flagged; consulting loops and bounded `for` loops are not.
+pub struct RunContext;
+
+fn step(x: u64) -> u64 {
+    x + 1
+}
+
+pub fn bad_sweep(ctx: &RunContext, n: u64) -> u64 {
+    let mut acc = 0;
+    let mut i = 0;
+    while i < n {
+        acc = step(acc);
+        i += 1;
+    }
+    let _ = ctx;
+    acc
+}
+
+pub fn polled(rc: &RunContext) -> u64 {
+    let mut acc = 0;
+    loop {
+        if rc.is_cancelled() {
+            break;
+        }
+        acc = step(acc);
+    }
+    acc
+}
+
+pub fn bounded(ctx: &RunContext, n: u64) -> u64 {
+    let mut acc = 0;
+    for _ in 0..n {
+        acc = step(acc);
+    }
+    let _ = ctx;
+    acc
+}

@@ -197,6 +197,20 @@ pub fn lex(src: &str) -> LexOutput {
             continue;
         }
 
+        // Byte-char literal `b'x'`: without this arm the `b` would lex as
+        // an identifier and the literal as a separate char token.
+        if c == 'b' && lx.peek(1) == Some('\'') {
+            lx.bump_n(2);
+            lex_char_tail(&mut lx);
+            out.tokens.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
         // Raw / byte / raw-byte strings and raw identifiers.
         if (c == 'r' || c == 'b') && matches!(lx.peek(1), Some('"' | '#' | 'r' | 'b')) {
             if let Some((len, hashes, raw)) = raw_or_byte_string_prefix(&lx) {
@@ -237,8 +251,12 @@ pub fn lex(src: &str) -> LexOutput {
         }
 
         if c.is_ascii_digit() {
+            // A digit right after a `.` punct is a tuple index (`x.0.1`),
+            // never a float: without this, `0.1` in `x.0.1` would lex as
+            // one Float token and swallow the second field access.
+            let after_dot = out.tokens.last().is_some_and(|t| t.is_punct("."));
             let start = lx.pos;
-            let kind = lex_number(&mut lx);
+            let kind = lex_number(&mut lx, after_dot);
             let text: String = lx.chars[start..lx.pos].iter().collect();
             out.tokens.push(Tok {
                 kind,
@@ -393,8 +411,11 @@ fn lex_char_tail(lx: &mut Lexer) {
     }
 }
 
-/// Consumes a numeric literal, classifying it as int or float.
-fn lex_number(lx: &mut Lexer) -> TokKind {
+/// Consumes a numeric literal, classifying it as int or float. With
+/// `tuple_index` set (the literal follows a `.`), the fractional and
+/// exponent parts are off: `x.0.1` is two field accesses, not `x.` + a
+/// `0.1` float.
+fn lex_number(lx: &mut Lexer, tuple_index: bool) -> TokKind {
     let mut is_float = false;
     // Radix prefixes are always integers (suffix letters consumed below).
     if lx.peek(0) == Some('0') && matches!(lx.peek(1), Some('x' | 'o' | 'b')) {
@@ -411,7 +432,8 @@ fn lex_number(lx: &mut Lexer) -> TokKind {
         }
         // Fractional part: a `.` belongs to the number only when it is not
         // a range (`0..n`) or a method/tuple access (`1.max(2)`, `x.0.1`).
-        if lx.peek(0) == Some('.')
+        if !tuple_index
+            && lx.peek(0) == Some('.')
             && lx.peek(1) != Some('.')
             && !lx.peek(1).is_some_and(is_ident_start)
         {
@@ -422,7 +444,7 @@ fn lex_number(lx: &mut Lexer) -> TokKind {
             }
         }
         // Exponent.
-        if matches!(lx.peek(0), Some('e' | 'E')) {
+        if !tuple_index && matches!(lx.peek(0), Some('e' | 'E')) {
             let mut j = 1usize;
             if matches!(lx.peek(1), Some('+' | '-')) {
                 j += 1;
@@ -520,5 +542,122 @@ mod tests {
         let out = lex("a\n  b");
         assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
         assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    fn shapes(src: &str) -> Vec<(TokKind, String, u32, u32)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text, t.line, t.col))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_at_exact_positions() {
+        // Hashed, multi-line raw string: one Str token at the opener, and
+        // the token after it lands on the exact line/col past the closer.
+        let t = shapes("let s = r##\"a \"# b\nstill\"## ; x");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "let".into(), 1, 1),
+                (TokKind::Ident, "s".into(), 1, 5),
+                (TokKind::Punct, "=".into(), 1, 7),
+                (TokKind::Str, String::new(), 1, 9),
+                (TokKind::Punct, ";".into(), 2, 10),
+                (TokKind::Ident, "x".into(), 2, 12),
+            ]
+        );
+        // Raw-byte and plain-byte strings are single opaque tokens too,
+        // and a raw string swallows unescaped backslashes.
+        let t = shapes("br#\"x\"# b\"y\" r\"a\\\" q");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Str, String::new(), 1, 1),
+                (TokKind::Str, String::new(), 1, 9),
+                (TokKind::Str, String::new(), 1, 14),
+                (TokKind::Ident, "q".into(), 1, 20),
+            ]
+        );
+        // `rb`/`r#ident` stay identifiers; `r#fn` strips the raw prefix.
+        let t = shapes("let rb = r#fn;");
+        assert_eq!(t[1], (TokKind::Ident, "rb".into(), 1, 5));
+        assert_eq!(t[3], (TokKind::Ident, "fn".into(), 1, 10));
+    }
+
+    #[test]
+    fn nested_block_comments_resume_at_exact_positions() {
+        // The nested `/* inner */` must not close the outer comment; the
+        // first real token appears only after the outer closer, at the
+        // exact post-comment column.
+        let t = shapes("/* a /* inner */ still */ tok\n/**//**/ tok2");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "tok".into(), 1, 27),
+                (TokKind::Ident, "tok2".into(), 2, 10),
+            ]
+        );
+        // A suppression inside the second line of a block comment is
+        // attributed to its own line, not the comment opener's.
+        let out = lex("/* prose\n tecopt:allow(unsafe-code) */\nunsafe_marker");
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].line, 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes_at_exact_positions() {
+        // Escaped quote, plain char, wildcard and named lifetimes, and a
+        // labeled loop all disambiguate; chars are opaque (no text).
+        let t = shapes("'\\'' 'z' '_ 'static 'outer: loop");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Char, String::new(), 1, 1),
+                (TokKind::Char, String::new(), 1, 6),
+                (TokKind::Lifetime, "'_".into(), 1, 10),
+                (TokKind::Lifetime, "'static".into(), 1, 13),
+                (TokKind::Lifetime, "'outer".into(), 1, 21),
+                (TokKind::Punct, ":".into(), 1, 27),
+                (TokKind::Ident, "loop".into(), 1, 29),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_char_literals_are_single_tokens() {
+        // `b'x'` is one Char token — not an Ident `b` plus a char.
+        let t = shapes("m(b'a', b'\\'', b) ");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "m".into(), 1, 1),
+                (TokKind::Punct, "(".into(), 1, 2),
+                (TokKind::Char, String::new(), 1, 3),
+                (TokKind::Punct, ",".into(), 1, 7),
+                (TokKind::Char, String::new(), 1, 9),
+                (TokKind::Punct, ",".into(), 1, 14),
+                (TokKind::Ident, "b".into(), 1, 16),
+                (TokKind::Punct, ")".into(), 1, 17),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_index_chains_are_not_floats() {
+        let t = shapes("x.0.1 + 0.1");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "x".into(), 1, 1),
+                (TokKind::Punct, ".".into(), 1, 2),
+                (TokKind::Int, "0".into(), 1, 3),
+                (TokKind::Punct, ".".into(), 1, 4),
+                (TokKind::Int, "1".into(), 1, 5),
+                (TokKind::Punct, "+".into(), 1, 7),
+                (TokKind::Float, "0.1".into(), 1, 9),
+            ]
+        );
     }
 }

@@ -17,10 +17,14 @@
 #![warn(clippy::unwrap_used)]
 #![warn(clippy::expect_used)]
 
+pub mod cache;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod workspace;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
@@ -35,6 +39,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings silenced by `tecopt:allow` comments.
     pub suppressed: usize,
+    /// Files whose per-file analysis was reused from the incremental
+    /// cache (the workspace-global passes always re-run).
+    pub cache_hits: usize,
 }
 
 impl Report {
@@ -52,22 +59,98 @@ impl Report {
     }
 }
 
-/// Lints every source file of the workspace rooted at `root`.
+/// Lints every source file of the workspace rooted at `root`: the
+/// incremental cache under `target/` is consulted and refreshed, per-file
+/// analysis fans out over `tecopt::parallel`, and the workspace-global
+/// flow passes (lock graph, blocking chains, Result discards) run over
+/// the combined summaries.
 ///
 /// # Errors
 ///
 /// Returns a message describing the first I/O or manifest-parse failure;
 /// the CLI maps this to exit code 2.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_with(root, true)
+}
+
+/// [`lint_workspace`] with the incremental cache optionally disabled
+/// (`use_cache: false` neither reads nor writes it — the cold path the
+/// cache benchmark measures).
+pub fn lint_workspace_with(root: &Path, use_cache: bool) -> Result<Report, String> {
+    let cache_file = cache::cache_path(root);
+    let old = if use_cache {
+        fs::read_to_string(&cache_file)
+            .map(|text| cache::parse(&text))
+            .unwrap_or_default()
+    } else {
+        cache::Cache::default()
+    };
+
+    // Per-file analysis, parallel over the workspace's own capped
+    // fork/join helper. Each worker reuses nothing; cache lookups are by
+    // value from the immutable `old` map.
+    let files = workspace::workspace_files(root)?;
+    let results: Vec<Result<(String, Option<cache::CacheEntry>), String>> =
+        tecopt::parallel::par_map_init(
+            files,
+            || (),
+            |(), (path, rel)| {
+                let src = fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let hash = tecopt::supervise::fingerprint(&src);
+                if old.entries.get(&rel).is_some_and(|e| e.hash == hash) {
+                    // Hit: the entry is moved out of `old` (no clone)
+                    // back on the sequential side.
+                    return Ok((rel, None));
+                }
+                let fa = rules::analyze_source(&src, &workspace::context_for(&rel));
+                let entry = cache::CacheEntry {
+                    hash,
+                    findings: fa.outcome.findings,
+                    suppressed: fa.outcome.suppressed,
+                    summary: fa.summary,
+                };
+                Ok((rel, Some(entry)))
+            },
+        );
+
+    let mut old = old;
     let mut report = Report::default();
-    for (path, rel) in workspace::workspace_files(root)? {
-        let src = fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let outcome = rules::lint_source(&src, &workspace::context_for(&rel));
+    let mut fresh = cache::Cache::default();
+    for r in results {
+        let (rel, entry) = r?;
+        let entry = match entry {
+            Some(e) => e,
+            None => {
+                report.cache_hits += 1;
+                old.entries
+                    .remove(&rel)
+                    .ok_or_else(|| format!("cache entry for {rel} vanished mid-run"))?
+            }
+        };
         report.files_scanned += 1;
-        report.suppressed += outcome.suppressed;
-        report.findings.extend(outcome.findings);
+        report.suppressed += entry.suppressed;
+        report.findings.extend(entry.findings.iter().cloned());
+        fresh.entries.insert(rel, entry);
     }
+
+    // Workspace-global flow passes over all summaries (BTreeMap order is
+    // deterministic by path).
+    let summaries: Vec<&flow::FileSummary> = fresh.entries.values().map(|e| &e.summary).collect();
+    let global = flow::analyze(&summaries);
+    report.suppressed += global.suppressed;
+    report.findings.extend(global.findings);
+
+    // Best-effort refresh, skipped when every file hit (the cache on disk
+    // is already exactly `fresh`); an unwritable target/ is not a lint
+    // error.
+    if use_cache && report.cache_hits != report.files_scanned {
+        if let Some(dir) = cache_file.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = fs::write(&cache_file, cache::render(&fresh));
+    }
+
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
@@ -124,6 +207,129 @@ pub fn render_json(report: &Report) -> String {
         report.warnings(),
         report.suppressed
     ));
+    out
+}
+
+/// Renders the report as SARIF-2.1.0-shaped JSON: one run, the rule
+/// catalog as the tool driver, one result per finding with a stable
+/// FNV fingerprint (the same fingerprint the baseline file stores).
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\n      \
+         \"name\": \"tecopt-xtask\",\n      \"rules\": [",
+    );
+    for (k, r) in rules::CATALOG.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(r.id),
+            json_escape(r.summary)
+        ));
+    }
+    out.push_str("\n      ]\n    }},\n    \"results\": [");
+    for (k, f) in report.findings.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}], \
+             \"fingerprints\": {{\"tecoptFnv/v1\": \"{:016x}\"}}}}",
+            json_escape(f.rule),
+            f.severity.label(),
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            baseline_fingerprint(f)
+        ));
+    }
+    out.push_str("\n    ]\n  }]\n}\n");
+    out
+}
+
+/// FNV fingerprint of a finding, stable across unrelated edits: the file,
+/// the rule, and the message (which pins the lock ids / callees involved,
+/// not raw positions elsewhere in the file).
+pub fn baseline_fingerprint(f: &Finding) -> u64 {
+    tecopt::supervise::fingerprint(&format!("{}|{}|{}", f.file, f.rule, f.message))
+}
+
+/// Result of checking a report against a baseline file.
+#[derive(Debug, Default)]
+pub struct BaselineCheck {
+    /// Findings not in the baseline — these fail the run.
+    pub fresh: Vec<Finding>,
+    /// Findings matched by the baseline (tracked, not failing).
+    pub grandfathered: usize,
+    /// Baseline entries no finding matched anymore (fixed or drifted);
+    /// prune them with `--update-baseline`.
+    pub stale: usize,
+}
+
+/// Parses a baseline file: one `<16-hex-fnv>\t<rule>\t<file>` line per
+/// grandfathered finding (only the fingerprint is matched; the rest is
+/// for human readers). Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Returns a message naming the unreadable path or the malformed line.
+pub fn load_baseline(path: &Path) -> Result<BTreeSet<u64>, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let mut set = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fp = line.split_whitespace().next().unwrap_or("");
+        let fp = u64::from_str_radix(fp, 16)
+            .map_err(|_| format!("{}:{}: malformed fingerprint", path.display(), i + 1))?;
+        set.insert(fp);
+    }
+    Ok(set)
+}
+
+/// Splits the report's findings into fresh vs. grandfathered against a
+/// baseline set and counts stale entries.
+pub fn apply_baseline(report: &Report, baseline: &BTreeSet<u64>) -> BaselineCheck {
+    let mut check = BaselineCheck::default();
+    let mut matched = BTreeSet::new();
+    for f in &report.findings {
+        let fp = baseline_fingerprint(f);
+        if baseline.contains(&fp) {
+            check.grandfathered += 1;
+            matched.insert(fp);
+        } else {
+            check.fresh.push(f.clone());
+        }
+    }
+    check.stale = baseline.len() - matched.len();
+    check
+}
+
+/// Renders the report's findings in the baseline file format (what
+/// `--update-baseline` writes).
+pub fn render_baseline(report: &Report) -> String {
+    let mut out = String::from(
+        "# tecopt-xtask lint baseline: grandfathered findings by FNV fingerprint.\n\
+         # Regenerate with: cargo run -p tecopt-xtask -- lint --update-baseline <this file>\n",
+    );
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{:016x}\t{}\t{}\n",
+            baseline_fingerprint(f),
+            f.rule,
+            f.file
+        ));
+    }
     out
 }
 

@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use tecopt_xtask::rules::CATALOG;
 
@@ -16,59 +17,90 @@ const USAGE: &str = "\
 Usage: cargo run -p tecopt-xtask -- <command> [options]
 
 Commands:
-  lint     Run the numerical-safety & concurrency static-analysis pass
-  rules    Print the rule catalog
+  lint         Run the numerical-safety & concurrency static-analysis pass
+  rules        Print the rule catalog
+  bench-cache  Time a cold vs. warm full-workspace lint (cache benchmark)
 
 Options:
-  --format <human|json>   Output format (default: human)
-  --root <dir>            Workspace root (default: nearest ancestor with
-                          a [workspace] Cargo.toml)
+  --format <human|json|sarif>  Output format (default: human)
+  --root <dir>                 Workspace root (default: nearest ancestor
+                               with a [workspace] Cargo.toml)
+  --baseline <file>            Fail only on findings not fingerprinted in
+                               <file>; grandfathered ones are tracked
+  --update-baseline <file>     Write the current findings to <file> and
+                               exit 0
+  --no-cache                   Skip the incremental cache (cold run)
+  --enforce                    bench-cache: exit 1 unless cold < 1s and
+                               warm is >= 5x faster
 ";
 
 struct Args {
     command: String,
     format: Format,
     root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: Option<PathBuf>,
+    no_cache: bool,
+    enforce: bool,
 }
 
 #[derive(PartialEq, Eq, Clone, Copy)]
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(|| USAGE.to_string())?;
-    let mut format = Format::Human;
-    let mut root = None;
+    let mut args = Args {
+        command,
+        format: Format::Human,
+        root: None,
+        baseline: None,
+        update_baseline: None,
+        no_cache: false,
+        enforce: false,
+    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--format" => {
-                format = match argv.next().as_deref() {
+                args.format = match argv.next().as_deref() {
                     Some("human") => Format::Human,
                     Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
                     other => {
                         return Err(format!(
-                            "--format expects `human` or `json`, got {other:?}\n{USAGE}"
+                            "--format expects `human`, `json`, or `sarif`, got {other:?}\n{USAGE}"
                         ))
                     }
                 };
             }
             "--root" => {
-                root =
+                args.root =
                     Some(PathBuf::from(argv.next().ok_or_else(|| {
                         format!("--root expects a directory\n{USAGE}")
                     })?));
             }
+            "--baseline" => {
+                args.baseline =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        format!("--baseline expects a file\n{USAGE}")
+                    })?));
+            }
+            "--update-baseline" => {
+                args.update_baseline =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        format!("--update-baseline expects a file\n{USAGE}")
+                    })?));
+            }
+            "--no-cache" => args.no_cache = true,
+            "--enforce" => args.enforce = true,
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
     }
-    Ok(Args {
-        command,
-        format,
-        root,
-    })
+    Ok(args)
 }
 
 /// Nearest ancestor of the current directory whose `Cargo.toml` declares a
@@ -90,25 +122,103 @@ fn find_root() -> Result<PathBuf, String> {
     }
 }
 
+fn run_lint(args: &Args) -> Result<ExitCode, String> {
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let report = tecopt_xtask::lint_workspace_with(&root, !args.no_cache)?;
+
+    if let Some(path) = &args.update_baseline {
+        std::fs::write(path, tecopt_xtask::render_baseline(&report))
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))?;
+        println!(
+            "tecopt-xtask lint: baseline updated with {} finding(s) -> {}",
+            report.findings.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let (shown, failing, note) = match &args.baseline {
+        Some(path) => {
+            let set = tecopt_xtask::load_baseline(path)?;
+            let check = tecopt_xtask::apply_baseline(&report, &set);
+            let note = format!(
+                "baseline {}: {} grandfathered, {} stale\n",
+                path.display(),
+                check.grandfathered,
+                check.stale
+            );
+            let failing = !check.fresh.is_empty();
+            let shown = tecopt_xtask::Report {
+                findings: check.fresh,
+                files_scanned: report.files_scanned,
+                suppressed: report.suppressed,
+                cache_hits: report.cache_hits,
+            };
+            (shown, failing, note)
+        }
+        None => {
+            let failing = !report.findings.is_empty();
+            (report, failing, String::new())
+        }
+    };
+
+    match args.format {
+        Format::Human => print!("{}{}", tecopt_xtask::render_human(&shown), note),
+        Format::Json => print!("{}", tecopt_xtask::render_json(&shown)),
+        Format::Sarif => print!("{}", tecopt_xtask::render_sarif(&shown)),
+    }
+    if failing {
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Times a cold (cache deleted) and a warm full-workspace lint and
+/// optionally enforces the performance budget from DESIGN.md §16.
+fn run_bench_cache(args: &Args) -> Result<ExitCode, String> {
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let cache_file = tecopt_xtask::cache::cache_path(&root);
+    if cache_file.exists() {
+        std::fs::remove_file(&cache_file)
+            .map_err(|e| format!("cannot clear {}: {e}", cache_file.display()))?;
+    }
+    let t0 = Instant::now();
+    let cold = tecopt_xtask::lint_workspace(&root)?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let warm = tecopt_xtask::lint_workspace(&root)?;
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let speedup = cold_ms / warm_ms.max(1e-6);
+    println!(
+        "bench-cache: cold {cold_ms:.1} ms ({} files, {} hits), warm {warm_ms:.1} ms \
+         ({} hits), speedup {speedup:.1}x",
+        cold.files_scanned, cold.cache_hits, warm.cache_hits
+    );
+    if warm.cache_hits != warm.files_scanned {
+        return Err(format!(
+            "warm run should hit the cache for every file: {} of {}",
+            warm.cache_hits, warm.files_scanned
+        ));
+    }
+    if args.enforce && (cold_ms >= 1000.0 || speedup < 5.0) {
+        eprintln!("bench-cache: budget violated (need cold < 1000 ms and speedup >= 5x)");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     match args.command.as_str() {
-        "lint" => {
-            let root = match args.root {
-                Some(r) => r,
-                None => find_root()?,
-            };
-            let report = tecopt_xtask::lint_workspace(&root)?;
-            match args.format {
-                Format::Human => print!("{}", tecopt_xtask::render_human(&report)),
-                Format::Json => print!("{}", tecopt_xtask::render_json(&report)),
-            }
-            if report.findings.is_empty() {
-                Ok(ExitCode::SUCCESS)
-            } else {
-                Ok(ExitCode::from(1))
-            }
-        }
+        "lint" => run_lint(&args),
+        "bench-cache" => run_bench_cache(&args),
         "rules" => {
             for r in CATALOG {
                 match args.format {
@@ -117,7 +227,7 @@ fn run() -> Result<ExitCode, String> {
                         println!("  scope: {}", r.scope);
                         println!("  {}", r.summary);
                     }
-                    Format::Json => println!(
+                    _ => println!(
                         "{{\"id\": \"{}\", \"severity\": \"{}\"}}",
                         r.id,
                         r.severity.label()

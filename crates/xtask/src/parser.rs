@@ -1,0 +1,846 @@
+//! A lightweight recursive-descent parser over the lexed token stream.
+//!
+//! This is not a full Rust grammar: it recovers exactly the structure the
+//! flow-aware rules need — item/impl/fn nesting, brace-accurate block
+//! spans, and a per-function statement tree with `let` bindings and loop
+//! bodies — and skips everything else by balanced-bracket scanning. Spans
+//! are half-open token-index ranges into the stream handed to [`parse`],
+//! so callers can slice the original tokens for any node. Known
+//! approximations (struct literals parsed as blocks, loops embedded in
+//! expressions not classified as loops) are documented in DESIGN.md §16.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Half-open token-index range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index of the node.
+    pub start: usize,
+    /// One past the last token index of the node.
+    pub end: usize,
+}
+
+/// A braced block: its span covers `{` through `}` inclusive.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Token span including both braces.
+    pub span: Span,
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statement classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let <pat>[: <ty>] = <init>;` — pattern idents and the optional
+    /// type ascription text are recorded.
+    Let {
+        /// Identifiers bound by the pattern (`_` is kept literally).
+        pats: Vec<String>,
+        /// Joined type-ascription tokens, empty when absent.
+        ty: String,
+    },
+    /// `for`/`while`/`loop` statement; the body is the block at
+    /// `body_block` in [`Stmt::blocks`].
+    Loop,
+    /// Anything else (expressions, nested items, stray semicolons).
+    Expr,
+}
+
+/// One statement: its token span plus every braced block nested directly
+/// inside it (closures, `if`/`match` bodies, the loop body, ...).
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Classification.
+    pub kind: StmtKind,
+    /// Token span of the whole statement.
+    pub span: Span,
+    /// Nested blocks in source order, recursively parsed.
+    pub blocks: Vec<Block>,
+    /// Index into `blocks` of a loop's body block, if `kind` is `Loop`.
+    pub body_block: Option<usize>,
+}
+
+/// One function item (free, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` inside an `impl`/`trait`, else the bare name.
+    pub qualified: String,
+    /// `(pattern name, joined type tokens)` per parameter; `self`
+    /// receivers appear as `("self", <impl type>)`.
+    pub params: Vec<(String, String)>,
+    /// Joined return-type tokens, empty for `()`.
+    pub ret: String,
+    /// Body block; `None` for trait method declarations.
+    pub body: Option<Block>,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Every function found, in source order (impl/mod nesting flattened).
+    pub functions: Vec<Function>,
+    /// Names of file-level `static`/`const` items, for lock-identity
+    /// resolution (`M.lock()` on a static is one shared lock).
+    pub statics: Vec<String>,
+}
+
+/// Parses the token stream (normally after `#[cfg(test)]` stripping).
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    parse_items(toks, 0, toks.len(), None, true, &mut out);
+    out
+}
+
+const LOOP_HEADS: &[&str] = &["for", "while", "loop"];
+
+fn is_kw(t: &Tok, kw: &str) -> bool {
+    t.is_ident(kw)
+}
+
+/// Index of the `}` matching the `{` at `open` (or `end - 1`).
+pub fn matching_brace(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Skips a balanced `<...>` generic-argument list starting at `open`
+/// (which must be a `<`), returning the index after the closing `>`.
+fn skip_generics(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct("(") || t.is_punct("{") {
+            // Defensive: a paren/brace inside generics means we mis-read
+            // a comparison as a generic opener; bail out.
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Skips one attribute `#[...]`/`#![...]` at `i`, returning the index
+/// after it (or `i` if this is not an attribute).
+fn skip_attr(toks: &[Tok], i: usize, end: usize) -> usize {
+    if !toks[i].is_punct("#") {
+        return i;
+    }
+    let mut j = i + 1;
+    if j < end && toks[j].is_punct("!") {
+        j += 1;
+    }
+    if j < end && toks[j].is_punct("[") {
+        let mut depth = 0isize;
+        while j < end {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+    }
+    i + 1
+}
+
+/// Parses items in `toks[i..end]`, appending functions/statics to `out`.
+fn parse_items(
+    toks: &[Tok],
+    mut i: usize,
+    end: usize,
+    impl_ty: Option<&str>,
+    top_level: bool,
+    out: &mut ParsedFile,
+) {
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("#") {
+            i = skip_attr(toks, i, end);
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            if t.is_punct("{") {
+                i = matching_brace(toks, i, end) + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match t.text.as_str() {
+            "pub" => {
+                i += 1;
+                if i < end && toks[i].is_punct("(") {
+                    i = matching_paren(toks, i, end) + 1;
+                }
+            }
+            // Qualifiers that may precede `fn`/`impl`/`trait`.
+            "unsafe" | "async" | "default" => i += 1,
+            "const" => {
+                // `const fn` is a function; `const NAME: T = ...;` an item.
+                if toks.get(i + 1).is_some_and(|t| is_kw(t, "fn")) {
+                    i += 1;
+                } else {
+                    if top_level {
+                        if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                            out.statics.push(name.text.clone());
+                        }
+                    }
+                    i = skip_to_item_end(toks, i + 1, end);
+                }
+            }
+            "static" => {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| is_kw(t, "mut")) {
+                    j += 1;
+                }
+                if top_level {
+                    if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                        out.statics.push(name.text.clone());
+                    }
+                }
+                i = skip_to_item_end(toks, j, end);
+            }
+            "fn" => i = parse_fn(toks, i, end, impl_ty, out),
+            "impl" | "trait" => {
+                let kw = t.text.clone();
+                let mut j = i + 1;
+                if kw == "trait" {
+                    // Trait name is the next ident; bounds follow.
+                    let name = toks
+                        .get(j)
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone());
+                    j += 1;
+                    // Skip to the body / terminator.
+                    let (body, after) = find_item_body(toks, j, end);
+                    if let Some(open) = body {
+                        let close = matching_brace(toks, open, end);
+                        parse_items(toks, open + 1, close, name.as_deref(), false, out);
+                    }
+                    i = after;
+                } else {
+                    if j < end && toks[j].is_punct("<") {
+                        j = skip_generics(toks, j, end);
+                    }
+                    let (body, after) = find_item_body(toks, j, end);
+                    let name = impl_type_name(toks, j, body.unwrap_or(after));
+                    if let Some(open) = body {
+                        let close = matching_brace(toks, open, end);
+                        parse_items(toks, open + 1, close, name.as_deref(), false, out);
+                    }
+                    i = after;
+                }
+            }
+            "mod" => {
+                let mut j = i + 1;
+                // `mod name { ... }` or `mod name;`
+                if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+                    j += 1;
+                }
+                if toks
+                    .get(j)
+                    .filter(|_| j < end)
+                    .is_some_and(|t| t.is_punct("{"))
+                {
+                    let close = matching_brace(toks, j, end);
+                    parse_items(toks, j + 1, close, None, top_level, out);
+                    i = close + 1;
+                } else {
+                    i = skip_to_item_end(toks, j, end);
+                }
+            }
+            "struct" | "enum" | "union" | "use" | "extern" | "type" | "macro_rules" => {
+                i = skip_to_item_end(toks, i + 1, end);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (or `end - 1`).
+fn matching_paren(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct("(") {
+            depth += 1;
+        } else if toks[i].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Scans from `i` for an item's `{` body or `;` terminator at bracket
+/// depth zero: returns `(Some(open brace), index after the whole item)`
+/// or `(None, index after the `;`)`.
+fn find_item_body(toks: &[Tok], mut i: usize, end: usize) -> (Option<usize>, usize) {
+    let mut depth = 0isize;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct("{") {
+            return (Some(i), matching_brace(toks, i, end) + 1);
+        } else if depth == 0 && t.is_punct(";") {
+            return (None, i + 1);
+        }
+        i += 1;
+    }
+    (None, end)
+}
+
+/// The self-type name of an `impl` header: the last angle-depth-zero
+/// ident after `for` (trait impls) or in the whole header otherwise.
+fn impl_type_name(toks: &[Tok], start: usize, until: usize) -> Option<String> {
+    let mut from = start;
+    let mut angle = 0isize;
+    for (k, t) in toks.iter().enumerate().take(until).skip(start) {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle == 0 && is_kw(t, "for") {
+            from = k + 1;
+        }
+    }
+    let mut angle = 0isize;
+    let mut name = None;
+    for t in toks.iter().take(until).skip(from) {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle == 0 && t.kind == TokKind::Ident && !is_kw(t, "where") && !is_kw(t, "dyn") {
+            name = Some(t.text.clone());
+        }
+    }
+    name
+}
+
+/// Skips to the end of a non-fn item from `i`: past the first `;` at
+/// depth zero, or past a balanced `{...}` body (whichever comes first).
+fn skip_to_item_end(toks: &[Tok], i: usize, end: usize) -> usize {
+    let (_, after) = find_item_body(toks, i, end);
+    after
+}
+
+/// Parses `fn name<...>(params) -> Ret where ... { body }` starting at
+/// the `fn` keyword; returns the index after the item.
+fn parse_fn(
+    toks: &[Tok],
+    fn_idx: usize,
+    end: usize,
+    impl_ty: Option<&str>,
+    out: &mut ParsedFile,
+) -> usize {
+    let mut i = fn_idx + 1;
+    let Some(name_tok) = toks.get(i).filter(|t| t.kind == TokKind::Ident) else {
+        return i;
+    };
+    let name = name_tok.text.clone();
+    i += 1;
+    if i < end && toks[i].is_punct("<") {
+        i = skip_generics(toks, i, end);
+    }
+    if i >= end || !toks[i].is_punct("(") {
+        return i;
+    }
+    let close_paren = matching_paren(toks, i, end);
+    let params = parse_params(toks, i + 1, close_paren, impl_ty);
+    i = close_paren + 1;
+
+    // Return type: tokens between `->` and the body/terminator/`where`.
+    let mut ret = String::new();
+    if i < end && toks[i].is_punct("->") {
+        i += 1;
+        let mut depth = 0isize;
+        let ret_start = i;
+        while i < end {
+            let t = &toks[i];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && (t.is_punct("{") || t.is_punct(";") || is_kw(t, "where")) {
+                break;
+            }
+            i += 1;
+        }
+        ret = join_tokens(&toks[ret_start..i]);
+    }
+    let (body_open, after) = find_item_body(toks, i, end);
+    let body = body_open.map(|open| parse_block(toks, open, end));
+    let qualified = match impl_ty {
+        Some(ty) => format!("{ty}::{name}"),
+        None => name.clone(),
+    };
+    out.functions.push(Function {
+        name,
+        qualified,
+        params,
+        ret,
+        body,
+    });
+    after
+}
+
+/// Splits the parameter list tokens on depth-zero commas.
+fn parse_params(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    impl_ty: Option<&str>,
+) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut depth = 0isize;
+    let mut angle = 0isize;
+    let mut seg_start = start;
+    let mut k = start;
+    loop {
+        let at_end = k >= end;
+        let split = !at_end && {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+                false
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+                false
+            } else if t.is_punct("<") {
+                angle += 1;
+                false
+            } else if t.is_punct(">") {
+                angle -= 1;
+                false
+            } else {
+                depth == 0 && angle <= 0 && t.is_punct(",")
+            }
+        };
+        if at_end || split {
+            if seg_start < k.min(end) {
+                if let Some(p) = parse_param(&toks[seg_start..k.min(end)], impl_ty) {
+                    params.push(p);
+                }
+            }
+            if at_end {
+                break;
+            }
+            seg_start = k + 1;
+        }
+        k += 1;
+    }
+    params
+}
+
+/// One parameter: `(pattern name, type text)`.
+fn parse_param(seg: &[Tok], impl_ty: Option<&str>) -> Option<(String, String)> {
+    if seg.iter().any(|t| is_kw(t, "self")) {
+        // `self`, `&self`, `&mut self`, `self: Arc<Self>` receivers.
+        return Some(("self".to_string(), impl_ty.unwrap_or("Self").to_string()));
+    }
+    let colon = seg.iter().position(|t| t.is_punct(":"))?;
+    let name = seg[..colon]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && !is_kw(t, "mut") && !is_kw(t, "ref"))
+        .map(|t| t.text.clone())
+        .unwrap_or_default();
+    Some((name, join_tokens(&seg[colon + 1..])))
+}
+
+/// Joins token texts with single spaces (string/char literals render as
+/// their kind placeholders, which is fine for type text).
+pub fn join_tokens(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// Parses the block whose `{` is at `open`.
+pub fn parse_block(toks: &[Tok], open: usize, end: usize) -> Block {
+    let close = matching_brace(toks, open, end);
+    let mut stmts = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let stmt = parse_stmt(toks, i, close);
+        let next = stmt.span.end.max(i + 1);
+        stmts.push(stmt);
+        i = next;
+    }
+    Block {
+        span: Span {
+            start: open,
+            end: close + 1,
+        },
+        stmts,
+    }
+}
+
+/// Parses one statement starting at `i` (bounded by the enclosing
+/// block's close index `end`).
+fn parse_stmt(toks: &[Tok], mut i: usize, end: usize) -> Stmt {
+    let start = i;
+    while i < end && toks[i].is_punct("#") {
+        i = skip_attr(toks, i, end);
+    }
+    if i >= end {
+        return Stmt {
+            kind: StmtKind::Expr,
+            span: Span { start, end },
+            blocks: Vec::new(),
+            body_block: None,
+        };
+    }
+    let t = &toks[i];
+
+    // Bare semicolon.
+    if t.is_punct(";") {
+        return Stmt {
+            kind: StmtKind::Expr,
+            span: Span { start, end: i + 1 },
+            blocks: Vec::new(),
+            body_block: None,
+        };
+    }
+
+    // Labeled loop: `'label: for ...`.
+    let mut head = i;
+    if t.kind == TokKind::Lifetime
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(":"))
+        && toks
+            .get(i + 2)
+            .is_some_and(|t| LOOP_HEADS.iter().any(|k| t.is_ident(k)))
+    {
+        head = i + 2;
+    }
+
+    if toks[head].kind == TokKind::Ident && LOOP_HEADS.contains(&toks[head].text.as_str()) {
+        return parse_loop_stmt(toks, start, head, end);
+    }
+
+    if is_kw(t, "let") {
+        return parse_let_stmt(toks, start, i, end);
+    }
+
+    // Generic (possibly block-headed) expression statement.
+    let block_headed = is_kw(t, "if") || is_kw(t, "match") || is_kw(t, "unsafe") || t.is_punct("{");
+    let mut blocks = Vec::new();
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+            j += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            j += 1;
+        } else if t.is_punct("{") {
+            let blk = parse_block(toks, j, end);
+            let after = blk.span.end;
+            blocks.push(blk);
+            j = after;
+            if block_headed && depth == 0 {
+                // `if c {} else {}` continues; `match x {}` ends unless
+                // the value is further consumed (`.method()`, `?`).
+                match toks.get(j) {
+                    Some(n) if is_kw(n, "else") => continue,
+                    Some(n) if n.is_punct(".") || n.is_punct("?") => continue,
+                    Some(n) if n.is_punct(";") => {
+                        j += 1;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        } else if depth == 0 && (t.is_punct(";") || t.is_punct(",")) {
+            j += 1;
+            break;
+        } else {
+            j += 1;
+        }
+    }
+    Stmt {
+        kind: StmtKind::Expr,
+        span: Span { start, end: j },
+        blocks,
+        body_block: None,
+    }
+}
+
+/// Parses a `for`/`while`/`loop` statement whose head keyword is at
+/// `head` (`start` may precede it: attributes, label).
+fn parse_loop_stmt(toks: &[Tok], start: usize, head: usize, end: usize) -> Stmt {
+    let mut blocks = Vec::new();
+    let mut j = head + 1;
+    // Scan the header (iterator / condition) to the body `{` at depth 0.
+    let mut paren = 0isize;
+    let mut brack = 0isize;
+    let mut brace = 0isize;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("[") {
+            brack += 1;
+        } else if t.is_punct("]") {
+            brack -= 1;
+        } else if t.is_punct("{") {
+            if paren == 0 && brack == 0 && brace == 0 {
+                break;
+            }
+            brace += 1;
+        } else if t.is_punct("}") {
+            brace -= 1;
+        }
+        j += 1;
+    }
+    if j >= end {
+        return Stmt {
+            kind: StmtKind::Expr,
+            span: Span { start, end },
+            blocks,
+            body_block: None,
+        };
+    }
+    let body = parse_block(toks, j, end);
+    let mut after = body.span.end;
+    blocks.push(body);
+    // A loop used as a statement may carry a trailing `;`.
+    if toks.get(after).is_some_and(|t| t.is_punct(";")) {
+        after += 1;
+    }
+    Stmt {
+        kind: StmtKind::Loop,
+        span: Span { start, end: after },
+        blocks,
+        body_block: Some(0),
+    }
+}
+
+/// Parses a `let` statement starting at the `let` keyword index `let_i`.
+fn parse_let_stmt(toks: &[Tok], start: usize, let_i: usize, end: usize) -> Stmt {
+    let mut pats = Vec::new();
+    let mut ty = String::new();
+    let mut j = let_i + 1;
+    let mut depth = 0isize;
+    let mut angle = 0isize;
+    let mut ty_start = None;
+    // Pattern (and optional ascription) up to the depth-zero `=`.
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if depth == 0 && angle <= 0 && (t.is_punct("=") || t.is_punct(";")) {
+            break;
+        } else if depth == 0 && angle <= 0 && t.is_punct(":") && ty_start.is_none() {
+            ty_start = Some(j + 1);
+        } else if t.kind == TokKind::Ident
+            && ty_start.is_none()
+            && !is_kw(t, "mut")
+            && !is_kw(t, "ref")
+        {
+            pats.push(t.text.clone());
+        }
+        j += 1;
+    }
+    if let Some(ts) = ty_start {
+        ty = join_tokens(&toks[ts..j]);
+    }
+    // Initializer up to the depth-zero `;`, collecting nested blocks
+    // (closures, `match` inits, `let ... else { ... }`).
+    let mut blocks = Vec::new();
+    let mut depth = 0isize;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+            j += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            j += 1;
+        } else if t.is_punct("{") {
+            let blk = parse_block(toks, j, end);
+            let after = blk.span.end;
+            blocks.push(blk);
+            j = after;
+        } else if depth == 0 && t.is_punct(";") {
+            j += 1;
+            break;
+        } else {
+            j += 1;
+        }
+    }
+    Stmt {
+        kind: StmtKind::Let { pats, ty },
+        span: Span { start, end: j },
+        blocks,
+        body_block: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn functions_and_impls_nest() {
+        let p = parse_src(
+            "pub fn free(a: usize, b: &str) -> Result<(), E> { a; }\n\
+             impl<T> Engine<T> { fn method(&self) {} }\n\
+             impl Display for Widget { fn fmt(&self, f: &mut Formatter) -> fmt::Result { Ok(()) } }\n\
+             trait Eval { fn go(&self); fn dflt(&self) { let x = 1; } }\n\
+             mod inner { pub fn nested() {} }",
+        );
+        let names: Vec<&str> = p.functions.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "free",
+                "Engine::method",
+                "Widget::fmt",
+                "Eval::go",
+                "Eval::dflt",
+                "nested"
+            ]
+        );
+        let free = &p.functions[0];
+        assert_eq!(
+            free.params,
+            [("a".into(), "usize".into()), ("b".into(), "& str".into())]
+        );
+        assert_eq!(free.ret, "Result < ( ) , E >");
+        assert!(p.functions[3].body.is_none(), "trait decl has no body");
+        assert_eq!(p.functions[1].params[0], ("self".into(), "Engine".into()));
+    }
+
+    #[test]
+    fn statics_and_consts_are_recorded() {
+        let p = parse_src(
+            "static GLOBAL: Mutex<u32> = Mutex::new(0);\n\
+             const LIMIT: usize = 4;\n\
+             pub fn f() { const INNER: u32 = 1; }",
+        );
+        assert_eq!(p.statics, ["GLOBAL", "LIMIT"]);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn let_statements_record_pats_and_types() {
+        let p = parse_src(
+            "fn f() { let mut g: MutexGuard<u32> = m.lock(); let (a, b) = t; let _ = x(); }",
+        );
+        let body = p.functions[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 3);
+        match &body.stmts[0].kind {
+            StmtKind::Let { pats, ty } => {
+                assert_eq!(pats, &["g"]);
+                assert!(ty.starts_with("MutexGuard"));
+            }
+            k => panic!("expected let, got {k:?}"),
+        }
+        match &body.stmts[1].kind {
+            StmtKind::Let { pats, .. } => assert_eq!(pats, &["a", "b"]),
+            k => panic!("expected let, got {k:?}"),
+        }
+        match &body.stmts[2].kind {
+            StmtKind::Let { pats, .. } => assert_eq!(pats, &["_"]),
+            k => panic!("expected let, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn loops_and_nested_blocks() {
+        let src = "fn f() {\n\
+                   for i in 0..n { body(i); }\n\
+                   'outer: while let Some(x) = it.next() { if x { inner(); } }\n\
+                   loop { break; }\n\
+                   let h = items.iter().map(|v| { v + 1 }).sum();\n\
+                   }";
+        let p = parse_src(src);
+        let body = p.functions[0].body.as_ref().unwrap();
+        let kinds: Vec<bool> = body
+            .stmts
+            .iter()
+            .map(|s| s.kind == StmtKind::Loop)
+            .collect();
+        assert_eq!(kinds, [true, true, true, false]);
+        // The while-let's body holds the nested `if` block.
+        let wl = &body.stmts[1];
+        assert_eq!(wl.body_block, Some(0));
+        assert_eq!(wl.blocks[0].stmts.len(), 1);
+        assert_eq!(wl.blocks[0].stmts[0].blocks.len(), 1);
+        // The closure block is captured on the `let`.
+        assert_eq!(body.stmts[3].blocks.len(), 1);
+    }
+
+    #[test]
+    fn if_else_chains_are_one_statement() {
+        let p = parse_src("fn f() { if a { x(); } else if b { y(); } else { z(); } after(); }");
+        let body = p.functions[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        assert_eq!(body.stmts[0].blocks.len(), 3);
+    }
+
+    #[test]
+    fn spans_are_brace_accurate() {
+        let toks = lex("fn f() { a; { b; } c; }").tokens;
+        let p = parse(&toks);
+        let body = p.functions[0].body.as_ref().unwrap();
+        assert!(toks[body.span.start].is_punct("{"));
+        assert!(toks[body.span.end - 1].is_punct("}"));
+        // Inner block statement's single block spans exactly `{ b ; }`.
+        let inner = &body.stmts[1].blocks[0];
+        assert_eq!(inner.span.end - inner.span.start, 4);
+    }
+}

@@ -86,6 +86,15 @@ pub struct FileContext {
     /// itself legitimately factors in loops (bisection probes, tests of
     /// the factorizer).
     pub check_factor_in_loop: bool,
+    /// The flow-aware lock rules (`lock-order-inversion`,
+    /// `lock-across-blocking`) report findings located in this file. On
+    /// for the service layer and the shared-state core modules; the lock
+    /// graph itself is always built workspace-wide.
+    pub check_locks: bool,
+    /// `uncancelled-loop` applies: `while`/`loop` bodies in functions
+    /// taking a `RunContext` must consult it. On for the supervised sweep
+    /// kernels and the serve engine.
+    pub check_cancellation: bool,
 }
 
 impl FileContext {
@@ -101,6 +110,8 @@ impl FileContext {
             check_queue: true,
             check_current_clamp: true,
             check_factor_in_loop: true,
+            check_locks: true,
+            check_cancellation: true,
         }
     }
 
@@ -116,6 +127,8 @@ impl FileContext {
             check_queue: false,
             check_current_clamp: false,
             check_factor_in_loop: false,
+            check_locks: false,
+            check_cancellation: false,
         }
     }
 }
@@ -222,11 +235,59 @@ pub const CATALOG: &[RuleInfo] = &[
                   the factor out of the loop",
         scope: "crates/core/src/*",
     },
+    RuleInfo {
+        id: "lock-order-inversion",
+        severity: Severity::Error,
+        summary: "two lock-acquisition paths that take the same locks in \
+                  opposite orders (built from guard scopes plus \
+                  intra-workspace call edges) deadlock when two threads \
+                  interleave them; both witness chains are reported",
+        scope: "graph built workspace-wide; findings in crates/serve/src/* \
+                and crates/core/src/{parallel,supervise,system}.rs",
+    },
+    RuleInfo {
+        id: "lock-across-blocking",
+        severity: Severity::Error,
+        summary: "a guard held across blocking IO, sleep, join, or recv \
+                  (directly or through a workspace call chain) stalls every \
+                  thread contending on that lock for the duration of the \
+                  blocking call; Condvar::wait is exempt (it releases the \
+                  guard)",
+        scope: "same as lock-order-inversion",
+    },
+    RuleInfo {
+        id: "swallowed-result",
+        severity: Severity::Warning,
+        summary: "`let _ =` on a workspace Result-returning call, or a \
+                  statement-position `.ok()`, silently drops an error the \
+                  callee went out of its way to report",
+        scope: "all workspace sources (flow analysis, tests excluded)",
+    },
+    RuleInfo {
+        id: "uncancelled-loop",
+        severity: Severity::Warning,
+        summary: "a `while`/`loop` body in a RunContext-taking function that \
+                  never consults the context or a cancel token keeps running \
+                  after cancellation or deadline expiry; `for` loops are \
+                  exempt (bounded)",
+        scope: "supervised sweep kernels and the serve engine",
+    },
 ];
 
 /// Looks up a catalog entry by id.
 fn rule(id: &str) -> &'static RuleInfo {
     CATALOG.iter().find(|r| r.id == id).unwrap_or(&CATALOG[0])
+}
+
+/// Severity of the catalog rule `id` (first entry if unknown).
+pub fn rule_severity(id: &str) -> Severity {
+    rule(id).severity
+}
+
+/// Maps a rule id back to its `'static` catalog spelling (cache
+/// deserialization needs a `&'static str` for [`Finding::rule`]).
+pub fn rule_id_static(id: &str) -> Option<&'static str> {
+    CATALOG.iter().find(|r| r.id == id).map(|r| r.id)
 }
 
 /// Result of linting one source buffer.
@@ -238,43 +299,75 @@ pub struct LintOutcome {
     pub suppressed: usize,
 }
 
-/// Lints one source buffer under `ctx`.
+/// Lints one source buffer under `ctx` with the token-level rules only.
+/// (The flow rules need the whole workspace: use [`analyze_source`] plus
+/// [`crate::flow::analyze`], or [`crate::flow::flow_lint`] in tests.)
 pub fn lint_source(src: &str, ctx: &FileContext) -> LintOutcome {
     let lexed = lex(src);
     let toks = strip_cfg_test(&lexed.tokens);
+    let findings = token_rule_findings(&toks, ctx);
+    apply_suppressions(findings, &lexed.suppressions)
+}
+
+/// Per-file result of [`analyze_source`]: suppressed token + file-local
+/// flow findings, plus the summary the workspace-global passes consume.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Findings from token rules and file-local flow rules, suppressed.
+    pub outcome: LintOutcome,
+    /// Input to [`crate::flow::analyze`].
+    pub summary: crate::flow::FileSummary,
+}
+
+/// Lints one source buffer and builds its flow summary in a single
+/// lex/parse pass.
+pub fn analyze_source(src: &str, ctx: &FileContext) -> FileAnalysis {
+    let lexed = lex(src);
+    let toks = strip_cfg_test(&lexed.tokens);
+    let mut findings = token_rule_findings(&toks, ctx);
+    let parsed = crate::parser::parse(&toks);
+    let summary = crate::flow::summarize(&toks, &parsed, ctx, &lexed.suppressions, &mut findings);
+    FileAnalysis {
+        outcome: apply_suppressions(findings, &lexed.suppressions),
+        summary,
+    }
+}
+
+/// Runs every token-level rule enabled by `ctx` over the stripped stream.
+fn token_rule_findings(toks: &[Tok], ctx: &FileContext) -> Vec<Finding> {
     let mut findings = Vec::new();
 
-    check_nan_unsafe_cmp(&toks, ctx, &mut findings);
+    check_nan_unsafe_cmp(toks, ctx, &mut findings);
     if ctx.kernel {
-        check_panic_in_kernel(&toks, ctx, &mut findings);
-        check_float_cast(&toks, ctx, &mut findings);
+        check_panic_in_kernel(toks, ctx, &mut findings);
+        check_float_cast(toks, ctx, &mut findings);
     }
     if ctx.check_sleep {
-        check_sleep_in_kernel(&toks, ctx, &mut findings);
+        check_sleep_in_kernel(toks, ctx, &mut findings);
     }
     if !ctx.allow_thread {
-        check_unbounded_spawn(&toks, ctx, &mut findings);
+        check_unbounded_spawn(toks, ctx, &mut findings);
     }
     if ctx.check_queue {
-        check_unbounded_queue(&toks, ctx, &mut findings);
+        check_unbounded_queue(toks, ctx, &mut findings);
     }
     if ctx.check_current_clamp {
-        check_unclamped_current(&toks, ctx, &mut findings);
+        check_unclamped_current(toks, ctx, &mut findings);
     }
     if ctx.check_factor_in_loop {
-        check_factor_in_loop(&toks, ctx, &mut findings);
+        check_factor_in_loop(toks, ctx, &mut findings);
     }
     if !ctx.allow_unsafe {
-        check_unsafe(&toks, ctx, &mut findings);
+        check_unsafe(toks, ctx, &mut findings);
     }
-    check_todo_markers(&toks, ctx, &mut findings);
+    check_todo_markers(toks, ctx, &mut findings);
 
-    apply_suppressions(findings, &lexed.suppressions)
+    findings
 }
 
 /// Drops findings covered by a `tecopt:allow` comment on the same line or
 /// the line directly above.
-fn apply_suppressions(findings: Vec<Finding>, sups: &[Suppression]) -> LintOutcome {
+pub(crate) fn apply_suppressions(findings: Vec<Finding>, sups: &[Suppression]) -> LintOutcome {
     let mut out = LintOutcome::default();
     for f in findings {
         let silenced = sups.iter().any(|s| {

@@ -50,6 +50,27 @@ const CURRENT_CLAMP_FILES: &[&str] = &[
 /// rather than refactorize per iteration.
 const FACTOR_LOOP_PREFIX: &str = "crates/core/src/";
 
+/// Core files whose shared state participates in the service-layer lock
+/// graph: the flow-aware lock rules report findings here as well as in
+/// the service layer itself (the graph is always built workspace-wide).
+const LOCK_CORE_FILES: &[&str] = &[
+    "crates/core/src/parallel.rs",
+    "crates/core/src/supervise.rs",
+    "crates/core/src/system.rs",
+];
+
+/// Files whose `RunContext`-taking functions drive long-running sweeps:
+/// `uncancelled-loop` applies.
+const CANCELLATION_FILES: &[&str] = &[
+    "crates/core/src/convexity.rs",
+    "crates/core/src/deploy.rs",
+    "crates/core/src/multipin.rs",
+    "crates/core/src/runaway.rs",
+    "crates/core/src/supervise.rs",
+    "crates/core/src/transient.rs",
+    "crates/serve/src/engine.rs",
+];
+
 /// Directory names never descended into below a member's `src/`.
 const SKIP_DIRS: &[&str] = &["tests", "fixtures", "benches", "examples", "target"];
 
@@ -78,6 +99,8 @@ pub fn context_for(rel: &str) -> FileContext {
         // update path exists to avoid; the linalg crate itself factors in
         // loops legitimately (bisection probes, factorizer tests).
         check_factor_in_loop: rel.starts_with(FACTOR_LOOP_PREFIX),
+        check_locks: rel.starts_with(QUEUE_PREFIX) || LOCK_CORE_FILES.contains(&rel),
+        check_cancellation: CANCELLATION_FILES.contains(&rel),
     }
 }
 
@@ -233,5 +256,18 @@ mod tests {
         assert!(context_for("crates/core/src/system.rs").check_factor_in_loop);
         assert!(!context_for("crates/linalg/src/cholesky.rs").check_factor_in_loop);
         assert!(!context_for("crates/serve/src/engine.rs").check_factor_in_loop);
+        // Lock-rule scoping: the service layer plus the shared-state core
+        // modules; the graph itself is still built workspace-wide.
+        assert!(context_for("crates/serve/src/queue.rs").check_locks);
+        assert!(context_for("crates/serve/src/server.rs").check_locks);
+        assert!(context_for("crates/core/src/supervise.rs").check_locks);
+        assert!(context_for("crates/core/src/system.rs").check_locks);
+        assert!(!context_for("crates/core/src/designer.rs").check_locks);
+        assert!(!context_for("crates/linalg/src/cholesky.rs").check_locks);
+        // Cancellation scoping: supervised sweep kernels and the engine.
+        assert!(context_for("crates/core/src/runaway.rs").check_cancellation);
+        assert!(context_for("crates/serve/src/engine.rs").check_cancellation);
+        assert!(!context_for("crates/serve/src/server.rs").check_cancellation);
+        assert!(!context_for("crates/core/src/designer.rs").check_cancellation);
     }
 }

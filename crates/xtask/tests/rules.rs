@@ -4,6 +4,7 @@
 
 use std::path::Path;
 
+use tecopt_xtask::flow::{flow_lint, EventKind};
 use tecopt_xtask::rules::{lint_source, FileContext, LintOutcome, CATALOG};
 
 fn fixture(name: &str) -> String {
@@ -36,8 +37,21 @@ fn catalog_is_complete_and_unique() {
             "float-cast-truncation",
             "todo-markers",
             "cholesky-factor-in-loop",
+            "lock-order-inversion",
+            "lock-across-blocking",
+            "swallowed-result",
+            "uncancelled-loop",
         ]
     );
+}
+
+/// The lock-rule profile for flow fixtures: concurrency checks on, the
+/// kernel/token profiles off so `.unwrap()` etc. stay quiet.
+fn locks_ctx() -> FileContext {
+    FileContext {
+        check_locks: true,
+        ..FileContext::plain("fx")
+    }
 }
 
 #[test]
@@ -291,16 +305,136 @@ fn severities_match_the_catalog() {
 }
 
 #[test]
+fn lock_order_inversion_fixture() {
+    let src = fixture("lock_order_inversion.rs");
+    let out = flow_lint(&[(&src, &locks_ctx())]);
+    // One finding for the a->b / b->a cycle, anchored at path 1's first
+    // acquisition; `ab_again` repeats an existing edge and adds nothing.
+    assert_eq!(triples(&out), [("lock-order-inversion", 12, 25)]);
+    let msg = &out.findings[0].message;
+    assert!(
+        msg.contains("path 1: `Pair::ab` acquires `Pair::a` at fx:12:25"),
+        "first chain missing: {msg}"
+    );
+    assert!(
+        msg.contains("path 2: `Pair::ba` acquires `Pair::b` at fx:18:25"),
+        "second chain missing: {msg}"
+    );
+
+    // Outside the lock scope the graph collects no in-scope witnesses.
+    let out = flow_lint(&[(&src, &FileContext::plain("fx"))]);
+    assert_eq!(triples(&out), []);
+}
+
+#[test]
+fn lock_across_blocking_fixture() {
+    let src = fixture("lock_across_blocking.rs");
+    let out = flow_lint(&[(&src, &locks_ctx())]);
+    assert_eq!(
+        triples(&out),
+        [
+            // guard live across a direct `write_all`.
+            ("lock-across-blocking", 13, 13),
+            // guard live across a call whose callee reaches `connect`;
+            // the explicit-drop and temporary-guard fns are clean.
+            ("lock-across-blocking", 31, 5),
+        ]
+    );
+    assert!(
+        out.findings[1].message.contains("via pause"),
+        "transitive chain missing: {}",
+        out.findings[1].message
+    );
+    let out = flow_lint(&[(&src, &FileContext::plain("fx"))]);
+    assert_eq!(triples(&out), []);
+}
+
+#[test]
+fn swallowed_result_fixture() {
+    let src = fixture("swallowed_result.rs");
+    let out = flow_lint(&[(&src, &FileContext::plain("fx"))]);
+    assert_eq!(
+        triples(&out),
+        [
+            // `let _ =` on a workspace fn returning Result.
+            ("swallowed-result", 12, 5),
+            // statement-position `.ok()`; the `?`-propagating call and
+            // the discarded non-Result call are clean.
+            ("swallowed-result", 13, 13),
+        ]
+    );
+}
+
+#[test]
+fn uncancelled_loop_fixture() {
+    let src = fixture("uncancelled_loop.rs");
+    let ctx = FileContext {
+        check_cancellation: true,
+        ..FileContext::plain("fx")
+    };
+    let out = flow_lint(&[(&src, &ctx)]);
+    // The unconsulting `while`; the polling `loop` and the bounded `for`
+    // are clean.
+    assert_eq!(triples(&out), [("uncancelled-loop", 12, 5)]);
+    let out = flow_lint(&[(&src, &FileContext::plain("fx"))]);
+    assert_eq!(triples(&out), []);
+}
+
+/// Regression pin for the shortened `Engine::submit` critical section:
+/// the dedup cache guard must stay free of nested lock acquisitions,
+/// blocking calls, and the `Ticket::resolved` construction (which takes
+/// the ticket's own state lock).
+#[test]
+fn engine_submit_cache_guard_scope_stays_tight() {
+    let root = workspace_root();
+    let rel = "crates/serve/src/engine.rs";
+    let src = std::fs::read_to_string(root.join(rel)).expect("read engine.rs");
+    let fa = tecopt_xtask::rules::analyze_source(&src, &tecopt_xtask::workspace::context_for(rel));
+    let submit = fa
+        .summary
+        .fns
+        .iter()
+        .find(|f| f.qualified == "Engine::submit")
+        .expect("Engine::submit summarized");
+    let cache_acqs: Vec<_> = submit
+        .acqs
+        .iter()
+        .filter(|a| a.lock == "Engine::cache")
+        .collect();
+    assert!(!cache_acqs.is_empty(), "submit no longer locks the cache?");
+    for acq in cache_acqs {
+        for ev in &acq.events {
+            assert!(
+                ev.kind != EventKind::Blocking
+                    && ev.kind != EventKind::Lock
+                    && ev.name != "resolved",
+                "Engine::submit's cache critical section widened again: \
+                 {:?} in scope of the guard at {}:{}",
+                ev,
+                acq.line,
+                acq.col
+            );
+        }
+    }
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
 fn live_workspace_is_lint_clean() {
     // The tree itself must stay clean: zero findings, and exactly the
     // suppressions justified in DESIGN.md §11. If you add a suppression,
     // document it there and bump this count in the same change.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("xtask lives two levels under the workspace root")
-        .to_path_buf();
-    let report = tecopt_xtask::lint_workspace(&root).expect("workspace scan succeeds");
+    // Cache off: this test must always exercise fresh analysis (and must
+    // not race the warm-cache test below on the cache file).
+    let report =
+        tecopt_xtask::lint_workspace_with(&workspace_root(), false).expect("workspace scan");
     let rendered = tecopt_xtask::render_human(&report);
     assert!(
         report.findings.is_empty(),
@@ -311,9 +445,99 @@ fn live_workspace_is_lint_clean() {
         "scan looks truncated: {rendered}"
     );
     assert_eq!(
-        report.suppressed, 4,
+        report.suppressed, 7,
         "suppression count drifted from DESIGN.md §11:\n{rendered}"
     );
+}
+
+#[test]
+fn warm_cache_reproduces_cold_findings() {
+    let root = workspace_root();
+    let sig = |r: &tecopt_xtask::Report| {
+        (
+            r.findings
+                .iter()
+                .map(|f| (f.rule, f.file.clone(), f.line, f.col, f.message.clone()))
+                .collect::<Vec<_>>(),
+            r.suppressed,
+            r.files_scanned,
+        )
+    };
+    let cold = tecopt_xtask::lint_workspace_with(&root, false).expect("cold scan");
+    let _populate = tecopt_xtask::lint_workspace(&root).expect("populate cache");
+    let warm = tecopt_xtask::lint_workspace(&root).expect("warm scan");
+    assert_eq!(
+        warm.cache_hits, warm.files_scanned,
+        "warm run should hit the cache for every file"
+    );
+    assert_eq!(sig(&cold), sig(&warm), "cache changed the lint verdict");
+}
+
+#[test]
+fn baseline_grandfathers_known_findings_and_flags_fresh_ones() {
+    let src = fixture("swallowed_result.rs");
+    let out = flow_lint(&[(&src, &FileContext::plain("fx"))]);
+    assert_eq!(out.findings.len(), 2, "fixture drifted");
+    let report = tecopt_xtask::Report {
+        findings: out.findings,
+        files_scanned: 1,
+        ..Default::default()
+    };
+
+    // Round-trip through the on-disk format.
+    let path = std::env::temp_dir().join(format!(
+        "tecopt-xtask-baseline-test-{}.txt",
+        std::process::id()
+    ));
+    std::fs::write(&path, tecopt_xtask::render_baseline(&report)).expect("write baseline");
+    let set = tecopt_xtask::load_baseline(&path).expect("load baseline");
+    let _ = std::fs::remove_file(&path);
+
+    // Full baseline: everything grandfathered, nothing fresh or stale.
+    let check = tecopt_xtask::apply_baseline(&report, &set);
+    assert!(check.fresh.is_empty(), "{:?}", check.fresh);
+    assert_eq!((check.grandfathered, check.stale), (2, 0));
+
+    // Drop one entry: that finding comes back as fresh (failing).
+    let mut partial = set.clone();
+    let first = tecopt_xtask::baseline_fingerprint(&report.findings[0]);
+    partial.remove(&first);
+    let check = tecopt_xtask::apply_baseline(&report, &partial);
+    assert_eq!(check.fresh.len(), 1);
+    assert_eq!(tecopt_xtask::baseline_fingerprint(&check.fresh[0]), first);
+
+    // Fix one finding: its baseline entry is reported stale.
+    let fixed = tecopt_xtask::Report {
+        findings: vec![report.findings[1].clone()],
+        files_scanned: 1,
+        ..Default::default()
+    };
+    let check = tecopt_xtask::apply_baseline(&fixed, &set);
+    assert!(check.fresh.is_empty());
+    assert_eq!((check.grandfathered, check.stale), (1, 1));
+}
+
+#[test]
+fn sarif_output_has_rules_results_and_fingerprints() {
+    let src = fixture("swallowed_result.rs");
+    let out = flow_lint(&[(&src, &FileContext::plain("fx"))]);
+    let report = tecopt_xtask::Report {
+        findings: out.findings,
+        files_scanned: 1,
+        ..Default::default()
+    };
+    let sarif = tecopt_xtask::render_sarif(&report);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    for r in CATALOG {
+        assert!(sarif.contains(&format!("\"id\": \"{}\"", r.id)), "{sarif}");
+    }
+    assert!(
+        sarif.contains("\"ruleId\": \"swallowed-result\""),
+        "{sarif}"
+    );
+    assert!(sarif.contains("\"startLine\": 12"), "{sarif}");
+    assert!(sarif.contains("tecoptFnv/v1"), "{sarif}");
+    assert_eq!(sarif, tecopt_xtask::render_sarif(&report), "must be stable");
 }
 
 #[test]

@@ -7,8 +7,14 @@
 #      clippy.toml exempts test code),
 #   4. the workspace-native static analyzer (tecopt-xtask lint): NaN-unsafe
 #      comparisons, panicking paths in solver kernels, std::thread outside
-#      tecopt::parallel, unsafe code, truncating float casts, todo markers
-#      (rule catalog + suppression audit table in DESIGN.md §11),
+#      tecopt::parallel, unsafe code, truncating float casts, todo markers,
+#      and the flow-aware concurrency rules (lock-order inversion cycles,
+#      guards across blocking calls, swallowed Results, uncancelled sweep
+#      loops), checked against the committed findings baseline
+#      (rule catalog + suppression audit table in DESIGN.md §11, flow
+#      machinery in §16), followed by the cache benchmark, which fails
+#      unless a cold full-workspace lint is under 1 s and a warm
+#      (incremental-cache) one is at least 5x faster,
 #   5. compile of every criterion bench target (bench code must never rot),
 #   6. the complete test suite, including the fault-injection error-path
 #      coverage (tests/error_paths.rs), the property-based robustness
@@ -57,8 +63,11 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p tecopt-xtask -- lint"
-cargo run -q -p tecopt-xtask -- lint
+echo "==> cargo run -p tecopt-xtask -- lint --baseline lint-baseline.txt"
+cargo run -q -p tecopt-xtask -- lint --baseline lint-baseline.txt
+
+echo "==> cargo run --release -p tecopt-xtask -- bench-cache --enforce"
+cargo run --release -q -p tecopt-xtask -- bench-cache --enforce
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run
