@@ -1,0 +1,284 @@
+//! PR-9 acceptance benchmark: fleet failover and hedging latency for the
+//! `tecopt-serve` router (DESIGN.md §17).
+//!
+//! Three scenarios run against a 3-shard in-process fleet whose
+//! evaluator answers steady solves after a fixed service delay:
+//!
+//! - **healthy_fleet** — every shard up; per-request wall latency
+//!   through `Router::submit` gives the healthy p99 baseline.
+//! - **one_shard_down** — one shard refuses every call (connection
+//!   refused at the handle, as a crashed process would); keys whose
+//!   primary replica is the dead shard pay one typed refusal plus one
+//!   capped jittered backoff before the next replica answers. Gate:
+//!   **failover p99 ≤ 5× healthy p99**, and every request completes.
+//! - **tail_hedging** — one shard is healthy but 20× slower; the same
+//!   keyed workload runs unhedged and then hedged (fixed-floor hedge
+//!   delay). Gate: **hedged p99 ≤ 0.75× unhedged p99**.
+//!
+//! Emits JSON on stdout; the committed copy lives at `BENCH_PR9.json`.
+
+#![warn(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use tecopt::{CancelToken, OptError, RunContext};
+use tecopt_serve::{
+    Engine, EngineConfig, Evaluator, HealthPolicy, HedgePolicy, LocalShard, ReplEntry, Request,
+    RequestFrame, Response, Router, RouterConfig, ServeError, ShardHandle,
+};
+use tecopt_units::{Amperes, Celsius, Watts};
+
+/// Requests per scenario. p99 at this count is the 2nd-slowest request,
+/// so a single scheduler hiccup cannot carry the verdict alone.
+const REQUESTS: usize = 150;
+/// Service delay of a healthy shard's evaluator.
+const SERVICE_DELAY: Duration = Duration::from_millis(2);
+/// Service delay of the straggler shard in the hedging scenario.
+const SLOW_DELAY: Duration = Duration::from_millis(40);
+/// Fixed hedge delay (floor path: `min_observations` is never reached).
+const HEDGE_FLOOR: Duration = Duration::from_millis(5);
+const MAX_FAILOVER_RATIO: f64 = 5.0;
+const MAX_HEDGED_RATIO: f64 = 0.75;
+
+/// Blocks the calling thread for `d` without touching `std::thread`
+/// (banned outside the sanctioned parallel module).
+fn pause(d: Duration) {
+    let gate = (Mutex::new(()), Condvar::new());
+    let guard = gate.0.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = gate.1.wait_timeout(guard, d);
+}
+
+/// Answers steady requests after a fixed service delay.
+struct DelayEval {
+    delay: Duration,
+}
+
+impl Evaluator for DelayEval {
+    fn evaluate(&self, request: &Request, _ctx: &RunContext) -> Result<Response, OptError> {
+        pause(self.delay);
+        match request {
+            Request::Steady { current } => Ok(Response::Steady {
+                peak: Celsius(current.value() * 10.0),
+                tec_power: Watts(current.value()),
+            }),
+            _ => Err(OptError::InvalidParameter(
+                "bench evaluator only answers steady requests".into(),
+            )),
+        }
+    }
+}
+
+/// A shard handle with a breaker: once tripped, every call returns the
+/// typed refusal a crashed peer would produce.
+struct Breakable {
+    inner: LocalShard<DelayEval>,
+    dead: AtomicBool,
+}
+
+impl Breakable {
+    fn refusal(&self, op: &str) -> ServeError {
+        ServeError::Disconnected {
+            detail: format!("{op} to {}: connection refused (bench breaker)", self.id()),
+        }
+    }
+}
+
+impl ShardHandle for Breakable {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn submit(&self, frame: &RequestFrame, cancel: &CancelToken) -> Result<Response, ServeError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.refusal("submit"));
+        }
+        self.inner.submit(frame, cancel)
+    }
+
+    fn ping(&self, timeout: Duration) -> Result<(), ServeError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.refusal("ping"));
+        }
+        self.inner.ping(timeout)
+    }
+
+    fn replicate(&self, entry: &ReplEntry) -> Result<(), ServeError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.refusal("replicate"));
+        }
+        self.inner.replicate(entry)
+    }
+}
+
+/// One fleet: three single-worker engine shards behind a router.
+struct Fleet {
+    engines: Vec<Arc<Engine<DelayEval>>>,
+    shards: Vec<Arc<Breakable>>,
+    router: Router,
+}
+
+fn build_fleet(delays: &[Duration], hedge: Option<HedgePolicy>) -> Fleet {
+    let engines: Vec<Arc<Engine<DelayEval>>> = delays
+        .iter()
+        .map(|&delay| Arc::new(Engine::new(DelayEval { delay }, EngineConfig::default())))
+        .collect();
+    let shards: Vec<Arc<Breakable>> = engines
+        .iter()
+        .enumerate()
+        .map(|(i, engine)| {
+            Arc::new(Breakable {
+                inner: LocalShard::new(format!("shard-{i}"), Arc::clone(engine))
+                    .with_poll_interval(Duration::from_millis(1)),
+                dead: AtomicBool::new(false),
+            })
+        })
+        .collect();
+    let router = Router::new(
+        shards
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ShardHandle>)
+            .collect(),
+        RouterConfig {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            health: HealthPolicy::default(),
+            hedge,
+            ..RouterConfig::default()
+        },
+    );
+    Fleet {
+        engines,
+        shards,
+        router,
+    }
+}
+
+/// Runs `drive` against the fleet with one evaluation worker per shard,
+/// then drains. Returns the per-request latencies in microseconds.
+fn run_fleet(fleet: &Fleet, key_prefix: &str) -> Result<Vec<u64>, String> {
+    let result: Mutex<Option<Result<Vec<u64>, String>>> = Mutex::new(None);
+    let workers = fleet.engines.len();
+    tecopt::parallel::service_workers(workers + 1, |w| {
+        if w < workers {
+            fleet.engines[w].worker_loop(0);
+        } else {
+            let out = submit_all(&fleet.router, key_prefix);
+            *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            for engine in &fleet.engines {
+                engine.begin_drain();
+            }
+        }
+    });
+    let out = result.lock().unwrap_or_else(PoisonError::into_inner).take();
+    out.ok_or_else(|| "driver thread produced no result".to_string())?
+}
+
+fn submit_all(router: &Router, key_prefix: &str) -> Result<Vec<u64>, String> {
+    let cancel = CancelToken::new();
+    let mut micros = Vec::with_capacity(REQUESTS);
+    for i in 0..REQUESTS {
+        let frame = RequestFrame {
+            key: Some(format!("{key_prefix}-{i}")),
+            deadline_ms: None,
+            request: Request::Steady {
+                current: Amperes(0.5 + i as f64 * 0.001),
+            },
+        };
+        let start = Instant::now();
+        router
+            .submit(frame, &cancel)
+            .map_err(|e| format!("{key_prefix} request {i} failed: {e}"))?;
+        let elapsed = start.elapsed().as_micros();
+        micros.push(u64::try_from(elapsed).unwrap_or(u64::MAX));
+    }
+    Ok(micros)
+}
+
+/// Nearest-rank p99 over integer microseconds (no float comparisons).
+fn p99_micros(samples: &[u64]) -> Result<u64, String> {
+    if samples.is_empty() {
+        return Err("no latency samples".into());
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (sorted.len() * 99).div_ceil(100).max(1);
+    sorted
+        .get(rank - 1)
+        .copied()
+        .ok_or_else(|| "p99 rank out of range".to_string())
+}
+
+fn main() -> Result<(), String> {
+    let healthy_delays = [SERVICE_DELAY; 3];
+
+    // Scenario 1: every shard healthy.
+    let fleet = build_fleet(&healthy_delays, None);
+    let healthy = run_fleet(&fleet, "healthy")?;
+    let healthy_p99 = p99_micros(&healthy)?;
+
+    // Scenario 2: one shard refuses everything; same workload size, all
+    // requests must still complete, through failover where needed.
+    let fleet = build_fleet(&healthy_delays, None);
+    fleet.shards[0].dead.store(true, Ordering::SeqCst);
+    let degraded = run_fleet(&fleet, "one-down")?;
+    let failover_p99 = p99_micros(&degraded)?;
+    let failovers = fleet.router.metrics().failovers;
+    if failovers == 0 {
+        return Err("the dead shard was never a primary; workload too small".into());
+    }
+    let failover_ratio = failover_p99 as f64 / healthy_p99 as f64;
+
+    // Scenario 3: a 20x straggler, unhedged then hedged.
+    let slow_delays = [SLOW_DELAY, SERVICE_DELAY, SERVICE_DELAY];
+    let fleet = build_fleet(&slow_delays, None);
+    let unhedged = run_fleet(&fleet, "unhedged")?;
+    let unhedged_p99 = p99_micros(&unhedged)?;
+
+    let fleet = build_fleet(
+        &slow_delays,
+        Some(HedgePolicy {
+            floor: HEDGE_FLOOR,
+            p99_factor: 1.5,
+            min_observations: usize::MAX,
+        }),
+    );
+    let hedged = run_fleet(&fleet, "hedged")?;
+    let hedged_p99 = p99_micros(&hedged)?;
+    let hedges = fleet.router.metrics();
+    if hedges.hedges_won == 0 {
+        return Err("no hedge ever won; the straggler was never covered".into());
+    }
+    let hedged_ratio = hedged_p99 as f64 / unhedged_p99 as f64;
+
+    eprintln!(
+        "healthy_p99={healthy_p99}us failover_p99={failover_p99}us \
+         (ratio {failover_ratio:.2}, {failovers} failovers) \
+         unhedged_p99={unhedged_p99}us hedged_p99={hedged_p99}us \
+         (ratio {hedged_ratio:.2}, {} hedges launched, {} won)",
+        hedges.hedges_launched, hedges.hedges_won,
+    );
+    if failover_ratio > MAX_FAILOVER_RATIO {
+        return Err(format!(
+            "failover p99 is {failover_ratio:.2}x healthy p99, above the \
+             {MAX_FAILOVER_RATIO}x gate"
+        ));
+    }
+    if hedged_ratio > MAX_HEDGED_RATIO {
+        return Err(format!(
+            "hedged p99 is {hedged_ratio:.2}x unhedged p99, above the \
+             {MAX_HEDGED_RATIO}x gate"
+        ));
+    }
+
+    println!(
+        "{{\n  \"bench\": \"bench_pr9\",\n  \"description\": \"3-shard in-process fleet behind the tecopt-serve Router; steady requests with a {}ms service delay; one_shard_down refuses every call at one shard so its keys fail over with capped jittered backoff; tail_hedging adds a {}ms straggler shard and compares unhedged vs fixed-{}ms-floor hedged p99\",\n  \"requests_per_scenario\": {REQUESTS},\n  \"healthy_p99_us\": {healthy_p99},\n  \"failover_p99_us\": {failover_p99},\n  \"failover_p99_ratio\": {failover_ratio:.3},\n  \"failovers\": {failovers},\n  \"unhedged_p99_us\": {unhedged_p99},\n  \"hedged_p99_us\": {hedged_p99},\n  \"hedged_p99_ratio\": {hedged_ratio:.3},\n  \"hedges_launched\": {},\n  \"hedges_won\": {},\n  \"targets\": {{ \"max_failover_p99_ratio\": {MAX_FAILOVER_RATIO}, \"max_hedged_p99_ratio\": {MAX_HEDGED_RATIO} }}\n}}",
+        SERVICE_DELAY.as_millis(),
+        SLOW_DELAY.as_millis(),
+        HEDGE_FLOOR.as_millis(),
+        hedges.hedges_launched,
+        hedges.hedges_won,
+    );
+    Ok(())
+}

@@ -253,6 +253,222 @@ impl<E: tecopt_serve::Evaluator> tecopt_serve::Evaluator for SlowEvaluator<E> {
 }
 
 // ---------------------------------------------------------------------
+// Fleet chaos: shard and transport injectors for the router tier
+// ---------------------------------------------------------------------
+
+/// A killable shard: wraps any [`tecopt_serve::ShardHandle`] and, once
+/// [`ShardKill::kill`]ed, refuses every operation with a typed
+/// [`tecopt_serve::ServeError::Disconnected`] — exactly what a crashed
+/// process looks like to the router. [`ShardKill::restart_with`] swaps in
+/// a replacement handle (a freshly built engine), modeling a restart
+/// under the same fleet slot and id.
+pub struct ShardKill {
+    inner: std::sync::Mutex<std::sync::Arc<dyn tecopt_serve::ShardHandle>>,
+    killed: std::sync::atomic::AtomicBool,
+    id: String,
+}
+
+impl ShardKill {
+    /// Wraps `inner` as a killable shard (initially alive).
+    pub fn wrap(inner: std::sync::Arc<dyn tecopt_serve::ShardHandle>) -> ShardKill {
+        ShardKill {
+            id: inner.id().to_string(),
+            inner: std::sync::Mutex::new(inner),
+            killed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Kills the shard: every subsequent operation is refused.
+    pub fn kill(&self) {
+        self.killed.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Revives the shard with its current inner handle.
+    pub fn restart(&self) {
+        self.killed
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Revives the shard with a replacement handle (a rebuilt engine).
+    pub fn restart_with(&self, inner: std::sync::Arc<dyn tecopt_serve::ShardHandle>) {
+        *self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = inner;
+        self.restart();
+    }
+
+    /// `true` while the shard refuses operations.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn live(
+        &self,
+        op: &str,
+    ) -> Result<std::sync::Arc<dyn tecopt_serve::ShardHandle>, tecopt_serve::ServeError> {
+        if self.is_killed() {
+            return Err(tecopt_serve::ServeError::Disconnected {
+                detail: format!("{op} to {}: shard killed by fault injector", self.id),
+            });
+        }
+        Ok(std::sync::Arc::clone(
+            &self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        ))
+    }
+}
+
+impl tecopt_serve::ShardHandle for ShardKill {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn submit(
+        &self,
+        frame: &tecopt_serve::RequestFrame,
+        cancel: &tecopt::CancelToken,
+    ) -> Result<tecopt_serve::Response, tecopt_serve::ServeError> {
+        self.live("submit")?.submit(frame, cancel)
+    }
+
+    fn ping(&self, timeout: std::time::Duration) -> Result<(), tecopt_serve::ServeError> {
+        self.live("ping")?.ping(timeout)
+    }
+
+    fn replicate(&self, entry: &tecopt_serve::ReplEntry) -> Result<(), tecopt_serve::ServeError> {
+        self.live("replicate")?.replicate(entry)
+    }
+}
+
+/// An address every TCP connect refuses: binds an ephemeral port, reads
+/// it back, and drops the listener. The OS keeps the port closed long
+/// enough for a test's connection attempts to be refused instantly —
+/// unlike a firewalled address, which would time out instead.
+///
+/// # Errors
+///
+/// Any socket-level failure binding the probe listener.
+pub fn refused_tcp_addr() -> std::io::Result<String> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    drop(listener);
+    Ok(addr)
+}
+
+/// Blocks the calling thread for about `d` without the raw thread API
+/// (condvar timeout; the workspace linter confines `std::thread` to the
+/// sanctioned pool).
+fn settle(d: std::time::Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let gate = std::sync::Mutex::new(());
+    let cv = std::sync::Condvar::new();
+    let guard = gate
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = cv.wait_timeout(guard, d);
+}
+
+/// A listener that accepts only after a configured delay — the transport
+/// picture of an overloaded accept loop. Drive [`SlowAccept::serve_one_pong`]
+/// on one side of [`tecopt::parallel::join`] while the other side pings.
+pub struct SlowAccept {
+    listener: std::net::TcpListener,
+    delay: std::time::Duration,
+}
+
+impl SlowAccept {
+    /// Binds an ephemeral port that will accept after `delay`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure from bind.
+    pub fn bind(delay: std::time::Duration) -> std::io::Result<SlowAccept> {
+        Ok(SlowAccept {
+            listener: std::net::TcpListener::bind("127.0.0.1:0")?,
+            delay,
+        })
+    }
+
+    /// The bound address to point a shard or client at.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure reading the local address.
+    pub fn addr(&self) -> std::io::Result<String> {
+        Ok(self.listener.local_addr()?.to_string())
+    }
+
+    /// Sleeps the configured delay, accepts one connection, reads one
+    /// line, and echoes a pong for it. Returns when the peer is served
+    /// or gone.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure accepting or serving.
+    pub fn serve_one_pong(&self) -> std::io::Result<()> {
+        use std::io::{BufRead, BufReader, Write};
+        settle(self.delay);
+        let (stream, _) = self.listener.accept()?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut stream = stream;
+        if let Some(nonce) = line.trim_end().strip_prefix("ping ") {
+            stream.write_all(format!("pong {nonce}\n").as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// A black hole: accepts connections and then says nothing, forever (or
+/// until dropped) — the transport picture of a hung process whose kernel
+/// still completes the TCP handshake. Clients must convert the silence
+/// into a typed timeout, never hang.
+pub struct BlackHole {
+    listener: std::net::TcpListener,
+}
+
+impl BlackHole {
+    /// Binds an ephemeral black-hole port.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure from bind.
+    pub fn bind() -> std::io::Result<BlackHole> {
+        Ok(BlackHole {
+            listener: std::net::TcpListener::bind("127.0.0.1:0")?,
+        })
+    }
+
+    /// The bound address to point a shard or client at.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure reading the local address.
+    pub fn addr(&self) -> std::io::Result<String> {
+        Ok(self.listener.local_addr()?.to_string())
+    }
+
+    /// Accepts one connection and holds it open, silent, for `hold`.
+    /// Everything the peer writes is swallowed unread.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure accepting.
+    pub fn swallow_one(&self, hold: std::time::Duration) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        settle(hold);
+        drop(stream);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // Transient-schedule chaos: workload injectors for the safety envelope
 // ---------------------------------------------------------------------
 
@@ -433,6 +649,130 @@ mod tests {
             assert_eq!(outcome.is_err(), call % 3 == 0, "call {call}");
         }
         assert_eq!(eval.calls(), 6);
+    }
+
+    struct AlwaysOkShard;
+    impl tecopt_serve::ShardHandle for AlwaysOkShard {
+        fn id(&self) -> &str {
+            "ok-shard"
+        }
+        fn submit(
+            &self,
+            _frame: &tecopt_serve::RequestFrame,
+            _cancel: &tecopt::CancelToken,
+        ) -> Result<tecopt_serve::Response, tecopt_serve::ServeError> {
+            Ok(tecopt_serve::Response::Steady {
+                peak: tecopt_units::Celsius(1.0),
+                tec_power: tecopt_units::Watts(1.0),
+            })
+        }
+        fn ping(&self, _timeout: std::time::Duration) -> Result<(), tecopt_serve::ServeError> {
+            Ok(())
+        }
+        fn replicate(
+            &self,
+            _entry: &tecopt_serve::ReplEntry,
+        ) -> Result<(), tecopt_serve::ServeError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_killed_shard_refuses_every_operation_with_a_typed_error() {
+        use tecopt_serve::ShardHandle as _;
+        let shard = ShardKill::wrap(std::sync::Arc::new(AlwaysOkShard));
+        let frame = tecopt_serve::RequestFrame {
+            key: Some("k".into()),
+            deadline_ms: None,
+            request: tecopt_serve::Request::Steady {
+                current: tecopt_units::Amperes(1.0),
+            },
+        };
+        let cancel = tecopt::CancelToken::new();
+        assert!(shard.submit(&frame, &cancel).is_ok());
+        shard.kill();
+        let killed_err = |r: Result<(), tecopt_serve::ServeError>| match r {
+            Err(tecopt_serve::ServeError::Disconnected { detail }) => {
+                assert!(detail.contains("killed"), "{detail}");
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        };
+        killed_err(shard.submit(&frame, &cancel).map(|_| ()));
+        killed_err(shard.ping(std::time::Duration::from_millis(10)));
+        killed_err(shard.replicate(&tecopt_serve::ReplEntry {
+            request_fp: 1,
+            key: "k".into(),
+            response: tecopt_serve::Response::Steady {
+                peak: tecopt_units::Celsius(1.0),
+                tec_power: tecopt_units::Watts(1.0),
+            },
+        }));
+        // A restart (possibly with a rebuilt engine) revives the slot.
+        shard.restart_with(std::sync::Arc::new(AlwaysOkShard));
+        assert!(!shard.is_killed());
+        assert!(shard.submit(&frame, &cancel).is_ok());
+    }
+
+    #[test]
+    fn a_refused_port_is_an_instant_typed_disconnect() {
+        use tecopt_serve::ShardHandle as _;
+        let addr = refused_tcp_addr().unwrap();
+        let shard = tecopt_serve::RemoteShard::new("refused", tecopt_serve::RemoteAddr::Tcp(addr));
+        let t0 = std::time::Instant::now();
+        match shard.ping(std::time::Duration::from_millis(100)) {
+            Err(tecopt_serve::ServeError::Disconnected { detail }) => {
+                assert!(detail.contains("connect"), "{detail}");
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // Refused, not black-holed: no multi-second connect timeout.
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn a_slow_accept_loop_times_a_ping_out_as_disconnected() {
+        use tecopt_serve::ShardHandle as _;
+        let slow = SlowAccept::bind(std::time::Duration::from_millis(300)).unwrap();
+        let shard = tecopt_serve::RemoteShard::new(
+            "slow-accept",
+            tecopt_serve::RemoteAddr::Tcp(slow.addr().unwrap()),
+        )
+        .with_io_slice(std::time::Duration::from_millis(5));
+        let (served, pinged) = tecopt::parallel::join(
+            || slow.serve_one_pong(),
+            || shard.ping(std::time::Duration::from_millis(50)),
+        );
+        // The ping gave up long before the accept loop woke up…
+        match pinged {
+            Err(tecopt_serve::ServeError::Disconnected { detail }) => {
+                assert!(detail.contains("timed out"), "{detail}");
+            }
+            other => panic!("expected timeout Disconnected, got {other:?}"),
+        }
+        // …and the late server still served the connection it finally
+        // accepted (the injector never wedges the test harness).
+        assert!(served.is_ok());
+    }
+
+    #[test]
+    fn a_black_hole_is_a_typed_timeout_never_a_hang() {
+        use tecopt_serve::ShardHandle as _;
+        let hole = BlackHole::bind().unwrap();
+        let shard = tecopt_serve::RemoteShard::new(
+            "black-hole",
+            tecopt_serve::RemoteAddr::Tcp(hole.addr().unwrap()),
+        )
+        .with_io_slice(std::time::Duration::from_millis(5));
+        let (_held, pinged) = tecopt::parallel::join(
+            || hole.swallow_one(std::time::Duration::from_millis(200)),
+            || shard.ping(std::time::Duration::from_millis(50)),
+        );
+        match pinged {
+            Err(tecopt_serve::ServeError::Disconnected { detail }) => {
+                assert!(detail.contains("timed out"), "{detail}");
+            }
+            other => panic!("expected timeout Disconnected, got {other:?}"),
+        }
     }
 
     #[test]

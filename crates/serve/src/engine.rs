@@ -38,10 +38,10 @@ use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, PushError};
-use crate::wire::{encode_request, Request, RequestFrame, Response};
+use crate::replicate::{ReplEntry, ReplicationSink};
+use crate::wire::{request_fingerprint, Request, RequestFrame, Response};
 use tecopt::parallel::panic_message;
 use tecopt::runaway::sweep_fractions_supervised;
-use tecopt::supervise::fingerprint;
 use tecopt::transient::{TransientFailure, TransientSimulator};
 use tecopt::{
     runaway_limit, score_candidates, CancelToken, CoolingSystem, CurrentSettings,
@@ -128,11 +128,7 @@ impl TecEvaluator {
         // request digests every parameter bit-exactly. It keys the result
         // cache and binds the controller + envelope configuration into the
         // playback checkpoint identity (the simulator digests the rest).
-        let fp = fingerprint(&encode_request(&RequestFrame {
-            key: None,
-            deadline_ms: None,
-            request: request.clone(),
-        }));
+        let fp = request_fingerprint(request);
         if let Some(hit) = self
             .transient_cache
             .lock()
@@ -250,6 +246,12 @@ pub struct MetricsSnapshot {
     pub completed_err: u64,
     /// Evaluations that panicked (contained per request).
     pub panics_contained: u64,
+    /// Keyed requests answered from a peer-replicated cache entry
+    /// (a subset of `deduplicated`).
+    pub replicated_hits: u64,
+    /// Replicated entries refused because their request fingerprint did
+    /// not match the incoming request (the poisoned-replica defense).
+    pub replicated_rejects: u64,
 }
 
 #[derive(Default)]
@@ -261,6 +263,8 @@ struct Metrics {
     completed_ok: AtomicU64,
     completed_err: AtomicU64,
     panics_contained: AtomicU64,
+    replicated_hits: AtomicU64,
+    replicated_rejects: AtomicU64,
 }
 
 /// The shared handle a waiter holds for one admitted request.
@@ -362,13 +366,49 @@ impl Ticket {
 enum CacheEntry {
     Done(Result<Response, ServeError>),
     InFlight(Arc<Ticket>),
+    /// A result a peer shard replicated here. Served **only** to a
+    /// request whose canonical fingerprint matches `fingerprint` — the
+    /// entry is bound to the exact request bits it answers, so a
+    /// poisoned or stale replica can never serve a wrong answer, only
+    /// miss and re-evaluate.
+    Replicated {
+        fingerprint: u64,
+        response: Response,
+    },
+}
+
+/// What `submit` found under an idempotency key, cloned out of the cache
+/// so every follow-up (ticket construction, fingerprint verification)
+/// runs with the guard released.
+enum KeyHit {
+    Done(Result<Response, ServeError>),
+    Joined(Arc<Ticket>),
+    Replicated(u64, Response),
 }
 
 #[derive(Default)]
 struct IdemCache {
     entries: HashMap<String, CacheEntry>,
-    /// Keys of `Done` entries, oldest first, for bounded eviction.
+    /// Keys of completed (`Done` or `Replicated`) entries, oldest first,
+    /// for bounded eviction.
     done_order: Vec<String>,
+}
+
+impl IdemCache {
+    /// Evicts completed entries, oldest first, down to `capacity`.
+    /// `InFlight` entries are never evicted from here — they leave when
+    /// their job settles or is abandoned.
+    fn evict_completed(&mut self, capacity: usize) {
+        while self.done_order.len() > capacity {
+            let evict = self.done_order.remove(0);
+            if matches!(
+                self.entries.get(&evict),
+                Some(CacheEntry::Done(_) | CacheEntry::Replicated { .. })
+            ) {
+                self.entries.remove(&evict);
+            }
+        }
+    }
 }
 
 struct Job {
@@ -392,6 +432,10 @@ pub struct Engine<E: Evaluator> {
     draining: AtomicBool,
     seq: AtomicU64,
     metrics: Metrics,
+    /// Where completed keyed `Ok` results are offered for cross-shard
+    /// replication. Unset engines (single-shard deployments) skip the
+    /// offer entirely.
+    repl_sink: std::sync::OnceLock<Arc<dyn ReplicationSink>>,
 }
 
 impl<E: Evaluator> Engine<E> {
@@ -409,7 +453,23 @@ impl<E: Evaluator> Engine<E> {
             draining: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             metrics: Metrics::default(),
+            repl_sink: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Wires the engine into a replication fan-out: every keyed request
+    /// that completes `Ok` is offered to `sink` (best-effort, after the
+    /// local cache settles). Set once, before serving; later calls are
+    /// ignored.
+    pub fn set_replication_sink(&self, sink: Arc<dyn ReplicationSink>) {
+        let _ = self.repl_sink.set(sink);
+    }
+
+    /// `true` once [`Engine::begin_drain`] ran: admission is closed and
+    /// the engine is finishing its backlog. Fleet health checks treat a
+    /// draining shard as unavailable for new work.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     /// A snapshot of the engine's counters.
@@ -423,6 +483,8 @@ impl<E: Evaluator> Engine<E> {
             completed_ok: m.completed_ok.load(Ordering::Relaxed),
             completed_err: m.completed_err.load(Ordering::Relaxed),
             panics_contained: m.panics_contained.load(Ordering::Relaxed),
+            replicated_hits: m.replicated_hits.load(Ordering::Relaxed),
+            replicated_rejects: m.replicated_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -442,31 +504,53 @@ impl<E: Evaluator> Engine<E> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
 
         // Idempotent retry? Serve from the cache or join in-flight work.
+        // The hit is cloned out and the cache guard released before any
+        // follow-up: `Ticket::resolved` takes the ticket's own state
+        // lock, and the replicated-entry fingerprint check encodes the
+        // whole request — neither belongs inside the cache's critical
+        // section (the workspace lock-acquisition graph stays clean).
         if let Some(key) = frame.key.as_deref() {
-            let cache = self.lock_cache();
-            match cache.entries.get(key) {
-                Some(CacheEntry::Done(result)) => {
-                    // Clone the result and release the cache guard before
-                    // building the resolved ticket: `Ticket::resolved`
-                    // takes the ticket's own state lock, and nesting it
-                    // under the cache lock both widens the critical
-                    // section and adds an avoidable edge to the
-                    // workspace lock-acquisition graph.
-                    let result = result.clone();
-                    drop(cache);
+            let hit = {
+                let cache = self.lock_cache();
+                match cache.entries.get(key) {
+                    Some(CacheEntry::Done(result)) => Some(KeyHit::Done(result.clone())),
+                    Some(CacheEntry::InFlight(ticket)) => {
+                        // The waiter count must rise while the entry is
+                        // still pinned by the guard (the resolver pairs
+                        // it with a `fetch_sub` when removing the entry).
+                        ticket.waiters.fetch_add(1, Ordering::AcqRel);
+                        Some(KeyHit::Joined(Arc::clone(ticket)))
+                    }
+                    Some(CacheEntry::Replicated {
+                        fingerprint,
+                        response,
+                    }) => Some(KeyHit::Replicated(*fingerprint, response.clone())),
+                    None => None,
+                }
+            };
+            match hit {
+                Some(KeyHit::Done(result)) => {
                     self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
                     return Ok(Ticket::resolved(seq, result));
                 }
-                Some(CacheEntry::InFlight(ticket)) => {
-                    // The waiter count must rise while the entry is still
-                    // pinned by the guard (the resolver pairs it with a
-                    // `fetch_sub` when removing the entry), but the Arc
-                    // clone is all we need the guard for beyond that.
-                    ticket.waiters.fetch_add(1, Ordering::AcqRel);
-                    let ticket = Arc::clone(ticket);
-                    drop(cache);
+                Some(KeyHit::Joined(ticket)) => {
                     self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
                     return Ok(ticket);
+                }
+                Some(KeyHit::Replicated(fp, response)) => {
+                    if request_fingerprint(&frame.request) == fp {
+                        self.metrics.deduplicated.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.replicated_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Ticket::resolved(seq, Ok(response)));
+                    }
+                    // The replica answers a *different* request than the
+                    // one retrying under this key: refuse it, discard
+                    // it, and evaluate fresh. Serving it would be wrong;
+                    // missing only costs work.
+                    self.metrics
+                        .replicated_rejects
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.drop_replicated_entry(key, fp);
                 }
                 None => {}
             }
@@ -562,6 +646,17 @@ impl<E: Evaluator> Engine<E> {
         };
         if let Some(key) = &job.key {
             self.settle_cache(key, &job.ticket, &result);
+            // Offer the finished result to peer shards. Only `Ok`
+            // outcomes travel (errors are either transient or cheap to
+            // re-derive), and only after the local cache settled — a
+            // replica must never be fresher than its origin.
+            if let (Ok(response), Some(sink)) = (&result, self.repl_sink.get()) {
+                sink.offer(ReplEntry {
+                    request_fp: request_fingerprint(&job.request),
+                    key: key.clone(),
+                    response: response.clone(),
+                });
+            }
         }
         job.ticket.complete(result);
         self.finish_one();
@@ -630,14 +725,51 @@ impl<E: Evaluator> Engine<E> {
                 .entries
                 .insert(key.to_string(), CacheEntry::Done(result.clone()));
             cache.done_order.push(key.to_string());
-            while cache.done_order.len() > self.config.cache_capacity {
-                let evict = cache.done_order.remove(0);
-                if matches!(cache.entries.get(&evict), Some(CacheEntry::Done(_))) {
-                    cache.entries.remove(&evict);
-                }
-            }
+            cache.evict_completed(self.config.cache_capacity);
         } else {
             cache.entries.remove(key);
+        }
+    }
+
+    /// Files a peer-replicated result under `key`, to be served only to
+    /// a request whose canonical fingerprint matches `fingerprint`.
+    /// Best-effort: anything the engine already knows locally — a
+    /// completed result or in-flight work — always wins over a replica.
+    pub fn insert_replicated(&self, fingerprint: u64, key: &str, response: Response) {
+        if !crate::wire::valid_key(key) {
+            return;
+        }
+        let mut cache = self.lock_cache();
+        match cache.entries.get(key) {
+            Some(CacheEntry::Done(_) | CacheEntry::InFlight(_)) => return,
+            Some(CacheEntry::Replicated { .. }) | None => {}
+        }
+        let fresh = !cache.entries.contains_key(key);
+        cache.entries.insert(
+            key.to_string(),
+            CacheEntry::Replicated {
+                fingerprint,
+                response,
+            },
+        );
+        if fresh {
+            cache.done_order.push(key.to_string());
+            cache.evict_completed(self.config.cache_capacity);
+        }
+    }
+
+    /// Discards the replicated entry under `key` if it still carries
+    /// `fp` — the caller observed a fingerprint mismatch and the entry
+    /// must never be offered again (unless a fresh replica replaced it
+    /// in the meantime).
+    fn drop_replicated_entry(&self, key: &str, fp: u64) {
+        let mut cache = self.lock_cache();
+        if matches!(
+            cache.entries.get(key),
+            Some(CacheEntry::Replicated { fingerprint, .. }) if *fingerprint == fp
+        ) {
+            cache.entries.remove(key);
+            cache.done_order.retain(|k| k != key);
         }
     }
 
@@ -983,6 +1115,132 @@ mod tests {
         assert!(engine.await_drained(Duration::from_millis(100)));
         // The key points at nothing: a post-restart retry starts fresh.
         assert!(engine.lock_cache().entries.is_empty());
+    }
+
+    #[test]
+    fn replicated_entries_serve_only_their_exact_request() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        let request = Request::Steady {
+            current: tecopt_units::Amperes(4.0),
+        };
+        let canned = Response::Steady {
+            peak: Celsius(40.0),
+            tec_power: Watts(4.0),
+        };
+        engine.insert_replicated(request_fingerprint(&request), "r1", canned.clone());
+        // The matching request replays the replica without evaluating.
+        let t = engine.submit(steady(Some("r1"), 4.0)).unwrap();
+        assert_eq!(t.wait().unwrap(), canned);
+        assert_eq!(engine.evaluator.calls.load(Ordering::SeqCst), 0);
+        let m = engine.metrics();
+        assert_eq!((m.replicated_hits, m.deduplicated), (1, 1));
+    }
+
+    #[test]
+    fn mismatched_replica_is_refused_dropped_and_reevaluated() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        // A poisoned replica: filed under "p1" but fingerprinting a
+        // *different* request than the retry will carry.
+        let other = Request::Steady {
+            current: tecopt_units::Amperes(9.0),
+        };
+        engine.insert_replicated(
+            request_fingerprint(&other),
+            "p1",
+            Response::Steady {
+                peak: Celsius(-1.0),
+                tec_power: Watts(-1.0),
+            },
+        );
+        drive(&engine, 1, || {
+            let t = engine.submit(steady(Some("p1"), 4.0)).unwrap();
+            // The wrong answer is never served; the request re-evaluates.
+            assert_eq!(
+                t.wait().unwrap(),
+                Response::Steady {
+                    peak: Celsius(40.0),
+                    tec_power: Watts(4.0)
+                }
+            );
+        });
+        assert_eq!(engine.evaluator.calls.load(Ordering::SeqCst), 1);
+        let m = engine.metrics();
+        assert_eq!(m.replicated_rejects, 1);
+        assert_eq!(m.replicated_hits, 0);
+        // The poisoned entry is gone; the fresh local result replaced it.
+        assert!(matches!(
+            engine.lock_cache().entries.get("p1"),
+            Some(CacheEntry::Done(Ok(_)))
+        ));
+    }
+
+    #[test]
+    fn local_knowledge_always_wins_over_a_replica() {
+        let engine = Engine::new(FakeEval::answering(), EngineConfig::default());
+        drive(&engine, 1, || {
+            let t = engine.submit(steady(Some("mine"), 2.0)).unwrap();
+            t.wait().unwrap();
+            let request = Request::Steady {
+                current: tecopt_units::Amperes(2.0),
+            };
+            engine.insert_replicated(
+                request_fingerprint(&request),
+                "mine",
+                Response::Steady {
+                    peak: Celsius(999.0),
+                    tec_power: Watts(999.0),
+                },
+            );
+            // The locally-computed result still answers, not the replica.
+            let t = engine.submit(steady(Some("mine"), 2.0)).unwrap();
+            assert_eq!(
+                t.wait().unwrap(),
+                Response::Steady {
+                    peak: Celsius(20.0),
+                    tec_power: Watts(2.0)
+                }
+            );
+        });
+        assert_eq!(engine.metrics().replicated_hits, 0);
+    }
+
+    #[test]
+    fn completed_keyed_ok_results_reach_the_replication_sink() {
+        struct RecordingSink(Mutex<Vec<ReplEntry>>);
+        impl ReplicationSink for RecordingSink {
+            fn offer(&self, entry: ReplEntry) {
+                self.0
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(entry);
+            }
+        }
+        let eval = FakeEval {
+            calls: AtomicUsize::new(0),
+            panic_on: Some(13.0),
+            block_until_cancelled: false,
+        };
+        let engine = Engine::new(eval, EngineConfig::default());
+        let sink = Arc::new(RecordingSink(Mutex::new(Vec::new())));
+        engine.set_replication_sink(Arc::clone(&sink) as Arc<dyn ReplicationSink>);
+        drive(&engine, 1, || {
+            let ok = engine.submit(steady(Some("good"), 2.0)).unwrap();
+            assert!(ok.wait().is_ok());
+            // An unkeyed request and a failed one must not replicate.
+            let unkeyed = engine.submit(steady(None, 3.0)).unwrap();
+            assert!(unkeyed.wait().is_ok());
+            let bad = engine.submit(steady(Some("boom"), 13.0)).unwrap();
+            assert!(bad.wait().is_err());
+        });
+        let offered = sink.0.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(offered.len(), 1);
+        assert_eq!(offered[0].key, "good");
+        assert_eq!(
+            offered[0].request_fp,
+            request_fingerprint(&Request::Steady {
+                current: tecopt_units::Amperes(2.0)
+            })
+        );
     }
 
     #[test]

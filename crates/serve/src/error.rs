@@ -43,6 +43,19 @@ pub enum ServeError {
     /// along, including the supervision variants (`Cancelled`,
     /// `DeadlineExceeded`, `WorkerPanicked`).
     Eval(OptError),
+    /// The fleet router has no shards to route to. A configuration
+    /// failure, not a transient one: an empty fleet never heals by
+    /// retrying.
+    NoShards,
+    /// Every failover attempt across the fleet's replicas failed with a
+    /// retryable error; the final failure rides along. Whether a *later*
+    /// retry may help is the last error's verdict.
+    FailoverExhausted {
+        /// Routed attempts made (primary + failovers + final backstops).
+        attempts: usize,
+        /// The failure of the last attempt.
+        last: Box<ServeError>,
+    },
 }
 
 impl ServeError {
@@ -58,6 +71,38 @@ impl ServeError {
             ServeError::Eval(OptError::Cancelled { .. }) => "cancelled",
             ServeError::Eval(OptError::WorkerPanicked { .. }) => "panic",
             ServeError::Eval(_) => "eval",
+            ServeError::NoShards => "no-shards",
+            ServeError::FailoverExhausted { .. } => "failover-exhausted",
+        }
+    }
+
+    /// Reconstructs a service error from its wire code and message — the
+    /// inverse a fleet peer applies to an `err <key> <code> <msg>` frame.
+    /// Lossy by design: structured payloads (queue depths, probe counts)
+    /// do not travel on the wire, so they come back zeroed; an unknown
+    /// code (a newer peer) degrades to a non-retryable `Eval` carrier.
+    pub fn from_wire_code(code: &str, message: &str) -> ServeError {
+        match code {
+            "overloaded" => ServeError::Overloaded {
+                depth: 0,
+                capacity: 0,
+            },
+            "shutting-down" => ServeError::ShuttingDown,
+            "disconnected" => ServeError::Disconnected {
+                detail: message.to_string(),
+            },
+            "decode" => ServeError::DecodeError(message.to_string()),
+            "deadline" => ServeError::Eval(OptError::DeadlineExceeded {
+                completed: 0,
+                remaining: 1,
+            }),
+            "cancelled" => ServeError::Eval(OptError::Cancelled { completed: 0 }),
+            "panic" => ServeError::Eval(OptError::WorkerPanicked {
+                index: 0,
+                payload: message.to_string(),
+            }),
+            "no-shards" => ServeError::NoShards,
+            _ => ServeError::Eval(OptError::InvalidParameter(format!("[{code}] {message}"))),
         }
     }
 
@@ -65,13 +110,16 @@ impl ServeError {
     /// key): the request was shed, interrupted, or never decoded — never
     /// completed with a deterministic answer.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
+        match self {
             ServeError::Overloaded { .. }
-                | ServeError::Disconnected { .. }
-                | ServeError::Eval(OptError::Cancelled { .. })
-                | ServeError::Eval(OptError::WorkerPanicked { .. })
-        )
+            | ServeError::Disconnected { .. }
+            | ServeError::Eval(OptError::Cancelled { .. })
+            | ServeError::Eval(OptError::WorkerPanicked { .. }) => true,
+            // The fleet already retried; whether one more round may help
+            // is the last underlying failure's verdict.
+            ServeError::FailoverExhausted { last, .. } => last.is_retryable(),
+            _ => false,
+        }
     }
 }
 
@@ -86,6 +134,10 @@ impl fmt::Display for ServeError {
             ServeError::Disconnected { detail } => write!(f, "peer disconnected: {detail}"),
             ServeError::DecodeError(msg) => write!(f, "cannot decode frame: {msg}"),
             ServeError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ServeError::NoShards => write!(f, "fleet router has no shards configured"),
+            ServeError::FailoverExhausted { attempts, last } => {
+                write!(f, "failover exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -94,6 +146,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Eval(e) => Some(e),
+            ServeError::FailoverExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -131,6 +184,11 @@ mod tests {
                 index: 0,
                 payload: "boom".into(),
             }),
+            ServeError::NoShards,
+            ServeError::FailoverExhausted {
+                attempts: 3,
+                last: Box::new(ServeError::ShuttingDown),
+            },
         ];
         let codes: Vec<&str> = samples.iter().map(ServeError::code).collect();
         assert_eq!(
@@ -143,9 +201,36 @@ mod tests {
                 "eval",
                 "deadline",
                 "cancelled",
-                "panic"
+                "panic",
+                "no-shards",
+                "failover-exhausted"
             ]
         );
+    }
+
+    #[test]
+    fn wire_codes_reconstruct_matching_variants() {
+        // Every code a server can emit maps back to a variant with the
+        // same code — retry decisions survive one wire round trip.
+        let cases = [
+            "overloaded",
+            "shutting-down",
+            "disconnected",
+            "decode",
+            "deadline",
+            "cancelled",
+            "panic",
+            "no-shards",
+        ];
+        for code in cases {
+            let e = ServeError::from_wire_code(code, "msg");
+            assert_eq!(e.code(), code, "round trip of `{code}`");
+        }
+        // An unknown (newer-peer) code degrades to a non-retryable eval
+        // error instead of being dropped or mis-retried.
+        let e = ServeError::from_wire_code("brand-new-code", "details");
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("brand-new-code"));
     }
 
     #[test]
@@ -167,6 +252,19 @@ mod tests {
             remaining: 3
         })
         .is_retryable());
+        // An exhausted failover inherits the last error's verdict; an
+        // empty fleet never heals by retrying.
+        assert!(ServeError::FailoverExhausted {
+            attempts: 2,
+            last: Box::new(ServeError::Disconnected { detail: "x".into() })
+        }
+        .is_retryable());
+        assert!(!ServeError::FailoverExhausted {
+            attempts: 2,
+            last: Box::new(ServeError::DecodeError("x".into()))
+        }
+        .is_retryable());
+        assert!(!ServeError::NoShards.is_retryable());
     }
 
     #[test]

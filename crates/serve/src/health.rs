@@ -1,0 +1,255 @@
+//! The shard health state machine (DESIGN.md §17).
+//!
+//! Each shard is tracked through three states:
+//!
+//! ```text
+//!            failure                failure ≥ down_after
+//! Healthy ───────────▶ Suspect ─────────────────────────▶ Down
+//!    ▲                    │                                 │
+//!    └──── success ≥ up_after (consecutive) ────────────────┘
+//! ```
+//!
+//! Transitions are **hysteretic** in both directions: one failed ping
+//! only makes a shard `Suspect` (it keeps receiving traffic, just at
+//! lower preference), `down_after` *consecutive* failures mark it `Down`,
+//! and recovery requires `up_after` consecutive successes — a single
+//! lucky ping cannot flap a flaky shard back into the preferred set. Any
+//! failure resets the recovery streak and vice versa.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Where a shard stands in the ping state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Responding to pings; preferred for routing.
+    Healthy,
+    /// Missed at least one recent ping; routed to only after healthy
+    /// replicas.
+    Suspect,
+    /// Missed `down_after` consecutive pings; routed to only as a last
+    /// resort.
+    Down,
+}
+
+/// Tunables for the health loop and its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// How often the router pings every shard.
+    pub ping_interval: Duration,
+    /// How long one ping may take before it counts as a failure.
+    pub ping_timeout: Duration,
+    /// Consecutive failures before `Suspect` hardens into `Down`.
+    pub down_after: u32,
+    /// Consecutive successes before a non-healthy shard recovers.
+    pub up_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            ping_interval: Duration::from_millis(50),
+            ping_timeout: Duration::from_millis(100),
+            down_after: 3,
+            up_after: 2,
+        }
+    }
+}
+
+struct Slot {
+    state: HealthState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+/// Tracks the health state of a fixed fleet of shards, indexed by the
+/// router's shard order. Observations arrive from the ping loop *and*
+/// from request outcomes (a failed submit is as much evidence as a
+/// failed ping), so each slot is individually locked.
+pub struct HealthMonitor {
+    slots: Vec<Mutex<Slot>>,
+    policy: HealthPolicy,
+}
+
+impl HealthMonitor {
+    /// A monitor for `shards` shards, all initially [`HealthState::Healthy`]
+    /// (optimistic start: the first ping round corrects it within
+    /// `ping_interval`).
+    pub fn new(shards: usize, policy: HealthPolicy) -> HealthMonitor {
+        HealthMonitor {
+            slots: (0..shards)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        state: HealthState::Healthy,
+                        consecutive_failures: 0,
+                        consecutive_successes: 0,
+                    })
+                })
+                .collect(),
+            policy: HealthPolicy {
+                down_after: policy.down_after.max(1),
+                up_after: policy.up_after.max(1),
+                ..policy
+            },
+        }
+    }
+
+    /// The policy the monitor was built with (floors applied).
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Shards tracked.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no shards are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current state of shard `index`.
+    pub fn state(&self, index: usize) -> HealthState {
+        self.lock(index).state
+    }
+
+    /// Records a failed ping or a transport-level request failure.
+    pub fn record_failure(&self, index: usize) {
+        let mut slot = self.lock(index);
+        slot.consecutive_successes = 0;
+        slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+        slot.state = if slot.consecutive_failures >= self.policy.down_after {
+            HealthState::Down
+        } else {
+            HealthState::Suspect
+        };
+    }
+
+    /// Records a successful ping or request.
+    pub fn record_success(&self, index: usize) {
+        let mut slot = self.lock(index);
+        slot.consecutive_failures = 0;
+        if slot.state == HealthState::Healthy {
+            return;
+        }
+        slot.consecutive_successes = slot.consecutive_successes.saturating_add(1);
+        if slot.consecutive_successes >= self.policy.up_after {
+            slot.state = HealthState::Healthy;
+            slot.consecutive_successes = 0;
+        }
+    }
+
+    /// Snapshot of every shard's state, in index order.
+    pub fn states(&self) -> Vec<HealthState> {
+        (0..self.slots.len()).map(|i| self.state(i)).collect()
+    }
+
+    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, Slot> {
+        self.slots[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(
+            2,
+            HealthPolicy {
+                down_after: 3,
+                up_after: 2,
+                ..HealthPolicy::default()
+            },
+        )
+    }
+
+    #[test]
+    fn one_failure_is_suspicion_not_death() {
+        let m = monitor();
+        m.record_failure(0);
+        assert_eq!(m.state(0), HealthState::Suspect);
+        // The other shard is untouched.
+        assert_eq!(m.state(1), HealthState::Healthy);
+    }
+
+    #[test]
+    fn consecutive_failures_harden_into_down() {
+        let m = monitor();
+        m.record_failure(0);
+        m.record_failure(0);
+        assert_eq!(m.state(0), HealthState::Suspect);
+        m.record_failure(0);
+        assert_eq!(m.state(0), HealthState::Down);
+    }
+
+    #[test]
+    fn an_interleaved_success_resets_the_failure_streak() {
+        let m = monitor();
+        m.record_failure(0);
+        m.record_failure(0);
+        m.record_success(0); // streak broken; still not recovered
+        assert_eq!(m.state(0), HealthState::Suspect);
+        m.record_failure(0);
+        m.record_failure(0);
+        // Only two consecutive failures since the success: not Down yet.
+        assert_eq!(m.state(0), HealthState::Suspect);
+        m.record_failure(0);
+        assert_eq!(m.state(0), HealthState::Down);
+    }
+
+    #[test]
+    fn recovery_is_hysteretic_from_both_suspect_and_down() {
+        let m = monitor();
+        m.record_failure(0);
+        m.record_success(0);
+        assert_eq!(
+            m.state(0),
+            HealthState::Suspect,
+            "one success is not enough"
+        );
+        m.record_success(0);
+        assert_eq!(m.state(0), HealthState::Healthy);
+
+        for _ in 0..5 {
+            m.record_failure(0);
+        }
+        assert_eq!(m.state(0), HealthState::Down);
+        m.record_success(0);
+        assert_eq!(m.state(0), HealthState::Down);
+        m.record_success(0);
+        assert_eq!(m.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn a_flapping_shard_never_reaches_healthy() {
+        let m = monitor();
+        m.record_failure(0);
+        for _ in 0..10 {
+            m.record_success(0);
+            m.record_failure(0);
+            assert_ne!(m.state(0), HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn policy_floors_prevent_zero_thresholds() {
+        let m = HealthMonitor::new(
+            1,
+            HealthPolicy {
+                down_after: 0,
+                up_after: 0,
+                ..HealthPolicy::default()
+            },
+        );
+        assert_eq!(m.policy().down_after, 1);
+        assert_eq!(m.policy().up_after, 1);
+        m.record_failure(0);
+        assert_eq!(m.state(0), HealthState::Down);
+        m.record_success(0);
+        assert_eq!(m.state(0), HealthState::Healthy);
+    }
+}

@@ -1,0 +1,338 @@
+//! Best-effort cross-shard replication of the deterministic result cache.
+//!
+//! When a shard completes a keyed evaluation with `Ok`, the result is
+//! offered to every *other* shard as a `#repl` frame (see `wire`): a
+//! one-way, fire-and-forget line on the existing protocol. Replication is
+//! deliberately asynchronous and lossy —
+//!
+//! - each peer has a **bounded** outbound queue that sheds **oldest
+//!   first** when full (the newest results are the ones a failover is
+//!   about to ask for);
+//! - a send failure drops the entry — the peer is probably down, and a
+//!   recovered shard simply re-evaluates on a cache miss;
+//! - the receiver files an entry only under its request fingerprint and
+//!   serves it only to a request whose own canonical encoding hashes to
+//!   the same value, so a lost, reordered, or poisoned replica can never
+//!   produce a *wrong* answer, only a cache miss.
+//!
+//! Consistency argument (DESIGN.md §17): every evaluation the service
+//! caches is deterministic, so two shards that both evaluate the same
+//! request produce bit-identical responses — replicas cannot diverge, and
+//! "best effort" costs duplicate work at worst, never correctness.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::router::ShardHandle;
+use crate::util::pause;
+use crate::wire::Response;
+use tecopt::CancelToken;
+
+/// One completed result on its way to peer caches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplEntry {
+    /// [`crate::wire::request_fingerprint`] of the evaluated request.
+    pub request_fp: u64,
+    /// The idempotency key the result is filed under.
+    pub key: String,
+    /// The successful response (only `Ok` outcomes replicate).
+    pub response: Response,
+}
+
+/// Where an engine publishes completed keyed results. Implementations
+/// must never block for long: `offer` runs on the evaluation worker that
+/// just finished the request.
+pub trait ReplicationSink: Send + Sync {
+    /// Offers one completed entry; best-effort, may drop it.
+    fn offer(&self, entry: ReplEntry);
+}
+
+/// A bounded replication queue that sheds **oldest-first**: under
+/// pressure the stale results go, and the freshest — the ones a failover
+/// will ask for next — survive.
+pub struct ReplQueue {
+    inner: Mutex<QueueState>,
+    capacity: usize,
+}
+
+struct QueueState {
+    entries: VecDeque<ReplEntry>,
+    shed: u64,
+}
+
+impl ReplQueue {
+    /// A queue holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> ReplQueue {
+        ReplQueue {
+            inner: Mutex::new(QueueState {
+                entries: VecDeque::new(),
+                shed: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `entry`, shedding the oldest entry first when full.
+    pub fn push(&self, entry: ReplEntry) {
+        let mut q = self.lock();
+        while q.entries.len() >= self.capacity {
+            q.entries.pop_front();
+            q.shed += 1;
+        }
+        q.entries.push_back(entry);
+    }
+
+    /// Takes every queued entry, oldest first.
+    pub fn drain(&self) -> Vec<ReplEntry> {
+        self.lock().entries.drain(..).collect()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries shed (oldest-first) since construction.
+    pub fn shed(&self) -> u64 {
+        self.lock().shed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+struct PeerSlot {
+    shard: Arc<dyn ShardHandle>,
+    queue: ReplQueue,
+}
+
+/// Counters the replicator maintains, snapshot with
+/// [`Replicator::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Entries delivered to a peer.
+    pub sent: u64,
+    /// Entries dropped because the peer refused or was unreachable.
+    pub dropped: u64,
+    /// Entries shed from full queues, oldest first.
+    pub shed: u64,
+}
+
+/// Fans completed results out to every peer shard's bounded queue and
+/// pumps the queues over the wire. Drive [`Replicator::run`] on one
+/// service worker, or call [`Replicator::pump_once`] from a test.
+pub struct Replicator {
+    peers: Vec<PeerSlot>,
+    sent: std::sync::atomic::AtomicU64,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl Replicator {
+    /// A replicator over `peers`, one bounded queue of `queue_capacity`
+    /// entries per peer.
+    pub fn new(peers: Vec<Arc<dyn ShardHandle>>, queue_capacity: usize) -> Replicator {
+        Replicator {
+            peers: peers
+                .into_iter()
+                .map(|shard| PeerSlot {
+                    shard,
+                    queue: ReplQueue::new(queue_capacity),
+                })
+                .collect(),
+            sent: std::sync::atomic::AtomicU64::new(0),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// A sink for the shard named `origin`: entries fan out to every
+    /// *other* peer's queue (a shard never replicates to itself).
+    pub fn sink_for(self: &Arc<Self>, origin: &str) -> Arc<dyn ReplicationSink> {
+        Arc::new(OriginSink {
+            replicator: Arc::clone(self),
+            origin: origin.to_string(),
+        })
+    }
+
+    fn fan_out(&self, origin: &str, entry: &ReplEntry) {
+        for peer in &self.peers {
+            if peer.shard.id() != origin {
+                peer.queue.push(entry.clone());
+            }
+        }
+    }
+
+    /// Drains every peer queue once, sending each entry best-effort. A
+    /// failed send drops the entry: the fingerprint check on the receiver
+    /// makes loss safe, never wrong.
+    pub fn pump_once(&self) {
+        use std::sync::atomic::Ordering;
+        for peer in &self.peers {
+            for entry in peer.queue.drain() {
+                match peer.shard.replicate(&entry) {
+                    Ok(()) => self.sent.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => self.dropped.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+        }
+    }
+
+    /// Pumps until `shutdown` is raised, then flushes what remains.
+    pub fn run(&self, interval: Duration, shutdown: &CancelToken) {
+        while !shutdown.is_cancelled() {
+            self.pump_once();
+            pause(interval);
+        }
+        self.pump_once();
+    }
+
+    /// Entries still queued across every peer.
+    pub fn queued(&self) -> usize {
+        self.peers.iter().map(|p| p.queue.len()).sum()
+    }
+
+    /// Delivery counters plus the total shed across peer queues.
+    pub fn stats(&self) -> ReplStats {
+        use std::sync::atomic::Ordering;
+        ReplStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            shed: self.peers.iter().map(|p| p.queue.shed()).sum(),
+        }
+    }
+}
+
+struct OriginSink {
+    replicator: Arc<Replicator>,
+    origin: String,
+}
+
+impl ReplicationSink for OriginSink {
+    fn offer(&self, entry: ReplEntry) {
+        self.replicator.fan_out(&self.origin, &entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+    use crate::wire::RequestFrame;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex as StdMutex;
+    use tecopt_units::{Celsius, Watts};
+
+    fn entry(n: u64) -> ReplEntry {
+        ReplEntry {
+            request_fp: n,
+            key: format!("k{n}"),
+            response: Response::Steady {
+                peak: Celsius(n as f64),
+                tec_power: Watts(1.0),
+            },
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_oldest_first() {
+        let q = ReplQueue::new(3);
+        for n in 0..5 {
+            q.push(entry(n));
+        }
+        assert_eq!(q.shed(), 2);
+        let kept: Vec<u64> = q.drain().iter().map(|e| e.request_fp).collect();
+        // The two *oldest* entries went; the freshest survived in order.
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    /// A scriptable peer: records delivered entries, optionally refuses.
+    struct FakePeer {
+        name: &'static str,
+        refuse: AtomicBool,
+        delivered: StdMutex<Vec<ReplEntry>>,
+    }
+
+    impl FakePeer {
+        fn named(name: &'static str) -> Arc<FakePeer> {
+            Arc::new(FakePeer {
+                name,
+                refuse: AtomicBool::new(false),
+                delivered: StdMutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl ShardHandle for FakePeer {
+        fn id(&self) -> &str {
+            self.name
+        }
+
+        fn submit(
+            &self,
+            _frame: &RequestFrame,
+            _cancel: &CancelToken,
+        ) -> Result<Response, ServeError> {
+            Err(ServeError::NoShards)
+        }
+
+        fn ping(&self, _timeout: Duration) -> Result<(), ServeError> {
+            Ok(())
+        }
+
+        fn replicate(&self, entry: &ReplEntry) -> Result<(), ServeError> {
+            if self.refuse.load(Ordering::SeqCst) {
+                return Err(ServeError::Disconnected {
+                    detail: "scripted refusal".into(),
+                });
+            }
+            self.delivered
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(entry.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fan_out_skips_the_origin_and_pump_delivers() {
+        let a = FakePeer::named("a");
+        let b = FakePeer::named("b");
+        let c = FakePeer::named("c");
+        let peers: Vec<Arc<dyn ShardHandle>> = vec![
+            Arc::clone(&a) as _,
+            Arc::clone(&b) as _,
+            Arc::clone(&c) as _,
+        ];
+        let repl = Arc::new(Replicator::new(peers, 8));
+        let sink = repl.sink_for("a");
+        sink.offer(entry(7));
+        assert_eq!(repl.queued(), 2); // b and c, never a
+        repl.pump_once();
+        assert!(a.delivered.lock().unwrap().is_empty());
+        assert_eq!(b.delivered.lock().unwrap().len(), 1);
+        assert_eq!(c.delivered.lock().unwrap().len(), 1);
+        assert_eq!(repl.stats().sent, 2);
+    }
+
+    #[test]
+    fn a_refusing_peer_drops_entries_without_blocking_the_others() {
+        let a = FakePeer::named("a");
+        let b = FakePeer::named("b");
+        b.refuse.store(true, Ordering::SeqCst);
+        let peers: Vec<Arc<dyn ShardHandle>> = vec![Arc::clone(&a) as _, Arc::clone(&b) as _];
+        let repl = Arc::new(Replicator::new(peers, 8));
+        repl.sink_for("c").offer(entry(1));
+        repl.pump_once();
+        let stats = repl.stats();
+        assert_eq!((stats.sent, stats.dropped), (1, 1));
+        assert_eq!(repl.queued(), 0, "a dropped entry never lingers");
+        assert_eq!(a.delivered.lock().unwrap().len(), 1);
+    }
+}

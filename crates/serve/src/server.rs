@@ -33,7 +33,10 @@ use std::time::Duration;
 use crate::engine::{Engine, Evaluator, MetricsSnapshot};
 use crate::error::ServeError;
 use crate::util::pause;
-use crate::wire::{decode_request, encode_response, MAX_FRAME_LEN};
+use crate::wire::{
+    decode_extension, decode_ping, decode_request, encode_pong, encode_response,
+    is_extension_frame, MAX_FRAME_LEN,
+};
 use tecopt::CancelToken;
 
 /// A bound, non-blocking listening socket (TCP or Unix).
@@ -353,6 +356,30 @@ impl<E: Evaluator> Server<E> {
                     .is_ok();
             }
         };
+        // Fleet liveness probe: answered before admission, so a draining
+        // or saturated server still tells its router it is reachable
+        // (drain state travels on the *request* path as `shutting-down`).
+        if let Some(nonce) = decode_ping(text) {
+            let mut pong = encode_pong(nonce);
+            pong.push('\n');
+            return conn.write_all_bytes(pong.as_bytes()).is_ok();
+        }
+        // Extension frames (`#`-prefixed) are one-way by contract: never
+        // answered, never fatal. Unknown tags from newer peers are
+        // ignored; a malformed known tag only bumps the decode counter.
+        if is_extension_frame(text) {
+            match decode_extension(text) {
+                Ok(Some(repl)) => {
+                    self.engine
+                        .insert_replicated(repl.request_fp, &repl.key, repl.response);
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return true;
+        }
         let frame = match decode_request(text) {
             Ok(f) => f,
             Err(e) => {

@@ -21,6 +21,37 @@ pub(crate) fn pause(d: Duration) {
     let _ = cv.wait_timeout(guard, d);
 }
 
+/// One capped, jittered exponential-backoff step, shared by the client's
+/// reconnect loop and the router's failover loop.
+///
+/// Attempt `n` (1-based; 0 behaves like 1) targets `min(base·2ⁿ⁻¹, cap)`
+/// and the returned pause lands in `[target/2, target]` — never above the
+/// cap, for any attempt count. The doubling uses `saturating_mul`, not a
+/// shift: `checked_shl` only fails on shift ≥ 64 and silently discards
+/// overflowed bits below that, which once let a large base wrap to a
+/// near-zero pause.
+pub(crate) fn backoff_duration(
+    base: Duration,
+    cap: Duration,
+    attempt: usize,
+    jitter: &mut u64,
+) -> Duration {
+    let cap_ms = u64::try_from(cap.as_millis()).unwrap_or(u64::MAX).max(1);
+    let base_ms = u64::try_from(base.as_millis()).unwrap_or(u64::MAX).max(1);
+    let mut target = base_ms;
+    // cap_ms bounds the loop long before attempt does: 63 doublings
+    // saturate u64 from any non-zero base.
+    for _ in 1..attempt.min(64) {
+        if target >= cap_ms {
+            break;
+        }
+        target = target.saturating_mul(2);
+    }
+    target = target.min(cap_ms);
+    let jitter_ms = jitter_step(jitter) % (target / 2 + 1);
+    Duration::from_millis(target / 2 + jitter_ms)
+}
+
 /// A tiny splitmix-style step for backoff jitter. Not statistical-quality
 /// randomness and not meant to be: it only needs to decorrelate the retry
 /// schedules of concurrent clients.
@@ -49,6 +80,39 @@ mod tests {
         let dt = t0.elapsed();
         assert!(dt >= Duration::from_millis(1));
         assert!(dt < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn backoff_never_exceeds_the_cap_at_any_attempt_count() {
+        let mut jitter = 7;
+        let cap = Duration::from_millis(40);
+        for base_ms in [1u64, 25, 1 << 40, u64::MAX / 2] {
+            let base = Duration::from_millis(base_ms);
+            for attempt in [0usize, 1, 2, 3, 16, 63, 64, 65, 1_000_000] {
+                let d = backoff_duration(base, cap, attempt, &mut jitter);
+                assert!(d <= cap, "base {base_ms} ms, attempt {attempt}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_toward_the_cap_and_keeps_its_floor() {
+        let mut jitter = 3;
+        let base = Duration::from_millis(4);
+        let cap = Duration::from_secs(10);
+        // Attempt n targets base·2ⁿ⁻¹; the jittered pause keeps at least
+        // half the target, so doubling is observable through the jitter.
+        for (attempt, target_ms) in [(1u32, 4u64), (2, 8), (3, 16), (4, 32)] {
+            let d = backoff_duration(base, cap, attempt as usize, &mut jitter);
+            assert!(
+                d >= Duration::from_millis(target_ms / 2),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(
+                d <= Duration::from_millis(target_ms),
+                "attempt {attempt}: {d:?}"
+            );
+        }
     }
 
     #[test]

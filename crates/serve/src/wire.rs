@@ -11,7 +11,14 @@
 //!          req <key|-> <deadline_ms|-> designer <r:c[,r:c...][;r:c...]>
 //! server:  ok  <key|-> <body...>
 //!          err <key|-> <code> <message...>
+//! fleet:   ping <nonce>                 -> pong <nonce>   (health checks)
+//!          #repl <req_fp> <body_fp> <key> ok - <body...>  (one-way)
 //! ```
+//!
+//! `#`-prefixed frames are **one-way extension frames**: a peer never
+//! replies to them, and silently ignores any it does not understand —
+//! an old shard keeps its connection alive when a newer peer sends tags
+//! it has never heard of (forward compatibility for the fleet tier).
 //!
 //! Robustness properties enforced here:
 //!
@@ -26,7 +33,7 @@
 
 use crate::error::ServeError;
 use tecopt::runaway::SweepPoint;
-use tecopt::supervise::{hex_f64, parse_hex_f64};
+use tecopt::supervise::{fingerprint, hex_f64, parse_hex_f64};
 use tecopt::transient::ControllerSpec;
 use tecopt::{CandidateScore, EnvelopeSettings, TileIndex};
 use tecopt_units::{Amperes, Celsius, Watts};
@@ -526,6 +533,137 @@ fn parse_schedule(spec: &str, dt: f64) -> Result<Vec<(f64, Vec<Watts>)>, ServeEr
     Ok(schedule)
 }
 
+/// The canonical fingerprint of a request: the FNV-1a digest of its bare
+/// wire encoding (no key, no deadline). Every parameter contributes its
+/// exact bits, so two requests share a fingerprint iff they are the same
+/// evaluation — the identity that binds a replicated cache entry to the
+/// one request it may ever answer.
+pub fn request_fingerprint(request: &Request) -> u64 {
+    fingerprint(&encode_request(&RequestFrame {
+        key: None,
+        deadline_ms: None,
+        request: request.clone(),
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Fleet frames: health pings and one-way replication
+// ---------------------------------------------------------------------
+
+/// Encodes a health-check ping (no terminator). Pings are answered ahead
+/// of admission control, so an overloaded shard still counts as alive.
+pub fn encode_ping(nonce: u64) -> String {
+    format!("ping {nonce:016x}")
+}
+
+/// Encodes the reply to [`encode_ping`] (no terminator).
+pub fn encode_pong(nonce: u64) -> String {
+    format!("pong {nonce:016x}")
+}
+
+/// The nonce of a ping frame, or `None` when `line` is not a ping.
+pub fn decode_ping(line: &str) -> Option<u64> {
+    decode_nonce_frame(line, "ping")
+}
+
+/// The nonce of a pong frame, or `None` when `line` is not a pong.
+pub fn decode_pong(line: &str) -> Option<u64> {
+    decode_nonce_frame(line, "pong")
+}
+
+fn decode_nonce_frame(line: &str, tag: &str) -> Option<u64> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next() != Some(tag) {
+        return None;
+    }
+    let nonce = u64::from_str_radix(it.next()?, 16).ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(nonce)
+}
+
+/// `true` when `line` is a one-way extension frame: the receiver must
+/// never reply to it, and must silently ignore any tag it does not know.
+pub fn is_extension_frame(line: &str) -> bool {
+    line.starts_with('#')
+}
+
+/// One replicated result-cache entry on its way to a peer shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplFrame {
+    /// [`request_fingerprint`] of the request this entry answers. The
+    /// receiver serves the entry only to a request whose own canonical
+    /// fingerprint matches — a poisoned or stale replica can never answer
+    /// the wrong evaluation.
+    pub request_fp: u64,
+    /// The idempotency key the entry is filed under.
+    pub key: String,
+    /// The successful result being replicated (only `Ok` outcomes are).
+    pub response: Response,
+}
+
+/// Encodes a replication frame (no terminator):
+/// `#repl <req_fp> <body_fp> <key> ok - <body...>` where `body_fp`
+/// digests the embedded response line, so truncation or corruption in
+/// flight is detected before anything reaches a cache.
+pub fn encode_repl(frame: &ReplFrame) -> String {
+    let body = encode_response(None, &Ok(frame.response.clone()));
+    format!(
+        "#repl {:016x} {:016x} {} {body}",
+        frame.request_fp,
+        fingerprint(&body),
+        frame.key
+    )
+}
+
+/// Decodes a `#`-prefixed extension frame.
+///
+/// Returns `Ok(None)` for an unknown extension tag — the caller ignores
+/// it and keeps the connection (forward compatibility).
+///
+/// # Errors
+///
+/// [`ServeError::DecodeError`] for a `#repl` frame that is malformed,
+/// oversized, or fails its body-fingerprint check. The caller drops the
+/// frame (replication is best-effort) but may count the error.
+pub fn decode_extension(line: &str) -> Result<Option<ReplFrame>, ServeError> {
+    if line.len() > MAX_FRAME_LEN {
+        return Err(decode_err("extension frame exceeds the length cap"));
+    }
+    let mut it = line.splitn(5, ' ');
+    match it.next() {
+        Some("#repl") => {}
+        _ => return Ok(None),
+    }
+    let bad = |what: &str| decode_err(format!("malformed replication frame: {what}"));
+    let request_fp = it
+        .next()
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+        .ok_or_else(|| bad("request fingerprint"))?;
+    let body_fp = it
+        .next()
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+        .ok_or_else(|| bad("body fingerprint"))?;
+    let key = it.next().ok_or_else(|| bad("missing key"))?;
+    if !valid_key(key) {
+        return Err(bad("invalid key"));
+    }
+    let body = it.next().ok_or_else(|| bad("missing response body"))?;
+    if fingerprint(body) != body_fp {
+        return Err(bad("body fingerprint mismatch"));
+    }
+    let decoded = decode_response(body)?;
+    match decoded.result {
+        Ok(response) => Ok(Some(ReplFrame {
+            request_fp,
+            key: key.to_string(),
+            response,
+        })),
+        Err(_) => Err(bad("only ok results replicate")),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Response encoding
 // ---------------------------------------------------------------------
@@ -1004,6 +1142,125 @@ mod tests {
             decode_request(&line),
             Err(ServeError::DecodeError(_))
         ));
+    }
+
+    #[test]
+    fn ping_pong_round_trip_and_reject_noise() {
+        for nonce in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(decode_ping(&encode_ping(nonce)), Some(nonce));
+            assert_eq!(decode_pong(&encode_pong(nonce)), Some(nonce));
+        }
+        assert_eq!(decode_ping("pong 00"), None);
+        assert_eq!(decode_ping("ping"), None);
+        assert_eq!(decode_ping("ping zz"), None);
+        assert_eq!(decode_ping("ping 00 extra"), None);
+        assert_eq!(decode_pong("ok - steady"), None);
+    }
+
+    fn sample_repl() -> ReplFrame {
+        ReplFrame {
+            request_fp: request_fingerprint(&Request::Steady {
+                current: Amperes(2.5),
+            }),
+            key: "job-7".into(),
+            response: Response::Steady {
+                peak: Celsius(81.5),
+                tec_power: Watts(0.25),
+            },
+        }
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        let frame = sample_repl();
+        let line = encode_repl(&frame);
+        assert!(is_extension_frame(&line));
+        assert_eq!(decode_extension(&line).unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_ignored_not_errors() {
+        for line in ["#future-tag a b c", "#", "#repl2 00 00 k ok - steady"] {
+            assert!(is_extension_frame(line));
+            assert_eq!(decode_extension(line).unwrap(), None, "via `{line}`");
+        }
+        // Non-extension lines are not the codec's business.
+        assert!(!is_extension_frame("req - - steady 00"));
+    }
+
+    #[test]
+    fn torn_or_corrupted_replication_frames_fail_the_body_fingerprint() {
+        let line = encode_repl(&sample_repl());
+        // Torn mid-body: the digest no longer matches.
+        let torn = &line[..line.len() - 4];
+        assert!(matches!(
+            decode_extension(torn),
+            Err(ServeError::DecodeError(_))
+        ));
+        // One flipped byte inside the body.
+        let mut corrupt = line.clone();
+        corrupt.pop();
+        corrupt.push('Z');
+        assert!(matches!(
+            decode_extension(&corrupt),
+            Err(ServeError::DecodeError(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_replication_frames_yield_typed_decode_errors() {
+        let cases = [
+            "#repl",
+            "#repl zz 00 k ok - steady 0000000000000000 0000000000000000",
+            "#repl 00 zz k ok - steady 0000000000000000 0000000000000000",
+            "#repl 00 00",
+            "#repl 00 00 .dotfile ok - steady 00 00",
+            "#repl 00 00 bad/key ok - steady 00 00",
+        ];
+        for line in cases {
+            match decode_extension(line) {
+                Err(ServeError::DecodeError(_)) => {}
+                other => panic!("`{line}` should fail decode, got {other:?}"),
+            }
+        }
+        // An `err` body never replicates, even when correctly digested.
+        let body = encode_response(None, &Err(ServeError::ShuttingDown));
+        let line = format!(
+            "#repl 0000000000000000 {:016x} k {body}",
+            fingerprint(&body)
+        );
+        assert!(matches!(
+            decode_extension(&line),
+            Err(ServeError::DecodeError(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_replication_frames_are_capped() {
+        let line = format!("#repl 00 00 k ok - {}", "x".repeat(MAX_FRAME_LEN));
+        assert!(matches!(
+            decode_extension(&line),
+            Err(ServeError::DecodeError(_))
+        ));
+    }
+
+    #[test]
+    fn request_fingerprint_ignores_key_and_deadline_but_not_parameters() {
+        let a = Request::Steady {
+            current: Amperes(1.0),
+        };
+        let b = Request::Steady {
+            current: Amperes(1.0 + f64::EPSILON),
+        };
+        assert_eq!(request_fingerprint(&a), request_fingerprint(&a));
+        assert_ne!(request_fingerprint(&a), request_fingerprint(&b));
+        // The frame's key/deadline are routing metadata, not identity.
+        let framed = fingerprint(&encode_request(&RequestFrame {
+            key: Some("k".into()),
+            deadline_ms: Some(10),
+            request: a.clone(),
+        }));
+        assert_ne!(framed, request_fingerprint(&a));
     }
 
     #[test]

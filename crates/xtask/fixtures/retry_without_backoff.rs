@@ -1,0 +1,40 @@
+pub fn hammer(c: &mut Conn) -> bool {
+    loop {
+        if c.connect().is_ok() {
+            return true;
+        }
+    }
+}
+
+pub fn paced(c: &mut Conn, jitter: &mut u64) {
+    let mut attempt = 0u32;
+    while attempt < 5 {
+        if c.reconnect().is_ok() {
+            return;
+        }
+        pause(backoff_duration(BASE, CAP, attempt, jitter));
+        attempt += 1;
+    }
+}
+
+pub fn bounded_probe(peers: &[Peer]) {
+    for p in peers {
+        p.ping(TIMEOUT);
+    }
+}
+
+pub fn justified(c: &mut Conn) {
+    loop {
+        // tecopt:allow(retry-without-backoff)
+        if c.resend().is_ok() {
+            return;
+        }
+    }
+}
+
+pub fn spin_probe(c: &mut Conn, jitter: &mut u64) {
+    loop {
+        while c.ping(TIMEOUT).is_err() {}
+        pause(backoff_duration(BASE, CAP, 0, jitter));
+    }
+}

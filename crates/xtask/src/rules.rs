@@ -95,6 +95,12 @@ pub struct FileContext {
     /// taking a `RunContext` must consult it. On for the supervised sweep
     /// kernels and the serve engine.
     pub check_cancellation: bool,
+    /// `retry-without-backoff` applies: a reconnect/resend/ping call
+    /// inside a `while`/`loop` body must show backoff evidence in the
+    /// same body, or the loop hammers a refusing peer at CPU speed. On
+    /// for the service layer, where every retry loop must pace itself
+    /// (DESIGN.md §17).
+    pub check_retry_backoff: bool,
 }
 
 impl FileContext {
@@ -112,6 +118,7 @@ impl FileContext {
             check_factor_in_loop: true,
             check_locks: true,
             check_cancellation: true,
+            check_retry_backoff: true,
         }
     }
 
@@ -129,6 +136,7 @@ impl FileContext {
             check_factor_in_loop: false,
             check_locks: false,
             check_cancellation: false,
+            check_retry_backoff: false,
         }
     }
 }
@@ -272,6 +280,18 @@ pub const CATALOG: &[RuleInfo] = &[
                   exempt (bounded)",
         scope: "supervised sweep kernels and the serve engine",
     },
+    RuleInfo {
+        id: "retry-without-backoff",
+        severity: Severity::Warning,
+        summary: "a connect/reconnect/resend/ping call whose innermost \
+                  enclosing `while`/`loop` body shows no backoff evidence \
+                  (a backoff/jitter/delay helper, pause, sleep, or a timed \
+                  wait) hammers a refusing peer at CPU speed; pace every \
+                  retry loop with capped jittered backoff \
+                  (`util::backoff_duration`)",
+        scope: "crates/serve/src/* (`for` loops are exempt: one pass over \
+                a bounded iterator is not a retry)",
+    },
 ];
 
 /// Looks up a catalog entry by id.
@@ -356,6 +376,9 @@ fn token_rule_findings(toks: &[Tok], ctx: &FileContext) -> Vec<Finding> {
     }
     if ctx.check_factor_in_loop {
         check_factor_in_loop(toks, ctx, &mut findings);
+    }
+    if ctx.check_retry_backoff {
+        check_retry_without_backoff(toks, ctx, &mut findings);
     }
     if !ctx.allow_unsafe {
         check_unsafe(toks, ctx, &mut findings);
@@ -988,6 +1011,88 @@ fn check_factor_in_loop(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Find
                  FactorStrategy::RankKUpdate) or hoist the factor out of \
                  the loop"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// Calls whose presence in a `while`/`loop` body marks the loop as a
+/// retry loop: reconnect/resend/probe verbs against a peer.
+const RETRY_CALLS: &[&str] = &["connect", "ensure_connected", "reconnect", "resend", "ping"];
+
+/// Identifiers accepted as pacing evidence inside a retry-loop body: the
+/// backoff helpers themselves (any ident mentioning backoff/jitter/delay)
+/// or a blocking pause/timed wait.
+fn is_backoff_evidence(text: &str) -> bool {
+    text.contains("backoff")
+        || text.contains("jitter")
+        || text.contains("delay")
+        || matches!(
+            text,
+            "pause" | "sleep" | "wait_timeout" | "recv_timeout" | "park_timeout"
+        )
+}
+
+fn check_retry_without_backoff(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    // Pass 1: collect `while`/`loop` spans. A span runs from the loop
+    // keyword (so a retry call in a `while` *condition* is covered) to
+    // the body's closing brace. `for` loops are exempt — one pass over a
+    // bounded iterator is not a retry.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let open = if t.is_ident("loop") {
+            toks.get(i + 1)
+                .is_some_and(|n| n.is_punct("{"))
+                .then_some(i + 1)
+        } else if t.is_ident("while") {
+            loop_body_open(toks, i + 1, false)
+        } else {
+            None
+        };
+        if let Some(open) = open {
+            spans.push((i, matching_brace_end(toks, open)));
+        }
+    }
+
+    // Pass 2: flag retry-family calls whose *innermost* enclosing loop
+    // body shows no pacing evidence. Innermost, because that is the loop
+    // whose iteration rate the missing backoff would govern.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !RETRY_CALLS.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            continue;
+        }
+        // A definition (`fn connect(...)`) is not a call site.
+        if i.checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|p| p.is_ident("fn"))
+        {
+            continue;
+        }
+        let innermost = spans
+            .iter()
+            .filter(|&&(s, e)| i > s && i < e)
+            .min_by_key(|&&(s, e)| e - s);
+        let Some(&(s, e)) = innermost else {
+            continue;
+        };
+        let paced = toks[s..=e.min(toks.len() - 1)]
+            .iter()
+            .any(|g| g.kind == TokKind::Ident && is_backoff_evidence(&g.text));
+        if !paced {
+            push(
+                findings,
+                "retry-without-backoff",
+                ctx,
+                t,
+                format!(
+                    "`{}` retried in a loop with no visible backoff evidence \
+                     hammers a refusing peer at CPU speed; pace the loop with \
+                     capped jittered backoff (`util::backoff_duration`)",
+                    t.text
+                ),
             );
         }
     }

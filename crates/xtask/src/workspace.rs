@@ -101,6 +101,9 @@ pub fn context_for(rel: &str) -> FileContext {
         check_factor_in_loop: rel.starts_with(FACTOR_LOOP_PREFIX),
         check_locks: rel.starts_with(QUEUE_PREFIX) || LOCK_CORE_FILES.contains(&rel),
         check_cancellation: CANCELLATION_FILES.contains(&rel),
+        // Every service-layer retry loop must pace itself; a reconnect
+        // storm against a refusing peer is a self-inflicted outage.
+        check_retry_backoff: rel.starts_with(QUEUE_PREFIX),
     }
 }
 
@@ -269,5 +272,10 @@ mod tests {
         assert!(context_for("crates/serve/src/engine.rs").check_cancellation);
         assert!(!context_for("crates/serve/src/server.rs").check_cancellation);
         assert!(!context_for("crates/core/src/designer.rs").check_cancellation);
+        // Retry-pacing scoping: the service layer only.
+        assert!(context_for("crates/serve/src/client.rs").check_retry_backoff);
+        assert!(context_for("crates/serve/src/router.rs").check_retry_backoff);
+        assert!(!context_for("crates/core/src/parallel.rs").check_retry_backoff);
+        assert!(!context_for("crates/core/src/designer.rs").check_retry_backoff);
     }
 }

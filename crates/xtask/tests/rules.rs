@@ -41,6 +41,7 @@ fn catalog_is_complete_and_unique() {
             "lock-across-blocking",
             "swallowed-result",
             "uncancelled-loop",
+            "retry-without-backoff",
         ]
     );
 }
@@ -270,6 +271,34 @@ fn cholesky_factor_in_loop_fixture() {
     // Outside the core orchestration scope the rule is fully off.
     let out = lint_source(
         &fixture("cholesky_factor_in_loop.rs"),
+        &FileContext::plain("fx"),
+    );
+    assert_eq!(triples(&out), []);
+}
+
+#[test]
+fn retry_without_backoff_fixture() {
+    let mut ctx = FileContext::plain("fx");
+    ctx.check_retry_backoff = true;
+    let out = lint_source(&fixture("retry_without_backoff.rs"), &ctx);
+    assert_eq!(
+        triples(&out),
+        [
+            // a bare `loop { connect() }` with no pacing evidence.
+            ("retry-without-backoff", 3, 14),
+            // a retry call in a `while` *condition* with an empty body is
+            // covered too — the span starts at the loop keyword. The
+            // paced `while` (backoff_duration/pause/jitter in the body)
+            // and the bounded `for` probe are non-findings.
+            ("retry-without-backoff", 37, 17),
+        ]
+    );
+    // The justified hot resend loop on line 29 is silenced by its comment.
+    assert_eq!(out.suppressed, 1);
+
+    // Outside the service-layer scope the rule is fully off.
+    let out = lint_source(
+        &fixture("retry_without_backoff.rs"),
         &FileContext::plain("fx"),
     );
     assert_eq!(triples(&out), []);

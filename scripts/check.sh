@@ -10,7 +10,8 @@
 #      tecopt::parallel, unsafe code, truncating float casts, todo markers,
 #      and the flow-aware concurrency rules (lock-order inversion cycles,
 #      guards across blocking calls, swallowed Results, uncancelled sweep
-#      loops), checked against the committed findings baseline
+#      loops, unpaced service-layer retry loops), checked against the
+#      committed findings baseline
 #      (rule catalog + suppression audit table in DESIGN.md §11, flow
 #      machinery in §16), followed by the cache benchmark, which fails
 #      unless a cold full-workspace lint is under 1 s and a warm
@@ -48,7 +49,16 @@
 #  13. the PR-7 acceptance benchmark (bench_pr7): greedy deployment with
 #      FactorStrategy::RankKUpdate ≥ 5x over the refactor-per-probe dense
 #      baseline at 32x32 with peak drift ≤ 1e-8 vs fresh factorizations,
-#      regenerating the committed BENCH_PR7.json.
+#      regenerating the committed BENCH_PR7.json,
+#  14. the fleet chaos pass (tests/fleet_chaos.rs): shard kills and
+#      restarts mid-sweep under load, failover, health-machine recovery,
+#      cache replication (including poisoned replicas), bit-identical
+#      checkpointed sweep handoff, and the wire-level ping/extension-frame
+#      forward-compatibility contract (DESIGN.md §17), single-threaded and
+#      including the `#[ignore]`d kill-every-shard soak,
+#  15. the PR-9 acceptance benchmark (bench_pr9): fleet failover p99 ≤ 5x
+#      the healthy p99 and fixed-floor hedging p99 ≤ 0.75x unhedged
+#      against a 20x straggler, regenerating the committed BENCH_PR9.json.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -95,5 +105,11 @@ cargo test -q --test update_equivalence
 
 echo "==> cargo run --release -p tecopt-bench --bin bench_pr7 > BENCH_PR7.json"
 cargo run --release -q -p tecopt-bench --bin bench_pr7 > BENCH_PR7.json
+
+echo "==> cargo test -q --test fleet_chaos -- --test-threads=1 --include-ignored"
+cargo test -q --test fleet_chaos -- --test-threads=1 --include-ignored
+
+echo "==> cargo run --release -p tecopt-bench --bin bench_pr9 > BENCH_PR9.json"
+cargo run --release -q -p tecopt-bench --bin bench_pr9 > BENCH_PR9.json
 
 echo "==> all checks passed"
