@@ -144,7 +144,14 @@ impl RunContext {
     /// The admission gate consumed before every item claim: `false` once
     /// the token is raised, the deadline has passed, or the budget is
     /// spent. Each `true` consumes one unit of the probe budget.
-    pub(crate) fn admit(&self) -> bool {
+    ///
+    /// Admission is consumed at claim time, so under a budget of `k` a
+    /// sweep admits exactly its first `k` claims regardless of worker
+    /// scheduling. External sweep engines (e.g. `tecopt-explore`) gate
+    /// their own item claims on this to inherit the same kill/resume
+    /// determinism; when the gate denies, report the reason via
+    /// [`RunContext::interruption`].
+    pub fn admit(&self) -> bool {
         if self.token.is_cancelled() {
             return false;
         }
@@ -177,6 +184,20 @@ impl RunContext {
             });
         }
         None
+    }
+
+    /// The typed error describing why the admission gate stopped a sweep
+    /// with `completed` of `total` items done — [`OptError::Cancelled`]
+    /// for a raised token, otherwise [`OptError::DeadlineExceeded`] (a
+    /// spent probe budget reports as a deadline, like the supervised
+    /// sweeps). External sweep engines call this after [`RunContext::admit`]
+    /// denies a claim.
+    pub fn interruption(&self, completed: usize, total: usize) -> OptError {
+        self.exhaustion(completed, total)
+            .unwrap_or(OptError::DeadlineExceeded {
+                completed,
+                remaining: total.saturating_sub(completed),
+            })
     }
 
     /// Per-probe gate for iterative optimizers (e.g. the multi-pin
@@ -316,12 +337,7 @@ fn resolve<R>(
         });
     }
     if skipped > 0 {
-        let error = ctx
-            .exhaustion(completed, total)
-            .unwrap_or(OptError::DeadlineExceeded {
-                completed,
-                remaining: total.saturating_sub(completed),
-            });
+        let error = ctx.interruption(completed, total);
         return Err(SweepFailure { error, partial });
     }
     Ok(partial.into_iter().flatten().collect())
@@ -419,6 +435,40 @@ fn checkpoint_io(e: std::io::Error) -> OptError {
     OptError::InvalidParameter(format!("checkpoint io: {e}"))
 }
 
+/// The sibling temp path the atomic-replace protocol writes through:
+/// `<final>.tmp` in the same directory (same filesystem, so the rename is
+/// atomic). `faultinject::DiskFull` relies on this convention to obstruct
+/// the temp path in write-failure tests.
+pub fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `contents`: the bytes are written and
+/// synced to [`temp_sibling`] first, then renamed over the final path. A
+/// crash (or a failing volume) at any instant leaves the final path either
+/// absent, with its old content, or with the complete new content — never
+/// a torn prefix. Checkpoint and ledger *headers* go through this; item
+/// records are plain appends, whose torn tails the loaders tolerate.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename; on error the final path
+/// is untouched.
+pub fn atomic_replace(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = temp_sibling(path);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Reads the completed items recorded in `path`, validating the header
 /// against this sweep's kind, fingerprint and item count. A missing file
 /// is an empty (fresh) checkpoint; a header mismatch is a typed error —
@@ -478,21 +528,21 @@ fn open_checkpoint<R: Checkpointable>(
     total: usize,
     fresh: bool,
 ) -> Result<std::fs::File, OptError> {
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
+    if fresh {
+        // The header must appear atomically: a direct create-then-write
+        // killed mid-header would leave a torn header that reads as a
+        // *stale* checkpoint on resume (a typed error demanding manual
+        // deletion) instead of a fresh file.
+        let header = format!(
+            "{CHECKPOINT_HEADER}\nkind {}\nfingerprint {fp:016x}\ntotal {total}\n",
+            R::KIND
+        );
+        atomic_replace(path, &header).map_err(checkpoint_io)?;
+    }
+    std::fs::OpenOptions::new()
         .append(true)
         .open(path)
-        .map_err(checkpoint_io)?;
-    if fresh {
-        writeln!(
-            file,
-            "{CHECKPOINT_HEADER}\nkind {}\nfingerprint {fp:016x}\ntotal {total}",
-            R::KIND
-        )
-        .map_err(checkpoint_io)?;
-        file.flush().map_err(checkpoint_io)?;
-    }
-    Ok(file)
+        .map_err(checkpoint_io)
 }
 
 /// Appends one completed item record and flushes, so a kill immediately

@@ -985,21 +985,20 @@ impl CheckpointWriter {
             OptError::InvalidParameter(format!("checkpoint io at {}: {e}", path.display()))
         };
         let fresh = !path.exists();
-        let mut file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(io)?;
         if fresh {
-            write!(
-                file,
+            // The header appears atomically via temp-file+rename: a kill
+            // mid-header would otherwise read as a *stale* checkpoint on
+            // resume instead of a fresh file.
+            let header = format!(
                 "{CHECKPOINT_HEADER}\nkind {CHECKPOINT_KIND}\nfingerprint {fp:016x}\ntotal {total}\n"
-            )
-            .map_err(io)?;
-        } else if resuming {
-            writeln!(file).map_err(io)?;
+            );
+            crate::supervise::atomic_replace(path, &header).map_err(io)?;
         }
-        file.flush().map_err(io)?;
+        let mut file = fs::OpenOptions::new().append(true).open(path).map_err(io)?;
+        if !fresh && resuming {
+            writeln!(file).map_err(io)?;
+            file.flush().map_err(io)?;
+        }
         Ok(CheckpointWriter { file })
     }
 

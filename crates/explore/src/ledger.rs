@@ -1,0 +1,456 @@
+//! The durable append-only work ledger.
+//!
+//! Format (`tecopt-ledger v1`), line-oriented like the `tecopt-checkpoint
+//! v1` files it extends:
+//!
+//! ```text
+//! tecopt-ledger v1
+//! kind explore-candidates
+//! fingerprint <fp:016x>
+//! total <n>
+//! claim <id:016x> <attempt>
+//! done <id:016x> pruned
+//! done <id:016x> eval <feasible 0|1> <devices> <current> <peak> <power> <evals>
+//! quar <id:016x> <attempts> <reason> <partial> <message...>
+//! ```
+//!
+//! Durability contract:
+//!
+//! - the four-line header is written **atomically** (temp-file + rename,
+//!   [`tecopt::supervise::atomic_replace`]): a kill at any instant leaves
+//!   either no ledger or a complete header, never a torn one that would
+//!   read back as a *stale* ledger;
+//! - record lines are appended and flushed one at a time under a mutex; a
+//!   kill mid-append tears at most the final line, which the loader
+//!   skips (the in-flight candidate simply re-runs on resume);
+//! - floating-point payloads are bit-exact hex ([`hex_f64`]), so a
+//!   resumed exploration reproduces the uninterrupted run bit for bit;
+//! - the header fingerprint binds the file to the exact design-space
+//!   spec, device parameters, tile powers and settings that produced it —
+//!   a mismatch is a typed error, never a silent mixed resume.
+//!
+//! `claim` records are the lease trail: one per admitted evaluation
+//! attempt, written *before* the evaluation starts. A claim without a
+//! matching `done`/`quar` marks an attempt killed in flight; the attempt
+//! count carries across resumes so the retry budget cannot be reset by
+//! crashing.
+
+use crate::quarantine::{PartialPrefix, QuarantineReason, QuarantineRecord};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tecopt::supervise::{atomic_replace, hex_f64, parse_hex_f64};
+use tecopt::OptError;
+use tecopt_units::{Amperes, Celsius, Watts};
+
+/// Magic first line of every ledger file; the trailing integer is the
+/// format version.
+pub const LEDGER_HEADER: &str = "tecopt-ledger v1";
+
+/// Record-kind tag of design-space exploration ledgers.
+pub const LEDGER_KIND: &str = "explore-candidates";
+
+/// A completed (terminal, non-quarantine) outcome for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalRecord {
+    /// Rejected by the analytical first-cut sizing bound — no solve was
+    /// spent on it.
+    Pruned {
+        /// Deterministic candidate id.
+        id: u64,
+    },
+    /// Fully evaluated (feasible or not).
+    Evaluated {
+        /// Deterministic candidate id.
+        id: u64,
+        /// `peak <= theta_limit` at the optimal current.
+        feasible: bool,
+        /// Devices deployed.
+        devices: usize,
+        /// Optimal shared supply current.
+        current: Amperes,
+        /// Peak silicon temperature at that current.
+        peak: Celsius,
+        /// Total TEC electrical power at that current.
+        tec_power: Watts,
+        /// Steady-state solves spent by the current search.
+        evaluations: usize,
+    },
+}
+
+impl EvalRecord {
+    /// The candidate this record belongs to.
+    pub fn id(&self) -> u64 {
+        match self {
+            EvalRecord::Pruned { id } | EvalRecord::Evaluated { id, .. } => *id,
+        }
+    }
+
+    fn encode(&self) -> String {
+        match self {
+            EvalRecord::Pruned { id } => format!("done {id:016x} pruned"),
+            EvalRecord::Evaluated {
+                id,
+                feasible,
+                devices,
+                current,
+                peak,
+                tec_power,
+                evaluations,
+            } => format!(
+                "done {id:016x} eval {} {devices} {} {} {} {evaluations}",
+                u8::from(*feasible),
+                hex_f64(current.value()),
+                hex_f64(peak.value()),
+                hex_f64(tec_power.value()),
+            ),
+        }
+    }
+
+    /// Decodes the fields after `done `; `None` for a malformed (torn)
+    /// line.
+    fn decode(rest: &str) -> Option<EvalRecord> {
+        let mut it = rest.split_ascii_whitespace();
+        let id = parse_hex_u64(it.next()?)?;
+        match it.next()? {
+            "pruned" => it.next().is_none().then_some(EvalRecord::Pruned { id }),
+            "eval" => {
+                let feasible = match it.next()? {
+                    "0" => false,
+                    "1" => true,
+                    _ => return None,
+                };
+                let devices = it.next()?.parse::<usize>().ok()?;
+                let current = Amperes(parse_hex_f64(it.next()?)?);
+                let peak = Celsius(parse_hex_f64(it.next()?)?);
+                let tec_power = Watts(parse_hex_f64(it.next()?)?);
+                let evaluations = it.next()?.parse::<usize>().ok()?;
+                it.next().is_none().then_some(EvalRecord::Evaluated {
+                    id,
+                    feasible,
+                    devices,
+                    current,
+                    peak,
+                    tec_power,
+                    evaluations,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn encode_quarantine(rec: &QuarantineRecord) -> String {
+    let partial = match &rec.partial {
+        None => "-".to_string(),
+        Some(p) => format!("{}:{}", p.devices, hex_f64(p.peak.value())),
+    };
+    format!(
+        "quar {:016x} {} {} {partial} {}",
+        rec.id,
+        rec.attempts,
+        rec.reason.tag(),
+        rec.message
+    )
+}
+
+fn decode_quarantine(rest: &str) -> Option<QuarantineRecord> {
+    let mut it = rest.splitn(5, ' ');
+    let id = parse_hex_u64(it.next()?)?;
+    let attempts = it.next()?.parse::<u32>().ok()?;
+    let reason = QuarantineReason::from_tag(it.next()?)?;
+    let partial = match it.next()? {
+        "-" => None,
+        spec => {
+            let (devices, peak) = spec.split_once(':')?;
+            Some(PartialPrefix {
+                devices: devices.parse::<usize>().ok()?,
+                peak: Celsius(parse_hex_f64(peak)?),
+            })
+        }
+    };
+    let message = it.next().unwrap_or("").to_string();
+    Some(QuarantineRecord {
+        id,
+        attempts,
+        reason,
+        message,
+        partial,
+    })
+}
+
+fn parse_hex_u64(s: &str) -> Option<u64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+}
+
+/// Everything a resumed exploration needs to know about prior cycles,
+/// rebuilt from the record trail.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerState {
+    /// Terminal non-quarantine outcomes by candidate id.
+    pub done: BTreeMap<u64, EvalRecord>,
+    /// Blacklisted candidates by id.
+    pub quarantined: BTreeMap<u64, QuarantineRecord>,
+    /// Highest attempt number claimed per candidate (claims without a
+    /// terminal record mark attempts killed in flight).
+    pub claims: BTreeMap<u64, u32>,
+}
+
+impl LedgerState {
+    /// `true` once the candidate has a terminal record (done or
+    /// quarantined) and must not be re-evaluated.
+    pub fn settled(&self, id: u64) -> bool {
+        self.done.contains_key(&id) || self.quarantined.contains_key(&id)
+    }
+
+    /// Terminal records of any kind.
+    pub fn settled_count(&self) -> usize {
+        self.done.len() + self.quarantined.len()
+    }
+}
+
+fn ledger_io(path: &Path) -> impl Fn(std::io::Error) -> OptError + '_ {
+    move |e| OptError::InvalidParameter(format!("ledger io at {}: {e}", path.display()))
+}
+
+/// The durable append-only work ledger of one exploration.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl Ledger {
+    /// Opens (or atomically creates) the ledger at `path`, bound to the
+    /// exploration identity `fp` over `total` candidates, and replays the
+    /// existing record trail. Torn or malformed record lines — the tail a
+    /// mid-append kill leaves — are skipped; their candidates simply run
+    /// again.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptError::InvalidParameter`] `"stale ledger ..."` when the
+    ///   header does not match `fp`/`total` — resuming under different
+    ///   parameters would silently mix explorations;
+    /// - [`OptError::InvalidParameter`] `"ledger io ..."` for I/O errors.
+    pub fn open(path: &Path, fp: u64, total: usize) -> Result<(Ledger, LedgerState), OptError> {
+        let io = ledger_io(path);
+        let mut state = LedgerState::default();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                let header_ok = lines.next() == Some(LEDGER_HEADER)
+                    && lines.next() == Some(&format!("kind {LEDGER_KIND}"))
+                    && lines.next() == Some(&format!("fingerprint {fp:016x}"))
+                    && lines.next() == Some(&format!("total {total}"));
+                if !header_ok {
+                    return Err(OptError::InvalidParameter(format!(
+                        "stale ledger {}: header does not match this exploration \
+                         (kind {LEDGER_KIND}, fingerprint {fp:016x}, total {total}); \
+                         delete it to start fresh",
+                        path.display(),
+                    )));
+                }
+                for line in lines {
+                    if let Some(rest) = line.strip_prefix("claim ") {
+                        let mut it = rest.split_ascii_whitespace();
+                        let Some(id) = it.next().and_then(parse_hex_u64) else {
+                            continue;
+                        };
+                        let Some(attempt) = it.next().and_then(|a| a.parse::<u32>().ok()) else {
+                            continue;
+                        };
+                        if it.next().is_none() {
+                            let slot = state.claims.entry(id).or_insert(0);
+                            *slot = (*slot).max(attempt);
+                        }
+                    } else if let Some(rest) = line.strip_prefix("done ") {
+                        if let Some(rec) = EvalRecord::decode(rest) {
+                            state.done.insert(rec.id(), rec);
+                        }
+                    } else if let Some(rest) = line.strip_prefix("quar ") {
+                        if let Some(rec) = decode_quarantine(rest) {
+                            state.quarantined.insert(rec.id, rec);
+                        }
+                    }
+                    // Unknown tags and torn lines: skipped, forward
+                    // compatible with later record kinds.
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let header = format!(
+                    "{LEDGER_HEADER}\nkind {LEDGER_KIND}\nfingerprint {fp:016x}\ntotal {total}\n"
+                );
+                atomic_replace(path, &header).map_err(&io)?;
+            }
+            Err(e) => return Err(io(e)),
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(&io)?;
+        Ok((
+            Ledger {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            state,
+        ))
+    }
+
+    /// The ledger file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, line: &str) -> Result<(), OptError> {
+        let io = ledger_io(&self.path);
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // The mutex serializes exactly this append+flush; interleaved
+        // records from concurrent workers would corrupt the trail.
+        writeln!(file, "{line}").map_err(&io)?;
+        file.flush().map_err(&io)
+    }
+
+    /// Leases one evaluation attempt: appended and flushed *before* the
+    /// evaluation starts, so an attempt killed in flight stays visible to
+    /// the resume (the retry budget survives crashes).
+    ///
+    /// # Errors
+    ///
+    /// Ledger I/O as a typed [`OptError::InvalidParameter`].
+    pub fn claim(&self, id: u64, attempt: u32) -> Result<(), OptError> {
+        self.append(&format!("claim {id:016x} {attempt}"))
+    }
+
+    /// Appends a terminal evaluation record.
+    ///
+    /// # Errors
+    ///
+    /// Ledger I/O as a typed [`OptError::InvalidParameter`].
+    pub fn record(&self, rec: &EvalRecord) -> Result<(), OptError> {
+        self.append(&rec.encode())
+    }
+
+    /// Appends a quarantine (blacklist) record.
+    ///
+    /// # Errors
+    ///
+    /// Ledger I/O as a typed [`OptError::InvalidParameter`].
+    pub fn quarantine(&self, rec: &QuarantineRecord) -> Result<(), OptError> {
+        self.append(&encode_quarantine(rec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tecopt-ledger-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("test.ledger")
+    }
+
+    fn eval_rec(id: u64) -> EvalRecord {
+        EvalRecord::Evaluated {
+            id,
+            feasible: true,
+            devices: 3,
+            current: Amperes(4.25),
+            peak: Celsius(78.5),
+            tec_power: Watts(2.125),
+            evaluations: 41,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let path = scratch("roundtrip");
+        let (ledger, state) = Ledger::open(&path, 0xabcd, 4).unwrap();
+        assert!(state.done.is_empty());
+        ledger.claim(7, 1).unwrap();
+        ledger.record(&eval_rec(7)).unwrap();
+        ledger.record(&EvalRecord::Pruned { id: 9 }).unwrap();
+        let quar = QuarantineRecord::new(
+            11,
+            2,
+            QuarantineReason::Panicked,
+            "division by zero somewhere",
+            Some(PartialPrefix {
+                devices: 2,
+                peak: Celsius(83.0),
+            }),
+        );
+        ledger.quarantine(&quar).unwrap();
+        drop(ledger);
+
+        let (_ledger, state) = Ledger::open(&path, 0xabcd, 4).unwrap();
+        assert_eq!(state.done.get(&7), Some(&eval_rec(7)));
+        assert_eq!(state.done.get(&9), Some(&EvalRecord::Pruned { id: 9 }));
+        assert_eq!(state.quarantined.get(&11), Some(&quar));
+        assert_eq!(state.claims.get(&7), Some(&1));
+        assert!(state.settled(7) && state.settled(9) && state.settled(11));
+        assert!(!state.settled(13));
+        assert_eq!(state.settled_count(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_the_candidate_reruns() {
+        let path = scratch("torn");
+        let (ledger, _) = Ledger::open(&path, 1, 4).unwrap();
+        ledger.record(&eval_rec(7)).unwrap();
+        ledger.record(&eval_rec(8)).unwrap();
+        drop(ledger);
+        // Tear the last record mid-line, as a kill mid-append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+
+        let (_, state) = Ledger::open(&path, 1, 4).unwrap();
+        assert_eq!(state.done.get(&7), Some(&eval_rec(7)));
+        assert!(!state.settled(8));
+    }
+
+    #[test]
+    fn header_mismatch_is_a_typed_stale_error() {
+        let path = scratch("stale");
+        drop(Ledger::open(&path, 1, 4).unwrap());
+        let err = Ledger::open(&path, 2, 4).unwrap_err();
+        assert!(matches!(err, OptError::InvalidParameter(ref m) if m.contains("stale ledger")));
+        let err = Ledger::open(&path, 1, 5).unwrap_err();
+        assert!(matches!(err, OptError::InvalidParameter(ref m) if m.contains("stale ledger")));
+    }
+
+    #[test]
+    fn claim_attempts_keep_their_maximum_across_cycles() {
+        let path = scratch("claims");
+        let (ledger, _) = Ledger::open(&path, 1, 4).unwrap();
+        ledger.claim(5, 1).unwrap();
+        ledger.claim(5, 2).unwrap();
+        ledger.claim(6, 1).unwrap();
+        drop(ledger);
+        let (_, state) = Ledger::open(&path, 1, 4).unwrap();
+        assert_eq!(state.claims.get(&5), Some(&2));
+        assert_eq!(state.claims.get(&6), Some(&1));
+    }
+
+    #[test]
+    fn an_orphaned_temp_file_does_not_block_a_fresh_ledger() {
+        let path = scratch("orphan");
+        // Simulate a kill between temp-file write and rename.
+        std::fs::write(tecopt::supervise::temp_sibling(&path), "garbage").unwrap();
+        let (ledger, state) = Ledger::open(&path, 1, 4).unwrap();
+        assert!(state.done.is_empty());
+        ledger.record(&eval_rec(1)).unwrap();
+        drop(ledger);
+        let (_, state) = Ledger::open(&path, 1, 4).unwrap();
+        assert!(state.settled(1));
+    }
+}

@@ -1,0 +1,181 @@
+//! The deterministic Pareto front over peak temperature vs. TEC power.
+//!
+//! The explorer's output contract is *bit-identity*: the front computed
+//! from a result set must not depend on worker count, completion order,
+//! how many crash/resume cycles produced the set, or how the set was
+//! partitioned across fleet shards before merging. Two properties deliver
+//! that:
+//!
+//! - [`ParetoPoint::new`] refuses non-finite coordinates, so every
+//!   comparison downstream is total and `NaN` can never poison an
+//!   ordering (quarantine handles non-finite results upstream);
+//! - [`pareto_front`] canonicalizes its input by a total order
+//!   (`total_cmp` on peak, then power, then the candidate id) before the
+//!   dominance sweep, so any permutation — or concatenation of partitions,
+//!   including overlapping ones — of the same result set yields the same
+//!   output, byte for byte.
+
+use tecopt_units::{Amperes, Celsius, Watts};
+
+/// One feasible design on the peak-temperature / TEC-power plane.
+///
+/// Construction is the NaN gate: a point exists only if every coordinate
+/// is finite, which makes [`ParetoPoint::dominates`] a strict partial
+/// order (irreflexive, antisymmetric, transitive) on all live points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    id: u64,
+    current: Amperes,
+    peak: Celsius,
+    power: Watts,
+}
+
+impl ParetoPoint {
+    /// Builds a point from a candidate's evaluation, refusing any
+    /// non-finite coordinate (`None`). Quarantine should have caught
+    /// non-finite results before this; the gate makes the front immune
+    /// even if it did not.
+    pub fn new(id: u64, current: Amperes, peak: Celsius, power: Watts) -> Option<ParetoPoint> {
+        let finite =
+            current.value().is_finite() && peak.value().is_finite() && power.value().is_finite();
+        finite.then_some(ParetoPoint {
+            id,
+            current,
+            peak,
+            power,
+        })
+    }
+
+    /// The deterministic candidate id this point belongs to.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Optimal supply current of the candidate.
+    pub fn current(&self) -> Amperes {
+        self.current
+    }
+
+    /// Peak silicon temperature at that current.
+    pub fn peak(&self) -> Celsius {
+        self.peak
+    }
+
+    /// Total TEC electrical power at that current.
+    pub fn tec_power(&self) -> Watts {
+        self.power
+    }
+
+    /// Pareto dominance for bi-objective minimization: no worse on both
+    /// peak temperature and TEC power, strictly better on at least one.
+    /// Coordinates are finite by construction, so the comparisons are
+    /// total; two numerically equal points do not dominate each other.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let peak = (self.peak.value(), other.peak.value());
+        let power = (self.power.value(), other.power.value());
+        peak.0 <= peak.1 && power.0 <= power.1 && (peak.0 < peak.1 || power.0 < power.1)
+    }
+}
+
+/// The canonical total order the front is computed and emitted in: peak
+/// ascending, then power ascending, then candidate id — `total_cmp` keeps
+/// the tie-breaking bit-deterministic even across `-0.0`/`0.0`.
+fn canonical(a: &ParetoPoint, b: &ParetoPoint) -> core::cmp::Ordering {
+    a.peak
+        .value()
+        .total_cmp(&b.peak.value())
+        .then(a.power.value().total_cmp(&b.power.value()))
+        .then(a.id.cmp(&b.id))
+}
+
+/// Computes the Pareto front (non-dominated set) of `points`.
+///
+/// Deterministic by construction: the input is sorted into the canonical
+/// order first, then swept keeping each point whose power is strictly
+/// below every kept point's. Numerically equal duplicates keep exactly
+/// one representative (lowest power bits, then lowest id), so merging
+/// overlapping partitions — e.g. ledger snapshots from two crash/resume
+/// cycles — is idempotent. The returned front is sorted by ascending
+/// peak with strictly descending power.
+pub fn pareto_front(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    points.sort_by(canonical);
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    for p in points {
+        // Sorted by peak first, so `p` can only be dominated by (or
+        // duplicate) an already-kept point; the last kept point has the
+        // lowest power seen so far.
+        let keep = front
+            .last()
+            .is_none_or(|kept| p.power.value() < kept.power.value());
+        if keep {
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Merges per-shard (or per-resume-cycle) fronts into one, bit-identically
+/// to computing [`pareto_front`] over the concatenated inputs — which is
+/// exactly what it does. Partitioning, ordering, and duplication of the
+/// inputs cannot change the output.
+pub fn merge_fronts<I>(parts: I) -> Vec<ParetoPoint>
+where
+    I: IntoIterator<Item = Vec<ParetoPoint>>,
+{
+    pareto_front(parts.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: u64, peak: f64, power: f64) -> ParetoPoint {
+        ParetoPoint::new(id, Amperes(1.0), Celsius(peak), Watts(power)).unwrap()
+    }
+
+    #[test]
+    fn nan_and_infinity_are_refused() {
+        assert!(ParetoPoint::new(1, Amperes(f64::NAN), Celsius(1.0), Watts(1.0)).is_none());
+        assert!(ParetoPoint::new(1, Amperes(1.0), Celsius(f64::INFINITY), Watts(1.0)).is_none());
+        assert!(ParetoPoint::new(1, Amperes(1.0), Celsius(1.0), Watts(f64::NAN)).is_none());
+        assert!(ParetoPoint::new(1, Amperes(1.0), Celsius(1.0), Watts(1.0)).is_some());
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        assert!(p(1, 50.0, 2.0).dominates(&p(2, 60.0, 2.0)));
+        assert!(p(1, 50.0, 2.0).dominates(&p(2, 50.0, 3.0)));
+        assert!(!p(1, 50.0, 2.0).dominates(&p(2, 50.0, 2.0)));
+        assert!(!p(1, 50.0, 2.0).dominates(&p(1, 50.0, 2.0)));
+        assert!(!p(1, 50.0, 4.0).dominates(&p(2, 60.0, 2.0)));
+    }
+
+    #[test]
+    fn front_is_the_nondominated_set_in_canonical_order() {
+        let pts = vec![
+            p(3, 70.0, 1.0),
+            p(1, 50.0, 3.0),
+            p(2, 60.0, 2.0),
+            p(4, 65.0, 2.5), // dominated by (60, 2)
+            p(5, 50.0, 3.5), // dominated by (50, 3)
+        ];
+        let front = pareto_front(pts);
+        let ids: Vec<u64> = front.iter().map(ParetoPoint::id).collect();
+        assert_eq!(ids, [1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_is_order_and_partition_invariant() {
+        let all = vec![p(1, 50.0, 3.0), p(2, 60.0, 2.0), p(3, 70.0, 1.0)];
+        let a = pareto_front(all.clone());
+        let b = merge_fronts(vec![vec![all[2]], vec![all[0], all[1]], all.clone()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_points_keep_the_lowest_id() {
+        let front = pareto_front(vec![p(9, 50.0, 2.0), p(4, 50.0, 2.0)]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].id(), 4);
+    }
+}

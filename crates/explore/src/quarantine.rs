@@ -1,0 +1,182 @@
+//! Typed quarantine for pathological candidates.
+//!
+//! One poisoned candidate — a panic in the solver, a non-finite result, a
+//! trip of the runaway envelope — must never abort a million-candidate
+//! sweep. The explorer instead runs a small state machine per candidate
+//! (DESIGN.md §18):
+//!
+//! ```text
+//! pending ──claim──▶ evaluating ──ok──────────────▶ done
+//!                        │
+//!                        ├─deterministic error────▶ quarantined
+//!                        └─retryable error──▶ pending (attempts < budget)
+//!                                        └──▶ quarantined (budget spent)
+//! ```
+//!
+//! A quarantined candidate is blacklisted in the work ledger with a
+//! [`QuarantineRecord`] carrying the typed reason, the attempt count and —
+//! for greedy placements that failed mid-deploy — the completed
+//! [`DeployFailure::partial`](tecopt::DeployFailure) prefix, so the
+//! feasibility record keeps what the greedy loop had already proven
+//! instead of dropping it.
+
+use tecopt::OptError;
+use tecopt_units::Celsius;
+
+/// Why a candidate was quarantined. The tag is part of the ledger format
+/// (`quar` records) and must stay stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The per-candidate evaluation panicked (contained at the item
+    /// boundary by the worker isolation).
+    Panicked,
+    /// The evaluation returned a non-finite current, peak or power.
+    NonFinite,
+    /// The candidate tripped the thermal-runaway envelope
+    /// ([`OptError::BeyondRunaway`]).
+    Envelope,
+    /// Any other typed solver/optimizer error.
+    Solver,
+}
+
+impl QuarantineReason {
+    /// Stable single-token ledger tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            QuarantineReason::Panicked => "panic",
+            QuarantineReason::NonFinite => "nonfinite",
+            QuarantineReason::Envelope => "envelope",
+            QuarantineReason::Solver => "solver",
+        }
+    }
+
+    /// Inverse of [`QuarantineReason::tag`].
+    pub fn from_tag(tag: &str) -> Option<QuarantineReason> {
+        match tag {
+            "panic" => Some(QuarantineReason::Panicked),
+            "nonfinite" => Some(QuarantineReason::NonFinite),
+            "envelope" => Some(QuarantineReason::Envelope),
+            "solver" => Some(QuarantineReason::Solver),
+            _ => None,
+        }
+    }
+
+    /// Classifies a typed evaluation error.
+    pub fn classify(error: &OptError) -> QuarantineReason {
+        match error {
+            OptError::WorkerPanicked { .. } => QuarantineReason::Panicked,
+            OptError::BeyondRunaway { .. } => QuarantineReason::Envelope,
+            _ => QuarantineReason::Solver,
+        }
+    }
+}
+
+/// The completed prefix of a greedy deployment that failed mid-loop —
+/// what [`DeployFailure::partial`](tecopt::DeployFailure) carried, kept
+/// in the feasibility record instead of being dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialPrefix {
+    /// Devices placed by the last fully evaluated greedy iteration.
+    pub devices: usize,
+    /// Peak temperature that prefix achieved at its optimal current.
+    pub peak: Celsius,
+}
+
+/// The blacklist entry for one quarantined candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// Deterministic candidate id.
+    pub id: u64,
+    /// Evaluation attempts spent before blacklisting.
+    pub attempts: u32,
+    /// Typed failure class.
+    pub reason: QuarantineReason,
+    /// Human-readable error, flattened to one line for the ledger.
+    pub message: String,
+    /// Completed greedy prefix, when the failure happened mid-deploy.
+    pub partial: Option<PartialPrefix>,
+}
+
+impl QuarantineRecord {
+    /// Builds a record, flattening newlines out of the message so it
+    /// round-trips through the one-line ledger format.
+    pub fn new(
+        id: u64,
+        attempts: u32,
+        reason: QuarantineReason,
+        message: impl Into<String>,
+        partial: Option<PartialPrefix>,
+    ) -> QuarantineRecord {
+        let message: String = message
+            .into()
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+            .collect();
+        QuarantineRecord {
+            id,
+            attempts,
+            reason,
+            message,
+            partial,
+        }
+    }
+}
+
+/// Whether retrying `error` can possibly change the outcome. Validation
+/// and structural errors are deterministic — the budget is not spent on
+/// them, the candidate is blacklisted on first failure.
+pub fn retryable(error: &OptError) -> bool {
+    !matches!(
+        error,
+        OptError::InvalidParameter(_)
+            | OptError::NoDevicesDeployed
+            | OptError::PowerLengthMismatch { .. }
+            | OptError::Infeasible { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for reason in [
+            QuarantineReason::Panicked,
+            QuarantineReason::NonFinite,
+            QuarantineReason::Envelope,
+            QuarantineReason::Solver,
+        ] {
+            assert_eq!(QuarantineReason::from_tag(reason.tag()), Some(reason));
+        }
+        assert_eq!(QuarantineReason::from_tag("bogus"), None);
+    }
+
+    #[test]
+    fn classification_and_retryability() {
+        let panic = OptError::WorkerPanicked {
+            index: 0,
+            payload: "boom".into(),
+        };
+        assert_eq!(
+            QuarantineReason::classify(&panic),
+            QuarantineReason::Panicked
+        );
+        assert!(retryable(&panic));
+        let runaway = OptError::BeyondRunaway { current: 9.0 };
+        assert_eq!(
+            QuarantineReason::classify(&runaway),
+            QuarantineReason::Envelope
+        );
+        assert!(!retryable(&OptError::NoDevicesDeployed));
+        assert!(!retryable(&OptError::Infeasible {
+            best_peak_celsius: 80.0
+        }));
+    }
+
+    #[test]
+    fn messages_are_flattened_to_one_line() {
+        let rec = QuarantineRecord::new(7, 2, QuarantineReason::Panicked, "a\nb\rc", None);
+        assert_eq!(rec.message, "a b c");
+    }
+}

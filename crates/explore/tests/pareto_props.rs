@@ -1,0 +1,171 @@
+//! Property-based tests for the deterministic Pareto layer.
+//!
+//! The front is the explorer's bit-identity contract (DESIGN.md §18):
+//! dominance must be a strict partial order on live points, construction
+//! must refuse every non-finite coordinate, and the front/merge must be
+//! invariant under permutation, partitioning, and duplication of the
+//! result set.
+
+use proptest::prelude::*;
+use tecopt_explore::{merge_fronts, pareto_front, ParetoPoint};
+use tecopt_units::{Amperes, Celsius, Watts};
+
+fn point(id: u64, peak: f64, power: f64) -> ParetoPoint {
+    ParetoPoint::new(id, Amperes(1.0), Celsius(peak), Watts(power)).unwrap()
+}
+
+/// Decodes one fuzzed `(id, peak_code, power_code)` triple into a point
+/// on a small discrete grid — small enough that equal coordinates (the
+/// tie-breaking paths) come up constantly.
+fn decode(raw: &(u64, u8, u8)) -> ParetoPoint {
+    point(
+        raw.0,
+        40.0 + f64::from(raw.1 % 16),
+        f64::from(raw.2 % 16) / 4.0,
+    )
+}
+
+fn bits(front: &[ParetoPoint]) -> Vec<(u64, u64, u64)> {
+    front
+        .iter()
+        .map(|p| {
+            (
+                p.id(),
+                p.peak().value().to_bits(),
+                p.tec_power().value().to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic in-test shuffle (the shim has no external RNG).
+fn shuffled(mut points: Vec<ParetoPoint>, seed: u64) -> Vec<ParetoPoint> {
+    let mut state = seed | 1;
+    for i in (1..points.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        points.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    points
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dominance is irreflexive and antisymmetric on every pair of live
+    /// points: a point never dominates itself, and two points never
+    /// dominate each other.
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a_peak in 0.0f64..100.0,
+        a_power in 0.0f64..10.0,
+        b_peak in 0.0f64..100.0,
+        b_power in 0.0f64..10.0,
+    ) {
+        let a = point(1, a_peak, a_power);
+        let b = point(2, b_peak, b_power);
+        prop_assert!(!a.dominates(&a));
+        prop_assert!(!b.dominates(&b));
+        prop_assert!(!(a.dominates(&b) && b.dominates(&a)));
+    }
+
+    /// Dominance is transitive: a ≺ b and b ≺ c imply a ≺ c.
+    #[test]
+    fn dominance_is_transitive(
+        peaks in proptest::collection::vec(0.0f64..100.0, 3..4),
+        powers in proptest::collection::vec(0.0f64..10.0, 3..4),
+    ) {
+        let a = point(1, peaks[0], powers[0]);
+        let b = point(2, peaks[1], powers[1]);
+        let c = point(3, peaks[2], powers[2]);
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    /// Construction refuses a non-finite value in ANY coordinate slot.
+    #[test]
+    fn construction_refuses_non_finite_coordinates(
+        finite in 0.0f64..100.0,
+        slot in 0usize..3,
+        kind in 0usize..3,
+    ) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][kind];
+        let coord = |s: usize| if s == slot { bad } else { finite };
+        let refused = ParetoPoint::new(
+            7,
+            Amperes(coord(0)),
+            Celsius(coord(1)),
+            Watts(coord(2)),
+        );
+        prop_assert!(refused.is_none());
+        prop_assert!(
+            ParetoPoint::new(7, Amperes(finite), Celsius(finite), Watts(finite)).is_some()
+        );
+    }
+
+    /// The front never contains a dominated point, never drops an
+    /// undominated coordinate pair, and is idempotent.
+    #[test]
+    fn front_is_exactly_the_non_dominated_set(
+        raw in proptest::collection::vec((0u64..50, 0u8..=255, 0u8..=255), 0..40),
+    ) {
+        let points: Vec<ParetoPoint> = raw.iter().map(decode).collect();
+        let front = pareto_front(points.clone());
+        for f in &front {
+            prop_assert!(
+                !points.iter().any(|p| p.dominates(f)),
+                "front point {f:?} is dominated"
+            );
+        }
+        for p in &points {
+            if !points.iter().any(|q| q.dominates(p)) {
+                prop_assert!(
+                    front.iter().any(|f| {
+                        f.peak().value() == p.peak().value()
+                            && f.tec_power().value() == p.tec_power().value()
+                    }),
+                    "undominated {p:?} missing from the front"
+                );
+            }
+        }
+        prop_assert_eq!(bits(&pareto_front(front.clone())), bits(&front));
+    }
+
+    /// Bit-identical front under any permutation of the result set —
+    /// completion order and worker count cannot matter.
+    #[test]
+    fn front_is_permutation_invariant(
+        raw in proptest::collection::vec((0u64..50, 0u8..=255, 0u8..=255), 0..40),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let points: Vec<ParetoPoint> = raw.iter().map(decode).collect();
+        let reference = pareto_front(points.clone());
+        prop_assert_eq!(
+            bits(&pareto_front(shuffled(points, seed))),
+            bits(&reference)
+        );
+    }
+
+    /// Bit-identical front under any partitioning into per-shard fronts —
+    /// including overlapping partitions, as produced by crash/resume
+    /// cycles replaying a shared ledger.
+    #[test]
+    fn merge_is_partition_invariant(
+        raw in proptest::collection::vec((0u64..50, 0u8..=255, 0u8..=255), 0..40),
+        cut in 0usize..40,
+        overlap in 0usize..8,
+    ) {
+        let points: Vec<ParetoPoint> = raw.iter().map(decode).collect();
+        let reference = pareto_front(points.clone());
+        let cut = cut.min(points.len());
+        let right_from = cut.saturating_sub(overlap);
+        let left = pareto_front(points[..cut].to_vec());
+        let right = pareto_front(points[right_from..].to_vec());
+        prop_assert_eq!(bits(&merge_fronts([left.clone(), right.clone()])), bits(&reference));
+        // Merge order cannot matter either, nor can duplicated parts.
+        prop_assert_eq!(bits(&merge_fronts([right.clone(), left.clone()])), bits(&reference));
+        prop_assert_eq!(bits(&merge_fronts([left.clone(), right, left])), bits(&reference));
+    }
+}

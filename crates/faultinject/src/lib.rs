@@ -469,6 +469,67 @@ impl BlackHole {
 }
 
 // ---------------------------------------------------------------------
+// Durable-persist chaos: torn-write and disk-full injectors for the
+// checkpoint/ledger writers
+// ---------------------------------------------------------------------
+
+/// A torn write: truncates the file at `path` to its first `keep` bytes —
+/// exactly what a kill (or a lost page) mid-append leaves behind. The
+/// checkpoint and ledger loaders must skip the torn tail and re-run only
+/// the affected item, never refuse the whole file.
+///
+/// # Errors
+///
+/// Any filesystem failure opening or truncating the file.
+pub fn tear_tail(path: &std::path::Path, keep: u64) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    file.sync_all()
+}
+
+/// A disk-full (or permission-lost) injector for the atomic
+/// temp-file+rename protocol: occupies the writer's temp sibling
+/// (`<final>.tmp`, the [`tecopt::supervise::temp_sibling`] convention)
+/// with a directory, so creating the temp file fails with a typed I/O
+/// error while the *final* path — and every record already persisted in
+/// it — stays untouched. [`DiskFull::release`] (or drop) clears the
+/// blockage.
+#[derive(Debug)]
+pub struct DiskFull {
+    tmp: std::path::PathBuf,
+}
+
+impl DiskFull {
+    /// Blocks atomic replacement of `final_path` until released.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure creating the blocking directory.
+    pub fn at(final_path: &std::path::Path) -> std::io::Result<DiskFull> {
+        let tmp = tecopt::supervise::temp_sibling(final_path);
+        std::fs::create_dir_all(&tmp)?;
+        Ok(DiskFull { tmp })
+    }
+
+    /// Clears the blockage, letting the next atomic write proceed.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure removing the blocking directory.
+    pub fn release(self) -> std::io::Result<()> {
+        let tmp = self.tmp.clone();
+        std::mem::forget(self);
+        std::fs::remove_dir_all(tmp)
+    }
+}
+
+impl Drop for DiskFull {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.tmp);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Transient-schedule chaos: workload injectors for the safety envelope
 // ---------------------------------------------------------------------
 
@@ -773,6 +834,27 @@ mod tests {
             }
             other => panic!("expected timeout Disconnected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tear_tail_truncates_and_disk_full_blocks_only_the_temp_path() {
+        let dir = std::env::temp_dir().join(format!("tecopt-fi-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.txt");
+
+        std::fs::write(&path, "keep this\nlose this\n").unwrap();
+        tear_tail(&path, 10).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "keep this\n");
+
+        let blockage = DiskFull::at(&path).unwrap();
+        let denied = tecopt::supervise::atomic_replace(&path, "replacement\n");
+        assert!(denied.is_err());
+        // The final path — and its surviving records — are untouched.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "keep this\n");
+        blockage.release().unwrap();
+        tecopt::supervise::atomic_replace(&path, "replacement\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "replacement\n");
     }
 
     #[test]

@@ -47,6 +47,7 @@ use tecopt::{
     runaway_limit, score_candidates, CancelToken, CoolingSystem, CurrentSettings,
     EnvelopedController, OptError, RunContext, SafetyEnvelope, SweepFailure,
 };
+use tecopt_explore::{DesignSpace, ExploreSettings, Explorer};
 use tecopt_units::Amperes;
 
 /// Evaluates one request under a supervision context. Implementations
@@ -199,6 +200,35 @@ impl Evaluator for TecEvaluator {
                 Ok(Response::Designer { scores })
             }
             Request::Transient { .. } => self.evaluate_transient(request, ctx),
+            Request::Explore {
+                theta_limit,
+                thickness_scales,
+                contact_scales,
+                placements,
+            } => {
+                let space = DesignSpace::new(
+                    thickness_scales.clone(),
+                    contact_scales.clone(),
+                    placements.clone(),
+                    *theta_limit,
+                )?;
+                let settings = ExploreSettings {
+                    current: self.settings,
+                    ..ExploreSettings::default()
+                };
+                // The context's checkpoint path (keyed requests only) is
+                // the work ledger: a shard killed mid-exploration hands
+                // the file to its successor, which resumes with zero
+                // duplicated and zero lost evaluations.
+                let report = Explorer::new(&self.system, space, settings).explore(ctx)?;
+                Ok(Response::Explore {
+                    evaluated: report.evaluated,
+                    pruned: report.pruned,
+                    feasible: report.feasible,
+                    quarantined: report.quarantined.len(),
+                    front: report.front,
+                })
+            }
         }
     }
 }
@@ -677,13 +707,19 @@ impl<E: Evaluator> Engine<E> {
         }
         if let (Some(dir), Some(key)) = (&self.config.checkpoint_dir, &job.key) {
             // Only the resumable request kinds get a checkpoint path:
-            // designer sweeps (probe-granular) and transient playbacks
-            // (timestep-granular, DESIGN.md §14).
-            if matches!(
-                job.request,
-                Request::Designer { .. } | Request::Transient { .. }
-            ) {
-                ctx = ctx.checkpoint(dir.join(format!("{key}.ckpt")));
+            // designer sweeps (probe-granular), transient playbacks
+            // (timestep-granular, DESIGN.md §14), and explorations
+            // (candidate-granular work ledger, DESIGN.md §18 — the
+            // `.ledger` extension distinguishes the durable lease trail
+            // from the replayable `.ckpt` prefix format).
+            match job.request {
+                Request::Designer { .. } | Request::Transient { .. } => {
+                    ctx = ctx.checkpoint(dir.join(format!("{key}.ckpt")));
+                }
+                Request::Explore { .. } => {
+                    ctx = ctx.checkpoint(dir.join(format!("{key}.ledger")));
+                }
+                _ => {}
             }
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {

@@ -36,6 +36,7 @@ use tecopt::runaway::SweepPoint;
 use tecopt::supervise::{fingerprint, hex_f64, parse_hex_f64};
 use tecopt::transient::ControllerSpec;
 use tecopt::{CandidateScore, EnvelopeSettings, TileIndex};
+use tecopt_explore::{ParetoPoint, Placement};
 use tecopt_units::{Amperes, Celsius, Watts};
 
 /// Hard cap on one frame, bytes, terminator included. Large enough for a
@@ -61,6 +62,20 @@ pub const MAX_TILES_PER_SEGMENT: usize = 4096;
 /// Most timesteps one transient request may imply (`Σ ceil(duration/dt)`),
 /// checked at decode so an admitted frame can never demand unbounded work.
 pub const MAX_TRANSIENT_STEPS: usize = 200_000;
+
+/// Most values one explore scale axis (thickness / contact) may carry.
+pub const MAX_EXPLORE_SCALES: usize = 64;
+
+/// Most placements one explore request may carry.
+pub const MAX_EXPLORE_PLACEMENTS: usize = 256;
+
+/// Most candidates one explore request may imply (the product of its
+/// axes), checked at decode so an admitted frame can never demand
+/// unbounded work.
+pub const MAX_EXPLORE_CANDIDATES: usize = 100_000;
+
+/// Most Pareto points one explore response may carry.
+pub const MAX_EXPLORE_FRONT: usize = 4096;
 
 /// One evaluation request, as admitted by the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +111,18 @@ pub enum Request {
         controller: ControllerSpec,
         /// Piecewise-constant workload: `(duration_seconds, tile_powers)`.
         schedule: Vec<(f64, Vec<Watts>)>,
+    },
+    /// A crash-safe design-space exploration (ledger-checkpointable; see
+    /// DESIGN.md §18). The grid is the cross product of the three axes.
+    Explore {
+        /// The feasibility target every candidate is judged against.
+        theta_limit: Celsius,
+        /// Film thickness scales relative to the base device.
+        thickness_scales: Vec<f64>,
+        /// Contact conductance scales relative to the base device.
+        contact_scales: Vec<f64>,
+        /// Device placements (fixed masks and/or greedy deployment).
+        placements: Vec<Placement>,
     },
 }
 
@@ -137,6 +164,22 @@ pub enum Response {
         tripped: bool,
         /// Implicit solves issued (all with `i < λ_m`, by the guard).
         solves: u64,
+    },
+    /// Result of [`Request::Explore`]: ledger-total counts and the
+    /// deterministic Pareto front, bit-identical across resume cycles and
+    /// shard handoffs.
+    Explore {
+        /// Candidates fully evaluated (feasible or not).
+        evaluated: usize,
+        /// Candidates rejected by the analytical first cut.
+        pruned: usize,
+        /// Evaluated candidates that met the temperature limit.
+        feasible: usize,
+        /// Candidates blacklisted with typed quarantine records.
+        quarantined: usize,
+        /// The Pareto front over (peak temperature, TEC power), in
+        /// canonical order.
+        front: Vec<ParetoPoint>,
     },
 }
 
@@ -262,6 +305,28 @@ pub fn encode_request(frame: &RequestFrame) -> String {
                 segs.join(";")
             )
         }
+        Request::Explore {
+            theta_limit,
+            thickness_scales,
+            contact_scales,
+            placements,
+        } => {
+            let axis = |scales: &[f64]| {
+                scales
+                    .iter()
+                    .map(|s| hex_f64(*s))
+                    .collect::<Vec<String>>()
+                    .join(",")
+            };
+            let places: Vec<String> = placements.iter().map(encode_placement).collect();
+            format!(
+                "explore {} {} {} {}",
+                hex_f64(theta_limit.value()),
+                axis(thickness_scales),
+                axis(contact_scales),
+                places.join(";")
+            )
+        }
     };
     format!(
         "req {} {} {}",
@@ -269,6 +334,70 @@ pub fn encode_request(frame: &RequestFrame) -> String {
         deadline,
         body
     )
+}
+
+/// `g` for greedy, `t:r.c,r.c` for a fixed mask (`t:` = empty mask).
+fn encode_placement(p: &Placement) -> String {
+    match p {
+        Placement::Greedy => "g".to_string(),
+        Placement::Tiles(tiles) => {
+            let ts: Vec<String> = tiles
+                .iter()
+                .map(|t| format!("{}.{}", t.row, t.col))
+                .collect();
+            format!("t:{}", ts.join(","))
+        }
+    }
+}
+
+fn parse_placement(spec: &str) -> Result<Placement, ServeError> {
+    if spec == "g" {
+        return Ok(Placement::Greedy);
+    }
+    let tiles_spec = spec
+        .strip_prefix("t:")
+        .ok_or_else(|| decode_err(format!("malformed placement `{spec}` (want g or t:...)")))?;
+    let mut tiles = Vec::new();
+    for tile in tiles_spec.split(',') {
+        if tile.is_empty() {
+            continue; // `t:` is the valid empty mask
+        }
+        if tiles.len() >= MAX_TILES_PER_CANDIDATE {
+            return Err(decode_err(format!(
+                "placement exceeds {MAX_TILES_PER_CANDIDATE} tiles"
+            )));
+        }
+        let (r, c) = tile
+            .split_once('.')
+            .ok_or_else(|| decode_err(format!("malformed placement tile `{tile}` (want r.c)")))?;
+        let row = r
+            .parse::<usize>()
+            .map_err(|_| decode_err(format!("malformed placement row `{r}`")))?;
+        let col = c
+            .parse::<usize>()
+            .map_err(|_| decode_err(format!("malformed placement col `{c}`")))?;
+        tiles.push(TileIndex::new(row, col));
+    }
+    Ok(Placement::Tiles(tiles))
+}
+
+fn parse_scale_axis(spec: &str, what: &str) -> Result<Vec<f64>, ServeError> {
+    let mut scales = Vec::new();
+    for field in spec.split(',') {
+        if scales.len() >= MAX_EXPLORE_SCALES {
+            return Err(decode_err(format!(
+                "{what} axis exceeds {MAX_EXPLORE_SCALES} scales"
+            )));
+        }
+        let v = parse_hex(field, what)?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(decode_err(format!(
+                "{what} must be positive and finite, got {v}"
+            )));
+        }
+        scales.push(v);
+    }
+    Ok(scales)
 }
 
 /// Decodes what [`encode_request`] produced.
@@ -364,6 +493,49 @@ pub fn decode_request(line: &str) -> Result<RequestFrame, ServeError> {
                 envelope,
                 controller,
                 schedule,
+            }
+        }
+        "explore" => {
+            let theta_limit = next_hex(&mut it, "explore limit")?;
+            if !theta_limit.is_finite() {
+                return Err(decode_err("explore limit must be finite"));
+            }
+            let thickness_scales = parse_scale_axis(
+                it.next()
+                    .ok_or_else(|| decode_err("missing thickness-scale axis"))?,
+                "thickness scale",
+            )?;
+            let contact_scales = parse_scale_axis(
+                it.next()
+                    .ok_or_else(|| decode_err("missing contact-scale axis"))?,
+                "contact scale",
+            )?;
+            let spec = it
+                .next()
+                .ok_or_else(|| decode_err("explore request needs a placement list"))?;
+            let mut placements = Vec::new();
+            for p in spec.split(';') {
+                if placements.len() >= MAX_EXPLORE_PLACEMENTS {
+                    return Err(decode_err(format!(
+                        "explore request exceeds {MAX_EXPLORE_PLACEMENTS} placements"
+                    )));
+                }
+                placements.push(parse_placement(p)?);
+            }
+            let candidates = thickness_scales
+                .len()
+                .saturating_mul(contact_scales.len())
+                .saturating_mul(placements.len());
+            if candidates > MAX_EXPLORE_CANDIDATES {
+                return Err(decode_err(format!(
+                    "explore grid implies {candidates} candidates (cap {MAX_EXPLORE_CANDIDATES})"
+                )));
+            }
+            Request::Explore {
+                theta_limit: Celsius(theta_limit),
+                thickness_scales,
+                contact_scales,
+                placements,
             }
         }
         other => return Err(decode_err(format!("unknown request kind `{other}`"))),
@@ -729,6 +901,26 @@ pub fn encode_response(key: Option<&str>, result: &Result<Response, ServeError>)
                     hex_f64(*tec_energy_joules),
                     u8::from(*tripped),
                 ),
+                Response::Explore {
+                    evaluated,
+                    pruned,
+                    feasible,
+                    quarantined,
+                    front,
+                } => {
+                    let mut s = format!("explore {evaluated} {pruned} {feasible} {quarantined}");
+                    for p in front {
+                        s.push(' ');
+                        s.push_str(&format!(
+                            "{:016x}:{}:{}:{}",
+                            p.id(),
+                            hex_f64(p.current().value()),
+                            hex_f64(p.peak().value()),
+                            hex_f64(p.tec_power().value())
+                        ));
+                    }
+                    s
+                }
             };
             format!("ok {} {body}", encode_key(key))
         }
@@ -831,6 +1023,32 @@ pub fn decode_response(line: &str) -> Result<ResponseFrame, ServeError> {
                         solves,
                     }
                 }
+                "explore" => {
+                    let bad = |what: &str| decode_err(format!("malformed explore {what}"));
+                    let mut count = |what: &'static str| -> Result<usize, ServeError> {
+                        it.next()
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .ok_or_else(|| bad(what))
+                    };
+                    let evaluated = count("evaluated count")?;
+                    let pruned = count("pruned count")?;
+                    let feasible = count("feasible count")?;
+                    let quarantined = count("quarantined count")?;
+                    let mut front = Vec::new();
+                    for field in it.by_ref() {
+                        if front.len() >= MAX_EXPLORE_FRONT {
+                            return Err(decode_err("oversized explore response"));
+                        }
+                        front.push(parse_pareto_point(field)?);
+                    }
+                    Response::Explore {
+                        evaluated,
+                        pruned,
+                        feasible,
+                        quarantined,
+                        front,
+                    }
+                }
                 other => return Err(decode_err(format!("unknown response kind `{other}`"))),
             };
             Ok(ResponseFrame {
@@ -906,6 +1124,25 @@ fn parse_score(field: &str) -> Result<CandidateScore, ServeError> {
         tec_power: Watts(tec_power),
         evaluations,
     })
+}
+
+fn parse_pareto_point(field: &str) -> Result<ParetoPoint, ServeError> {
+    let bad = || decode_err(format!("malformed pareto point `{field}`"));
+    let mut parts = field.split(':');
+    let id = parts
+        .next()
+        .filter(|s| s.len() == 16)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(bad)?;
+    let current = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let peak = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    let tec_power = parts.next().and_then(parse_hex_f64).ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    // The constructor is the NaN gate: a non-finite coordinate smuggled
+    // over the wire is a decode error, never a poisoned front.
+    ParetoPoint::new(id, Amperes(current), Celsius(peak), Watts(tec_power)).ok_or_else(bad)
 }
 
 #[cfg(test)]
@@ -984,6 +1221,80 @@ mod tests {
                 },
             });
         }
+    }
+
+    #[test]
+    fn explore_requests_round_trip() {
+        round_trip_request(RequestFrame {
+            key: Some("x-1".into()),
+            deadline_ms: Some(30_000),
+            request: Request::Explore {
+                theta_limit: Celsius(85.0),
+                thickness_scales: vec![0.5, 1.0, 2.0],
+                contact_scales: vec![1.0],
+                placements: vec![
+                    Placement::Greedy,
+                    Placement::Tiles(vec![TileIndex::new(1, 1), TileIndex::new(2, 3)]),
+                    Placement::Tiles(vec![]),
+                ],
+            },
+        });
+    }
+
+    #[test]
+    fn malformed_explore_requests_yield_typed_decode_errors() {
+        let one = "3ff0000000000000";
+        let nan = "7ff8000000000000";
+        let big: Vec<String> = (0..MAX_EXPLORE_SCALES).map(|_| one.to_string()).collect();
+        let big_axis = big.join(",");
+        let cases = [
+            // Limit and scales must be finite (and scales positive).
+            format!("req - - explore {nan} {one} {one} g"),
+            format!("req - - explore 4055400000000000 {nan} {one} g"),
+            format!("req - - explore 4055400000000000 0000000000000000 {one} g"),
+            // Unknown placement tag and malformed tiles.
+            format!("req - - explore 4055400000000000 {one} {one} x"),
+            format!("req - - explore 4055400000000000 {one} {one} t:1:2"),
+            // The candidate-count cap (64 × 64 × 256 > 100 000).
+            format!(
+                "req - - explore 4055400000000000 {big_axis} {big_axis} {}",
+                vec!["g"; MAX_EXPLORE_PLACEMENTS].join(";")
+            ),
+        ];
+        for line in &cases {
+            match decode_request(line) {
+                Err(ServeError::DecodeError(_)) => {}
+                other => panic!("`{line}` should fail decode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explore_responses_round_trip_and_refuse_nan_points() {
+        let front = vec![
+            ParetoPoint::new(0xabcd, Amperes(2.5), Celsius(78.0), Watts(0.75)).unwrap(),
+            ParetoPoint::new(7, Amperes(1.5), Celsius(82.0), Watts(0.25)).unwrap(),
+        ];
+        let result = Ok(Response::Explore {
+            evaluated: 40,
+            pruned: 9,
+            feasible: 12,
+            quarantined: 2,
+            front,
+        });
+        let line = encode_response(Some("k"), &result);
+        let frame = decode_response(&line).unwrap();
+        assert_eq!(frame.result.as_ref().unwrap(), result.as_ref().unwrap());
+
+        // A NaN smuggled into a front coordinate is a decode error.
+        let nan = "7ff8000000000000";
+        let poisoned = format!(
+            "ok k explore 1 0 1 0 000000000000abcd:3ff0000000000000:{nan}:3ff0000000000000"
+        );
+        assert!(matches!(
+            decode_response(&poisoned),
+            Err(ServeError::DecodeError(_))
+        ));
     }
 
     #[test]

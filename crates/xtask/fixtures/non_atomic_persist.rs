@@ -1,0 +1,29 @@
+use std::fs::{self, File, OpenOptions};
+use std::path::Path;
+
+pub fn atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+pub fn torn_header(path: &Path, text: &str) -> std::io::Result<()> {
+    fs::write(path, text)
+}
+
+pub fn torn_create(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+pub fn torn_truncate(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new().write(true).truncate(true).open(path)
+}
+
+pub fn appender(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new().create(true).append(true).open(path)
+}
+
+pub fn suppressed_scratch(path: &Path) -> std::io::Result<()> {
+    // tecopt:allow(non-atomic-persist) - justified fixture scratch write
+    fs::write(path, "x")
+}

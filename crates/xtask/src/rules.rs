@@ -101,6 +101,13 @@ pub struct FileContext {
     /// for the service layer, where every retry loop must pace itself
     /// (DESIGN.md §17).
     pub check_retry_backoff: bool,
+    /// `non-atomic-persist` applies: whole-file writes to a final path
+    /// with no rename evidence nearby leave a torn file after a crash.
+    /// On for the ledger/checkpoint persistence modules, where every
+    /// durable write must go through the temp-file+rename protocol
+    /// (`tecopt::supervise::atomic_replace`) or a torn-tail-tolerant
+    /// append (DESIGN.md §18).
+    pub check_persist: bool,
 }
 
 impl FileContext {
@@ -119,6 +126,7 @@ impl FileContext {
             check_locks: true,
             check_cancellation: true,
             check_retry_backoff: true,
+            check_persist: true,
         }
     }
 
@@ -137,6 +145,7 @@ impl FileContext {
             check_locks: false,
             check_cancellation: false,
             check_retry_backoff: false,
+            check_persist: false,
         }
     }
 }
@@ -292,6 +301,21 @@ pub const CATALOG: &[RuleInfo] = &[
         scope: "crates/serve/src/* (`for` loops are exempt: one pass over \
                 a bounded iterator is not a retry)",
     },
+    RuleInfo {
+        id: "non-atomic-persist",
+        severity: Severity::Error,
+        summary: "`fs::write`/`File::create` on a final path, or an \
+                  OpenOptions chain that creates/truncates/writes without \
+                  `append(true)`, with no `rename` evidence in the \
+                  following tokens leaves a torn file if the process dies \
+                  mid-write; route durable writes through the \
+                  temp-file+rename protocol \
+                  (`tecopt::supervise::atomic_replace`) or a \
+                  torn-tail-tolerant append",
+        scope: "ledger/checkpoint persistence modules \
+                (crates/core/src/{supervise,transient}.rs, \
+                crates/explore/src/ledger.rs)",
+    },
 ];
 
 /// Looks up a catalog entry by id.
@@ -379,6 +403,9 @@ fn token_rule_findings(toks: &[Tok], ctx: &FileContext) -> Vec<Finding> {
     }
     if ctx.check_retry_backoff {
         check_retry_without_backoff(toks, ctx, &mut findings);
+    }
+    if ctx.check_persist {
+        check_non_atomic_persist(toks, ctx, &mut findings);
     }
     if !ctx.allow_unsafe {
         check_unsafe(toks, ctx, &mut findings);
@@ -1094,6 +1121,96 @@ fn check_retry_without_backoff(toks: &[Tok], ctx: &FileContext, findings: &mut V
                     t.text
                 ),
             );
+        }
+    }
+}
+
+/// Tokens scanned *after* a flagged persist call for `rename` evidence
+/// (the temp-file+rename protocol) before it is reported. Generous: the
+/// write, sync, and rename of `atomic_replace` fit in a fraction of this.
+const RENAME_WINDOW: usize = 120;
+
+/// `true` if an identifier mentioning `rename` appears within
+/// [`RENAME_WINDOW`] tokens after index `i` — the visible tail of the
+/// temp-file+rename protocol.
+fn renames_after(toks: &[Tok], i: usize) -> bool {
+    toks[i..toks.len().min(i + RENAME_WINDOW)]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text.contains("rename"))
+}
+
+fn check_non_atomic_persist(toks: &[Tok], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        // Pass 1: direct whole-file writers — `fs::write(...)` and
+        // `File::create(...)` — replace or truncate the target in place;
+        // a kill mid-write leaves a torn final path unless the call is
+        // part of a temp-file+rename sequence.
+        let direct = ((t.is_ident("write")
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("fs"))
+            || (t.is_ident("create")
+                && i >= 2
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("File")))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if direct && !renames_after(toks, i) {
+            push(
+                findings,
+                "non-atomic-persist",
+                ctx,
+                t,
+                format!(
+                    "`{}` writes the final path in place with no rename \
+                     evidence in the following {RENAME_WINDOW} tokens; a \
+                     kill mid-write leaves a torn file — write through \
+                     `tecopt::supervise::atomic_replace` (temp sibling + \
+                     rename) instead",
+                    t.text
+                ),
+            );
+        }
+
+        // Pass 2: an `OpenOptions` builder chain that creates, truncates,
+        // or opens for write without `append(true)` is the same in-place
+        // overwrite spelled long-hand. Append chains are exempt: ledger
+        // and checkpoint item records are torn-tail-tolerant appends.
+        if t.is_ident("OpenOptions") {
+            let mut has_append = false;
+            let mut has_writer = false;
+            let mut depth = 0isize;
+            for n in toks.iter().skip(i + 1).take(80) {
+                if n.is_punct("(") || n.is_punct("[") || n.is_punct("{") {
+                    depth += 1;
+                } else if n.is_punct(")") || n.is_punct("]") || n.is_punct("}") {
+                    depth -= 1;
+                    if depth < 0 {
+                        break; // end of the enclosing expression
+                    }
+                } else if depth == 0 && n.is_punct(";") {
+                    break; // end of the builder statement
+                } else if n.kind == TokKind::Ident {
+                    match n.text.as_str() {
+                        "append" => has_append = true,
+                        "create" | "create_new" | "truncate" | "write" => has_writer = true,
+                        _ => {}
+                    }
+                }
+            }
+            if has_writer && !has_append && !renames_after(toks, i) {
+                push(
+                    findings,
+                    "non-atomic-persist",
+                    ctx,
+                    t,
+                    "`OpenOptions` chain creates/truncates/writes the final \
+                     path without `append(true)` and with no rename evidence \
+                     nearby; a kill mid-write leaves a torn file — use \
+                     `tecopt::supervise::atomic_replace` or a \
+                     torn-tail-tolerant append"
+                        .to_string(),
+                );
+            }
         }
     }
 }

@@ -71,6 +71,16 @@ const CANCELLATION_FILES: &[&str] = &[
     "crates/serve/src/engine.rs",
 ];
 
+/// Durable-persistence modules: every whole-file write to a final path
+/// must show rename evidence (`non-atomic-persist`), or a crash mid-write
+/// leaves a torn ledger/checkpoint. The sweep checkpoints, the transient
+/// playback checkpoints, and the explorer's work ledger.
+const PERSIST_FILES: &[&str] = &[
+    "crates/core/src/supervise.rs",
+    "crates/core/src/transient.rs",
+    "crates/explore/src/ledger.rs",
+];
+
 /// Directory names never descended into below a member's `src/`.
 const SKIP_DIRS: &[&str] = &["tests", "fixtures", "benches", "examples", "target"];
 
@@ -104,6 +114,9 @@ pub fn context_for(rel: &str) -> FileContext {
         // Every service-layer retry loop must pace itself; a reconnect
         // storm against a refusing peer is a self-inflicted outage.
         check_retry_backoff: rel.starts_with(QUEUE_PREFIX),
+        // Durable writers must be atomic (temp-file+rename) or appends
+        // whose torn tails the loaders tolerate.
+        check_persist: PERSIST_FILES.contains(&rel),
     }
 }
 
@@ -277,5 +290,12 @@ mod tests {
         assert!(context_for("crates/serve/src/router.rs").check_retry_backoff);
         assert!(!context_for("crates/core/src/parallel.rs").check_retry_backoff);
         assert!(!context_for("crates/core/src/designer.rs").check_retry_backoff);
+        // Persist scoping: the durable ledger/checkpoint modules only.
+        assert!(context_for("crates/core/src/supervise.rs").check_persist);
+        assert!(context_for("crates/core/src/transient.rs").check_persist);
+        assert!(context_for("crates/explore/src/ledger.rs").check_persist);
+        assert!(!context_for("crates/explore/src/engine.rs").check_persist);
+        assert!(!context_for("crates/serve/src/engine.rs").check_persist);
+        assert!(!context_for("crates/core/src/designer.rs").check_persist);
     }
 }

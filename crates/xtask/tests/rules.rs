@@ -42,6 +42,7 @@ fn catalog_is_complete_and_unique() {
             "swallowed-result",
             "uncancelled-loop",
             "retry-without-backoff",
+            "non-atomic-persist",
         ]
     );
 }
@@ -301,6 +302,32 @@ fn retry_without_backoff_fixture() {
         &fixture("retry_without_backoff.rs"),
         &FileContext::plain("fx"),
     );
+    assert_eq!(triples(&out), []);
+}
+
+#[test]
+fn non_atomic_persist_fixture() {
+    let mut ctx = FileContext::plain("fx");
+    ctx.check_persist = true;
+    let out = lint_source(&fixture("non_atomic_persist.rs"), &ctx);
+    assert_eq!(
+        triples(&out),
+        [
+            // `fs::write` straight to the final path; the rename-paired
+            // write in `atomic` above it is exempt.
+            ("non-atomic-persist", 11, 9),
+            // `File::create` on the final path.
+            ("non-atomic-persist", 15, 11),
+            // an OpenOptions chain that truncates without `append(true)`;
+            // the append chain in `appender` is exempt.
+            ("non-atomic-persist", 19, 5),
+        ]
+    );
+    // The justified scratch write on line 28 is silenced by its comment.
+    assert_eq!(out.suppressed, 1);
+
+    // Outside the persistence-module scope the rule is fully off.
+    let out = lint_source(&fixture("non_atomic_persist.rs"), &FileContext::plain("fx"));
     assert_eq!(triples(&out), []);
 }
 

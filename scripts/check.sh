@@ -58,7 +58,19 @@
 #      including the `#[ignore]`d kill-every-shard soak,
 #  15. the PR-9 acceptance benchmark (bench_pr9): fleet failover p99 ≤ 5x
 #      the healthy p99 and fixed-floor hedging p99 ≤ 0.75x unhedged
-#      against a 20x straggler, regenerating the committed BENCH_PR9.json.
+#      against a 20x straggler, regenerating the committed BENCH_PR9.json,
+#  16. the explorer chaos pass (tests/explore_chaos.rs): kill-at-every-
+#      ledger-boundary resume with zero duplicated evaluations and a
+#      bit-identical Pareto front, typed quarantine of panicking/NaN/
+#      envelope-tripping candidates across kill cycles, torn-tail and
+#      full-disk regressions at every fixed persist site, and the keyed
+#      Explore fleet-failover handoff (DESIGN.md §18), single-threaded
+#      and including the `#[ignore]`d 10k-candidate kill/resume soak,
+#  17. the PR-10 acceptance benchmark (bench_pr10): killed-at-half +
+#      resume wall time ≤ 1.02x the uninterrupted ledger sweep, zero
+#      duplicated evaluations, and parallel speedup over a serial loop
+#      ≥ min(0.85 x workers, 8) on a 10k-candidate grid, regenerating
+#      the committed BENCH_PR10.json.
 # Run from the repository root: ./scripts/check.sh
 set -eu
 
@@ -111,5 +123,11 @@ cargo test -q --test fleet_chaos -- --test-threads=1 --include-ignored
 
 echo "==> cargo run --release -p tecopt-bench --bin bench_pr9 > BENCH_PR9.json"
 cargo run --release -q -p tecopt-bench --bin bench_pr9 > BENCH_PR9.json
+
+echo "==> cargo test -q --test explore_chaos -- --test-threads=1 --include-ignored"
+cargo test -q --test explore_chaos -- --test-threads=1 --include-ignored
+
+echo "==> cargo run --release -p tecopt-bench --bin bench_pr10 > BENCH_PR10.json"
+cargo run --release -q -p tecopt-bench --bin bench_pr10 > BENCH_PR10.json
 
 echo "==> all checks passed"
