@@ -449,16 +449,21 @@ pub fn temp_sibling(path: &Path) -> PathBuf {
 }
 
 /// Atomically replaces `path` with `contents`: the bytes are written and
-/// synced to [`temp_sibling`] first, then renamed over the final path. A
-/// crash (or a failing volume) at any instant leaves the final path either
-/// absent, with its old content, or with the complete new content — never
-/// a torn prefix. Checkpoint and ledger *headers* go through this; item
-/// records are plain appends, whose torn tails the loaders tolerate.
+/// synced to [`temp_sibling`] first, renamed over the final path, then the
+/// parent directory is synced so the rename itself survives power loss. A
+/// crash at any instant leaves the final path either absent, with its old
+/// content, or with the complete new content — never a torn prefix.
+/// Checkpoint and ledger *headers* go through this; item records are plain
+/// appends that are flushed but not synced — durable against process
+/// kills, while an OS crash or power loss may drop an unsynced record
+/// tail, which costs re-running those items, never correctness (the
+/// loaders treat a missing record as pending work).
 ///
 /// # Errors
 ///
-/// Any I/O error from create/write/sync/rename; on error the final path
-/// is untouched.
+/// Any I/O error from create/write/sync/rename: before the rename the
+/// final path is untouched; a directory-sync failure after it leaves the
+/// final path with the complete new content (never a torn file).
 pub fn atomic_replace(path: &Path, contents: &str) -> std::io::Result<()> {
     let tmp = temp_sibling(path);
     {
@@ -466,7 +471,16 @@ pub fn atomic_replace(path: &Path, contents: &str) -> std::io::Result<()> {
         file.write_all(contents.as_bytes())?;
         file.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    // The rename lives in the directory entry, not the file: without this
+    // sync a power cut can roll the replacement back even though the file
+    // data itself was synced.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
 }
 
 /// Reads the completed items recorded in `path`, validating the header

@@ -349,8 +349,31 @@ impl Explorer {
                 }
                 state.done.insert(cand.id, rec);
             } else {
-                let attempt = state.claims.get(&cand.id).copied().unwrap_or(0) + 1;
-                queue.push((cand, attempt));
+                let prior = state.claims.get(&cand.id).copied().unwrap_or(0);
+                if prior >= retry_budget {
+                    // Every recorded claim died without a terminal record:
+                    // each admitted attempt killed the whole process
+                    // (abort/OOM — the failure shape panic isolation
+                    // cannot contain). The budget is spent; quarantine at
+                    // admission so one bad candidate can never keep
+                    // aborting the sweep across resumes forever.
+                    if !ctx.admit() {
+                        return Err(ctx.interruption(state.settled_count(), total));
+                    }
+                    let rec = QuarantineRecord::new(
+                        cand.id,
+                        prior,
+                        QuarantineReason::Panicked,
+                        "attempt killed in flight",
+                        None,
+                    );
+                    if let Some(l) = &ledger {
+                        l.quarantine(&rec)?;
+                    }
+                    state.quarantined.insert(cand.id, rec);
+                } else {
+                    queue.push((cand, prior + 1));
+                }
             }
         }
 

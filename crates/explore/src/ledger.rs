@@ -22,7 +22,12 @@
 //!   read back as a *stale* ledger;
 //! - record lines are appended and flushed one at a time under a mutex; a
 //!   kill mid-append tears at most the final line, which the loader
-//!   skips (the in-flight candidate simply re-runs on resume);
+//!   skips (the in-flight candidate simply re-runs on resume). Flushing
+//!   makes records durable against *process kills* — the chaos suite's
+//!   crash model; an OS crash or power loss may additionally drop an
+//!   unsynced record tail, which re-runs those candidates on resume,
+//!   never corrupting settled state (only the atomically-replaced header
+//!   is synced through to stable storage);
 //! - floating-point payloads are bit-exact hex ([`hex_f64`]), so a
 //!   resumed exploration reproduces the uninterrupted run bit for bit;
 //! - the header fingerprint binds the file to the exact design-space
@@ -33,7 +38,10 @@
 //! attempt, written *before* the evaluation starts. A claim without a
 //! matching `done`/`quar` marks an attempt killed in flight; the attempt
 //! count carries across resumes so the retry budget cannot be reset by
-//! crashing.
+//! crashing — and a candidate whose recorded claims already spent the
+//! budget without ever settling (every attempt killed the whole process,
+//! beyond what panic isolation can contain) is quarantined at resume
+//! admission instead of being re-queued forever.
 
 use crate::quarantine::{PartialPrefix, QuarantineReason, QuarantineRecord};
 use std::collections::BTreeMap;

@@ -13,6 +13,14 @@
 //!                                        └──▶ quarantined (budget spent)
 //! ```
 //!
+//! The evaluating state has one more exit the diagram cannot show from
+//! inside the process: an attempt that kills the process outright
+//! (abort/OOM — not containable by panic isolation) leaves only its
+//! ledger claim behind. When a resume finds an unsettled candidate whose
+//! claim trail already spent the retry budget, it quarantines the
+//! candidate at admission (`Panicked`, "attempt killed in flight")
+//! instead of re-queueing it forever.
+//!
 //! A quarantined candidate is blacklisted in the work ledger with a
 //! [`QuarantineRecord`] carrying the typed reason, the attempt count and —
 //! for greedy placements that failed mid-deploy — the completed

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, PushError};
 use crate::replicate::{ReplEntry, ReplicationSink};
-use crate::wire::{request_fingerprint, Request, RequestFrame, Response};
+use crate::wire::{request_fingerprint, Request, RequestFrame, Response, MAX_EXPLORE_FRONT};
 use tecopt::parallel::panic_message;
 use tecopt::runaway::sweep_fractions_supervised;
 use tecopt::transient::{TransientFailure, TransientSimulator};
@@ -221,12 +221,20 @@ impl Evaluator for TecEvaluator {
                 // the file to its successor, which resumes with zero
                 // duplicated and zero lost evaluations.
                 let report = Explorer::new(&self.system, space, settings).explore(ctx)?;
+                // The wire caps one response at MAX_EXPLORE_FRONT points;
+                // truncating the canonical-order front here (total size
+                // still reported) keeps the cached/replicated response
+                // identical to what any client can actually receive.
+                let front_total = report.front.len();
+                let mut front = report.front;
+                front.truncate(MAX_EXPLORE_FRONT);
                 Ok(Response::Explore {
                     evaluated: report.evaluated,
                     pruned: report.pruned,
                     feasible: report.feasible,
                     quarantined: report.quarantined.len(),
-                    front: report.front,
+                    front_total,
+                    front,
                 })
             }
         }

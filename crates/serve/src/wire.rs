@@ -74,8 +74,17 @@ pub const MAX_EXPLORE_PLACEMENTS: usize = 256;
 /// unbounded work.
 pub const MAX_EXPLORE_CANDIDATES: usize = 100_000;
 
-/// Most Pareto points one explore response may carry.
-pub const MAX_EXPLORE_FRONT: usize = 4096;
+/// Most Pareto points one explore response may carry — chosen so the
+/// worst-case encoded response always fits one frame. Each point encodes
+/// to 68 bytes (`␣id:current:peak:power`, four 16-hex-digit fields), and
+/// the frame overhead tops out near 350 bytes (`#repl` replication prefix
+/// with two digests, a 128-char key, the `ok <key> explore` prefix, five
+/// counts and the terminator), so `896 × 68 + 350 < 64 KiB` holds with
+/// margin — [`encode_response`] can never produce an explore frame that
+/// `decode_response`, the server reader, or the client reader rejects.
+/// Larger fronts are truncated at encode time in canonical (deterministic)
+/// order, with the untruncated size reported in the `front_total` field.
+pub const MAX_EXPLORE_FRONT: usize = 896;
 
 /// One evaluation request, as admitted by the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,8 +186,12 @@ pub enum Response {
         feasible: usize,
         /// Candidates blacklisted with typed quarantine records.
         quarantined: usize,
+        /// Size of the full Pareto front before any wire truncation.
+        /// `front_total > front.len()` tells the client the front was
+        /// capped at [`MAX_EXPLORE_FRONT`] points.
+        front_total: usize,
         /// The Pareto front over (peak temperature, TEC power), in
-        /// canonical order.
+        /// canonical order, truncated to [`MAX_EXPLORE_FRONT`] points.
         front: Vec<ParetoPoint>,
     },
 }
@@ -906,10 +919,16 @@ pub fn encode_response(key: Option<&str>, result: &Result<Response, ServeError>)
                     pruned,
                     feasible,
                     quarantined,
+                    front_total,
                     front,
                 } => {
-                    let mut s = format!("explore {evaluated} {pruned} {feasible} {quarantined}");
-                    for p in front {
+                    let mut s = format!(
+                        "explore {evaluated} {pruned} {feasible} {quarantined} {front_total}"
+                    );
+                    // The cap is enforced at encode time so this can never
+                    // emit a frame the (capped) readers refuse; truncation
+                    // in canonical order stays deterministic.
+                    for p in front.iter().take(MAX_EXPLORE_FRONT) {
                         s.push(' ');
                         s.push_str(&format!(
                             "{:016x}:{}:{}:{}",
@@ -1034,6 +1053,7 @@ pub fn decode_response(line: &str) -> Result<ResponseFrame, ServeError> {
                     let pruned = count("pruned count")?;
                     let feasible = count("feasible count")?;
                     let quarantined = count("quarantined count")?;
+                    let front_total = count("front total")?;
                     let mut front = Vec::new();
                     for field in it.by_ref() {
                         if front.len() >= MAX_EXPLORE_FRONT {
@@ -1041,11 +1061,15 @@ pub fn decode_response(line: &str) -> Result<ResponseFrame, ServeError> {
                         }
                         front.push(parse_pareto_point(field)?);
                     }
+                    if front_total < front.len() {
+                        return Err(decode_err("explore front total below carried points"));
+                    }
                     Response::Explore {
                         evaluated,
                         pruned,
                         feasible,
                         quarantined,
+                        front_total,
                         front,
                     }
                 }
@@ -1280,6 +1304,7 @@ mod tests {
             pruned: 9,
             feasible: 12,
             quarantined: 2,
+            front_total: 2,
             front,
         });
         let line = encode_response(Some("k"), &result);
@@ -1289,12 +1314,103 @@ mod tests {
         // A NaN smuggled into a front coordinate is a decode error.
         let nan = "7ff8000000000000";
         let poisoned = format!(
-            "ok k explore 1 0 1 0 000000000000abcd:3ff0000000000000:{nan}:3ff0000000000000"
+            "ok k explore 1 0 1 0 1 000000000000abcd:3ff0000000000000:{nan}:3ff0000000000000"
         );
         assert!(matches!(
             decode_response(&poisoned),
             Err(ServeError::DecodeError(_))
         ));
+        // A front total smaller than the carried points is inconsistent.
+        let short = "ok k explore 1 0 1 0 0 \
+                     000000000000abcd:3ff0000000000000:3ff0000000000000:3ff0000000000000";
+        assert!(matches!(
+            decode_response(short),
+            Err(ServeError::DecodeError(_))
+        ));
+    }
+
+    /// `n` distinct valid points with full-width coordinate encodings.
+    fn synthetic_front(n: usize) -> Vec<ParetoPoint> {
+        (0..n)
+            .map(|i| {
+                ParetoPoint::new(
+                    u64::MAX - i as u64,
+                    Amperes(1.0 + i as f64 * 1e-6),
+                    Celsius(70.0 + i as f64 * 1e-6),
+                    Watts(0.5 + i as f64 * 1e-6),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_maximal_explore_response_fits_one_frame_even_replicated() {
+        // Worst case everywhere: a full front, counts at the candidate
+        // cap, and a maximum-length key — both as a bare response line
+        // and wrapped in a `#repl` replication frame. The readers cap
+        // frames at MAX_FRAME_LEN (terminator included), so a response
+        // the encoder can produce must stay strictly within it.
+        let key = "k".repeat(128);
+        let response = Response::Explore {
+            evaluated: MAX_EXPLORE_CANDIDATES,
+            pruned: MAX_EXPLORE_CANDIDATES,
+            feasible: MAX_EXPLORE_CANDIDATES,
+            quarantined: MAX_EXPLORE_CANDIDATES,
+            front_total: MAX_EXPLORE_CANDIDATES,
+            front: synthetic_front(MAX_EXPLORE_FRONT),
+        };
+        let result = Ok(response.clone());
+        let line = encode_response(Some(&key), &result);
+        // The frame cap counts the `\n` terminator: strictly under it.
+        assert!(
+            line.len() < MAX_FRAME_LEN,
+            "explore response frame is {} bytes + terminator, cap {MAX_FRAME_LEN}",
+            line.len()
+        );
+        let frame = decode_response(&line).unwrap();
+        assert_eq!(frame.result.as_ref().unwrap(), &response);
+
+        let repl = ReplFrame {
+            request_fp: u64::MAX,
+            key,
+            response,
+        };
+        let line = encode_repl(&repl);
+        assert!(
+            line.len() < MAX_FRAME_LEN,
+            "replicated explore frame is {} bytes + terminator, cap {MAX_FRAME_LEN}",
+            line.len()
+        );
+        assert_eq!(decode_extension(&line).unwrap(), Some(repl));
+    }
+
+    #[test]
+    fn oversized_explore_fronts_are_truncated_at_encode_time() {
+        let full = synthetic_front(MAX_EXPLORE_FRONT + 5);
+        let result = Ok(Response::Explore {
+            evaluated: full.len(),
+            pruned: 0,
+            feasible: full.len(),
+            quarantined: 0,
+            front_total: full.len(),
+            front: full.clone(),
+        });
+        let line = encode_response(Some("k"), &result);
+        assert!(line.len() < MAX_FRAME_LEN);
+        let frame = decode_response(&line).unwrap();
+        match frame.result.unwrap() {
+            Response::Explore {
+                front_total, front, ..
+            } => {
+                // The canonical-order prefix survives; the total records
+                // what was dropped.
+                assert_eq!(front_total, MAX_EXPLORE_FRONT + 5);
+                assert_eq!(front.len(), MAX_EXPLORE_FRONT);
+                assert_eq!(front[..], full[..MAX_EXPLORE_FRONT]);
+            }
+            other => panic!("expected an explore response, got {other:?}"),
+        }
     }
 
     #[test]

@@ -353,6 +353,84 @@ fn pathological_candidates_quarantine_with_typed_records_across_kill_cycles() {
 }
 
 #[test]
+fn a_candidate_that_kills_every_attempt_is_quarantined_at_resume_not_relooped() {
+    let system = small_system();
+    let explorer = Explorer::new(
+        &system,
+        synthetic_space(4, Celsius(85.0)),
+        ExploreSettings::default(),
+    );
+    let candidates = explorer.space().candidates();
+    let killer = candidates[2].id;
+    let grazed = candidates[0].id;
+
+    // Simulate the failure shape panic isolation cannot contain — an
+    // attempt that aborts/OOMs the whole process: claims go into the
+    // ledger, the process dies, no terminal record ever lands. Two such
+    // cycles spend the full default retry budget on `killer`; `grazed`
+    // was in flight during one kill only.
+    let path = scratch("hardcrash.ledger");
+    let _ = std::fs::remove_file(&path);
+    let fp = explorer.fingerprint();
+    {
+        let (ledger, _) = Ledger::open(&path, fp, candidates.len()).unwrap();
+        ledger.claim(killer, 1).unwrap();
+        ledger.claim(grazed, 1).unwrap();
+    }
+    {
+        let (ledger, state) = Ledger::open(&path, fp, candidates.len()).unwrap();
+        assert_eq!(state.claims.get(&killer), Some(&1));
+        ledger.claim(killer, 2).unwrap();
+    }
+
+    // The next resume quarantines the budget-spent candidate at admission
+    // — it is never evaluated again — while the singly-grazed one re-runs
+    // normally and the sweep completes.
+    let counts: CallCounts = Arc::default();
+    let report = explorer
+        .explore_with(
+            &RunContext::unbounded().checkpoint(&path),
+            |cand: &Candidate| -> Result<CandidateEval, CandidateFailure> {
+                *counts.lock().unwrap().entry(cand.id).or_insert(0) += 1;
+                Ok(clean_eval(cand))
+            },
+            |_| false,
+        )
+        .unwrap();
+    assert_eq!(report.evaluated, 3);
+    assert_eq!(report.quarantined.len(), 1);
+    let quar = &report.quarantined[0];
+    assert_eq!(quar.id, killer);
+    assert_eq!(quar.reason, QuarantineReason::Panicked);
+    assert_eq!(quar.attempts, 2, "the recorded claim trail is the count");
+    assert!(
+        quar.message.contains("killed in flight"),
+        "got `{}`",
+        quar.message
+    );
+    {
+        let got = counts.lock().unwrap();
+        assert_eq!(got.get(&killer), None, "budget-spent candidate re-admitted");
+        assert_eq!(got.get(&grazed), Some(&1), "grazed candidate must re-run");
+    }
+
+    // The quarantine record is durable: a zero-admission replay settles
+    // everything from the ledger and reports the same totals.
+    let replay = explorer
+        .explore_with(
+            &RunContext::unbounded().probe_budget(0).checkpoint(&path),
+            |_: &Candidate| -> Result<CandidateEval, CandidateFailure> {
+                panic!("a fully settled ledger admits no evaluations")
+            },
+            |_| false,
+        )
+        .unwrap();
+    assert_eq!(counts_of(&replay), counts_of(&report));
+    assert_eq!(replay.quarantined, report.quarantined);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn a_torn_ledger_tail_costs_exactly_one_rerun_and_the_same_front() {
     let system = small_system();
     let explorer = Explorer::new(
@@ -658,6 +736,7 @@ fn an_exploration_killed_mid_flight_resumes_bit_identically_on_its_successor() {
             pruned,
             feasible,
             quarantined,
+            front_total,
             front,
         } => {
             assert_eq!(
@@ -665,6 +744,7 @@ fn an_exploration_killed_mid_flight_resumes_bit_identically_on_its_successor() {
                 counts_of(&reference),
                 "ledger totals must match the uninterrupted run"
             );
+            assert_eq!(front_total, reference.front.len(), "nothing truncated");
             assert_eq!(front_bits(&front), front_bits(&reference.front));
         }
         other => panic!("expected an explore report, got {other:?}"),
